@@ -1,0 +1,87 @@
+//! Pairwise cosine similarities between latent vectors.
+
+use ivmf_linalg::{norms, Matrix};
+
+/// The pairwise similarity structure of supplementary Algorithm 6
+/// (`PAIRSIM`): `sim[(i, j)] = |cos(v_min_i, v_max_j)|` together with the
+/// sign of the raw cosine, which the alignment later uses to decide whether
+/// the matched minimum-side vector must be flipped.
+#[derive(Debug, Clone)]
+pub struct PairSimilarity {
+    /// `r x r` matrix of absolute cosine similarities; row `i` indexes the
+    /// minimum-side latent vector, column `j` the maximum-side one.
+    pub sim: Matrix,
+    /// `negative[(i, j)]` is `true` when the raw cosine was negative.
+    pub negative: Vec<Vec<bool>>,
+}
+
+/// Computes the pairwise similarity between the columns of `v_min` and
+/// `v_max` (both `m x r`, columns are latent vectors).
+///
+/// Degenerate (zero-norm) columns yield similarity `0` against everything.
+pub fn similarity_matrix(v_min: &Matrix, v_max: &Matrix) -> PairSimilarity {
+    let r = v_min.cols();
+    let mut sim = Matrix::zeros(r, r);
+    let mut negative = vec![vec![false; r]; r];
+    let min_cols: Vec<Vec<f64>> = (0..r).map(|j| v_min.col(j)).collect();
+    let max_cols: Vec<Vec<f64>> = (0..r).map(|j| v_max.col(j)).collect();
+    for i in 0..r {
+        for j in 0..r {
+            let c = norms::cosine_similarity(&min_cols[i], &max_cols[j]);
+            sim[(i, j)] = c.abs();
+            negative[i][j] = c < 0.0;
+        }
+    }
+    PairSimilarity { sim, negative }
+}
+
+/// Per-column cosine similarity between matched columns of two factor
+/// matrices — i.e. the diagonal similarity the paper plots in Figures 3
+/// and 5 (`cos(V_min[:, i], V_max[:, i])`).
+pub fn matched_cosines(v_min: &Matrix, v_max: &Matrix) -> Vec<f64> {
+    let r = v_min.cols().min(v_max.cols());
+    (0..r)
+        .map(|j| norms::cosine_similarity(&v_min.col(j), &v_max.col(j)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similarity_of_identical_factors_is_identity_like() {
+        let v = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let p = similarity_matrix(&v, &v);
+        assert!((p.sim[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((p.sim[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!(p.sim[(0, 1)].abs() < 1e-12);
+        assert!(!p.negative[0][0]);
+    }
+
+    #[test]
+    fn similarity_records_negative_cosines() {
+        let v_min = Matrix::from_rows(&[vec![1.0], vec![0.0]]);
+        let v_max = Matrix::from_rows(&[vec![-1.0], vec![0.0]]);
+        let p = similarity_matrix(&v_min, &v_max);
+        assert!((p.sim[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!(p.negative[0][0]);
+    }
+
+    #[test]
+    fn zero_column_yields_zero_similarity() {
+        let v_min = Matrix::from_rows(&[vec![0.0], vec![0.0]]);
+        let v_max = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        let p = similarity_matrix(&v_min, &v_max);
+        assert_eq!(p.sim[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn matched_cosines_diagonal() {
+        let v_min = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let v_max = Matrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 1.0]]);
+        let d = matched_cosines(&v_min, &v_max);
+        assert!((d[0] - 1.0).abs() < 1e-12);
+        assert!((d[1] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+}

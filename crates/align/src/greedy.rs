@@ -1,0 +1,132 @@
+//! The paper's greedy conflict-resolving mapping (supplementary Algorithm 6,
+//! procedure `MAPPING`).
+//!
+//! For every maximum-side vector `j`, the best minimum-side vector
+//! `argmax_i sim[i, j]` is chosen. When two columns claim the same
+//! minimum-side vector, the claimant with the higher similarity keeps it and
+//! the others are reassigned to the best still-unassigned ("spare")
+//! minimum-side vectors.
+
+use ivmf_linalg::Matrix;
+
+/// Computes the greedy mapping over the `r x r` similarity matrix.
+///
+/// Returns `mapping` where `mapping[j]` is the index of the minimum-side
+/// vector assigned to maximum-side vector `j`. The result is always a
+/// permutation of `0..r`.
+pub fn greedy_mapping(sim: &Matrix) -> Vec<usize> {
+    let r = sim.cols();
+    let mut mapping = vec![0usize; r];
+
+    // First pass: every column picks its best row.
+    for j in 0..r {
+        let mut best = 0usize;
+        let mut best_sim = f64::NEG_INFINITY;
+        for i in 0..r {
+            if sim[(i, j)] > best_sim {
+                best_sim = sim[(i, j)];
+                best = i;
+            }
+        }
+        mapping[j] = best;
+    }
+
+    // Detect conflicts: rows claimed by more than one column.
+    let mut claimed: Vec<Vec<usize>> = vec![Vec::new(); r];
+    for (j, &i) in mapping.iter().enumerate() {
+        claimed[i].push(j);
+    }
+    let mut spare: Vec<usize> = (0..r).filter(|&i| claimed[i].is_empty()).collect();
+    if spare.is_empty() {
+        return mapping;
+    }
+
+    for i in 0..r {
+        if claimed[i].len() <= 1 {
+            continue;
+        }
+        // Keep the best claimant, reassign the rest to spares.
+        let mut claimants = claimed[i].clone();
+        claimants.sort_by(|&a, &b| {
+            sim[(i, b)]
+                .partial_cmp(&sim[(i, a)])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &j in claimants.iter().skip(1) {
+            // Pick the spare row with the highest similarity to column j.
+            let (pos, &best_spare) = spare
+                .iter()
+                .enumerate()
+                .max_by(|(_, &a), (_, &b)| {
+                    sim[(a, j)]
+                        .partial_cmp(&sim[(b, j)])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("a spare row exists for every excess claimant");
+            mapping[j] = best_spare;
+            spare.swap_remove(pos);
+        }
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(mapping: &[usize]) -> bool {
+        let mut seen = vec![false; mapping.len()];
+        for &m in mapping {
+            if m >= mapping.len() || seen[m] {
+                return false;
+            }
+            seen[m] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn identity_similarity_gives_identity_mapping() {
+        let sim = Matrix::identity(4);
+        assert_eq!(greedy_mapping(&sim), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn permuted_similarity_recovers_permutation() {
+        // Column j is most similar to row (j + 1) mod 3.
+        let mut sim = Matrix::zeros(3, 3);
+        sim[(1, 0)] = 0.9;
+        sim[(2, 1)] = 0.8;
+        sim[(0, 2)] = 0.95;
+        assert_eq!(greedy_mapping(&sim), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn conflict_resolution_keeps_best_claimant() {
+        // Both columns prefer row 0, but column 1 has the stronger claim.
+        let sim = Matrix::from_rows(&[vec![0.6, 0.9], vec![0.5, 0.1]]);
+        let m = greedy_mapping(&sim);
+        assert_eq!(m, vec![1, 0]);
+        assert!(is_permutation(&m));
+    }
+
+    #[test]
+    fn always_produces_a_permutation() {
+        // All-equal similarities: any permutation is fine, but it must be a
+        // permutation.
+        let sim = Matrix::filled(5, 5, 0.5);
+        assert!(is_permutation(&greedy_mapping(&sim)));
+        // Similarity with many conflicts.
+        let mut sim2 = Matrix::zeros(4, 4);
+        for j in 0..4 {
+            sim2[(0, j)] = 1.0 - j as f64 * 0.01;
+        }
+        assert!(is_permutation(&greedy_mapping(&sim2)));
+    }
+
+    #[test]
+    fn single_column() {
+        let sim = Matrix::from_rows(&[vec![0.3]]);
+        assert_eq!(greedy_mapping(&sim), vec![0]);
+    }
+}

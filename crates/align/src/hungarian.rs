@@ -1,0 +1,204 @@
+//! Optimal assignment via the Hungarian algorithm (Problem 2 of the paper).
+//!
+//! The paper's *Optimal Min-Max Vector Alignment* asks for the pairing of
+//! minimum- and maximum-side latent vectors that maximizes the total
+//! absolute cosine similarity; this is the classic linear assignment
+//! problem, solved here with the `O(r³)` potentials/augmenting-path variant
+//! of the Hungarian (Kuhn–Munkres) algorithm.
+
+use ivmf_linalg::Matrix;
+
+/// Solves the assignment problem **maximizing** the total similarity.
+///
+/// `sim` is an `r x r` matrix where rows index minimum-side vectors and
+/// columns index maximum-side vectors. Returns `mapping` with
+/// `mapping[j] = i` meaning column `j` is assigned row `i`; the result is a
+/// permutation of `0..r`.
+pub fn hungarian_max(sim: &Matrix) -> Vec<usize> {
+    let n = sim.cols();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Convert to a minimization problem.
+    let cost = sim.map(|x| -x);
+    hungarian_min(&cost)
+}
+
+/// Solves the assignment problem **minimizing** the total cost.
+///
+/// Same output convention as [`hungarian_max`].
+pub fn hungarian_min(cost: &Matrix) -> Vec<usize> {
+    let n = cost.rows();
+    debug_assert_eq!(cost.rows(), cost.cols(), "cost matrix must be square");
+    if n == 0 {
+        return Vec::new();
+    }
+
+    const INF: f64 = f64::INFINITY;
+    // 1-indexed arrays per the classical formulation.
+    let mut u = vec![0.0_f64; n + 1];
+    let mut v = vec![0.0_f64; n + 1];
+    // p[j] = row assigned to column j (0 = unassigned).
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+
+    let a = |i: usize, j: usize| cost[(i - 1, j - 1)];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = a(i0, j) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut mapping = vec![0usize; n];
+    for j in 1..=n {
+        mapping[j - 1] = p[j] - 1;
+    }
+    mapping
+}
+
+/// Total similarity achieved by a mapping (`Σ_j sim[mapping[j], j]`).
+pub fn mapping_score(sim: &Matrix, mapping: &[usize]) -> f64 {
+    mapping
+        .iter()
+        .enumerate()
+        .map(|(j, &i)| sim[(i, j)])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn is_permutation(mapping: &[usize]) -> bool {
+        let mut seen = vec![false; mapping.len()];
+        for &m in mapping {
+            if m >= mapping.len() || seen[m] {
+                return false;
+            }
+            seen[m] = true;
+        }
+        true
+    }
+
+    /// Brute force over all permutations (only usable for small n).
+    fn brute_force_max(sim: &Matrix) -> f64 {
+        fn permutations(n: usize) -> Vec<Vec<usize>> {
+            if n == 0 {
+                return vec![vec![]];
+            }
+            let mut out = Vec::new();
+            for p in permutations(n - 1) {
+                for pos in 0..=p.len() {
+                    let mut q = p.clone();
+                    q.insert(pos, n - 1);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        permutations(sim.rows())
+            .into_iter()
+            .map(|perm| mapping_score(sim, &perm))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    #[test]
+    fn identity_similarity() {
+        let m = hungarian_max(&Matrix::identity(4));
+        assert_eq!(m, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recovers_planted_permutation() {
+        let mut sim = Matrix::filled(4, 4, 0.1);
+        // Plant permutation j -> (j + 2) % 4 with high similarity.
+        for j in 0..4 {
+            sim[((j + 2) % 4, j)] = 0.99;
+        }
+        assert_eq!(hungarian_max(&sim), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(61);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..=5);
+            let sim = Matrix::from_fn(n, n, |_, _| rng.gen_range(0.0..1.0));
+            let mapping = hungarian_max(&sim);
+            assert!(is_permutation(&mapping));
+            let score = mapping_score(&sim, &mapping);
+            let best = brute_force_max(&sim);
+            assert!(
+                (score - best).abs() < 1e-9,
+                "hungarian score {score} != brute force {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_uniform_matrix() {
+        let sim = Matrix::filled(3, 3, 0.5);
+        let m = hungarian_max(&sim);
+        assert!(is_permutation(&m));
+        assert!((mapping_score(&sim, &m) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(hungarian_max(&Matrix::zeros(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn minimization_variant() {
+        // Minimize cost: plant small costs on the anti-diagonal.
+        let mut cost = Matrix::filled(3, 3, 10.0);
+        for j in 0..3 {
+            cost[(2 - j, j)] = 1.0;
+        }
+        assert_eq!(hungarian_min(&cost), vec![2, 1, 0]);
+    }
+}

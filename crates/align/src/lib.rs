@@ -1,0 +1,96 @@
+//! # ivmf-align
+//!
+//! Interval-valued Latent Semantic Alignment (ILSA), Section 3.3 of the
+//! paper.
+//!
+//! When an interval-valued matrix is decomposed by factorizing its minimum
+//! and maximum bound matrices independently, the two factorizations are not
+//! coordinated: the `j`-th latent vector of the minimum matrix need not
+//! correspond to the `j`-th latent vector of the maximum matrix, and even a
+//! matched pair may point in opposite directions. ILSA repairs this by
+//!
+//! 1. computing the pairwise `|cos|` similarity between minimum and maximum
+//!    latent vectors ([`cosine::similarity_matrix`]),
+//! 2. solving an assignment problem over that similarity matrix — either
+//!    with the paper's greedy conflict-resolving heuristic (supplementary
+//!    Algorithm 6, [`Matcher::Greedy`]), the optimal Hungarian assignment of
+//!    Problem 2 ([`Matcher::Hungarian`]), or the Gale–Shapley stable
+//!    matching of Problem 1 ([`Matcher::StableMarriage`]),
+//! 3. flagging matched pairs whose cosine is negative so that the caller can
+//!    flip the direction of the minimum-side vector.
+//!
+//! The [`ilsa`] entry point returns an [`Alignment`] describing the
+//! permutation and the direction flags; [`Alignment::apply_to_columns`] and
+//! [`Alignment::apply_to_diag`] apply it to factor matrices and singular
+//! value vectors.
+//!
+//! ```
+//! use ivmf_align::{ilsa, Matcher};
+//! use ivmf_linalg::Matrix;
+//!
+//! // The max factor's columns are a permuted, sign-flipped copy of the min
+//! // factor's columns: ILSA recovers the permutation and the flip.
+//! let v_min = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+//! let v_max = Matrix::from_rows(&[vec![0.0, -1.0], vec![1.0, 0.0]]);
+//! let a = ilsa(&v_min, &v_max, Matcher::Hungarian).unwrap();
+//! assert_eq!(a.mapping, vec![1, 0]);
+//! assert_eq!(a.flip, vec![false, true]);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cosine;
+pub mod greedy;
+pub mod hungarian;
+pub mod stable;
+
+mod ilsa_impl;
+
+pub use ilsa_impl::{ilsa, Alignment, Matcher};
+
+use ivmf_linalg::LinalgError;
+
+/// Errors produced by the alignment routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlignError {
+    /// The two factor matrices have different shapes.
+    ShapeMismatch {
+        /// Shape of the minimum-side factor.
+        min_shape: (usize, usize),
+        /// Shape of the maximum-side factor.
+        max_shape: (usize, usize),
+    },
+    /// The factors have zero columns.
+    Empty,
+    /// A lower-level linear algebra failure.
+    Linalg(LinalgError),
+}
+
+impl std::fmt::Display for AlignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignError::ShapeMismatch {
+                min_shape,
+                max_shape,
+            } => write!(
+                f,
+                "factor shapes differ: min is {}x{}, max is {}x{}",
+                min_shape.0, min_shape.1, max_shape.0, max_shape.1
+            ),
+            AlignError::Empty => write!(f, "factors must have at least one column"),
+            AlignError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+impl From<LinalgError> for AlignError {
+    fn from(e: LinalgError) -> Self {
+        AlignError::Linalg(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, AlignError>;

@@ -1,0 +1,151 @@
+//! Stable min–max vector alignment (Problem 1 of the paper) via the
+//! Gale–Shapley deferred-acceptance algorithm.
+//!
+//! Problem 1 formulates the alignment as a *stable marriage* between the set
+//! of minimum-side latent vectors and the set of maximum-side latent
+//! vectors, with the preference of a pair given by their absolute cosine
+//! similarity. The classic `O(r²)` Gale–Shapley procedure yields a stable
+//! matching; the paper notes that stability does not imply optimality of the
+//! total similarity, which is why Problem 2 (Hungarian) is the default used
+//! by the ISVD algorithms.
+
+use ivmf_linalg::Matrix;
+
+/// Computes a stable matching over the `r x r` similarity matrix.
+///
+/// Maximum-side vectors (columns) propose to minimum-side vectors (rows) in
+/// decreasing order of similarity; rows accept the best proposal seen so
+/// far. Returns `mapping[j] = i`, a permutation of `0..r`.
+pub fn stable_matching(sim: &Matrix) -> Vec<usize> {
+    let r = sim.cols();
+    if r == 0 {
+        return Vec::new();
+    }
+
+    // Preference lists of the proposers (columns): rows sorted by
+    // decreasing similarity.
+    let prefs: Vec<Vec<usize>> = (0..r)
+        .map(|j| {
+            let mut rows: Vec<usize> = (0..r).collect();
+            rows.sort_by(|&a, &b| {
+                sim[(b, j)]
+                    .partial_cmp(&sim[(a, j)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            rows
+        })
+        .collect();
+
+    // next_proposal[j]: index into prefs[j] of the next row to propose to.
+    let mut next_proposal = vec![0usize; r];
+    // engaged_to[i]: the column currently matched with row i, if any.
+    let mut engaged_to: Vec<Option<usize>> = vec![None; r];
+    let mut free: Vec<usize> = (0..r).rev().collect();
+
+    while let Some(j) = free.pop() {
+        let choice = next_proposal[j];
+        debug_assert!(choice < r, "proposer exhausted its preference list");
+        let i = prefs[j][choice];
+        next_proposal[j] += 1;
+        match engaged_to[i] {
+            None => engaged_to[i] = Some(j),
+            Some(current) => {
+                // Row i keeps the more similar of the two suitors.
+                if sim[(i, j)] > sim[(i, current)] {
+                    engaged_to[i] = Some(j);
+                    free.push(current);
+                } else {
+                    free.push(j);
+                }
+            }
+        }
+    }
+
+    let mut mapping = vec![0usize; r];
+    for (i, j) in engaged_to.into_iter().enumerate() {
+        mapping[j.expect("every row is matched when both sides have size r")] = i;
+    }
+    mapping
+}
+
+/// Checks whether a mapping is stable with respect to the similarity
+/// matrix: no row/column pair prefers each other over their assigned
+/// partners.
+pub fn is_stable(sim: &Matrix, mapping: &[usize]) -> bool {
+    let r = mapping.len();
+    // partner_of_row[i] = column matched to row i.
+    let mut partner_of_row = vec![usize::MAX; r];
+    for (j, &i) in mapping.iter().enumerate() {
+        partner_of_row[i] = j;
+    }
+    for j in 0..r {
+        for i in 0..r {
+            if mapping[j] == i {
+                continue;
+            }
+            let prefers_col = sim[(i, j)] > sim[(mapping[j], j)];
+            let prefers_row = sim[(i, j)] > sim[(i, partner_of_row[i])];
+            if prefers_col && prefers_row {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn is_permutation(mapping: &[usize]) -> bool {
+        let mut seen = vec![false; mapping.len()];
+        for &m in mapping {
+            if m >= mapping.len() || seen[m] {
+                return false;
+            }
+            seen[m] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn identity_similarity_gives_identity_matching() {
+        assert_eq!(stable_matching(&Matrix::identity(3)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn planted_permutation_is_recovered() {
+        let mut sim = Matrix::filled(4, 4, 0.05);
+        for j in 0..4 {
+            sim[((j + 1) % 4, j)] = 0.9;
+        }
+        assert_eq!(stable_matching(&sim), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn result_is_always_a_stable_permutation() {
+        let mut rng = SmallRng::seed_from_u64(71);
+        for _ in 0..25 {
+            let n = rng.gen_range(1..=7);
+            let sim = Matrix::from_fn(n, n, |_, _| rng.gen_range(0.0..1.0));
+            let m = stable_matching(&sim);
+            assert!(is_permutation(&m));
+            assert!(is_stable(&sim, &m), "matching is not stable");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(stable_matching(&Matrix::zeros(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn is_stable_detects_blocking_pair() {
+        // sim where swapping would make both strictly happier.
+        let sim = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.1, 0.9]]);
+        assert!(!is_stable(&sim, &[1, 0]));
+        assert!(is_stable(&sim, &[0, 1]));
+    }
+}

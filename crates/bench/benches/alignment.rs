@@ -1,0 +1,33 @@
+//! Micro-benchmarks of the ILSA alignment stage: the three matchers
+//! (greedy, Hungarian, stable marriage) at increasing rank.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivmf_align::{ilsa, Matcher};
+use ivmf_linalg::random::uniform_matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilsa_matchers");
+    group.sample_size(20);
+    for &rank in &[10usize, 20, 50, 100] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let v_min = uniform_matrix(&mut rng, 250, rank, -1.0, 1.0);
+        let v_max = uniform_matrix(&mut rng, 250, rank, -1.0, 1.0);
+        for (name, matcher) in [
+            ("greedy", Matcher::Greedy),
+            ("hungarian", Matcher::Hungarian),
+            ("stable", Matcher::StableMarriage),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, rank),
+                &(&v_min, &v_max),
+                |b, (v_min, v_max)| b.iter(|| ilsa(v_min, v_max, matcher).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the interval-algebra substrate: interval matrix
+//! multiplication (the dominant cost of ISVD2-4 preprocessing) and the
+//! average-replacement repair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_interval_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_matmul");
+    group.sample_size(10);
+    for &size in &[20usize, 40, 80] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let config = SyntheticConfig::paper_default().with_shape(size, size);
+        let a = generate_uniform(&config, &mut rng);
+        let b = generate_uniform(&config, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bencher, _| {
+            bencher.iter(|| a.interval_matmul(&b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_interval_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_gram");
+    group.sample_size(10);
+    for &(rows, cols) in &[(40usize, 60usize), (40, 250)] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = generate_uniform(&SyntheticConfig::paper_default().with_shape(rows, cols), &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &m,
+            |bencher, m| bencher.iter(|| m.interval_gram().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_average_replacement(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let m = generate_uniform(&SyntheticConfig::paper_default().with_shape(200, 200), &mut rng);
+    // Swap the bounds so every entry needs repair (worst case).
+    let swapped = ivmf_interval::IntervalMatrix::from_bounds(m.hi().clone(), m.lo().clone()).unwrap();
+    c.bench_function("average_replacement_200x200", |b| {
+        b.iter(|| swapped.average_replacement())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interval_matmul,
+    bench_interval_gram,
+    bench_average_replacement
+);
+criterion_main!(benches);

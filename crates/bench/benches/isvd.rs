@@ -1,0 +1,48 @@
+//! End-to-end decomposition latency of each ISVD strategy on the paper's
+//! default synthetic configuration — the timing companion of Figure 6b.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivmf_core::isvd::isvd;
+use ivmf_core::{IsvdAlgorithm, IsvdConfig};
+use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
+use ivmf_lp::lp_isvd;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_isvd_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isvd_default_config");
+    group.sample_size(10);
+    let config = SyntheticConfig::paper_default();
+    let rank = config.default_rank();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let m = generate_uniform(&config, &mut rng);
+    for alg in IsvdAlgorithm::all() {
+        let isvd_config = IsvdConfig::new(rank).with_algorithm(alg);
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &m, |b, m| {
+            b.iter(|| isvd(m, &isvd_config).unwrap())
+        });
+    }
+    let lp_config = IsvdConfig::new(rank);
+    group.bench_with_input(BenchmarkId::from_parameter("LP"), &m, |b, m| {
+        b.iter(|| lp_isvd(m, &lp_config).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_isvd4_ranks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isvd4_by_rank");
+    group.sample_size(10);
+    let config = SyntheticConfig::paper_default();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let m = generate_uniform(&config, &mut rng);
+    for &rank in &[5usize, 10, 20, 40] {
+        let isvd_config = IsvdConfig::new(rank).with_algorithm(IsvdAlgorithm::Isvd4);
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &m, |b, m| {
+            b.iter(|| isvd(m, &isvd_config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_isvd_algorithms, bench_isvd4_ranks);
+criterion_main!(benches);

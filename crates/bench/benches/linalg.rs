@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the dense linear-algebra kernels the ISVD pipeline
+//! leans on: symmetric eigendecomposition, SVD, matrix inversion and the
+//! pseudo-inverse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivmf_linalg::random::{symmetric_matrix, uniform_matrix};
+use ivmf_linalg::{eigen_sym::sym_eigen, lu::invert, pinv::pinv, svd::svd};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_sym_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym_eigen");
+    group.sample_size(10);
+    for &n in &[40usize, 100, 250] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = symmetric_matrix(&mut rng, n, -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| sym_eigen(a).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    group.sample_size(10);
+    for &(rows, cols) in &[(40usize, 250usize), (250, 40), (100, 100)] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = uniform_matrix(&mut rng, rows, cols, -1.0, 1.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &m,
+            |b, m| b.iter(|| svd(m).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_inverse_and_pinv(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let a = uniform_matrix(&mut rng, 100, 100, -1.0, 1.0)
+        .add(&ivmf_linalg::Matrix::identity(100).scale(5.0))
+        .unwrap();
+    c.bench_function("lu_invert_100", |b| b.iter(|| invert(&a).unwrap()));
+    let rect = uniform_matrix(&mut rng, 120, 40, -1.0, 1.0);
+    c.bench_function("pinv_120x40", |b| b.iter(|| pinv(&rect, 0.1).unwrap()));
+}
+
+criterion_group!(benches, bench_sym_eigen, bench_svd, bench_inverse_and_pinv);
+criterion_main!(benches);

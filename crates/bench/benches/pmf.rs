@@ -1,0 +1,32 @@
+//! Training-throughput benchmarks of the PMF family (PMF / I-PMF / AI-PMF),
+//! measuring epochs over a small MovieLens-like workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivmf_core::pmf::{aipmf, ipmf, pmf, PmfConfig};
+use ivmf_data::ratings::{cf_interval_matrix, cf_scalar_matrix, movielens_like, MovieLensConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_pmf_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmf_family");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let dataset = movielens_like(&MovieLensConfig::small(), &mut rng);
+    let (scalar, scalar_obs) = cf_scalar_matrix(&dataset);
+    let (interval, interval_obs) = cf_interval_matrix(&dataset, 0.5);
+    let config = PmfConfig::new(10).with_epochs(5);
+
+    group.bench_with_input(BenchmarkId::from_parameter("PMF"), &(), |b, _| {
+        b.iter(|| pmf(&scalar, &scalar_obs, &config).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("I-PMF"), &(), |b, _| {
+        b.iter(|| ipmf(&interval, &interval_obs, &config).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("AI-PMF"), &(), |b, _| {
+        b.iter(|| aipmf(&interval, &interval_obs, &config).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pmf_family);
+criterion_main!(benches);

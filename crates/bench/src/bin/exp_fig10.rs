@@ -1,0 +1,73 @@
+//! Figure 10: collaborative-filtering RMSE of PMF, I-PMF and the proposed
+//! AI-PMF on the MovieLens-like data set, as a function of the
+//! decomposition rank.
+
+use ivmf_bench::table::fmt3;
+use ivmf_bench::{ExperimentOptions, Table};
+use ivmf_core::pmf::{aipmf, ipmf, pmf, PmfConfig};
+use ivmf_data::ratings::{movielens_like, MovieLensConfig, Rating, RatingDataset};
+use ivmf_data::split::random_split;
+use ivmf_eval::regression::rmse;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn subset(dataset: &RatingDataset, indices: &[usize]) -> RatingDataset {
+    RatingDataset {
+        n_users: dataset.n_users,
+        n_items: dataset.n_items,
+        n_genres: dataset.n_genres,
+        ratings: indices.iter().map(|&i| dataset.ratings[i]).collect(),
+        item_genres: dataset.item_genres.clone(),
+    }
+}
+
+fn main() {
+    let opts = ExperimentOptions::from_env(0.15);
+    let config = MovieLensConfig::full().scaled(opts.scale);
+    let alpha = 0.5;
+    let epochs = 30;
+    let ranks: Vec<usize> = vec![10, 20, 40, 60, 80, 100];
+    println!("== Figure 10: collaborative filtering (MovieLens-like) ==");
+    println!(
+        "data: {} users x {} items, {} ratings; interval scale alpha = {alpha}; {} epochs\n",
+        config.n_users, config.n_items, config.n_ratings, epochs
+    );
+
+    let mut rng = SmallRng::seed_from_u64(8000);
+    let dataset = movielens_like(&config, &mut rng);
+    let split = random_split(dataset.len(), 0.8, &mut rng);
+    let train = subset(&dataset, &split.train);
+    let test: Vec<Rating> = split.test.iter().map(|&i| dataset.ratings[i]).collect();
+    let targets: Vec<f64> = test.iter().map(|r| r.value).collect();
+
+    // Training inputs built from the training ratings only.
+    let (scalar_matrix, scalar_observed) = ivmf_data::ratings::cf_scalar_matrix(&train);
+    let (interval_matrix, interval_observed) = ivmf_data::ratings::cf_interval_matrix(&train, alpha);
+
+    let mut table = Table::new(vec!["rank", "PMF", "I-PMF", "AI-PMF"]);
+    for &rank in &ranks {
+        let pmf_config = PmfConfig::new(rank).with_epochs(epochs).with_learning_rate(0.01);
+
+        let pmf_model = pmf(&scalar_matrix, &scalar_observed, &pmf_config).expect("PMF training");
+        let pmf_pred: Vec<f64> = test.iter().map(|r| pmf_model.predict(r.user, r.item)).collect();
+
+        let ipmf_model =
+            ipmf(&interval_matrix, &interval_observed, &pmf_config).expect("I-PMF training");
+        let ipmf_pred: Vec<f64> = test.iter().map(|r| ipmf_model.predict(r.user, r.item)).collect();
+
+        let aipmf_model =
+            aipmf(&interval_matrix, &interval_observed, &pmf_config).expect("AI-PMF training");
+        let aipmf_pred: Vec<f64> =
+            test.iter().map(|r| aipmf_model.predict(r.user, r.item)).collect();
+
+        table.add_row(vec![
+            rank.to_string(),
+            fmt3(rmse(&pmf_pred, &targets).unwrap_or(f64::NAN)),
+            fmt3(rmse(&ipmf_pred, &targets).unwrap_or(f64::NAN)),
+            fmt3(rmse(&aipmf_pred, &targets).unwrap_or(f64::NAN)),
+        ]);
+    }
+
+    println!("-- test RMSE (lower is better) --");
+    println!("{}", table.render());
+}

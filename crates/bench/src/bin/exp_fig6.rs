@@ -1,0 +1,72 @@
+//! Figure 6: accuracy (Θ_HM) and execution-time breakdown of every
+//! decomposition strategy on the default synthetic configuration.
+//!
+//! Figure 6a compares ISVD1–4 under targets a/b/c, ISVD0, and the LP
+//! competitor; Figure 6b breaks the execution time of each ISVD pipeline
+//! into preprocessing / decomposition / alignment / renormalization.
+
+use ivmf_bench::table::{fmt3, fmt_ms};
+use ivmf_bench::{evaluate_algorithm, AlgoSpec, ExperimentOptions, Table};
+use ivmf_core::timing::StageTimings;
+use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = ExperimentOptions::from_env(1.0);
+    let config = SyntheticConfig::paper_default();
+    let rank = config.default_rank();
+    println!("== Figure 6: default synthetic configuration ==");
+    println!(
+        "config: {}x{}, rank {rank}, {} replicates\n",
+        config.rows, config.cols, opts.replicates
+    );
+
+    let roster = AlgoSpec::figure6_roster();
+    let mut accuracy = vec![Vec::new(); roster.len()];
+    let mut timings = vec![StageTimings::default(); roster.len()];
+    let mut totals = vec![std::time::Duration::ZERO; roster.len()];
+
+    for rep in 0..opts.replicates {
+        let mut rng = SmallRng::seed_from_u64(2000 + rep as u64);
+        let m = generate_uniform(&config, &mut rng);
+        for (idx, &spec) in roster.iter().enumerate() {
+            let outcome = evaluate_algorithm(&m, rank, spec);
+            accuracy[idx].push(outcome.harmonic_mean);
+            timings[idx].accumulate(&outcome.timings);
+            totals[idx] += outcome.total_time;
+        }
+    }
+
+    println!("-- Figure 6a: reconstruction accuracy (harmonic mean, higher is better) --");
+    let mut acc_table = Table::new(vec!["method", "H-mean"]);
+    for (idx, spec) in roster.iter().enumerate() {
+        acc_table.add_row(vec![spec.name(), fmt3(ivmf_bench::runner::mean(&accuracy[idx]))]);
+    }
+    println!("{}", acc_table.render());
+
+    println!("-- Figure 6b: execution-time breakdown (ms, averaged per run) --");
+    let mut time_table = Table::new(vec![
+        "method",
+        "preprocessing",
+        "decomposition",
+        "alignment",
+        "renormalization",
+        "total",
+    ]);
+    for (idx, spec) in roster.iter().enumerate() {
+        if matches!(spec, AlgoSpec::Lp(_)) {
+            continue; // The LP competitor has no staged pipeline.
+        }
+        let avg = timings[idx].divide(opts.replicates as u32);
+        time_table.add_row(vec![
+            spec.name(),
+            fmt_ms(avg.preprocessing),
+            fmt_ms(avg.decomposition),
+            fmt_ms(avg.alignment),
+            fmt_ms(avg.renormalization),
+            fmt_ms(totals[idx] / opts.replicates as u32),
+        ]);
+    }
+    println!("{}", time_table.render());
+}

@@ -1,0 +1,221 @@
+//! Figure 8: face-analysis tasks on the ORL-like corpus —
+//! (a) reconstruction RMSE, (b) 1-NN classification F1, (c) k-means
+//! clustering NMI, as functions of the decomposition rank, comparing the
+//! ISVD family against the NMF / I-NMF baselines.
+//!
+//! The full ORL-sized run (40 people × 10 images at 32×32) is obtained with
+//! `IVMF_SCALE=1`; the default scale uses a reduced corpus so the whole
+//! figure regenerates in well under a minute.
+
+use ivmf_bench::table::fmt3;
+use ivmf_bench::{ExperimentOptions, Table};
+use ivmf_core::isvd::isvd;
+use ivmf_core::nmf::{interval_nmf, nmf, NmfConfig};
+use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig};
+use ivmf_data::faces::{generate_faces, interval_faces, FaceCorpusConfig};
+use ivmf_data::split::stratified_split;
+use ivmf_eval::classification::{knn1_interval, knn1_scalar, macro_f1};
+use ivmf_eval::kmeans::{kmeans_interval, kmeans_scalar, KMeansConfig};
+use ivmf_eval::nmi::nmi;
+use ivmf_eval::regression::matrix_rmse;
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The feature representation a method provides for downstream tasks.
+enum Features {
+    Scalar(Matrix),
+    Interval(IntervalMatrix),
+}
+
+struct MethodOutput {
+    name: &'static str,
+    /// Midpoint reconstruction of the pixel matrix.
+    reconstruction: Matrix,
+    /// Row features used for classification / clustering (`U × Σ` for the
+    /// SVD family, `U` for the NMF family, per Section 6.1.2).
+    features: Features,
+}
+
+fn run_methods(faces: &IntervalMatrix, rank: usize, seed: u64) -> Vec<MethodOutput> {
+    let mut out = Vec::new();
+
+    // NMF / I-NMF baselines on the midpoint / interval pixel matrices.
+    let nmf_cfg = NmfConfig::new(rank).with_max_iters(120).with_seed(seed);
+    if let Ok(model) = nmf(&faces.mid(), &nmf_cfg) {
+        out.push(MethodOutput {
+            name: "NMF",
+            reconstruction: model.reconstruct().expect("NMF reconstruction"),
+            features: Features::Scalar(model.u.clone()),
+        });
+    }
+    if let Ok(model) = interval_nmf(faces, &nmf_cfg) {
+        out.push(MethodOutput {
+            name: "I-NMF",
+            reconstruction: model.reconstruct().expect("I-NMF reconstruction").mid(),
+            features: Features::Scalar(model.u.clone()),
+        });
+    }
+
+    // ISVD family.
+    let specs: [(&'static str, IsvdAlgorithm, DecompositionTarget); 6] = [
+        ("ISVD0", IsvdAlgorithm::Isvd0, DecompositionTarget::Scalar),
+        ("ISVD1-b", IsvdAlgorithm::Isvd1, DecompositionTarget::IntervalCore),
+        ("ISVD2-b", IsvdAlgorithm::Isvd2, DecompositionTarget::IntervalCore),
+        ("ISVD3-b", IsvdAlgorithm::Isvd3, DecompositionTarget::IntervalCore),
+        ("ISVD4-b", IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore),
+        ("ISVD4-c", IsvdAlgorithm::Isvd4, DecompositionTarget::Scalar),
+    ];
+    for (name, alg, target) in specs {
+        let config = IsvdConfig::new(rank).with_algorithm(alg).with_target(target);
+        if let Ok(result) = isvd(faces, &config) {
+            let reconstruction = result
+                .factors
+                .reconstruct()
+                .map(|r| r.mid())
+                .unwrap_or_else(|_| Matrix::zeros(faces.rows(), faces.cols()));
+            let features = match result.factors.row_projection() {
+                Ok(proj) if !proj.is_scalar() => Features::Interval(proj),
+                Ok(proj) => Features::Scalar(proj.mid()),
+                Err(_) => Features::Scalar(Matrix::zeros(faces.rows(), rank)),
+            };
+            out.push(MethodOutput {
+                name,
+                reconstruction,
+                features,
+            });
+        }
+    }
+    out
+}
+
+fn classify(features: &Features, labels: &[usize], seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let split = stratified_split(labels, 0.5, &mut rng);
+    let train_labels: Vec<usize> = split.train.iter().map(|&i| labels[i]).collect();
+    let test_labels: Vec<usize> = split.test.iter().map(|&i| labels[i]).collect();
+    let predictions = match features {
+        Features::Scalar(m) => {
+            let train = gather_rows_scalar(m, &split.train);
+            let test = gather_rows_scalar(m, &split.test);
+            knn1_scalar(&train, &train_labels, &test)
+        }
+        Features::Interval(m) => {
+            let train = gather_rows_interval(m, &split.train);
+            let test = gather_rows_interval(m, &split.test);
+            knn1_interval(&train, &train_labels, &test)
+        }
+    };
+    predictions
+        .and_then(|p| macro_f1(&p, &test_labels))
+        .unwrap_or(0.0)
+}
+
+fn cluster(features: &Features, labels: &[usize], k: usize, seed: u64) -> f64 {
+    let config = KMeansConfig::new(k).with_seed(seed).with_restarts(3);
+    let assignments = match features {
+        Features::Scalar(m) => kmeans_scalar(m, &config).map(|r| r.assignments),
+        Features::Interval(m) => kmeans_interval(m, &config).map(|r| r.assignments),
+    };
+    assignments
+        .and_then(|a| nmi(&a, labels))
+        .unwrap_or(0.0)
+}
+
+fn gather_rows_scalar(m: &Matrix, rows: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(rows.len(), m.cols());
+    for (oi, &si) in rows.iter().enumerate() {
+        out.row_mut(oi).copy_from_slice(m.row(si));
+    }
+    out
+}
+
+fn gather_rows_interval(m: &IntervalMatrix, rows: &[usize]) -> IntervalMatrix {
+    IntervalMatrix::from_bounds(
+        gather_rows_scalar(m.lo(), rows),
+        gather_rows_scalar(m.hi(), rows),
+    )
+    .expect("same shape")
+}
+
+fn main() {
+    let opts = ExperimentOptions::from_env(0.4);
+    // Scale the corpus: IVMF_SCALE=1 gives the ORL-sized 40x10 @ 32x32 run.
+    let individuals = ((40.0 * opts.scale).round() as usize).clamp(6, 40);
+    let resolution = if opts.scale >= 0.99 { 32 } else { 16 };
+    let config = FaceCorpusConfig::orl_like()
+        .with_individuals(individuals)
+        .with_resolution(resolution);
+    let ranks: Vec<usize> = if opts.scale >= 0.99 {
+        vec![10, 50, 100, 200]
+    } else {
+        vec![5, 10, 20, 40]
+    };
+    println!("== Figure 8: ORL-like face corpus ==");
+    println!(
+        "corpus: {} individuals x {} images at {}x{}; ranks {:?}; {} replicate(s)\n",
+        config.individuals,
+        config.images_per_individual,
+        resolution,
+        resolution,
+        ranks,
+        opts.replicates.min(3)
+    );
+
+    let replicates = opts.replicates.min(3);
+    let mut recon = Table::new(
+        std::iter::once("rank".to_string())
+            .chain(["NMF", "I-NMF", "ISVD0", "ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b", "ISVD4-c"].map(String::from))
+            .collect::<Vec<_>>(),
+    );
+    let mut class = recon.clone();
+    let mut clust = recon.clone();
+
+    for &rank in &ranks {
+        let mut rmse_acc = std::collections::HashMap::new();
+        let mut f1_acc = std::collections::HashMap::new();
+        let mut nmi_acc = std::collections::HashMap::new();
+        for rep in 0..replicates {
+            let mut rng = SmallRng::seed_from_u64(5000 + rep as u64);
+            let dataset = generate_faces(&config, &mut rng);
+            let faces = interval_faces(&dataset, 1, 1.0);
+            let rank = rank.min(dataset.len().min(config.pixels()));
+            for method in run_methods(&faces, rank, 100 + rep as u64) {
+                let rmse = matrix_rmse(&dataset.data, &method.reconstruction).unwrap_or(f64::NAN);
+                let f1 = classify(&method.features, &dataset.labels, 200 + rep as u64);
+                let q = cluster(&method.features, &dataset.labels, config.individuals, 300 + rep as u64);
+                *rmse_acc.entry(method.name).or_insert(0.0) += rmse;
+                *f1_acc.entry(method.name).or_insert(0.0) += f1;
+                *nmi_acc.entry(method.name).or_insert(0.0) += q;
+            }
+        }
+        let order = ["NMF", "I-NMF", "ISVD0", "ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b", "ISVD4-c"];
+        let collect = |acc: &std::collections::HashMap<&str, f64>| -> Vec<String> {
+            order
+                .iter()
+                .map(|name| {
+                    acc.get(name)
+                        .map(|v| fmt3(v / replicates as f64))
+                        .unwrap_or_else(|| "-".to_string())
+                })
+                .collect()
+        };
+        let mut r1 = vec![rank.to_string()];
+        r1.extend(collect(&rmse_acc));
+        recon.add_row(r1);
+        let mut r2 = vec![rank.to_string()];
+        r2.extend(collect(&f1_acc));
+        class.add_row(r2);
+        let mut r3 = vec![rank.to_string()];
+        r3.extend(collect(&nmi_acc));
+        clust.add_row(r3);
+    }
+
+    println!("-- Figure 8a: reconstruction RMSE (lower is better) --");
+    println!("{}", recon.render());
+    println!("-- Figure 8b: 1-NN classification macro-F1 (higher is better) --");
+    println!("{}", class.render());
+    println!("-- Figure 8c: k-means clustering NMI (higher is better) --");
+    println!("{}", clust.render());
+}

@@ -1,0 +1,36 @@
+//! # ivmf-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation section, plus Criterion micro-benchmarks.
+//!
+//! Each binary in `src/bin/` reproduces one artefact:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `exp_fig3_fig5` | Figures 3 & 5 — matched min/max cosine similarities before/after alignment and after ISVD4's recomputation |
+//! | `exp_fig6` | Figure 6 — accuracy of ISVD0–4 × targets a/b/c (+ LP) and the execution-time breakdown, default synthetic config |
+//! | `exp_table2` | Table 2(a)–(e) — option-b accuracy sweeps over interval density / intensity / matrix density / shape / rank |
+//! | `exp_fig7` | Figure 7 — anonymized data (high/medium/low privacy) × rank |
+//! | `exp_fig8` | Figure 8 — ORL-like faces: reconstruction RMSE, 1-NN F1, k-means NMI vs rank |
+//! | `exp_table3` | Table 3 — clustering accuracy & time: scalar vs interval vectors vs ISVD2-b(r=20) |
+//! | `exp_fig9` | Figure 9 — Ciao/Epinions/MovieLens-like reconstruction accuracy × rank × target |
+//! | `exp_fig10` | Figure 10 — collaborative-filtering RMSE of PMF / I-PMF / AI-PMF vs rank |
+//!
+//! All binaries honour two environment variables so the full grids stay
+//! laptop-friendly:
+//!
+//! * `IVMF_REPLICATES` — number of seeded replicates to average over
+//!   (default 5; the paper averages over 100).
+//! * `IVMF_SCALE` — a size multiplier in `(0, 1]` applied to the larger
+//!   data sets (default keeps the moderate defaults documented per binary).
+//!
+//! Run them with `cargo run --release -p ivmf-bench --bin <name>`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod runner;
+pub mod table;
+
+pub use runner::{evaluate_algorithm, AlgoSpec, EvalOutcome, ExperimentOptions};
+pub use table::Table;

@@ -1,0 +1,225 @@
+//! Shared experiment plumbing: algorithm specifications, single-run
+//! evaluation, and environment-driven options.
+
+use std::time::Duration;
+
+use ivmf_core::accuracy::reconstruction_accuracy;
+use ivmf_core::isvd::isvd;
+use ivmf_core::timing::StageTimings;
+use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig};
+use ivmf_interval::IntervalMatrix;
+use ivmf_lp::lp_isvd;
+
+/// Options shared by every experiment binary, read from the environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentOptions {
+    /// Number of seeded replicates to average over (`IVMF_REPLICATES`,
+    /// default 5; the paper uses 100).
+    pub replicates: usize,
+    /// Size multiplier in `(0, 1]` for the larger data sets (`IVMF_SCALE`).
+    pub scale: f64,
+}
+
+impl ExperimentOptions {
+    /// Reads `IVMF_REPLICATES` and `IVMF_SCALE` from the environment,
+    /// falling back to `(5, default_scale)`.
+    pub fn from_env(default_scale: f64) -> Self {
+        let replicates = std::env::var("IVMF_REPLICATES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&r| r > 0)
+            .unwrap_or(5);
+        let scale = std::env::var("IVMF_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|&s| s > 0.0 && s <= 1.0)
+            .unwrap_or(default_scale);
+        ExperimentOptions { replicates, scale }
+    }
+}
+
+/// A named decomposition method evaluated by the harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgoSpec {
+    /// One of the paper's ISVD strategies with a decomposition target.
+    Isvd(IsvdAlgorithm, DecompositionTarget),
+    /// The LP/bound-based competitor with a decomposition target.
+    Lp(DecompositionTarget),
+}
+
+impl AlgoSpec {
+    /// Display name matching the paper ("ISVD4-b", "LP-a", …). ISVD0 has no
+    /// target suffix because it only supports option c.
+    pub fn name(&self) -> String {
+        match self {
+            AlgoSpec::Isvd(IsvdAlgorithm::Isvd0, _) => "ISVD0".to_string(),
+            AlgoSpec::Isvd(alg, target) => format!("{}-{}", alg.name(), target.label()),
+            AlgoSpec::Lp(target) => format!("LP-{}", target.label()),
+        }
+    }
+
+    /// The full roster evaluated in Figure 6a: every ISVD algorithm under
+    /// every applicable target, plus the LP competitor per target.
+    pub fn figure6_roster() -> Vec<AlgoSpec> {
+        let mut out = Vec::new();
+        for target in DecompositionTarget::all() {
+            for alg in [
+                IsvdAlgorithm::Isvd1,
+                IsvdAlgorithm::Isvd2,
+                IsvdAlgorithm::Isvd3,
+                IsvdAlgorithm::Isvd4,
+            ] {
+                out.push(AlgoSpec::Isvd(alg, target));
+            }
+            out.push(AlgoSpec::Lp(target));
+        }
+        // ISVD0 only supports option c.
+        out.push(AlgoSpec::Isvd(IsvdAlgorithm::Isvd0, DecompositionTarget::Scalar));
+        out
+    }
+
+    /// The option-b roster used by Table 2 (plus ISVD0 as the fast
+    /// baseline), in the paper's column order.
+    pub fn table2_roster() -> Vec<AlgoSpec> {
+        vec![
+            AlgoSpec::Isvd(IsvdAlgorithm::Isvd0, DecompositionTarget::Scalar),
+            AlgoSpec::Isvd(IsvdAlgorithm::Isvd1, DecompositionTarget::IntervalCore),
+            AlgoSpec::Isvd(IsvdAlgorithm::Isvd2, DecompositionTarget::IntervalCore),
+            AlgoSpec::Isvd(IsvdAlgorithm::Isvd3, DecompositionTarget::IntervalCore),
+            AlgoSpec::Isvd(IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore),
+        ]
+    }
+
+    /// The per-target roster of Figures 7 and 9 (ISVD1–4 under options a
+    /// and b, ISVD0–4 under option c).
+    pub fn per_target_roster() -> Vec<AlgoSpec> {
+        let mut out = Vec::new();
+        for target in [DecompositionTarget::IntervalAll, DecompositionTarget::IntervalCore] {
+            for alg in [
+                IsvdAlgorithm::Isvd1,
+                IsvdAlgorithm::Isvd2,
+                IsvdAlgorithm::Isvd3,
+                IsvdAlgorithm::Isvd4,
+            ] {
+                out.push(AlgoSpec::Isvd(alg, target));
+            }
+        }
+        for alg in IsvdAlgorithm::all() {
+            out.push(AlgoSpec::Isvd(alg, DecompositionTarget::Scalar));
+        }
+        out
+    }
+}
+
+/// Result of evaluating one method on one interval matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOutcome {
+    /// Definition 5 harmonic-mean reconstruction accuracy.
+    pub harmonic_mean: f64,
+    /// Stage timings (zero for the LP competitor, which has no staged
+    /// pipeline).
+    pub timings: StageTimings,
+    /// Total wall-clock time of the decomposition.
+    pub total_time: Duration,
+}
+
+/// Decomposes `m` at the given rank with the specified method, reconstructs
+/// and scores it (Definition 5). Failures (singular inputs, non-convergence)
+/// are reported as zero accuracy rather than aborting a whole sweep.
+pub fn evaluate_algorithm(m: &IntervalMatrix, rank: usize, spec: AlgoSpec) -> EvalOutcome {
+    let start = std::time::Instant::now();
+    let (factors, timings) = match spec {
+        AlgoSpec::Isvd(alg, target) => {
+            let config = IsvdConfig::new(rank).with_algorithm(alg).with_target(target);
+            match isvd(m, &config) {
+                Ok(result) => (Some(result.factors), result.timings),
+                Err(_) => (None, StageTimings::default()),
+            }
+        }
+        AlgoSpec::Lp(target) => {
+            let config = IsvdConfig::new(rank).with_target(target);
+            match lp_isvd(m, &config) {
+                Ok(factors) => (Some(factors), StageTimings::default()),
+                Err(_) => (None, StageTimings::default()),
+            }
+        }
+    };
+    let total_time = start.elapsed();
+    let harmonic_mean = factors
+        .and_then(|f| f.reconstruct().ok())
+        .and_then(|rec| reconstruction_accuracy(m, &rec).ok())
+        .map(|a| a.harmonic_mean)
+        .unwrap_or(0.0);
+    EvalOutcome {
+        harmonic_mean,
+        timings,
+        total_time,
+    }
+}
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roster_contents() {
+        let fig6 = AlgoSpec::figure6_roster();
+        assert_eq!(fig6.len(), 16); // 4 ISVD x 3 targets + 3 LP + ISVD0
+        assert!(fig6.iter().any(|s| s.name() == "ISVD4-b"));
+        assert!(fig6.iter().any(|s| s.name() == "LP-a"));
+        assert!(fig6.iter().any(|s| s.name() == "ISVD0"));
+        assert_eq!(AlgoSpec::table2_roster().len(), 5);
+        assert_eq!(AlgoSpec::per_target_roster().len(), 13);
+    }
+
+    #[test]
+    fn evaluate_algorithm_produces_sane_accuracy() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = generate_uniform(&SyntheticConfig::paper_default().with_shape(15, 12), &mut rng);
+        let outcome = evaluate_algorithm(
+            &m,
+            8,
+            AlgoSpec::Isvd(IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore),
+        );
+        assert!(outcome.harmonic_mean > 0.5 && outcome.harmonic_mean <= 1.0);
+        assert!(outcome.total_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn invalid_rank_degrades_to_zero_accuracy() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = generate_uniform(&SyntheticConfig::paper_default().with_shape(6, 6), &mut rng);
+        let outcome = evaluate_algorithm(
+            &m,
+            99,
+            AlgoSpec::Isvd(IsvdAlgorithm::Isvd1, DecompositionTarget::Scalar),
+        );
+        assert_eq!(outcome.harmonic_mean, 0.0);
+    }
+
+    #[test]
+    fn options_from_env_defaults() {
+        // Do not set the variables; defaults apply.
+        let opts = ExperimentOptions::from_env(0.5);
+        assert!(opts.replicates >= 1);
+        assert!(opts.scale > 0.0 && opts.scale <= 1.0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal plain-text table formatting for the experiment binaries.
+//!
+//! The harness prints the same rows/series the paper reports; a small
+//! hand-rolled formatter keeps the output readable in a terminal and easy
+//! to diff across runs without pulling in extra dependencies.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified by the caller).
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (j, cell) in row.iter().enumerate().take(cols) {
+                if cell.len() > widths[j] {
+                    widths[j] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (j, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(j).unwrap_or(&empty);
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (comma-separated, no quoting of commas —
+    /// cells produced by the harness never contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with three decimal places (the paper's precision).
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a duration in milliseconds with one decimal.
+pub fn fmt_ms(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["algo", "H-mean"]);
+        t.add_row(vec!["ISVD0".to_string(), fmt3(0.62711)]);
+        t.add_row(vec!["ISVD4-b".to_string(), fmt3(0.691)]);
+        let s = t.render();
+        assert!(s.contains("algo"));
+        assert!(s.contains("0.627"));
+        assert!(s.contains("ISVD4-b"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt3(0.5), "0.500");
+        assert_eq!(fmt_ms(std::time::Duration::from_millis(12)), "12.0");
+    }
+
+    #[test]
+    fn handles_ragged_rows_gracefully() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["1"]);
+        let s = t.render();
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,113 @@
+//! ISVD0 — the naive "average and decompose" baseline (Section 4.1,
+//! supplementary Algorithm 7).
+//!
+//! Every interval entry is replaced by its midpoint and a plain truncated
+//! SVD of the resulting scalar matrix is computed. The factors are scalar
+//! and orthonormal, so the result is only compatible with decomposition
+//! target (c); this module therefore always returns a
+//! [`DecompositionTarget::Scalar`] factorization regardless of the target
+//! requested in the configuration (matching the paper, which lists ISVD0
+//! only under option-c).
+
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::svd::svd_truncated;
+
+use crate::isvd::{IsvdConfig, IsvdResult};
+use crate::target::{DecompositionTarget, RawFactors};
+use crate::timing::{timed, StageTimings};
+use crate::Result;
+
+/// Runs ISVD0 on an interval-valued matrix.
+pub fn isvd0(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
+    config.validate(m.shape())?;
+    let mut timings = StageTimings::default();
+
+    // Preprocessing: collapse intervals to their midpoints.
+    let avg = timed(&mut timings.preprocessing, || m.mid());
+
+    // Decomposition: plain truncated SVD of the average matrix.
+    let f = timed(&mut timings.decomposition, || svd_truncated(&avg, config.rank))?;
+
+    // No alignment stage. Renormalization = target construction (always
+    // scalar for ISVD0).
+    let factors = timed(&mut timings.renormalization, || {
+        RawFactors::new(
+            f.u.clone(),
+            f.u.clone(),
+            f.singular_values.clone(),
+            f.singular_values.clone(),
+            f.v.clone(),
+            f.v.clone(),
+        )
+        .and_then(|raw| raw.into_target(DecompositionTarget::Scalar))
+    })?;
+
+    Ok(IsvdResult { factors, timings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::reconstruction_accuracy;
+    use ivmf_linalg::Matrix;
+
+    fn sample() -> IntervalMatrix {
+        IntervalMatrix::from_bounds(
+            Matrix::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]),
+            Matrix::from_rows(&[vec![5.0, 1.5, 1.0], vec![1.5, 4.0, 1.5], vec![0.5, 2.0, 3.0]]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_rank_recovers_the_average_matrix() {
+        let m = sample();
+        let out = isvd0(&m, &IsvdConfig::new(3)).unwrap();
+        assert_eq!(out.factors.target, DecompositionTarget::Scalar);
+        let rec = out.factors.reconstruct().unwrap();
+        assert!(rec.is_scalar());
+        assert!(rec.mid().approx_eq(&m.mid(), 1e-8));
+    }
+
+    #[test]
+    fn scalar_input_full_rank_is_exact() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let im = IntervalMatrix::from_scalar(m.clone());
+        let out = isvd0(&im, &IsvdConfig::new(2)).unwrap();
+        let acc = reconstruction_accuracy(&im, &out.factors.reconstruct().unwrap()).unwrap();
+        assert!(acc.harmonic_mean > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn truncation_reduces_rank() {
+        let m = sample();
+        let out = isvd0(&m, &IsvdConfig::new(1)).unwrap();
+        assert_eq!(out.factors.rank(), 1);
+        assert_eq!(out.factors.u.lo().cols(), 1);
+        assert_eq!(out.factors.v.lo().cols(), 1);
+    }
+
+    #[test]
+    fn target_request_is_overridden_to_scalar() {
+        let m = sample();
+        let config = IsvdConfig::new(2).with_target(DecompositionTarget::IntervalAll);
+        let out = isvd0(&m, &config).unwrap();
+        assert_eq!(out.factors.target, DecompositionTarget::Scalar);
+        assert!(out.factors.u.is_scalar());
+    }
+
+    #[test]
+    fn timings_cover_preprocessing_and_decomposition() {
+        let m = sample();
+        let out = isvd0(&m, &IsvdConfig::new(2)).unwrap();
+        assert!(out.timings.total() >= out.timings.decomposition);
+        assert_eq!(out.timings.alignment, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn invalid_rank_is_rejected() {
+        let m = sample();
+        assert!(isvd0(&m, &IsvdConfig::new(0)).is_err());
+        assert!(isvd0(&m, &IsvdConfig::new(4)).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! ISVD1 — "decompose and align" (Section 4.2, supplementary Algorithm 8).
+//!
+//! The minimum and maximum bound matrices are decomposed *independently*
+//! with a truncated SVD; interval latent semantic alignment (ILSA) then
+//! pairs the two sets of right singular vectors, reorders/reorients the
+//! minimum-side factors accordingly, and the requested decomposition target
+//! is assembled.
+
+use ivmf_align::ilsa;
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::svd::svd_truncated;
+
+use crate::isvd::{IsvdConfig, IsvdResult};
+use crate::target::RawFactors;
+use crate::timing::{timed, StageTimings};
+use crate::Result;
+
+/// Runs ISVD1 on an interval-valued matrix.
+pub fn isvd1(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
+    config.validate(m.shape())?;
+    let mut timings = StageTimings::default();
+
+    // Decomposition: independent truncated SVDs of the two bounds.
+    let (f_lo, f_hi) = timed(&mut timings.decomposition, || {
+        let lo = svd_truncated(m.lo(), config.rank)?;
+        let hi = svd_truncated(m.hi(), config.rank)?;
+        Ok::<_, crate::IvmfError>((lo, hi))
+    })?;
+
+    // Alignment: pair the right singular vectors, then reorder/reorient the
+    // minimum-side factors (Algorithm 8, lines 4-14).
+    let (u_lo, sigma_lo, v_lo) = timed(&mut timings.alignment, || {
+        let alignment = ilsa(&f_lo.v, &f_hi.v, config.matcher)?;
+        let u_lo = alignment.apply_to_columns(&f_lo.u)?;
+        let v_lo = alignment.apply_to_columns(&f_lo.v)?;
+        let sigma_lo = alignment.apply_to_diag(&f_lo.singular_values)?;
+        Ok::<_, crate::IvmfError>((u_lo, sigma_lo, v_lo))
+    })?;
+
+    // Renormalization / target construction (Algorithm 8, lines 16-38).
+    let factors = timed(&mut timings.renormalization, || {
+        RawFactors::new(u_lo, f_hi.u, sigma_lo, f_hi.singular_values, v_lo, f_hi.v)
+            .and_then(|raw| raw.into_target(config.target))
+    })?;
+
+    Ok(IsvdResult { factors, timings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::reconstruction_accuracy;
+    use crate::target::DecompositionTarget;
+    use ivmf_linalg::random::uniform_matrix;
+    use ivmf_linalg::Matrix;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_interval_matrix(seed: u64, n: usize, m: usize, span: f64) -> IntervalMatrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lo = uniform_matrix(&mut rng, n, m, 0.5, 4.0);
+        let spans = Matrix::from_fn(n, m, |_, _| rng.gen_range(0.0..span));
+        let hi = lo.add(&spans).unwrap();
+        IntervalMatrix::from_bounds(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn scalar_input_full_rank_reconstructs_exactly_for_all_targets() {
+        let m = IntervalMatrix::from_scalar(Matrix::from_rows(&[
+            vec![3.0, 1.0, 0.0],
+            vec![1.0, 2.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ]));
+        for target in DecompositionTarget::all() {
+            let config = IsvdConfig::new(3).with_target(target);
+            let out = isvd1(&m, &config).unwrap();
+            let acc = reconstruction_accuracy(&m, &out.factors.reconstruct().unwrap()).unwrap();
+            assert!(
+                acc.harmonic_mean > 1.0 - 1e-8,
+                "target {target} accuracy {}",
+                acc.harmonic_mean
+            );
+        }
+    }
+
+    #[test]
+    fn interval_input_reconstruction_is_reasonable() {
+        let m = random_interval_matrix(101, 12, 8, 1.0);
+        let config = IsvdConfig::new(8).with_algorithm(crate::IsvdAlgorithm::Isvd1);
+        let out = isvd1(&m, &config).unwrap();
+        let acc = reconstruction_accuracy(&m, &out.factors.reconstruct().unwrap()).unwrap();
+        assert!(acc.harmonic_mean > 0.8, "accuracy {}", acc.harmonic_mean);
+    }
+
+    #[test]
+    fn alignment_improves_or_matches_matched_cosines() {
+        // Construct a matrix whose bound decompositions are prone to
+        // misalignment (close singular values) and check ILSA leaves the
+        // matched cosines at least as good as the unaligned ones.
+        let m = random_interval_matrix(103, 20, 10, 2.0);
+        let f_lo = svd_truncated(m.lo(), 6).unwrap();
+        let f_hi = svd_truncated(m.hi(), 6).unwrap();
+        let before: f64 = ivmf_align::cosine::matched_cosines(&f_lo.v, &f_hi.v)
+            .iter()
+            .map(|c| c.abs())
+            .sum();
+        let alignment = ilsa(&f_lo.v, &f_hi.v, ivmf_align::Matcher::Hungarian).unwrap();
+        let after: f64 = alignment.matched_similarity.iter().sum();
+        assert!(after >= before - 1e-9);
+    }
+
+    #[test]
+    fn option_b_factors_are_unit_norm() {
+        let m = random_interval_matrix(104, 10, 7, 1.5);
+        let config = IsvdConfig::new(5).with_target(DecompositionTarget::IntervalCore);
+        let out = isvd1(&m, &config).unwrap();
+        let u = out.factors.u_scalar().unwrap();
+        for j in 0..5 {
+            assert!((u.col_norm(j) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn option_a_output_is_proper_interval() {
+        let m = random_interval_matrix(105, 9, 9, 1.0);
+        let config = IsvdConfig::new(4).with_target(DecompositionTarget::IntervalAll);
+        let out = isvd1(&m, &config).unwrap();
+        assert!(out.factors.u.is_proper());
+        assert!(out.factors.v.is_proper());
+        assert!(out.factors.sigma.iter().all(|s| s.lo() <= s.hi()));
+    }
+
+    #[test]
+    fn timings_include_alignment_stage() {
+        let m = random_interval_matrix(106, 8, 6, 1.0);
+        let out = isvd1(&m, &IsvdConfig::new(3)).unwrap();
+        assert!(out.timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn higher_rank_does_not_reduce_accuracy() {
+        let m = random_interval_matrix(107, 14, 10, 1.0);
+        let mut last = 0.0;
+        for r in [2usize, 5, 10] {
+            let out = isvd1(&m, &IsvdConfig::new(r)).unwrap();
+            let acc = reconstruction_accuracy(&m, &out.factors.reconstruct().unwrap())
+                .unwrap()
+                .harmonic_mean;
+            assert!(acc >= last - 0.05, "rank {r}: accuracy {acc} < previous {last}");
+            last = acc;
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! ISVD4 — "decompose, align, solve, recompute" (Section 4.5, supplementary
+//! Algorithm 11).
+//!
+//! ISVD4 follows ISVD3 up to the recovery of the interval-valued left factor
+//! `U†`, and then adds one extra step: the right factor is *recomputed* from
+//! the SVD definition,
+//!
+//! ```text
+//! V† = ( (Σ†)⁻¹ · (U†)⁻¹ · M† )ᵀ
+//! ```
+//!
+//! using the averaged `U` (inverted directly or by pseudo-inverse) and the
+//! scalar interval-core inverse. Because the solved `U†` already benefits
+//! from the alignment step, the recomputed `V` bounds are much closer to
+//! each other — i.e. the interval latent space is more precise (Figure 5) —
+//! which the paper shows translates into the best overall reconstruction
+//! accuracy.
+
+use ivmf_interval::IntervalMatrix;
+
+use crate::isvd::{invert_factor, IsvdConfig, IsvdResult};
+use crate::isvd3::decompose_align_solve;
+use crate::target::RawFactors;
+use crate::timing::{timed, StageTimings};
+use crate::Result;
+
+/// Runs ISVD4 on an interval-valued matrix.
+pub fn isvd4(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
+    config.validate(m.shape())?;
+    let mut timings = StageTimings::default();
+
+    // Shared ISVD3 pipeline: Gram → eigendecompose → align → solve U†.
+    let solved = decompose_align_solve(m, config, &mut timings)?;
+
+    // Recomputation of the right factor (Algorithm 11, lines 26-34).
+    let (v_lo, v_hi) = timed(&mut timings.decomposition, || {
+        let u_avg = solved.u.mid();
+        let u_inv = invert_factor(&u_avg, config)?; // r x n
+        let projector = solved.sigma_inv.matmul(&u_inv)?; // r x n
+        let recomputed = IntervalMatrix::from_scalar(projector)
+            .interval_matmul(m)? // r x m
+            .transpose(); // m x r
+        Ok::<_, crate::IvmfError>(recomputed.into_bounds())
+    })?;
+
+    // Renormalization / target construction.
+    let factors = timed(&mut timings.renormalization, || {
+        let (u_lo, u_hi) = solved.u.into_bounds();
+        RawFactors::new(u_lo, u_hi, solved.sigma_lo, solved.sigma_hi, v_lo, v_hi)
+            .and_then(|raw| raw.into_target(config.target))
+    })?;
+
+    Ok(IsvdResult { factors, timings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::reconstruction_accuracy;
+    use crate::isvd::IsvdAlgorithm;
+    use crate::target::DecompositionTarget;
+    use ivmf_align::cosine::matched_cosines;
+    use ivmf_linalg::random::uniform_matrix;
+    use ivmf_linalg::Matrix;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_interval_matrix(seed: u64, n: usize, m: usize, span: f64) -> IntervalMatrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lo = uniform_matrix(&mut rng, n, m, 0.5, 4.0);
+        let spans = Matrix::from_fn(n, m, |_, _| rng.gen_range(0.0..span));
+        let hi = lo.add(&spans).unwrap();
+        IntervalMatrix::from_bounds(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn scalar_input_full_rank_reconstructs_well() {
+        let m = IntervalMatrix::from_scalar(Matrix::from_rows(&[
+            vec![3.0, 1.0, 0.0],
+            vec![1.0, 2.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ]));
+        let out = isvd4(&m, &IsvdConfig::new(3).with_target(DecompositionTarget::Scalar)).unwrap();
+        let acc = reconstruction_accuracy(&m, &out.factors.reconstruct().unwrap()).unwrap();
+        assert!(acc.harmonic_mean > 0.99, "accuracy {}", acc.harmonic_mean);
+    }
+
+    #[test]
+    fn isvd4_option_b_is_at_least_as_accurate_as_isvd1() {
+        // The paper's headline ordering: ISVD4-b >= ISVD1-b on wide-interval
+        // synthetic data (Table 2). Allow a small tolerance for randomness.
+        let m = random_interval_matrix(401, 20, 12, 3.0);
+        let rank = 12;
+        let acc = |alg: IsvdAlgorithm| {
+            let config = IsvdConfig::new(rank)
+                .with_algorithm(alg)
+                .with_target(DecompositionTarget::IntervalCore);
+            let out = crate::isvd::isvd(&m, &config).unwrap();
+            reconstruction_accuracy(&m, &out.factors.reconstruct().unwrap())
+                .unwrap()
+                .harmonic_mean
+        };
+        let a1 = acc(IsvdAlgorithm::Isvd1);
+        let a4 = acc(IsvdAlgorithm::Isvd4);
+        assert!(a4 >= a1 - 0.03, "ISVD4 ({a4}) unexpectedly below ISVD1 ({a1})");
+    }
+
+    #[test]
+    fn recomputation_keeps_dominant_directions_precise() {
+        // Figure 5's qualitative claim: after the recomputation step the
+        // leading (largest-singular-value) dimensions of V_lo and V_hi are
+        // highly similar, and accuracy does not degrade relative to ISVD3.
+        // (The full before/after curves of Figures 3 and 5 are regenerated
+        // by the exp_fig3_fig5 harness on the paper's default config.)
+        let m = random_interval_matrix(402, 18, 10, 3.0);
+        let rank = 8;
+
+        // Interval (option-a) factors: the dominant recomputed direction of
+        // V must be tightly aligned between the two bounds.
+        let config_a = IsvdConfig::new(rank).with_target(DecompositionTarget::IntervalAll);
+        let out4_a = isvd4(&m, &config_a).unwrap();
+        let cos4 = matched_cosines(out4_a.factors.v.lo(), out4_a.factors.v.hi());
+        assert!(
+            cos4[0].abs() > 0.9,
+            "dominant recomputed V direction poorly aligned: {}",
+            cos4[0]
+        );
+
+        // Under option b — the target the paper recommends and where ISVD4
+        // is its headline method — accuracy must not fall behind ISVD3.
+        let config_b = IsvdConfig::new(rank).with_target(DecompositionTarget::IntervalCore);
+        let acc = |out: &crate::isvd::IsvdResult| {
+            reconstruction_accuracy(&m, &out.factors.reconstruct().unwrap())
+                .unwrap()
+                .harmonic_mean
+        };
+        let a3 = acc(&crate::isvd3::isvd3(&m, &config_b).unwrap());
+        let a4 = acc(&isvd4(&m, &config_b).unwrap());
+        assert!(a4 >= a3 - 0.05, "ISVD4-b accuracy {a4} fell behind ISVD3-b {a3}");
+    }
+
+    #[test]
+    fn interval_input_reconstruction_is_reasonable() {
+        let m = random_interval_matrix(403, 12, 8, 1.0);
+        let out = isvd4(&m, &IsvdConfig::new(8)).unwrap();
+        let acc = reconstruction_accuracy(&m, &out.factors.reconstruct().unwrap()).unwrap();
+        assert!(acc.harmonic_mean > 0.8, "accuracy {}", acc.harmonic_mean);
+    }
+
+    #[test]
+    fn all_targets_produce_finite_output() {
+        let m = random_interval_matrix(404, 9, 6, 2.0);
+        for target in DecompositionTarget::all() {
+            let out = isvd4(&m, &IsvdConfig::new(4).with_target(target)).unwrap();
+            assert!(!out.factors.reconstruct().unwrap().has_non_finite());
+        }
+    }
+
+    #[test]
+    fn rank_one_decomposition_works() {
+        let m = random_interval_matrix(405, 7, 5, 1.0);
+        let out = isvd4(&m, &IsvdConfig::new(1)).unwrap();
+        assert_eq!(out.factors.rank(), 1);
+        let rec = out.factors.reconstruct().unwrap();
+        assert_eq!(rec.shape(), (7, 5));
+    }
+
+    #[test]
+    fn dispatch_through_unified_driver() {
+        let m = random_interval_matrix(406, 8, 6, 1.0);
+        let config = IsvdConfig::new(3).with_algorithm(IsvdAlgorithm::Isvd4);
+        let out = crate::isvd::isvd(&m, &config).unwrap();
+        assert_eq!(out.factors.rank(), 3);
+    }
+}

@@ -1,0 +1,362 @@
+//! Non-negative matrix factorization (NMF) and its interval extension
+//! (I-NMF), the face-analysis baselines of Section 2.2.2.
+//!
+//! * [`nmf`] — classic Lee–Seung multiplicative updates minimizing
+//!   `‖M − U Vᵀ‖²_F` with non-negative factors.
+//! * [`interval_nmf`] — the I-NMF scheme of Shen et al. [9] quoted by the
+//!   paper: a **scalar** non-negative `U` shared by both bounds, and an
+//!   **interval-valued** `V† = [V_lo, V_hi]`, minimizing
+//!   `‖M_lo − U V_loᵀ‖²_F + ‖M_hi − U V_hiᵀ‖²_F`. The `U` update combines the
+//!   two bound residuals (the gradient of the joint loss); each `V` bound is
+//!   updated against its own bound matrix.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::Matrix;
+
+use crate::{IvmfError, Result};
+
+/// Configuration for NMF / I-NMF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NmfConfig {
+    /// Target rank `r`.
+    pub rank: usize,
+    /// Maximum number of multiplicative update sweeps.
+    pub max_iters: usize,
+    /// Relative improvement of the loss below which iteration stops early.
+    pub tolerance: f64,
+    /// Seed for the random non-negative initialization.
+    pub seed: u64,
+}
+
+impl NmfConfig {
+    /// A reasonable default configuration for the given rank.
+    pub fn new(rank: usize) -> Self {
+        NmfConfig {
+            rank,
+            max_iters: 200,
+            tolerance: 1e-6,
+            seed: 7,
+        }
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets the early-stopping tolerance.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Sets the initialization seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self, shape: (usize, usize)) -> Result<()> {
+        let (n, m) = shape;
+        if n == 0 || m == 0 {
+            return Err(IvmfError::InvalidInput("matrix must be non-empty".into()));
+        }
+        if self.rank == 0 || self.rank > n.min(m) {
+            return Err(IvmfError::InvalidConfig(format!(
+                "rank {} must be in 1..=min(n, m) = {}",
+                self.rank,
+                n.min(m)
+            )));
+        }
+        if self.max_iters == 0 {
+            return Err(IvmfError::InvalidConfig("max_iters must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Result of scalar NMF: `M ≈ U Vᵀ` with non-negative factors.
+#[derive(Debug, Clone)]
+pub struct NmfModel {
+    /// `n x r` non-negative left factor.
+    pub u: Matrix,
+    /// `m x r` non-negative right factor.
+    pub v: Matrix,
+    /// Final value of the Frobenius loss `‖M − U Vᵀ‖²_F`.
+    pub loss: f64,
+    /// Number of sweeps actually performed.
+    pub iterations: usize,
+}
+
+impl NmfModel {
+    /// Reconstructs `U Vᵀ`.
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        Ok(self.u.matmul(&self.v.transpose())?)
+    }
+}
+
+/// Result of interval NMF: scalar `U`, interval `V†`.
+#[derive(Debug, Clone)]
+pub struct IntervalNmfModel {
+    /// `n x r` non-negative (scalar) left factor, shared by both bounds.
+    pub u: Matrix,
+    /// `m x r` interval-valued right factor.
+    pub v: IntervalMatrix,
+    /// Final joint loss over both bounds.
+    pub loss: f64,
+    /// Number of sweeps actually performed.
+    pub iterations: usize,
+}
+
+impl IntervalNmfModel {
+    /// Reconstructs the interval approximation `[U V_loᵀ, U V_hiᵀ]`
+    /// (with average repair of any mis-ordered entries).
+    pub fn reconstruct(&self) -> Result<IntervalMatrix> {
+        let lo = self.u.matmul(&self.v.lo().transpose())?;
+        let hi = self.u.matmul(&self.v.hi().transpose())?;
+        Ok(IntervalMatrix::from_bounds(lo, hi)?.average_replacement())
+    }
+}
+
+const DIV_EPS: f64 = 1e-12;
+
+/// Runs Lee–Seung NMF on a non-negative scalar matrix.
+///
+/// # Errors
+///
+/// Rejects empty input, invalid ranks and matrices with negative entries.
+pub fn nmf(m: &Matrix, config: &NmfConfig) -> Result<NmfModel> {
+    config.validate(m.shape())?;
+    ensure_non_negative(m, "NMF input")?;
+    let (n, cols) = m.shape();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut u = random_factor(&mut rng, n, config.rank);
+    let mut v = random_factor(&mut rng, cols, config.rank);
+
+    let mut last_loss = f64::INFINITY;
+    let mut iterations = 0;
+    for it in 0..config.max_iters {
+        iterations = it + 1;
+        // U <- U .* (M V) ./ (U Vᵀ V)
+        let numer_u = m.matmul(&v)?;
+        let denom_u = u.matmul(&v.gram())?;
+        u = u.hadamard(&numer_u.hadamard_div_guarded(&denom_u, DIV_EPS)?)?;
+        // V <- V .* (Mᵀ U) ./ (V Uᵀ U)
+        let numer_v = m.transpose().matmul(&u)?;
+        let denom_v = v.matmul(&u.gram())?;
+        v = v.hadamard(&numer_v.hadamard_div_guarded(&denom_v, DIV_EPS)?)?;
+
+        let loss = frobenius_loss(m, &u, &v)?;
+        if relative_improvement(last_loss, loss) < config.tolerance {
+            last_loss = loss;
+            break;
+        }
+        last_loss = loss;
+    }
+
+    Ok(NmfModel {
+        loss: last_loss,
+        u,
+        v,
+        iterations,
+    })
+}
+
+/// Runs I-NMF (Shen et al. [9]) on a non-negative interval matrix.
+///
+/// # Errors
+///
+/// Rejects empty input, invalid ranks, improper intervals and negative
+/// entries.
+pub fn interval_nmf(m: &IntervalMatrix, config: &NmfConfig) -> Result<IntervalNmfModel> {
+    config.validate(m.shape())?;
+    if !m.is_proper() {
+        return Err(IvmfError::InvalidInput(
+            "I-NMF requires a proper interval matrix (lo <= hi everywhere)".into(),
+        ));
+    }
+    ensure_non_negative(m.lo(), "I-NMF lower bound")?;
+    ensure_non_negative(m.hi(), "I-NMF upper bound")?;
+
+    let (n, cols) = m.shape();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut u = random_factor(&mut rng, n, config.rank);
+    let mut v_lo = random_factor(&mut rng, cols, config.rank);
+    let mut v_hi = random_factor(&mut rng, cols, config.rank);
+
+    let mut last_loss = f64::INFINITY;
+    let mut iterations = 0;
+    for it in 0..config.max_iters {
+        iterations = it + 1;
+        // Joint update of the shared U: gradient of
+        // ‖M_lo − U V_loᵀ‖² + ‖M_hi − U V_hiᵀ‖².
+        let numer_u = m.lo().matmul(&v_lo)?.add(&m.hi().matmul(&v_hi)?)?;
+        let denom_u = u.matmul(&v_lo.gram().add(&v_hi.gram())?)?;
+        u = u.hadamard(&numer_u.hadamard_div_guarded(&denom_u, DIV_EPS)?)?;
+
+        // Per-bound updates of V_lo and V_hi against their own bound matrix.
+        let ut_u = u.gram();
+        let numer_vlo = m.lo().transpose().matmul(&u)?;
+        let denom_vlo = v_lo.matmul(&ut_u)?;
+        v_lo = v_lo.hadamard(&numer_vlo.hadamard_div_guarded(&denom_vlo, DIV_EPS)?)?;
+        let numer_vhi = m.hi().transpose().matmul(&u)?;
+        let denom_vhi = v_hi.matmul(&ut_u)?;
+        v_hi = v_hi.hadamard(&numer_vhi.hadamard_div_guarded(&denom_vhi, DIV_EPS)?)?;
+
+        let loss = frobenius_loss(m.lo(), &u, &v_lo)? + frobenius_loss(m.hi(), &u, &v_hi)?;
+        if relative_improvement(last_loss, loss) < config.tolerance {
+            last_loss = loss;
+            break;
+        }
+        last_loss = loss;
+    }
+
+    Ok(IntervalNmfModel {
+        u,
+        v: IntervalMatrix::from_bounds(v_lo, v_hi)?,
+        loss: last_loss,
+        iterations,
+    })
+}
+
+fn random_factor(rng: &mut SmallRng, rows: usize, rank: usize) -> Matrix {
+    Matrix::from_fn(rows, rank, |_, _| rng.gen_range(0.01..1.0))
+}
+
+fn frobenius_loss(m: &Matrix, u: &Matrix, v: &Matrix) -> Result<f64> {
+    let diff = m.sub(&u.matmul(&v.transpose())?)?;
+    let f = diff.frobenius_norm();
+    Ok(f * f)
+}
+
+fn relative_improvement(previous: f64, current: f64) -> f64 {
+    if !previous.is_finite() {
+        return f64::INFINITY;
+    }
+    if previous <= 0.0 {
+        return 0.0;
+    }
+    ((previous - current) / previous).max(0.0)
+}
+
+fn ensure_non_negative(m: &Matrix, what: &str) -> Result<()> {
+    if m.as_slice().iter().any(|&x| x < 0.0) {
+        return Err(IvmfError::InvalidInput(format!(
+            "{what} must be non-negative"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivmf_linalg::random::uniform_matrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn non_negative_interval(seed: u64, n: usize, m: usize) -> IntervalMatrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lo = uniform_matrix(&mut rng, n, m, 0.2, 2.0);
+        let spans = Matrix::from_fn(n, m, |_, _| rng.gen::<f64>() * 0.5);
+        IntervalMatrix::from_bounds(lo.clone(), lo.add(&spans).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn nmf_reduces_loss_and_stays_non_negative() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = uniform_matrix(&mut rng, 12, 9, 0.1, 3.0);
+        let model = nmf(&m, &NmfConfig::new(4).with_max_iters(150)).unwrap();
+        assert!(model.u.as_slice().iter().all(|&x| x >= 0.0));
+        assert!(model.v.as_slice().iter().all(|&x| x >= 0.0));
+        // Loss is well below the "predict zero" baseline.
+        let baseline = m.frobenius_norm().powi(2);
+        assert!(model.loss < 0.5 * baseline, "loss {} vs baseline {baseline}", model.loss);
+        assert!(model.iterations > 1);
+    }
+
+    #[test]
+    fn nmf_recovers_low_rank_non_negative_matrix() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = ivmf_linalg::random::low_rank_matrix(&mut rng, 15, 10, 3);
+        let model = nmf(&m, &NmfConfig::new(3).with_max_iters(500).with_tolerance(1e-10)).unwrap();
+        let rel = m
+            .sub(&model.reconstruct().unwrap())
+            .unwrap()
+            .frobenius_norm()
+            / m.frobenius_norm();
+        assert!(rel < 0.08, "relative error {rel}");
+    }
+
+    #[test]
+    fn nmf_rejects_negative_input_and_bad_rank() {
+        let m = Matrix::from_rows(&[vec![1.0, -0.5], vec![0.2, 0.4]]);
+        assert!(nmf(&m, &NmfConfig::new(1)).is_err());
+        let ok = Matrix::from_rows(&[vec![1.0, 0.5], vec![0.2, 0.4]]);
+        assert!(nmf(&ok, &NmfConfig::new(0)).is_err());
+        assert!(nmf(&ok, &NmfConfig::new(3)).is_err());
+        assert!(nmf(&ok, &NmfConfig::new(1).with_max_iters(0)).is_err());
+    }
+
+    #[test]
+    fn interval_nmf_produces_scalar_u_and_interval_v() {
+        let m = non_negative_interval(3, 14, 8);
+        let model = interval_nmf(&m, &NmfConfig::new(4).with_max_iters(200)).unwrap();
+        assert_eq!(model.u.shape(), (14, 4));
+        assert_eq!(model.v.shape(), (8, 4));
+        assert!(model.u.as_slice().iter().all(|&x| x >= 0.0));
+        assert!(model.v.lo().as_slice().iter().all(|&x| x >= 0.0));
+        let rec = model.reconstruct().unwrap();
+        assert_eq!(rec.shape(), (14, 8));
+        assert!(rec.is_proper());
+    }
+
+    #[test]
+    fn interval_nmf_loss_beats_zero_baseline() {
+        let m = non_negative_interval(4, 10, 10);
+        let model = interval_nmf(&m, &NmfConfig::new(5).with_max_iters(300)).unwrap();
+        let baseline = m.lo().frobenius_norm().powi(2) + m.hi().frobenius_norm().powi(2);
+        assert!(model.loss < 0.3 * baseline);
+    }
+
+    #[test]
+    fn interval_nmf_rejects_improper_or_negative_input() {
+        let improper = IntervalMatrix::from_bounds(
+            Matrix::from_rows(&[vec![2.0]]),
+            Matrix::from_rows(&[vec![1.0]]),
+        )
+        .unwrap();
+        assert!(interval_nmf(&improper, &NmfConfig::new(1)).is_err());
+        let negative = IntervalMatrix::from_bounds(
+            Matrix::from_rows(&[vec![-1.0]]),
+            Matrix::from_rows(&[vec![1.0]]),
+        )
+        .unwrap();
+        assert!(interval_nmf(&negative, &NmfConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let m = non_negative_interval(5, 8, 6);
+        let config = NmfConfig::new(3).with_seed(99).with_max_iters(50);
+        let a = interval_nmf(&m, &config).unwrap();
+        let b = interval_nmf(&m, &config).unwrap();
+        assert!(a.u.approx_eq(&b.u, 0.0));
+        assert_eq!(a.loss, b.loss);
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = NmfConfig::new(3)
+            .with_max_iters(10)
+            .with_tolerance(1e-3)
+            .with_seed(5);
+        assert_eq!(c.max_iters, 10);
+        assert_eq!(c.tolerance, 1e-3);
+        assert_eq!(c.seed, 5);
+    }
+}

@@ -1,0 +1,74 @@
+//! L2-norm column renormalization (supplementary Algorithm 5, `NORM-MAT`).
+//!
+//! Decomposition targets b and c re-normalize the averaged factor matrices
+//! so their columns are unit length, and push the removed scale into the
+//! core matrix (Section 3.4.2). This module implements that renormalization
+//! and returns the per-column norms so the caller can rescale `Σ`.
+
+use ivmf_linalg::Matrix;
+
+/// Normalizes every column of `m` to unit L2 norm.
+///
+/// Returns the normalized matrix and the vector of original column norms.
+/// Columns with (numerically) zero norm are left untouched and report a norm
+/// of `0.0`; the caller then multiplies the corresponding core entry by zero,
+/// which is the only consistent interpretation of a degenerate latent
+/// direction.
+pub fn normalize_columns(m: &Matrix) -> (Matrix, Vec<f64>) {
+    let mut out = m.clone();
+    let mut norms = Vec::with_capacity(m.cols());
+    for j in 0..m.cols() {
+        let norm = m.col_norm(j);
+        norms.push(norm);
+        if norm > f64::EPSILON {
+            out.scale_col(j, 1.0 / norm);
+        }
+    }
+    (out, norms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_become_unit_length() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![4.0, 2.0]]);
+        let (n, norms) = normalize_columns(&m);
+        assert!((norms[0] - 5.0).abs() < 1e-12);
+        assert!((norms[1] - 2.0).abs() < 1e-12);
+        assert!((n.col_norm(0) - 1.0).abs() < 1e-12);
+        assert!((n.col_norm(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renormalization_preserves_product_with_core() {
+        // U diag(s) Vᵀ must be unchanged when norms are pushed into s.
+        let u = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 3.0]]);
+        let v = Matrix::from_rows(&[vec![4.0, 0.0], vec![0.0, 5.0]]);
+        let s = [7.0, 11.0];
+        let original = u
+            .matmul(&Matrix::from_diag(&s))
+            .unwrap()
+            .matmul(&v.transpose())
+            .unwrap();
+        let (un, nu) = normalize_columns(&u);
+        let (vn, nv) = normalize_columns(&v);
+        let s_rescaled: Vec<f64> = (0..2).map(|j| s[j] * nu[j] * nv[j]).collect();
+        let rebuilt = un
+            .matmul(&Matrix::from_diag(&s_rescaled))
+            .unwrap()
+            .matmul(&vn.transpose())
+            .unwrap();
+        assert!(original.approx_eq(&rebuilt, 1e-12));
+    }
+
+    #[test]
+    fn zero_columns_are_left_alone() {
+        let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 0.0]]);
+        let (n, norms) = normalize_columns(&m);
+        assert_eq!(norms[0], 0.0);
+        assert_eq!(n.col(0), vec![0.0, 0.0]);
+        assert!((norms[1] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Inverse of a non-negative interval-valued core (diagonal) matrix
+//! (Section 4.4.2.1 and supplementary Algorithm 4).
+//!
+//! For a diagonal interval matrix `S` with non-negative diagonal intervals
+//! `[s_lo, s_hi]`, the paper shows that the best interval inverse — the one
+//! minimizing the deviation `ε` of `S·S⁻¹` from the identity — is in fact
+//! **scalar**, with diagonal entries `2 / (s_lo + s_hi)`. Degenerate cases
+//! (one or both bounds equal to zero) fall back to `2 / s`, respectively `0`.
+
+use ivmf_linalg::Matrix;
+
+use crate::{IvmfError, Result};
+
+/// Computes the scalar diagonal of the interval core inverse.
+///
+/// `sigma_lo` and `sigma_hi` are the diagonal entries of the interval core
+/// matrix (the square roots of the eigenvalues of the bound Gram matrices);
+/// they are expected to be non-negative but are *not* required to be ordered
+/// (`lo <= hi`) since upstream decompositions may mis-order them.
+///
+/// # Errors
+///
+/// Returns [`IvmfError::InvalidInput`] when the lengths differ or an entry is
+/// negative beyond round-off.
+pub fn sigma_inverse_diag(sigma_lo: &[f64], sigma_hi: &[f64]) -> Result<Vec<f64>> {
+    if sigma_lo.len() != sigma_hi.len() {
+        return Err(IvmfError::InvalidInput(format!(
+            "sigma bound lengths differ: {} vs {}",
+            sigma_lo.len(),
+            sigma_hi.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(sigma_lo.len());
+    for (&lo, &hi) in sigma_lo.iter().zip(sigma_hi) {
+        if lo < -1e-9 || hi < -1e-9 {
+            return Err(IvmfError::InvalidInput(format!(
+                "core entries must be non-negative, got [{lo}, {hi}]"
+            )));
+        }
+        let lo = lo.max(0.0);
+        let hi = hi.max(0.0);
+        let inv = if lo == 0.0 && hi == 0.0 {
+            0.0
+        } else if lo == 0.0 {
+            2.0 / hi
+        } else if hi == 0.0 {
+            2.0 / lo
+        } else {
+            2.0 / (lo + hi)
+        };
+        out.push(inv);
+    }
+    Ok(out)
+}
+
+/// Same as [`sigma_inverse_diag`] but returns the result as a diagonal
+/// [`Matrix`], ready to be multiplied against factor matrices.
+pub fn sigma_inverse_matrix(sigma_lo: &[f64], sigma_hi: &[f64]) -> Result<Matrix> {
+    Ok(Matrix::from_diag(&sigma_inverse_diag(sigma_lo, sigma_hi)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivmf_interval::Interval;
+
+    #[test]
+    fn regular_entries_use_midpoint_reciprocal() {
+        let inv = sigma_inverse_diag(&[2.0, 4.0], &[6.0, 4.0]).unwrap();
+        assert!((inv[0] - 0.25).abs() < 1e-12); // 2 / (2 + 6)
+        assert!((inv[1] - 0.25).abs() < 1e-12); // scalar interval [4,4] -> 1/4
+    }
+
+    #[test]
+    fn zero_bounds_fall_back_gracefully() {
+        let inv = sigma_inverse_diag(&[0.0, 0.0, 3.0], &[0.0, 5.0, 0.0]).unwrap();
+        assert_eq!(inv[0], 0.0);
+        assert!((inv[1] - 0.4).abs() < 1e-12); // 2 / 5
+        assert!((inv[2] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_minimizes_identity_deviation() {
+        // The paper's optimality claim: for S(i,i) = [s_lo, s_hi], the scalar
+        // sigma = 2/(s_lo + s_hi) gives S * S^-1 entries [1-e, 1+e] with the
+        // minimal possible e = (s_hi - s_lo)/(s_hi + s_lo).
+        let (lo, hi) = (2.0, 3.0);
+        let inv = sigma_inverse_diag(&[lo], &[hi]).unwrap()[0];
+        let prod = Interval::new(lo, hi).unwrap().scale(inv);
+        let eps_lower = 1.0 - prod.lo();
+        let eps_upper = prod.hi() - 1.0;
+        let expected = (hi - lo) / (hi + lo);
+        assert!((eps_lower - expected).abs() < 1e-12);
+        assert!((eps_upper - expected).abs() < 1e-12);
+        // Any other scalar choice is worse on at least one side.
+        for delta in [-0.05, 0.05] {
+            let other = inv + delta;
+            let prod = Interval::new(lo, hi).unwrap().scale(other);
+            let worst = (1.0 - prod.lo()).max(prod.hi() - 1.0);
+            assert!(worst > expected - 1e-12);
+        }
+    }
+
+    #[test]
+    fn misordered_bounds_are_accepted() {
+        // lo > hi is allowed; the formula is symmetric in the two bounds.
+        let inv = sigma_inverse_diag(&[6.0], &[2.0]).unwrap();
+        assert!((inv[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_entries_are_rejected() {
+        assert!(sigma_inverse_diag(&[-1.0], &[2.0]).is_err());
+        assert!(sigma_inverse_diag(&[1.0], &[-2.0]).is_err());
+        assert!(sigma_inverse_diag(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn matrix_form_is_diagonal() {
+        let m = sigma_inverse_matrix(&[2.0, 0.0], &[2.0, 0.0]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert!((m[(0, 0)] - 0.5).abs() < 1e-12);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(m[(1, 1)], 0.0);
+    }
+}

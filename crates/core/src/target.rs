@@ -1,0 +1,462 @@
+//! Decomposition targets (Section 3.4) and the assembled interval SVD.
+//!
+//! All ISVD algorithms internally produce *raw* minimum/maximum factor
+//! matrices ([`RawFactors`]). Depending on the application semantics the
+//! user picks one of three **decomposition targets** that turn the raw
+//! bounds into the final factorization ([`IntervalSvd`]):
+//!
+//! * **option a** ([`DecompositionTarget::IntervalAll`]): interval-valued
+//!   `U†`, `Σ†`, `V†` — mis-ordered entries are collapsed to their average
+//!   (Section 3.4.1);
+//! * **option b** ([`DecompositionTarget::IntervalCore`]): scalar `U`, `V`
+//!   (averaged and column-renormalized) with an interval core `Σ†` rescaled
+//!   by the removed column norms (Section 3.4.2);
+//! * **option c** ([`DecompositionTarget::Scalar`]): scalar `U`, `Σ`, `V`
+//!   (Section 3.4.3).
+//!
+//! [`IntervalSvd::reconstruct`] implements the matching reconstruction rules
+//! (supplementary Algorithms 12–14).
+
+use serde::{Deserialize, Serialize};
+
+use ivmf_interval::{Interval, IntervalMatrix};
+use ivmf_linalg::Matrix;
+
+use crate::renorm::normalize_columns;
+use crate::{IvmfError, Result};
+
+/// Which application semantics the decomposition should satisfy
+/// (Section 3.4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DecompositionTarget {
+    /// Option (a): interval-valued `U†`, `Σ†` and `V†`.
+    IntervalAll,
+    /// Option (b): scalar `U` and `V`, interval-valued `Σ†`. The paper's
+    /// experiments find this target to be the most accurate overall, so it
+    /// is the default.
+    #[default]
+    IntervalCore,
+    /// Option (c): scalar `U`, `Σ` and `V`.
+    Scalar,
+}
+
+impl DecompositionTarget {
+    /// Short label matching the paper's notation ("a" / "b" / "c").
+    pub fn label(&self) -> &'static str {
+        match self {
+            DecompositionTarget::IntervalAll => "a",
+            DecompositionTarget::IntervalCore => "b",
+            DecompositionTarget::Scalar => "c",
+        }
+    }
+
+    /// All three targets, in the paper's order.
+    pub fn all() -> [DecompositionTarget; 3] {
+        [
+            DecompositionTarget::IntervalAll,
+            DecompositionTarget::IntervalCore,
+            DecompositionTarget::Scalar,
+        ]
+    }
+}
+
+impl std::fmt::Display for DecompositionTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "option-{}", self.label())
+    }
+}
+
+/// Raw aligned bound factors produced by the ISVD algorithms **before**
+/// target construction.
+///
+/// Entries are not necessarily ordered (`lo <= hi`); ordering is repaired
+/// during target construction, exactly as the paper prescribes ("these
+/// misordered elements are corrected as part of the final step").
+#[derive(Debug, Clone)]
+pub struct RawFactors {
+    /// Minimum-side left factor (`n x r`).
+    pub u_lo: Matrix,
+    /// Maximum-side left factor (`n x r`).
+    pub u_hi: Matrix,
+    /// Minimum-side singular values (length `r`).
+    pub sigma_lo: Vec<f64>,
+    /// Maximum-side singular values (length `r`).
+    pub sigma_hi: Vec<f64>,
+    /// Minimum-side right factor (`m x r`).
+    pub v_lo: Matrix,
+    /// Maximum-side right factor (`m x r`).
+    pub v_hi: Matrix,
+}
+
+impl RawFactors {
+    /// Builds raw factors from two scalar decompositions, validating that
+    /// every piece agrees on the target rank.
+    pub fn new(
+        u_lo: Matrix,
+        u_hi: Matrix,
+        sigma_lo: Vec<f64>,
+        sigma_hi: Vec<f64>,
+        v_lo: Matrix,
+        v_hi: Matrix,
+    ) -> Result<Self> {
+        let r = sigma_lo.len();
+        if sigma_hi.len() != r
+            || u_lo.cols() != r
+            || u_hi.cols() != r
+            || v_lo.cols() != r
+            || v_hi.cols() != r
+        {
+            return Err(IvmfError::InvalidInput(
+                "factor matrices and singular values disagree on the rank".to_string(),
+            ));
+        }
+        if u_lo.shape() != u_hi.shape() || v_lo.shape() != v_hi.shape() {
+            return Err(IvmfError::InvalidInput(
+                "minimum and maximum factors must have identical shapes".to_string(),
+            ));
+        }
+        Ok(RawFactors {
+            u_lo,
+            u_hi,
+            sigma_lo,
+            sigma_hi,
+            v_lo,
+            v_hi,
+        })
+    }
+
+    /// Target rank of the factors.
+    pub fn rank(&self) -> usize {
+        self.sigma_lo.len()
+    }
+
+    /// Assembles the final [`IntervalSvd`] for the requested target
+    /// (Section 3.4; supplementary Algorithms 8–11, final blocks).
+    pub fn into_target(self, target: DecompositionTarget) -> Result<IntervalSvd> {
+        let r = self.rank();
+        match target {
+            DecompositionTarget::IntervalAll => {
+                // Option (a): keep interval factors, repairing mis-ordered
+                // entries by averaging.
+                let u = IntervalMatrix::from_bounds(self.u_lo, self.u_hi)?.average_replacement();
+                let v = IntervalMatrix::from_bounds(self.v_lo, self.v_hi)?.average_replacement();
+                let sigma = (0..r)
+                    .map(|j| repaired_interval(self.sigma_lo[j], self.sigma_hi[j]))
+                    .collect();
+                Ok(IntervalSvd {
+                    target,
+                    u,
+                    sigma,
+                    v,
+                })
+            }
+            DecompositionTarget::IntervalCore => {
+                // Option (b): average + renormalize the factors, rescale the
+                // interval core by the removed column norms.
+                let u_avg = self.u_lo.mean_with(&self.u_hi)?;
+                let v_avg = self.v_lo.mean_with(&self.v_hi)?;
+                let (u_n, norms_u) = normalize_columns(&u_avg);
+                let (v_n, norms_v) = normalize_columns(&v_avg);
+                let sigma = (0..r)
+                    .map(|j| {
+                        let scale = norms_u[j] * norms_v[j];
+                        repaired_interval(self.sigma_lo[j] * scale, self.sigma_hi[j] * scale)
+                    })
+                    .collect();
+                Ok(IntervalSvd {
+                    target,
+                    u: IntervalMatrix::from_scalar(u_n),
+                    sigma,
+                    v: IntervalMatrix::from_scalar(v_n),
+                })
+            }
+            DecompositionTarget::Scalar => {
+                // Option (c): everything is averaged; the core additionally
+                // absorbs the renormalization factors.
+                let u_avg = self.u_lo.mean_with(&self.u_hi)?;
+                let v_avg = self.v_lo.mean_with(&self.v_hi)?;
+                let (u_n, norms_u) = normalize_columns(&u_avg);
+                let (v_n, norms_v) = normalize_columns(&v_avg);
+                let sigma = (0..r)
+                    .map(|j| {
+                        let avg = 0.5 * (self.sigma_lo[j] + self.sigma_hi[j]);
+                        Interval::scalar(avg * norms_u[j] * norms_v[j])
+                    })
+                    .collect();
+                Ok(IntervalSvd {
+                    target,
+                    u: IntervalMatrix::from_scalar(u_n),
+                    sigma,
+                    v: IntervalMatrix::from_scalar(v_n),
+                })
+            }
+        }
+    }
+}
+
+/// Builds an interval from bound values, replacing a mis-ordered pair by its
+/// average (the Section 3.4.1 rule).
+fn repaired_interval(lo: f64, hi: f64) -> Interval {
+    if lo <= hi {
+        Interval::new(lo, hi).expect("ordered bounds")
+    } else {
+        Interval::scalar(0.5 * (lo + hi))
+    }
+}
+
+/// An interval singular value decomposition `M† ≈ U† Σ† V†ᵀ` assembled for a
+/// specific [`DecompositionTarget`].
+#[derive(Debug, Clone)]
+pub struct IntervalSvd {
+    /// The application semantics this factorization was assembled for.
+    pub target: DecompositionTarget,
+    /// Left factor (`n x r`); scalar-valued (lo == hi) for targets b and c.
+    pub u: IntervalMatrix,
+    /// Core diagonal (length `r`); scalar-valued for target c.
+    pub sigma: Vec<Interval>,
+    /// Right factor (`m x r`); scalar-valued for targets b and c.
+    pub v: IntervalMatrix,
+}
+
+impl IntervalSvd {
+    /// Target rank of the decomposition.
+    pub fn rank(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// The scalar left factor, when the target guarantees one.
+    pub fn u_scalar(&self) -> Option<&Matrix> {
+        if self.u.is_scalar() {
+            Some(self.u.lo())
+        } else {
+            None
+        }
+    }
+
+    /// The scalar right factor, when the target guarantees one.
+    pub fn v_scalar(&self) -> Option<&Matrix> {
+        if self.v.is_scalar() {
+            Some(self.v.lo())
+        } else {
+            None
+        }
+    }
+
+    /// The core diagonal midpoints (exact for target c, averaged otherwise).
+    pub fn sigma_mid(&self) -> Vec<f64> {
+        self.sigma.iter().map(|s| s.mid()).collect()
+    }
+
+    /// Lower bounds of the core diagonal.
+    pub fn sigma_lo(&self) -> Vec<f64> {
+        self.sigma.iter().map(|s| s.lo()).collect()
+    }
+
+    /// Upper bounds of the core diagonal.
+    pub fn sigma_hi(&self) -> Vec<f64> {
+        self.sigma.iter().map(|s| s.hi()).collect()
+    }
+
+    /// The projection of the rows of the original matrix onto the latent
+    /// space: `U × Σ` as an interval matrix (`[U_lo Σ_lo, U_hi Σ_hi]` with
+    /// repair). This is the feature representation used by the paper's
+    /// classification and clustering tasks ("use `U × S` for SVD-based
+    /// schemes").
+    pub fn row_projection(&self) -> Result<IntervalMatrix> {
+        let sigma_lo = Matrix::from_diag(&self.sigma_lo());
+        let sigma_hi = Matrix::from_diag(&self.sigma_hi());
+        let lo = self.u.lo().matmul(&sigma_lo)?;
+        let hi = self.u.hi().matmul(&sigma_hi)?;
+        Ok(IntervalMatrix::from_bounds(lo, hi)?.average_replacement())
+    }
+
+    /// Reconstructs the (interval-valued) approximation `M̃† = U† Σ† V†ᵀ`
+    /// using the reconstruction rule matching the decomposition target
+    /// (supplementary Algorithms 12–14).
+    pub fn reconstruct(&self) -> Result<IntervalMatrix> {
+        match self.target {
+            DecompositionTarget::IntervalAll => {
+                // Algorithm 12: full interval-algebra product.
+                let sigma = IntervalMatrix::from_bounds(
+                    Matrix::from_diag(&self.sigma_lo()),
+                    Matrix::from_diag(&self.sigma_hi()),
+                )?;
+                let us = self.u.interval_matmul(&sigma)?;
+                Ok(us.interval_matmul(&self.v.transpose())?)
+            }
+            DecompositionTarget::IntervalCore => {
+                // Algorithm 13: scalar factors, interval core.
+                let u = self.u.lo();
+                let v_t = self.v.lo().transpose();
+                let lo = u.matmul(&Matrix::from_diag(&self.sigma_lo()))?.matmul(&v_t)?;
+                let hi = u.matmul(&Matrix::from_diag(&self.sigma_hi()))?.matmul(&v_t)?;
+                Ok(IntervalMatrix::from_bounds(lo, hi)?.average_replacement())
+            }
+            DecompositionTarget::Scalar => {
+                // Algorithm 14: fully scalar reconstruction.
+                let rec = self
+                    .u
+                    .lo()
+                    .matmul(&Matrix::from_diag(&self.sigma_mid()))?
+                    .matmul(&self.v.lo().transpose())?;
+                Ok(IntervalMatrix::from_scalar(rec))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw_sample() -> RawFactors {
+        // A tiny, hand-checkable pair of rank-2 factorizations.
+        RawFactors::new(
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]),
+            Matrix::from_rows(&[vec![0.9, 0.1], vec![0.1, 0.9]]),
+            vec![4.0, 2.0],
+            vec![5.0, 1.8],
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]),
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        assert!(RawFactors::new(
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 2),
+            vec![1.0],
+            vec![1.0, 2.0],
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 2),
+        )
+        .is_err());
+        assert!(RawFactors::new(
+            Matrix::zeros(2, 2),
+            Matrix::zeros(3, 2),
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 2),
+        )
+        .is_err());
+        assert_eq!(raw_sample().rank(), 2);
+    }
+
+    #[test]
+    fn target_labels() {
+        assert_eq!(DecompositionTarget::IntervalAll.label(), "a");
+        assert_eq!(DecompositionTarget::IntervalCore.label(), "b");
+        assert_eq!(DecompositionTarget::Scalar.label(), "c");
+        assert_eq!(DecompositionTarget::all().len(), 3);
+        assert_eq!(format!("{}", DecompositionTarget::Scalar), "option-c");
+    }
+
+    #[test]
+    fn option_a_keeps_intervals_and_repairs_misordered() {
+        let mut raw = raw_sample();
+        // Mis-order one sigma pair.
+        raw.sigma_lo[0] = 6.0;
+        raw.sigma_hi[0] = 4.0;
+        let svd = raw.into_target(DecompositionTarget::IntervalAll).unwrap();
+        assert_eq!(svd.target, DecompositionTarget::IntervalAll);
+        // Misordered pairs collapsed to their average: both sigma entries of
+        // the sample are misordered ([6,4] and [2,1.8]).
+        assert_eq!(svd.sigma[0], Interval::scalar(5.0));
+        assert_eq!(svd.sigma[1], Interval::scalar(1.9));
+        assert!(svd.u.is_proper());
+        assert!(svd.v.is_proper());
+    }
+
+    #[test]
+    fn option_b_gives_unit_norm_scalar_factors_and_interval_core() {
+        let svd = raw_sample()
+            .into_target(DecompositionTarget::IntervalCore)
+            .unwrap();
+        let u = svd.u_scalar().expect("option b has scalar U");
+        let v = svd.v_scalar().expect("option b has scalar V");
+        for j in 0..2 {
+            assert!((u.col_norm(j) - 1.0).abs() < 1e-12);
+            assert!((v.col_norm(j) - 1.0).abs() < 1e-12);
+        }
+        // Core stays interval-valued.
+        assert!(svd.sigma.iter().any(|s| !s.is_scalar()));
+    }
+
+    #[test]
+    fn option_c_everything_scalar() {
+        let svd = raw_sample().into_target(DecompositionTarget::Scalar).unwrap();
+        assert!(svd.u_scalar().is_some());
+        assert!(svd.v_scalar().is_some());
+        assert!(svd.sigma.iter().all(|s| s.is_scalar()));
+    }
+
+    #[test]
+    fn reconstruction_of_exact_scalar_decomposition_is_exact() {
+        // When lo == hi factors come from a genuine SVD, all three targets
+        // must reconstruct the original matrix exactly.
+        let m = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0], vec![0.0, 1.0]]);
+        let f = ivmf_linalg::svd::svd(&m).unwrap();
+        let raw = RawFactors::new(
+            f.u.clone(),
+            f.u.clone(),
+            f.singular_values.clone(),
+            f.singular_values.clone(),
+            f.v.clone(),
+            f.v.clone(),
+        )
+        .unwrap();
+        for target in DecompositionTarget::all() {
+            let svd = raw.clone().into_target(target).unwrap();
+            let rec = svd.reconstruct().unwrap();
+            assert!(
+                rec.mid().approx_eq(&m, 1e-8),
+                "target {target} did not reconstruct the scalar matrix"
+            );
+            if target != DecompositionTarget::IntervalAll {
+                // b and c reproduce it as (near-)scalar matrices.
+                assert!(rec.spans().max_abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn option_b_reconstruction_bounds_are_ordered() {
+        let svd = raw_sample()
+            .into_target(DecompositionTarget::IntervalCore)
+            .unwrap();
+        let rec = svd.reconstruct().unwrap();
+        assert!(rec.is_proper());
+    }
+
+    #[test]
+    fn row_projection_shapes_and_scalar_case() {
+        let svd = raw_sample().into_target(DecompositionTarget::Scalar).unwrap();
+        let proj = svd.row_projection().unwrap();
+        assert_eq!(proj.shape(), (2, 2));
+        assert!(proj.is_scalar());
+        let svd_b = raw_sample()
+            .into_target(DecompositionTarget::IntervalCore)
+            .unwrap();
+        let proj_b = svd_b.row_projection().unwrap();
+        assert_eq!(proj_b.shape(), (2, 2));
+        assert!(proj_b.is_proper());
+    }
+
+    #[test]
+    fn sigma_accessors() {
+        let svd = raw_sample()
+            .into_target(DecompositionTarget::IntervalCore)
+            .unwrap();
+        assert_eq!(svd.rank(), 2);
+        let lo = svd.sigma_lo();
+        let hi = svd.sigma_hi();
+        let mid = svd.sigma_mid();
+        for j in 0..2 {
+            assert!(lo[j] <= hi[j]);
+            assert!((mid[j] - 0.5 * (lo[j] + hi[j])).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # ivmf-data
+//!
+//! Synthetic workload generators for every experiment in the paper.
+//!
+//! The paper evaluates on (i) synthetic uniform interval matrices with
+//! controlled density/intensity (Table 1), (ii) synthetic matrices
+//! anonymized through value generalization at four levels, (iii) the ORL
+//! face corpus turned into interval data through pixel-neighbourhood
+//! statistics, and (iv) rating data sets (MovieLens-100K, Ciao, Epinions)
+//! turned into interval data through per-user/per-item rating spreads.
+//!
+//! The real ORL / MovieLens / Ciao / Epinions data cannot be redistributed
+//! with this repository, so this crate generates **synthetic stand-ins with
+//! the same shape, scale, sparsity and interval-construction rules** (see
+//! DESIGN.md, "Substitutions"). Every generator takes an explicit seeded
+//! RNG so experiments are reproducible.
+//!
+//! Modules:
+//!
+//! * [`synthetic`] — uniform interval matrices (Table 1 parameters).
+//! * [`anonymize`] — generalization-based anonymized matrices (L1–L4
+//!   levels, high/medium/low privacy mixtures).
+//! * [`faces`] — ORL-like face corpus and the neighbourhood-std interval
+//!   construction of supplementary F.1.
+//! * [`ratings`] — MovieLens-like and Ciao/Epinions-like rating data plus
+//!   the interval constructions of supplementary F.2.
+//! * [`split`] — train/test splitting helpers.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod anonymize;
+pub mod faces;
+pub mod ratings;
+pub mod split;
+pub mod synthetic;

@@ -1,0 +1,150 @@
+//! Train/test splitting helpers used by the classification and
+//! collaborative-filtering experiments.
+
+use rand::Rng;
+
+/// A train/test split expressed as index lists into the original data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices belonging to the training portion.
+    pub train: Vec<usize>,
+    /// Indices belonging to the test portion.
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// Total number of indices in the split.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.test.len()
+    }
+
+    /// True when the split covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.train.is_empty() && self.test.is_empty()
+    }
+}
+
+/// Splits item indices uniformly at random: each index goes to the training
+/// set with probability `train_fraction` (at least one element ends up on
+/// each side when there are two or more items).
+pub fn random_split<R: Rng + ?Sized>(n: usize, train_fraction: f64, rng: &mut R) -> Split {
+    let mut indices: Vec<usize> = (0..n).collect();
+    shuffle(&mut indices, rng);
+    let mut train_len = ((n as f64) * train_fraction).round() as usize;
+    if n >= 2 {
+        train_len = train_len.clamp(1, n - 1);
+    } else {
+        train_len = train_len.min(n);
+    }
+    let test = indices.split_off(train_len);
+    Split {
+        train: indices,
+        test,
+    }
+}
+
+/// Stratified split: within every class label, `train_fraction` of the
+/// samples (rounded, but at least one when the class has two or more
+/// members) goes to the training set. This mirrors the paper's ORL
+/// protocol of "randomly select 50% rows per individual as training data".
+pub fn stratified_split<R: Rng + ?Sized>(labels: &[usize], train_fraction: f64, rng: &mut R) -> Split {
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (idx, &label) in labels.iter().enumerate() {
+        per_class[label].push(idx);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for members in per_class.iter_mut() {
+        if members.is_empty() {
+            continue;
+        }
+        shuffle(members, rng);
+        let mut take = ((members.len() as f64) * train_fraction).round() as usize;
+        if members.len() >= 2 {
+            take = take.clamp(1, members.len() - 1);
+        } else {
+            take = take.min(members.len());
+        }
+        train.extend_from_slice(&members[..take]);
+        test.extend_from_slice(&members[take..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    Split { train, test }
+}
+
+fn shuffle<R: Rng + ?Sized>(v: &mut [usize], rng: &mut R) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_split_partitions_all_indices() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = random_split(100, 0.8, &mut rng);
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+        assert_eq!(s.train.len(), 80);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_split_never_leaves_a_side_empty_for_n_ge_2() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for frac in [0.0, 0.01, 0.99, 1.0] {
+            let s = random_split(5, frac, &mut rng);
+            assert!(!s.train.is_empty() && !s.test.is_empty(), "frac {frac}");
+        }
+        let single = random_split(1, 1.0, &mut rng);
+        assert_eq!(single.train.len() + single.test.len(), 1);
+        let empty = random_split(0, 0.5, &mut rng);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn stratified_split_balances_classes() {
+        // 4 classes with 10 members each.
+        let labels: Vec<usize> = (0..40).map(|i| i / 10).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = stratified_split(&labels, 0.5, &mut rng);
+        assert_eq!(s.train.len(), 20);
+        assert_eq!(s.test.len(), 20);
+        for class in 0..4 {
+            let in_train = s.train.iter().filter(|&&i| labels[i] == class).count();
+            assert_eq!(in_train, 5, "class {class} not balanced");
+        }
+    }
+
+    #[test]
+    fn stratified_split_handles_tiny_classes() {
+        let labels = vec![0, 0, 1, 2, 2, 2];
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = stratified_split(&labels, 0.5, &mut rng);
+        assert_eq!(s.len(), labels.len());
+        // The singleton class 1 lands somewhere, and every multi-member
+        // class has at least one sample on each side.
+        for class in [0usize, 2] {
+            assert!(s.train.iter().any(|&i| labels[i] == class));
+            assert!(s.test.iter().any(|&i| labels[i] == class));
+        }
+    }
+
+    #[test]
+    fn splits_are_deterministic_for_fixed_seed() {
+        let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let a = stratified_split(&labels, 0.5, &mut SmallRng::seed_from_u64(7));
+        let b = stratified_split(&labels, 0.5, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,214 @@
+//! Uniform synthetic interval matrices (Table 1 of the paper).
+//!
+//! A scalar base matrix is drawn uniformly at random; a configurable
+//! fraction of entries is zeroed out ("matrix density: percentage of
+//! 0-values"), and a configurable fraction of the remaining non-zero cells
+//! is replaced by an interval whose width is uniformly chosen between 0 and
+//! `intensity × value` ("interval density" / "interval intensity").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::Matrix;
+
+/// Parameters of the uniform synthetic generator (one row of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Fraction of entries forced to zero (the paper's "matrix density:
+    /// percentage of 0-values": 0.0, 0.5, 0.9).
+    pub zero_fraction: f64,
+    /// Fraction of the non-zero entries that become genuine intervals
+    /// (the paper's "interval density", default 100%).
+    pub interval_density: f64,
+    /// Maximum interval width as a fraction of the cell value (the paper's
+    /// "interval intensity", default 100%). The actual width of each
+    /// interval is drawn uniformly from `[0, intensity × value]`.
+    pub interval_intensity: f64,
+    /// Lower bound of the uniform scalar values.
+    pub value_min: f64,
+    /// Upper bound of the uniform scalar values.
+    pub value_max: f64,
+}
+
+impl SyntheticConfig {
+    /// The paper's default configuration (bold values of Table 1):
+    /// a 40 × 250 dense matrix, interval density 100%, intensity 100%.
+    pub fn paper_default() -> Self {
+        SyntheticConfig {
+            rows: 40,
+            cols: 250,
+            zero_fraction: 0.0,
+            interval_density: 1.0,
+            interval_intensity: 1.0,
+            value_min: 1.0,
+            value_max: 10.0,
+        }
+    }
+
+    /// Sets the matrix shape.
+    pub fn with_shape(mut self, rows: usize, cols: usize) -> Self {
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Sets the fraction of zero entries.
+    pub fn with_zero_fraction(mut self, f: f64) -> Self {
+        self.zero_fraction = f;
+        self
+    }
+
+    /// Sets the interval density (fraction of non-zero cells that become
+    /// intervals).
+    pub fn with_interval_density(mut self, d: f64) -> Self {
+        self.interval_density = d;
+        self
+    }
+
+    /// Sets the interval intensity (maximum relative interval width).
+    pub fn with_interval_intensity(mut self, i: f64) -> Self {
+        self.interval_intensity = i;
+        self
+    }
+
+    /// The paper's default target rank for this configuration (20).
+    pub fn default_rank(&self) -> usize {
+        20usize.min(self.rows.min(self.cols))
+    }
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig::paper_default()
+    }
+}
+
+/// Generates a uniform interval matrix according to `config`.
+///
+/// The construction follows Section 6.1.1: interval cells are selected
+/// according to the interval-density parameter and each selected scalar
+/// value `v` is replaced by `[v, v + w]` where `w` is uniform in
+/// `[0, intensity × v]`.
+pub fn generate_uniform<R: Rng + ?Sized>(config: &SyntheticConfig, rng: &mut R) -> IntervalMatrix {
+    let mut lo = Matrix::zeros(config.rows, config.cols);
+    let mut hi = Matrix::zeros(config.rows, config.cols);
+    for i in 0..config.rows {
+        for j in 0..config.cols {
+            if rng.gen::<f64>() < config.zero_fraction {
+                continue;
+            }
+            let value = rng.gen_range(config.value_min..config.value_max);
+            let (l, h) = if rng.gen::<f64>() < config.interval_density {
+                let width = rng.gen::<f64>() * config.interval_intensity * value.abs();
+                (value, value + width)
+            } else {
+                (value, value)
+            };
+            lo[(i, j)] = l;
+            hi[(i, j)] = h;
+        }
+    }
+    IntervalMatrix::from_bounds(lo, hi).expect("bounds share a shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = SyntheticConfig::paper_default();
+        assert_eq!((c.rows, c.cols), (40, 250));
+        assert_eq!(c.interval_density, 1.0);
+        assert_eq!(c.interval_intensity, 1.0);
+        assert_eq!(c.zero_fraction, 0.0);
+        assert_eq!(c.default_rank(), 20);
+        assert_eq!(SyntheticConfig::default(), c);
+    }
+
+    #[test]
+    fn generated_matrix_has_requested_shape_and_is_proper() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let config = SyntheticConfig::paper_default().with_shape(25, 30);
+        let m = generate_uniform(&config, &mut rng);
+        assert_eq!(m.shape(), (25, 30));
+        assert!(m.is_proper());
+        assert!(!m.has_non_finite());
+    }
+
+    #[test]
+    fn zero_fraction_controls_sparsity() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let config = SyntheticConfig::paper_default()
+            .with_shape(60, 60)
+            .with_zero_fraction(0.5);
+        let m = generate_uniform(&config, &mut rng);
+        let zf = m.zero_fraction();
+        assert!((zf - 0.5).abs() < 0.06, "zero fraction {zf}");
+        let dense = generate_uniform(
+            &SyntheticConfig::paper_default().with_shape(30, 30),
+            &mut rng,
+        );
+        assert_eq!(dense.zero_fraction(), 0.0);
+    }
+
+    #[test]
+    fn interval_density_controls_interval_fraction() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let config = SyntheticConfig::paper_default()
+            .with_shape(60, 60)
+            .with_interval_density(0.25);
+        let m = generate_uniform(&config, &mut rng);
+        let d = m.interval_density();
+        assert!((d - 0.25).abs() < 0.06, "interval density {d}");
+        // Zero density produces a scalar matrix.
+        let scalar = generate_uniform(
+            &SyntheticConfig::paper_default()
+                .with_shape(20, 20)
+                .with_interval_density(0.0),
+            &mut rng,
+        );
+        assert!(scalar.is_scalar());
+    }
+
+    #[test]
+    fn interval_intensity_bounds_relative_width() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let config = SyntheticConfig::paper_default()
+            .with_shape(40, 40)
+            .with_interval_intensity(0.25);
+        let m = generate_uniform(&config, &mut rng);
+        for i in 0..40 {
+            for j in 0..40 {
+                let (lo, hi) = m.get_raw(i, j);
+                if lo != 0.0 {
+                    assert!(hi - lo <= 0.25 * lo + 1e-12, "width too large at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn values_respect_the_configured_range() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = generate_uniform(&SyntheticConfig::paper_default().with_shape(20, 20), &mut rng);
+        for &x in m.lo().as_slice() {
+            assert!(x == 0.0 || (1.0..10.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let config = SyntheticConfig::paper_default().with_shape(10, 10);
+        let a = generate_uniform(&config, &mut SmallRng::seed_from_u64(42));
+        let b = generate_uniform(&config, &mut SmallRng::seed_from_u64(42));
+        assert!(a.approx_eq(&b, 0.0));
+    }
+}

@@ -1,0 +1,226 @@
+//! 1-nearest-neighbour classification (scalar and interval features) and
+//! classification metrics (accuracy, macro-F1).
+//!
+//! The paper's NN-based face classification (Figure 8b) projects every
+//! image onto the latent space (`U × Σ`), splits the rows 50/50 per person,
+//! and classifies each test row by its nearest training row — using the
+//! interval Euclidean distance of Section 6.1.2 when the projection is
+//! interval-valued. Quality is reported as an F1 score.
+
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::Matrix;
+
+use crate::{interval_row_distance, scalar_row_distance, EvalError, Result};
+
+/// Classifies each test row by the label of its nearest training row
+/// (scalar Euclidean distance).
+pub fn knn1_scalar(
+    train: &Matrix,
+    train_labels: &[usize],
+    test: &Matrix,
+) -> Result<Vec<usize>> {
+    if train.rows() != train_labels.len() {
+        return Err(EvalError::LengthMismatch {
+            what: "train rows vs labels",
+            left: train.rows(),
+            right: train_labels.len(),
+        });
+    }
+    if train.rows() == 0 || test.rows() == 0 {
+        return Err(EvalError::Empty);
+    }
+    if train.cols() != test.cols() {
+        return Err(EvalError::LengthMismatch {
+            what: "feature dimensions",
+            left: train.cols(),
+            right: test.cols(),
+        });
+    }
+    Ok((0..test.rows())
+        .map(|t| {
+            let mut best = 0usize;
+            let mut best_dist = f64::INFINITY;
+            for i in 0..train.rows() {
+                let d = scalar_row_distance(test, t, train, i);
+                if d < best_dist {
+                    best_dist = d;
+                    best = i;
+                }
+            }
+            train_labels[best]
+        })
+        .collect())
+}
+
+/// Classifies each test row by the label of its nearest training row using
+/// the interval Euclidean distance of Section 6.1.2.
+pub fn knn1_interval(
+    train: &IntervalMatrix,
+    train_labels: &[usize],
+    test: &IntervalMatrix,
+) -> Result<Vec<usize>> {
+    if train.rows() != train_labels.len() {
+        return Err(EvalError::LengthMismatch {
+            what: "train rows vs labels",
+            left: train.rows(),
+            right: train_labels.len(),
+        });
+    }
+    if train.rows() == 0 || test.rows() == 0 {
+        return Err(EvalError::Empty);
+    }
+    if train.cols() != test.cols() {
+        return Err(EvalError::LengthMismatch {
+            what: "feature dimensions",
+            left: train.cols(),
+            right: test.cols(),
+        });
+    }
+    Ok((0..test.rows())
+        .map(|t| {
+            let mut best = 0usize;
+            let mut best_dist = f64::INFINITY;
+            for i in 0..train.rows() {
+                let d = interval_row_distance(test, t, train, i);
+                if d < best_dist {
+                    best_dist = d;
+                    best = i;
+                }
+            }
+            train_labels[best]
+        })
+        .collect())
+}
+
+/// Fraction of predictions matching the reference labels.
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> Result<f64> {
+    check_labels(predicted, actual)?;
+    let correct = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    Ok(correct as f64 / predicted.len() as f64)
+}
+
+/// Macro-averaged F1 score over all classes appearing in either label list.
+pub fn macro_f1(predicted: &[usize], actual: &[usize]) -> Result<f64> {
+    check_labels(predicted, actual)?;
+    let num_classes = predicted
+        .iter()
+        .chain(actual)
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1);
+    if num_classes == 0 {
+        return Ok(0.0);
+    }
+    let mut f1_sum = 0.0;
+    for class in 0..num_classes {
+        let tp = predicted
+            .iter()
+            .zip(actual)
+            .filter(|(&p, &a)| p == class && a == class)
+            .count() as f64;
+        let fp = predicted
+            .iter()
+            .zip(actual)
+            .filter(|(&p, &a)| p == class && a != class)
+            .count() as f64;
+        let fn_ = predicted
+            .iter()
+            .zip(actual)
+            .filter(|(&p, &a)| p != class && a == class)
+            .count() as f64;
+        let denom = 2.0 * tp + fp + fn_;
+        if denom > 0.0 {
+            f1_sum += 2.0 * tp / denom;
+        }
+    }
+    Ok(f1_sum / num_classes as f64)
+}
+
+fn check_labels(predicted: &[usize], actual: &[usize]) -> Result<()> {
+    if predicted.len() != actual.len() {
+        return Err(EvalError::LengthMismatch {
+            what: "predicted/actual labels",
+            left: predicted.len(),
+            right: actual.len(),
+        });
+    }
+    if predicted.is_empty() {
+        return Err(EvalError::Empty);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knn_scalar_classifies_separable_clusters() {
+        let train = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 5.0]]);
+        let labels = vec![0, 0, 1, 1];
+        let test = Matrix::from_rows(&[vec![0.05, 0.05], vec![4.9, 5.1]]);
+        assert_eq!(knn1_scalar(&train, &labels, &test).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn knn_interval_uses_interval_information() {
+        // Same midpoints, different spans: the interval distance separates
+        // them while the scalar (midpoint) distance cannot.
+        let train = IntervalMatrix::from_bounds(
+            Matrix::from_rows(&[vec![0.0], vec![-2.0]]),
+            Matrix::from_rows(&[vec![2.0], vec![4.0]]),
+        )
+        .unwrap();
+        let labels = vec![0, 1];
+        let test = IntervalMatrix::from_bounds(
+            Matrix::from_rows(&[vec![-1.9]]),
+            Matrix::from_rows(&[vec![3.9]]),
+        )
+        .unwrap();
+        assert_eq!(knn1_interval(&train, &labels, &test).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn knn_validates_inputs() {
+        let m = Matrix::zeros(2, 2);
+        assert!(knn1_scalar(&m, &[0], &m).is_err());
+        assert!(knn1_scalar(&m, &[0, 1], &Matrix::zeros(1, 3)).is_err());
+        assert!(knn1_scalar(&Matrix::zeros(0, 2), &[], &m).is_err());
+        let im = IntervalMatrix::zeros(2, 2);
+        assert!(knn1_interval(&im, &[0], &im).is_err());
+        assert!(knn1_interval(&im, &[0, 1], &IntervalMatrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn accuracy_and_f1_perfect_prediction() {
+        let labels = vec![0, 1, 2, 1];
+        assert_eq!(accuracy(&labels, &labels).unwrap(), 1.0);
+        assert_eq!(macro_f1(&labels, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn macro_f1_known_value() {
+        // Two classes; class 0: tp=1, fp=1, fn=0 -> F1 = 2/3.
+        // Class 1: tp=1, fp=0, fn=1 -> F1 = 2/3. Macro = 2/3.
+        let predicted = vec![0, 0, 1];
+        let actual = vec![0, 1, 1];
+        assert!((macro_f1(&predicted, &actual).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((accuracy(&predicted, &actual).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_handles_missing_classes_gracefully() {
+        // Class 2 never predicted and never actual among these rows beyond
+        // index bounds; classes without support contribute 0.
+        let predicted = vec![0, 0];
+        let actual = vec![2, 0];
+        let f1 = macro_f1(&predicted, &actual).unwrap();
+        assert!(f1 > 0.0 && f1 < 1.0);
+    }
+
+    #[test]
+    fn metric_input_validation() {
+        assert!(accuracy(&[0], &[]).is_err());
+        assert!(macro_f1(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! K-means clustering over scalar or interval-valued feature rows
+//! (Figure 8c / Table 3 of the paper).
+//!
+//! The interval variant represents each centroid as an interval vector (a
+//! pair of lower/upper centroid rows) and assigns points by the interval
+//! Euclidean distance of Section 6.1.2; the update step averages the lower
+//! and upper bounds of the assigned rows independently. With degenerate
+//! (scalar) intervals it reduces exactly to standard k-means.
+
+use rand::Rng;
+
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::Matrix;
+
+use crate::{interval_row_distance, EvalError, Result};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index assigned to each row.
+    pub assignments: Vec<usize>,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+    /// Final within-cluster sum of (interval) squared distances.
+    pub inertia: f64,
+}
+
+/// Configuration of the k-means runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iters: usize,
+    /// Seed for centroid initialization.
+    pub seed: u64,
+    /// Number of random restarts; the run with the lowest inertia wins.
+    pub restarts: usize,
+}
+
+impl KMeansConfig {
+    /// A default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iters: 100,
+            seed: 13,
+            restarts: 5,
+        }
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets the initialization seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of random restarts.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts;
+        self
+    }
+}
+
+/// Runs k-means over the rows of a scalar feature matrix.
+pub fn kmeans_scalar(data: &Matrix, config: &KMeansConfig) -> Result<KMeansResult> {
+    kmeans_interval(&IntervalMatrix::from_scalar(data.clone()), config)
+}
+
+/// Runs k-means over the rows of an interval feature matrix, using the
+/// interval Euclidean distance for assignment.
+///
+/// The configured number of random restarts is performed and the run with
+/// the lowest inertia is returned (plain Lloyd iterations are sensitive to
+/// the random initialization).
+pub fn kmeans_interval(data: &IntervalMatrix, config: &KMeansConfig) -> Result<KMeansResult> {
+    let n = data.rows();
+    let d = data.cols();
+    if n == 0 || d == 0 {
+        return Err(EvalError::Empty);
+    }
+    if config.k == 0 || config.k > n {
+        return Err(EvalError::InvalidArgument(format!(
+            "k = {} must be in 1..=n = {n}",
+            config.k
+        )));
+    }
+    if config.max_iters == 0 {
+        return Err(EvalError::InvalidArgument("max_iters must be positive".into()));
+    }
+    let restarts = config.restarts.max(1);
+    let mut best: Option<KMeansResult> = None;
+    for attempt in 0..restarts {
+        let result = lloyd_run(data, config, config.seed.wrapping_add(attempt as u64 * 7919))?;
+        if best.as_ref().map_or(true, |b| result.inertia < b.inertia) {
+            best = Some(result);
+        }
+    }
+    Ok(best.expect("at least one restart was run"))
+}
+
+fn lloyd_run(data: &IntervalMatrix, config: &KMeansConfig, seed: u64) -> Result<KMeansResult> {
+    let n = data.rows();
+    let d = data.cols();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    // Initialize centroids from k distinct random rows.
+    let mut chosen: Vec<usize> = (0..n).collect();
+    partial_shuffle(&mut chosen, config.k, &mut rng);
+    let mut centroids = gather_rows(data, &chosen[..config.k]);
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    let mut inertia = f64::INFINITY;
+
+    for it in 0..config.max_iters {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        let mut new_inertia = 0.0;
+        for i in 0..n {
+            let mut best = 0usize;
+            let mut best_dist = f64::INFINITY;
+            for c in 0..config.k {
+                let dist = interval_row_distance(data, i, &centroids, c);
+                if dist < best_dist {
+                    best_dist = dist;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+            new_inertia += best_dist * best_dist;
+        }
+        inertia = new_inertia;
+
+        // Update step: per-cluster means of the lower and upper bounds.
+        let mut counts = vec![0usize; config.k];
+        let mut sum_lo = Matrix::zeros(config.k, d);
+        let mut sum_hi = Matrix::zeros(config.k, d);
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            for j in 0..d {
+                sum_lo[(c, j)] += data.lo()[(i, j)];
+                sum_hi[(c, j)] += data.hi()[(i, j)];
+            }
+        }
+        let mut new_centroids_lo = Matrix::zeros(config.k, d);
+        let mut new_centroids_hi = Matrix::zeros(config.k, d);
+        for c in 0..config.k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with a random row.
+                let pick = rng.gen_range(0..n);
+                for j in 0..d {
+                    new_centroids_lo[(c, j)] = data.lo()[(pick, j)];
+                    new_centroids_hi[(c, j)] = data.hi()[(pick, j)];
+                }
+            } else {
+                for j in 0..d {
+                    new_centroids_lo[(c, j)] = sum_lo[(c, j)] / counts[c] as f64;
+                    new_centroids_hi[(c, j)] = sum_hi[(c, j)] / counts[c] as f64;
+                }
+            }
+        }
+        centroids =
+            IntervalMatrix::from_bounds(new_centroids_lo, new_centroids_hi).expect("same shape");
+
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    Ok(KMeansResult {
+        assignments,
+        iterations,
+        inertia,
+    })
+}
+
+fn gather_rows(data: &IntervalMatrix, rows: &[usize]) -> IntervalMatrix {
+    let d = data.cols();
+    let mut lo = Matrix::zeros(rows.len(), d);
+    let mut hi = Matrix::zeros(rows.len(), d);
+    for (out_i, &src_i) in rows.iter().enumerate() {
+        for j in 0..d {
+            lo[(out_i, j)] = data.lo()[(src_i, j)];
+            hi[(out_i, j)] = data.hi()[(src_i, j)];
+        }
+    }
+    IntervalMatrix::from_bounds(lo, hi).expect("same shape")
+}
+
+fn partial_shuffle<R: Rng + ?Sized>(v: &mut [usize], k: usize, rng: &mut R) {
+    let n = v.len();
+    for i in 0..k.min(n) {
+        let j = rng.gen_range(i..n);
+        v.swap(i, j);
+    }
+}
+
+use rand::SeedableRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nmi::nmi;
+
+    fn blobs(seed: u64, per_cluster: usize) -> (Matrix, Vec<usize>) {
+        // Three well-separated clusters in 2-D.
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..per_cluster {
+                rows.push(vec![cx + rng.gen_range(-0.5..0.5), cy + rng.gen_range(-0.5..0.5)]);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn scalar_kmeans_recovers_well_separated_clusters() {
+        let (data, labels) = blobs(1, 20);
+        let result = kmeans_scalar(&data, &KMeansConfig::new(3)).unwrap();
+        assert_eq!(result.assignments.len(), 60);
+        let quality = nmi(&result.assignments, &labels).unwrap();
+        assert!(quality > 0.95, "NMI {quality}");
+        assert!(result.inertia < 100.0);
+    }
+
+    #[test]
+    fn interval_kmeans_reduces_to_scalar_for_degenerate_intervals() {
+        let (data, labels) = blobs(2, 15);
+        let scalar = kmeans_scalar(&data, &KMeansConfig::new(3).with_seed(5)).unwrap();
+        let interval = kmeans_interval(
+            &IntervalMatrix::from_scalar(data.clone()),
+            &KMeansConfig::new(3).with_seed(5),
+        )
+        .unwrap();
+        assert_eq!(scalar.assignments, interval.assignments);
+        let quality = nmi(&interval.assignments, &labels).unwrap();
+        assert!(quality > 0.95);
+    }
+
+    #[test]
+    fn interval_information_separates_same_midpoint_clusters() {
+        // Two groups share the same midpoints but differ in span; interval
+        // k-means separates them, scalar (midpoint) k-means cannot.
+        let n_per = 15;
+        let mut lo_rows = Vec::new();
+        let mut hi_rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        for _ in 0..n_per {
+            // Narrow intervals around 5.
+            let jitter: f64 = rng.gen_range(-0.05..0.05);
+            lo_rows.push(vec![4.9 + jitter]);
+            hi_rows.push(vec![5.1 + jitter]);
+            labels.push(0);
+        }
+        for _ in 0..n_per {
+            // Wide intervals around 5.
+            let jitter: f64 = rng.gen_range(-0.05..0.05);
+            lo_rows.push(vec![1.0 + jitter]);
+            hi_rows.push(vec![9.0 + jitter]);
+            labels.push(1);
+        }
+        let data = IntervalMatrix::from_bounds(
+            Matrix::from_rows(&lo_rows),
+            Matrix::from_rows(&hi_rows),
+        )
+        .unwrap();
+        let result = kmeans_interval(&data, &KMeansConfig::new(2)).unwrap();
+        let quality = nmi(&result.assignments, &labels).unwrap();
+        assert!(quality > 0.95, "interval k-means should separate spans, NMI {quality}");
+    }
+
+    #[test]
+    fn input_validation() {
+        let data = Matrix::zeros(4, 2);
+        assert!(kmeans_scalar(&data, &KMeansConfig::new(0)).is_err());
+        assert!(kmeans_scalar(&data, &KMeansConfig::new(5)).is_err());
+        assert!(kmeans_scalar(&data, &KMeansConfig::new(2).with_max_iters(0)).is_err());
+        assert!(kmeans_scalar(&Matrix::zeros(0, 0), &KMeansConfig::new(1)).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_gives_singleton_clusters() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![10.0]]);
+        let result = kmeans_scalar(&data, &KMeansConfig::new(3)).unwrap();
+        let mut sorted = result.assignments.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+        assert!(result.inertia < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (data, _) = blobs(4, 10);
+        let a = kmeans_scalar(&data, &KMeansConfig::new(3).with_seed(11)).unwrap();
+        let b = kmeans_scalar(&data, &KMeansConfig::new(3).with_seed(11)).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+}

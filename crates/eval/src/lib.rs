@@ -1,0 +1,130 @@
+//! # ivmf-eval
+//!
+//! Evaluation metrics and downstream tasks used by the paper's experiments:
+//!
+//! * [`regression`] — RMSE / MAE for reconstruction and collaborative
+//!   filtering (Figures 8a and 10).
+//! * [`classification`] — 1-NN classification with scalar or interval
+//!   Euclidean distance, plus macro-F1 (Figure 8b).
+//! * [`nmi`] — normalized mutual information for cluster quality
+//!   (Figure 8c, Table 3).
+//! * [`kmeans`] — k-means clustering over scalar or interval feature
+//!   vectors (Figure 8c, Table 3).
+//!
+//! The interval Euclidean distance follows Section 6.1.2:
+//! `dist(a, b) = sqrt((a_lo − b_lo)² + (a_hi − b_hi)²)` summed over
+//! features.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod classification;
+pub mod kmeans;
+pub mod nmi;
+pub mod regression;
+
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::Matrix;
+
+/// Errors produced by the evaluation routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Inputs have incompatible lengths/shapes.
+    LengthMismatch {
+        /// Description of the mismatching operands.
+        what: &'static str,
+        /// Left length.
+        left: usize,
+        /// Right length.
+        right: usize,
+    },
+    /// The operation needs non-empty input.
+    Empty,
+    /// An argument is invalid (k = 0, no training data, …).
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::LengthMismatch { what, left, right } => {
+                write!(f, "length mismatch in {what}: {left} vs {right}")
+            }
+            EvalError::Empty => write!(f, "input must be non-empty"),
+            EvalError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, EvalError>;
+
+/// Euclidean distance between two rows of a scalar feature matrix.
+pub fn scalar_row_distance(a: &Matrix, i: usize, b: &Matrix, j: usize) -> f64 {
+    a.row(i)
+        .iter()
+        .zip(b.row(j))
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Interval Euclidean distance between row `i` of `a` and row `j` of `b`
+/// (Section 6.1.2): the squared differences of the lower bounds and of the
+/// upper bounds are accumulated over all features.
+pub fn interval_row_distance(a: &IntervalMatrix, i: usize, b: &IntervalMatrix, j: usize) -> f64 {
+    let (a_lo, a_hi) = (a.lo().row(i), a.hi().row(i));
+    let (b_lo, b_hi) = (b.lo().row(j), b.hi().row(j));
+    let mut acc = 0.0;
+    for k in 0..a_lo.len() {
+        let dl = a_lo[k] - b_lo[k];
+        let dh = a_hi[k] - b_hi[k];
+        acc += dl * dl + dh * dh;
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_distance_known_value() {
+        let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        assert!((scalar_row_distance(&a, 0, &a, 1) - 5.0).abs() < 1e-12);
+        assert_eq!(scalar_row_distance(&a, 1, &a, 1), 0.0);
+    }
+
+    #[test]
+    fn interval_distance_reduces_to_scalar_for_degenerate_intervals() {
+        let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        let ia = IntervalMatrix::from_scalar(a.clone());
+        let expected = scalar_row_distance(&a, 0, &a, 1) * std::f64::consts::SQRT_2;
+        assert!((interval_row_distance(&ia, 0, &ia, 1) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_distance_accounts_for_both_bounds() {
+        let a = IntervalMatrix::from_bounds(
+            Matrix::from_rows(&[vec![0.0], vec![0.0]]),
+            Matrix::from_rows(&[vec![1.0], vec![3.0]]),
+        )
+        .unwrap();
+        // Lower bounds equal, upper bounds differ by 2.
+        assert!((interval_row_distance(&a, 0, &a, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EvalError::LengthMismatch {
+            what: "labels",
+            left: 3,
+            right: 4,
+        };
+        assert!(e.to_string().contains("labels"));
+        assert!(EvalError::Empty.to_string().contains("non-empty"));
+        assert!(EvalError::InvalidArgument("k".into()).to_string().contains("k"));
+    }
+}

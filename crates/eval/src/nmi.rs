@@ -1,0 +1,125 @@
+//! Normalized mutual information (NMI) between a clustering and reference
+//! class labels — the cluster-quality measure of Figure 8c / Table 3.
+
+use crate::{EvalError, Result};
+
+/// Computes the normalized mutual information between two label
+/// assignments, `NMI = 2·I(A; B) / (H(A) + H(B))`, in `[0, 1]`.
+///
+/// Returns 1.0 when both partitions are identical up to relabelling and
+/// both carry information; when either partition has zero entropy (a single
+/// cluster), NMI is defined here as 1.0 if the other partition also has a
+/// single cluster and 0.0 otherwise.
+pub fn nmi(a: &[usize], b: &[usize]) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(EvalError::LengthMismatch {
+            what: "nmi label vectors",
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.is_empty() {
+        return Err(EvalError::Empty);
+    }
+    let n = a.len() as f64;
+    let ka = a.iter().copied().max().unwrap_or(0) + 1;
+    let kb = b.iter().copied().max().unwrap_or(0) + 1;
+
+    // Contingency table.
+    let mut joint = vec![vec![0usize; kb]; ka];
+    let mut count_a = vec![0usize; ka];
+    let mut count_b = vec![0usize; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x][y] += 1;
+        count_a[x] += 1;
+        count_b[y] += 1;
+    }
+
+    let entropy = |counts: &[usize]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let h_a = entropy(&count_a);
+    let h_b = entropy(&count_b);
+
+    if h_a == 0.0 || h_b == 0.0 {
+        return Ok(if h_a == h_b { 1.0 } else { 0.0 });
+    }
+
+    let mut mi = 0.0;
+    for (x, row) in joint.iter().enumerate() {
+        for (y, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let p_xy = c as f64 / n;
+            let p_x = count_a[x] as f64 / n;
+            let p_y = count_b[y] as f64 / n;
+            mi += p_xy * (p_xy / (p_x * p_y)).ln();
+        }
+    }
+
+    Ok((2.0 * mi / (h_a + h_b)).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_have_nmi_one() {
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        assert!((nmi(&labels, &labels).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabelled_partitions_have_nmi_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert!((nmi(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_have_low_nmi() {
+        // Balanced and (as close as possible to) independent assignments.
+        let a = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let v = nmi(&a, &b).unwrap();
+        assert!(v < 1e-9, "expected ~0, got {v}");
+    }
+
+    #[test]
+    fn partial_agreement_is_between_zero_and_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![0, 0, 1, 2, 2, 2];
+        let v = nmi(&a, &b).unwrap();
+        assert!(v > 0.3 && v < 1.0, "got {v}");
+    }
+
+    #[test]
+    fn degenerate_single_cluster_cases() {
+        let single = vec![0, 0, 0];
+        let multi = vec![0, 1, 2];
+        assert_eq!(nmi(&single, &single).unwrap(), 1.0);
+        assert_eq!(nmi(&single, &multi).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn nmi_is_symmetric() {
+        let a = vec![0, 1, 1, 2, 2, 0, 1];
+        let b = vec![1, 1, 0, 2, 0, 0, 1];
+        assert!((nmi(&a, &b).unwrap() - nmi(&b, &a).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(nmi(&[0], &[0, 1]).is_err());
+        assert!(nmi(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Regression / reconstruction error metrics.
+
+use ivmf_linalg::Matrix;
+
+use crate::{EvalError, Result};
+
+/// Root-mean-square error between paired predictions and targets.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> Result<f64> {
+    check(predictions, targets)?;
+    let mse = predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / predictions.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Mean absolute error between paired predictions and targets.
+pub fn mae(predictions: &[f64], targets: &[f64]) -> Result<f64> {
+    check(predictions, targets)?;
+    Ok(predictions
+        .iter()
+        .zip(targets)
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
+        / predictions.len() as f64)
+}
+
+/// RMSE between two matrices over all entries (used for the ORL
+/// reconstruction experiment of Figure 8a).
+pub fn matrix_rmse(a: &Matrix, b: &Matrix) -> Result<f64> {
+    if a.shape() != b.shape() {
+        return Err(EvalError::LengthMismatch {
+            what: "matrix_rmse",
+            left: a.rows() * a.cols(),
+            right: b.rows() * b.cols(),
+        });
+    }
+    if a.is_empty() {
+        return Err(EvalError::Empty);
+    }
+    rmse(a.as_slice(), b.as_slice())
+}
+
+fn check(predictions: &[f64], targets: &[f64]) -> Result<()> {
+    if predictions.len() != targets.len() {
+        return Err(EvalError::LengthMismatch {
+            what: "predictions/targets",
+            left: predictions.len(),
+            right: targets.len(),
+        });
+    }
+    if predictions.is_empty() {
+        return Err(EvalError::Empty);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_known_value() {
+        let r = rmse(&[1.0, 2.0, 3.0], &[1.0, 2.0, 5.0]).unwrap();
+        assert!((r - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[1.0], &[1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        let m = mae(&[1.0, 2.0], &[2.0, 0.0]).unwrap();
+        assert!((m - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(rmse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(rmse(&[], &[]).is_err());
+        assert!(mae(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn matrix_rmse_matches_flat_rmse() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 0.0]]);
+        assert!((matrix_rmse(&a, &b).unwrap() - 2.0).abs() < 1e-12);
+        assert!(matrix_rmse(&a, &Matrix::zeros(1, 1)).is_err());
+    }
+}

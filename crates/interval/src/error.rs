@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Errors produced by interval constructors and interval matrix algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntervalError {
+    /// An interval was constructed with `lo > hi`.
+    InvalidBounds {
+        /// Requested lower bound.
+        lo: f64,
+        /// Requested upper bound.
+        hi: f64,
+    },
+    /// A bound contains NaN.
+    NotANumber,
+    /// Two interval matrices/vectors have incompatible shapes.
+    DimensionMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: (usize, usize),
+        /// Right-hand shape.
+        rhs: (usize, usize),
+    },
+    /// An error bubbled up from the scalar linear-algebra layer.
+    Linalg(ivmf_linalg::LinalgError),
+}
+
+impl fmt::Display for IntervalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntervalError::InvalidBounds { lo, hi } => {
+                write!(f, "invalid interval bounds: lo = {lo} > hi = {hi}")
+            }
+            IntervalError::NotANumber => write!(f, "interval bounds must not be NaN"),
+            IntervalError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            IntervalError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IntervalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IntervalError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ivmf_linalg::LinalgError> for IntervalError {
+    fn from(e: ivmf_linalg::LinalgError) -> Self {
+        IntervalError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_bounds() {
+        let e = IntervalError::InvalidBounds { lo: 2.0, hi: 1.0 };
+        assert!(e.to_string().contains("lo = 2"));
+    }
+
+    #[test]
+    fn from_linalg_error_preserves_source() {
+        let e: IntervalError = ivmf_linalg::LinalgError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = IntervalError::DimensionMismatch {
+            op: "interval_matmul",
+            lhs: (2, 3),
+            rhs: (5, 6),
+        };
+        assert!(e.to_string().contains("interval_matmul"));
+    }
+}

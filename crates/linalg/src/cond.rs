@@ -1,0 +1,84 @@
+//! Condition-number estimation.
+//!
+//! ISVD3 and ISVD4 check whether the averaged factor matrix `V_avg` is
+//! "well-conditioned" before inverting it directly, otherwise they fall back
+//! to the Moore–Penrose pseudo-inverse (Section 4.4.2.2 and Algorithms
+//! 10–11, which take a `condThr` parameter). The spectral condition number
+//! `κ₂ = σ_max / σ_min` computed here is the quantity compared against that
+//! threshold.
+
+use crate::svd::svd;
+use crate::{Matrix, Result};
+
+/// Condition-number threshold used by the ISVD3/ISVD4 drivers when the
+/// caller does not specify one; values above it trigger the pseudo-inverse
+/// fallback.
+pub const DEFAULT_CONDITION_THRESHOLD: f64 = 1e8;
+
+/// Computes the spectral (2-norm) condition number `σ_max / σ_min`.
+///
+/// Returns `f64::INFINITY` when the smallest singular value is numerically
+/// zero (relative to `σ_max`), which callers treat as "ill-conditioned".
+///
+/// # Errors
+///
+/// Propagates SVD failures (empty input, non-convergence).
+pub fn condition_number(a: &Matrix) -> Result<f64> {
+    let f = svd(a)?;
+    let smax = f.singular_values.first().copied().unwrap_or(0.0);
+    let smin = f.singular_values.last().copied().unwrap_or(0.0);
+    if smax == 0.0 {
+        // The zero matrix: conventionally infinitely ill-conditioned.
+        return Ok(f64::INFINITY);
+    }
+    if smin <= smax * 1e-15 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(smax / smin)
+}
+
+/// Convenience helper: true when `a` is well-conditioned with respect to
+/// `threshold` (and square, so that a direct inverse exists).
+pub fn is_well_conditioned(a: &Matrix, threshold: f64) -> bool {
+    a.is_square()
+        && matches!(condition_number(a), Ok(c) if c.is_finite() && c <= threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_condition_one() {
+        assert!((condition_number(&Matrix::identity(5)).unwrap() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn diagonal_condition_number() {
+        let a = Matrix::from_diag(&[10.0, 2.0, 1.0]);
+        assert!((condition_number(&a).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_is_infinitely_conditioned() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(condition_number(&a).unwrap().is_infinite());
+        assert!(condition_number(&Matrix::zeros(3, 3)).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn well_conditioned_check() {
+        assert!(is_well_conditioned(&Matrix::identity(4), 100.0));
+        let bad = Matrix::from_diag(&[1.0, 1e-12]);
+        assert!(!is_well_conditioned(&bad, 100.0));
+        // Rectangular matrices are never "well conditioned" for direct
+        // inversion purposes.
+        assert!(!is_well_conditioned(&Matrix::zeros(3, 2), 100.0));
+    }
+
+    #[test]
+    fn rectangular_condition_number_still_computable() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 1.0], vec![0.0, 0.0]]);
+        assert!((condition_number(&a).unwrap() - 2.0).abs() < 1e-9);
+    }
+}

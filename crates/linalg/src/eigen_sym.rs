@@ -1,0 +1,411 @@
+//! Symmetric eigendecomposition.
+//!
+//! The decomposition is computed with the classic two-phase dense approach:
+//!
+//! 1. **Householder tridiagonalization** (`tred2`): the symmetric input `A`
+//!    is reduced to a tridiagonal matrix `T = Qᵀ A Q` while accumulating the
+//!    orthogonal transformation `Q`.
+//! 2. **Implicit QL with Wilkinson shifts** (`tql2`): the tridiagonal matrix
+//!    is iteratively diagonalized, rotations being applied to `Q` so its
+//!    columns become the eigenvectors of `A`.
+//!
+//! This is the standard EISPACK/`tred2`+`tql2` pair; it is `O(n³)` with a
+//! small constant, numerically robust for the symmetric (Gram) matrices the
+//! interval SVD algorithms produce, and has no external dependencies.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Maximum QL iterations per eigenvalue before giving up.
+const MAX_QL_ITERATIONS: usize = 64;
+
+/// Result of a symmetric eigendecomposition `A = Q Λ Qᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, sorted in **descending** order.
+    pub eigenvalues: Vec<f64>,
+    /// Matrix whose `j`-th column is the eigenvector for `eigenvalues[j]`.
+    pub eigenvectors: Matrix,
+}
+
+impl SymEigen {
+    /// Reconstructs `Q Λ Qᵀ`; useful for testing the factorization.
+    pub fn reconstruct(&self) -> Matrix {
+        let q = &self.eigenvectors;
+        let lambda = Matrix::from_diag(&self.eigenvalues);
+        q.matmul(&lambda)
+            .and_then(|ql| ql.matmul(&q.transpose()))
+            .expect("shapes are consistent by construction")
+    }
+}
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// The input is **symmetrized** (`(A + Aᵀ)/2`) before factorization so
+/// that tiny asymmetries caused by floating-point round-off in upstream
+/// products (e.g. interval Gram matrices) do not disturb the algorithm.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] when `a` is not square.
+/// * [`LinalgError::Empty`] when `a` has zero size.
+/// * [`LinalgError::NoConvergence`] if the QL sweep fails to converge.
+pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
+    if a.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    // Symmetrize defensively.
+    let mut v = a.add(&a.transpose())?.scale(0.5);
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+
+    tred2(&mut v, &mut d, &mut e);
+    tql2(&mut v, &mut d, &mut e)?;
+
+    // Sort eigenpairs in descending order of eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let eigenvectors = v.permute_cols(&order)?;
+
+    Ok(SymEigen {
+        eigenvalues,
+        eigenvectors,
+    })
+}
+
+/// Householder reduction of the symmetric matrix stored in `v` to
+/// tridiagonal form. On exit `d` holds the diagonal, `e` the sub-diagonal
+/// (with `e[0] == 0`), and `v` the accumulated orthogonal transformation.
+fn tred2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for j in 0..n {
+        d[j] = v[(n - 1, j)];
+    }
+
+    for i in (1..n).rev() {
+        // Scale to avoid under/overflow.
+        let mut scale = 0.0;
+        let mut h = 0.0;
+        for item in d.iter().take(i) {
+            scale += item.abs();
+        }
+        if scale == 0.0 {
+            e[i] = d[i - 1];
+            for j in 0..i {
+                d[j] = v[(i - 1, j)];
+                v[(i, j)] = 0.0;
+                v[(j, i)] = 0.0;
+            }
+        } else {
+            // Generate Householder vector.
+            for item in d.iter_mut().take(i) {
+                *item /= scale;
+                h += *item * *item;
+            }
+            let f = d[i - 1];
+            let mut g = h.sqrt();
+            if f > 0.0 {
+                g = -g;
+            }
+            e[i] = scale * g;
+            h -= f * g;
+            d[i - 1] = f - g;
+            for item in e.iter_mut().take(i) {
+                *item = 0.0;
+            }
+
+            // Apply similarity transformation to remaining columns.
+            for j in 0..i {
+                let f = d[j];
+                v[(j, i)] = f;
+                let mut g = e[j] + v[(j, j)] * f;
+                for k in (j + 1)..i {
+                    g += v[(k, j)] * d[k];
+                    e[k] += v[(k, j)] * f;
+                }
+                e[j] = g;
+            }
+            let mut f = 0.0;
+            for j in 0..i {
+                e[j] /= h;
+                f += e[j] * d[j];
+            }
+            let hh = f / (h + h);
+            for j in 0..i {
+                e[j] -= hh * d[j];
+            }
+            for j in 0..i {
+                let f = d[j];
+                let g = e[j];
+                for k in j..i {
+                    let delta = f * e[k] + g * d[k];
+                    v[(k, j)] -= delta;
+                }
+                d[j] = v[(i - 1, j)];
+                v[(i, j)] = 0.0;
+            }
+        }
+        d[i] = h;
+    }
+
+    // Accumulate transformations.
+    for i in 0..(n - 1) {
+        v[(n - 1, i)] = v[(i, i)];
+        v[(i, i)] = 1.0;
+        let h = d[i + 1];
+        if h != 0.0 {
+            for k in 0..=i {
+                d[k] = v[(k, i + 1)] / h;
+            }
+            for j in 0..=i {
+                let mut g = 0.0;
+                for k in 0..=i {
+                    g += v[(k, i + 1)] * v[(k, j)];
+                }
+                for k in 0..=i {
+                    let delta = g * d[k];
+                    v[(k, j)] -= delta;
+                }
+            }
+        }
+        for k in 0..=i {
+            v[(k, i + 1)] = 0.0;
+        }
+    }
+    for j in 0..n {
+        d[j] = v[(n - 1, j)];
+        v[(n - 1, j)] = 0.0;
+    }
+    v[(n - 1, n - 1)] = 1.0;
+    e[0] = 0.0;
+}
+
+/// Implicit QL algorithm with shifts applied to the tridiagonal matrix
+/// `(d, e)`, accumulating rotations into `v`.
+fn tql2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<()> {
+    let n = d.len();
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    let mut f = 0.0;
+    let mut tst1: f64 = 0.0;
+    let eps = f64::EPSILON;
+
+    for l in 0..n {
+        tst1 = tst1.max(d[l].abs() + e[l].abs());
+        let mut m = l;
+        while m < n {
+            if e[m].abs() <= eps * tst1 {
+                break;
+            }
+            m += 1;
+        }
+        if m == n {
+            m = n - 1;
+        }
+
+        if m > l {
+            let mut iter = 0;
+            loop {
+                iter += 1;
+                if iter > MAX_QL_ITERATIONS {
+                    return Err(LinalgError::NoConvergence {
+                        algorithm: "tql2",
+                        iterations: MAX_QL_ITERATIONS,
+                    });
+                }
+
+                // Compute implicit shift.
+                let g = d[l];
+                let mut p = (d[l + 1] - g) / (2.0 * e[l]);
+                let mut r = hypot(p, 1.0);
+                if p < 0.0 {
+                    r = -r;
+                }
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                let dl1 = d[l + 1];
+                let mut h = g - d[l];
+                for item in d.iter_mut().take(n).skip(l + 2) {
+                    *item -= h;
+                }
+                f += h;
+
+                // Implicit QL transformation.
+                p = d[m];
+                let mut c = 1.0;
+                let mut c2 = c;
+                let mut c3 = c;
+                let el1 = e[l + 1];
+                let mut s = 0.0;
+                let mut s2 = 0.0;
+                for i in (l..m).rev() {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    let g = c * e[i];
+                    h = c * p;
+                    r = hypot(p, e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g;
+                    d[i + 1] = h + s * (c * g + s * d[i]);
+
+                    // Accumulate the rotation into the eigenvector matrix.
+                    for k in 0..n {
+                        h = v[(k, i + 1)];
+                        v[(k, i + 1)] = s * v[(k, i)] + c * h;
+                        v[(k, i)] = c * v[(k, i)] - s * h;
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+
+                if e[l].abs() <= eps * tst1 {
+                    break;
+                }
+            }
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+    Ok(())
+}
+
+#[inline]
+fn hypot(a: f64, b: f64) -> f64 {
+    a.hypot(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::symmetric_matrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn assert_orthonormal(q: &Matrix, tol: f64) {
+        let qtq = q.gram();
+        assert!(
+            qtq.approx_eq(&Matrix::identity(q.cols()), tol),
+            "columns are not orthonormal"
+        );
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-12);
+        assert!((e.eigenvalues[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_of_2x2_known() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for eigenvalue 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.eigenvectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_reconstructs_random_symmetric_matrices() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for &n in &[1usize, 2, 3, 5, 10, 25, 60] {
+            let a = symmetric_matrix(&mut rng, n, -5.0, 5.0);
+            let e = sym_eigen(&a).unwrap();
+            let rec = e.reconstruct();
+            let err = a.sub(&rec).unwrap().frobenius_norm() / a.frobenius_norm().max(1.0);
+            assert!(err < 1e-9, "reconstruction error {err} for n={n}");
+            assert_orthonormal(&e.eigenvectors, 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_descending() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let a = symmetric_matrix(&mut rng, 20, -1.0, 1.0);
+        let e = sym_eigen(&a).unwrap();
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigen_satisfies_definition() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let a = symmetric_matrix(&mut rng, 15, -2.0, 2.0);
+        let e = sym_eigen(&a).unwrap();
+        for j in 0..15 {
+            let v = e.eigenvectors.col(j);
+            let av = a.matvec(&v).unwrap();
+            for i in 0..15 {
+                assert!(
+                    (av[i] - e.eigenvalues[j] * v[i]).abs() < 1e-8,
+                    "A v != lambda v at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_of_positive_semidefinite_gram_is_nonnegative() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let m = crate::random::uniform_matrix(&mut rng, 12, 6, -1.0, 1.0);
+        let g = m.gram();
+        let e = sym_eigen(&g).unwrap();
+        for &l in &e.eigenvalues {
+            assert!(l > -1e-9, "gram eigenvalue should be >= 0, got {l}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(matches!(
+            sym_eigen(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(sym_eigen(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn handles_1x1_matrix() {
+        let e = sym_eigen(&Matrix::from_rows(&[vec![7.5]])).unwrap();
+        assert_eq!(e.eigenvalues, vec![7.5]);
+        assert_eq!(e.eigenvectors[(0, 0)].abs(), 1.0);
+    }
+
+    #[test]
+    fn handles_zero_matrix() {
+        let e = sym_eigen(&Matrix::zeros(4, 4)).unwrap();
+        assert!(e.eigenvalues.iter().all(|&l| l.abs() < 1e-15));
+        assert_orthonormal(&e.eigenvectors, 1e-12);
+    }
+
+    #[test]
+    fn handles_repeated_eigenvalues() {
+        // 2 * I has eigenvalue 2 with multiplicity 3.
+        let e = sym_eigen(&Matrix::identity(3).scale(2.0)).unwrap();
+        for &l in &e.eigenvalues {
+            assert!((l - 2.0).abs() < 1e-12);
+        }
+        assert_orthonormal(&e.eigenvectors, 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+use std::fmt;
+
+/// Errors produced by the dense linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands have incompatible shapes.
+    DimensionMismatch {
+        /// Human readable description of the operation.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand.
+        rhs: (usize, usize),
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized / inverted.
+    Singular,
+    /// An iterative algorithm (QL sweep, Golub–Kahan sweep, …) did not
+    /// converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm that failed to converge.
+        algorithm: &'static str,
+        /// Iteration budget that was exhausted.
+        iterations: usize,
+    },
+    /// An index was out of bounds for the matrix shape.
+    IndexOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// The input is empty where a non-empty matrix/vector is required.
+    Empty,
+    /// A scalar argument is invalid (negative rank, zero dimension, NaN, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "operation requires a square matrix, got {rows}x{cols}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge within {iterations} iterations"),
+            LinalgError::IndexOutOfBounds { row, col, shape } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {}x{} matrix",
+                shape.0, shape.1
+            ),
+            LinalgError::Empty => write!(f, "matrix or vector must be non-empty"),
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in matmul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = LinalgError::NotSquare { rows: 3, cols: 4 };
+        assert!(e.to_string().contains("3x4"));
+    }
+
+    #[test]
+    fn display_singular() {
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = LinalgError::NoConvergence {
+            algorithm: "tql2",
+            iterations: 30,
+        };
+        assert!(e.to_string().contains("tql2"));
+        assert!(e.to_string().contains("30"));
+    }
+
+    #[test]
+    fn display_invalid_argument() {
+        let e = LinalgError::InvalidArgument("rank must be > 0".to_string());
+        assert!(e.to_string().contains("rank must be > 0"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<T: std::error::Error>(_: &T) {}
+        assert_err(&LinalgError::Singular);
+    }
+}

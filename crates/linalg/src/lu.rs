@@ -1,0 +1,238 @@
+//! LU factorization with partial pivoting, linear solves and matrix
+//! inversion.
+//!
+//! ISVD3/ISVD4 need the inverse of the averaged factor matrix `V_avg`
+//! (Section 4.4.2.2); the Doolittle LU factorization with partial pivoting
+//! implemented here is the workhorse behind [`invert`] and [`solve`].
+
+use crate::{LinalgError, Matrix, Result};
+
+/// An LU factorization `P·A = L·U` with partial (row) pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: `U` on and above the diagonal, `L` (unit diagonal
+    /// implied) strictly below.
+    lu: Matrix,
+    /// Row permutation: `pivots[i]` is the original row index now in row `i`.
+    pivots: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), used for determinants.
+    sign: f64,
+}
+
+/// Relative pivot threshold below which the matrix is declared singular.
+const SINGULARITY_TOL: f64 = 1e-13;
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] for non-square inputs.
+    /// * [`LinalgError::Singular`] when a pivot collapses below the
+    ///   singularity threshold relative to the matrix scale.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if a.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut pivots: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = a.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Find pivot.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < SINGULARITY_TOL * scale {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                pivots.swap(k, p);
+                sign = -sign;
+            }
+            // Eliminate below the pivot.
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+
+        Ok(Lu { lu, pivots, sign })
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.lu.rows();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col)?;
+            out.set_col(j, &x)?;
+        }
+        Ok(out)
+    }
+
+    /// The determinant of the factorized matrix.
+    pub fn determinant(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).map(|i| self.lu[(i, i)]).product::<f64>() * self.sign
+    }
+}
+
+/// Inverts a square matrix via LU factorization.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] for (numerically) singular inputs.
+pub fn invert(a: &Matrix) -> Result<Matrix> {
+    let lu = Lu::new(a)?;
+    lu.solve(&Matrix::identity(a.rows()))
+}
+
+/// Solves the linear system `A x = b`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::new(a)?.solve_vec(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::uniform_matrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        for &n in &[1usize, 2, 3, 8, 20] {
+            let a = uniform_matrix(&mut rng, n, n, -2.0, 2.0)
+                .add(&Matrix::identity(n).scale(3.0))
+                .unwrap();
+            let inv = invert(&a).unwrap();
+            let prod = a.matmul(&inv).unwrap();
+            assert!(
+                prod.approx_eq(&Matrix::identity(n), 1e-8),
+                "A * A^-1 != I for n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(invert(&a), Err(LinalgError::Singular)));
+        let zero = Matrix::zeros(3, 3);
+        assert!(matches!(invert(&zero), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(Lu::new(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.determinant() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_with_pivoting() {
+        // Requires a row swap to factorize.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_rhs_solve() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let a = uniform_matrix(&mut rng, 6, 6, -1.0, 1.0)
+            .add(&Matrix::identity(6).scale(4.0))
+            .unwrap();
+        let b = uniform_matrix(&mut rng, 6, 3, -1.0, 1.0);
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        assert!(a.matmul(&x).unwrap().approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn solve_rejects_bad_rhs_shape() {
+        let a = Matrix::identity(3);
+        let lu = Lu::new(&a).unwrap();
+        assert!(lu.solve_vec(&[1.0, 2.0]).is_err());
+        assert!(lu.solve(&Matrix::zeros(2, 2)).is_err());
+    }
+}

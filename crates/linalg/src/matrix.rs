@@ -1,0 +1,757 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LinalgError, Result};
+
+/// A dense, row-major, `f64` matrix.
+///
+/// The layout is a single `Vec<f64>` of length `rows * cols`; element
+/// `(i, j)` lives at `data[i * cols + j]`. This is the storage used by every
+/// algorithm in the workspace (interval matrices are simply *pairs* of
+/// `Matrix` bounds).
+///
+/// Fallible operations (shape-dependent arithmetic, inversion, …) return
+/// [`Result`]; shape-safe accessors use `Index`/`IndexMut` and panic only on
+/// programmer errors (out-of-bounds indexing), mirroring `Vec`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns an error when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "data length {} does not match shape {}x{}",
+                data.len(),
+                rows,
+                cols
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices. Panics if rows are ragged.
+    ///
+    /// Intended for literals in tests and examples; use [`Matrix::from_vec`]
+    /// for data paths where the shape is not statically known.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return the row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Checked element access.
+    pub fn get(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.rows || j >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                row: i,
+                col: j,
+                shape: self.shape(),
+            });
+        }
+        Ok(self.data[i * self.cols + j])
+    }
+
+    /// Checked element update.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) -> Result<()> {
+        if i >= self.rows || j >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                row: i,
+                col: j,
+                shape: self.shape(),
+            });
+        }
+        self.data[i * self.cols + j] = value;
+        Ok(())
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new `Vec`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Overwrite column `j` with `values`.
+    pub fn set_col(&mut self, j: usize, values: &[f64]) -> Result<()> {
+        if values.len() != self.rows {
+            return Err(LinalgError::InvalidArgument(format!(
+                "column length {} does not match row count {}",
+                values.len(),
+                self.rows
+            )));
+        }
+        for (i, &v) in values.iter().enumerate() {
+            self[(i, j)] = v;
+        }
+        Ok(())
+    }
+
+    /// Extract the main diagonal.
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Element-wise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    /// Element-wise quotient; entries where `|rhs| < eps` produce `0`.
+    ///
+    /// This is the guarded division used by the NMF multiplicative update
+    /// rules, which must stay finite when a denominator entry collapses.
+    pub fn hadamard_div_guarded(&self, rhs: &Matrix, eps: f64) -> Result<Matrix> {
+        self.zip_with(rhs, "hadamard_div", |a, b| if b.abs() < eps { 0.0 } else { a / b })
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Multiply every entry by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| x * s).collect(),
+        }
+    }
+
+    /// Apply `f` to every entry, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Apply `f` to every entry in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Entry-wise mean of two matrices: `(self + rhs) / 2`.
+    ///
+    /// This is the "average matrix" used by ISVD0 and by the option-b/c
+    /// target constructions.
+    pub fn mean_with(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "mean_with", |a, b| 0.5 * (a + b))
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Straightforward i-k-j ordering so the innermost loop walks both
+    /// operands contiguously; adequate for the dense sizes used in the
+    /// paper's experiments.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (n, k, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * m..(i + 1) * m];
+            for (kk, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[kk * m..(kk + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `selfᵀ * self` (the Gram matrix) without materializing the
+    /// transpose.
+    pub fn gram(&self) -> Matrix {
+        let (n, m) = self.shape();
+        let mut out = Matrix::zeros(m, m);
+        for i in 0..n {
+            let row = self.row(i);
+            for a in 0..m {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[a * m..(a + 1) * m];
+                for (b, &rb) in row.iter().enumerate() {
+                    out_row[b] += ra * rb;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `self * selfᵀ` without materializing the transpose.
+    pub fn outer_gram(&self) -> Matrix {
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let dot: f64 = self
+                    .row(i)
+                    .iter()
+                    .zip(self.row(j))
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                out[(i, j)] = dot;
+                out[(j, i)] = dot;
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect())
+    }
+
+    /// Frobenius norm `sqrt(Σ aᵢⱼ²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|&x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry (max norm).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, &x| acc.max(x.abs()))
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Keeps the first `r` columns (truncation used for rank-`r`
+    /// decompositions).
+    pub fn take_cols(&self, r: usize) -> Matrix {
+        let r = r.min(self.cols);
+        let mut out = Matrix::zeros(self.rows, r);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[..r]);
+        }
+        out
+    }
+
+    /// Keeps the first `r` rows.
+    pub fn take_rows(&self, r: usize) -> Matrix {
+        let r = r.min(self.rows);
+        Matrix {
+            rows: r,
+            cols: self.cols,
+            data: self.data[..r * self.cols].to_vec(),
+        }
+    }
+
+    /// Returns a new matrix whose columns are permuted: output column `j`
+    /// is input column `perm[j]`.
+    pub fn permute_cols(&self, perm: &[usize]) -> Result<Matrix> {
+        if perm.len() != self.cols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "permutation length {} does not match column count {}",
+                perm.len(),
+                self.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (j_new, &j_old) in perm.iter().enumerate() {
+            if j_old >= self.cols {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "permutation index {j_old} out of bounds for {} columns",
+                    self.cols
+                )));
+            }
+            for i in 0..self.rows {
+                out[(i, j_new)] = self[(i, j_old)];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiply column `j` by `s` in place.
+    pub fn scale_col(&mut self, j: usize, s: f64) {
+        for i in 0..self.rows {
+            self[(i, j)] *= s;
+        }
+    }
+
+    /// Euclidean norm of column `j`.
+    pub fn col_norm(&self, j: usize) -> f64 {
+        (0..self.rows).map(|i| self[(i, j)] * self[(i, j)]).sum::<f64>().sqrt()
+    }
+
+    /// Dot product of columns `a` and `b`.
+    pub fn col_dot(&self, a: usize, b: usize) -> f64 {
+        (0..self.rows).map(|i| self[(i, a)] * self[(i, b)]).sum()
+    }
+
+    /// True when every corresponding entry differs by at most `tol`.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
+        self.shape() == rhs.shape()
+            && self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// True if any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Relative Frobenius distance `‖self − rhs‖_F / ‖self‖_F`
+    /// (0 when `self` is the zero matrix and `rhs` equals it).
+    pub fn relative_error(&self, rhs: &Matrix) -> Result<f64> {
+        let diff = self.sub(rhs)?;
+        let denom = self.frobenius_norm();
+        if denom == 0.0 {
+            return Ok(if diff.frobenius_norm() == 0.0 { 0.0 } else { f64::INFINITY });
+        }
+        Ok(diff.frobenius_norm() / denom)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8usize;
+        for i in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4}", self[(i, j)])?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert!(!m.is_square());
+        assert!(Matrix::zeros(2, 2).is_square());
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let i3 = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(i3[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn from_fn_builds_expected_entries() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(1, 2)], 12.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn from_diag_builds_diagonal() {
+        let d = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.diag(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn get_set_checked() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 1, 5.0).unwrap();
+        assert_eq!(m.get(0, 1).unwrap(), 5.0);
+        assert!(m.get(2, 0).is_err());
+        assert!(m.set(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn row_and_col_accessors() {
+        let m = sample();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn set_col_replaces_column() {
+        let mut m = sample();
+        m.set_col(0, &[9.0, 8.0]).unwrap();
+        assert_eq!(m.col(0), vec![9.0, 8.0]);
+        assert!(m.set_col(0, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn add_sub_hadamard() {
+        let m = sample();
+        let sum = m.add(&m).unwrap();
+        assert_eq!(sum[(1, 2)], 12.0);
+        let diff = sum.sub(&m).unwrap();
+        assert_eq!(diff, m);
+        let prod = m.hadamard(&m).unwrap();
+        assert_eq!(prod[(0, 1)], 4.0);
+        assert!(m.add(&Matrix::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn guarded_division_handles_zero_denominator() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![0.0, 4.0]]);
+        let q = a.hadamard_div_guarded(&b, 1e-12).unwrap();
+        assert_eq!(q[(0, 0)], 0.0);
+        assert_eq!(q[(0, 1)], 0.5);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+        assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = sample();
+        let i = Matrix::identity(3);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let m = sample();
+        let g = m.gram();
+        let expected = m.transpose().matmul(&m).unwrap();
+        assert!(g.approx_eq(&expected, 1e-12));
+        let og = m.outer_gram();
+        let expected2 = m.matmul(&m.transpose()).unwrap();
+        assert!(og.approx_eq(&expected2, 1e-12));
+    }
+
+    #[test]
+    fn matvec_known_product() {
+        let m = sample();
+        let v = m.matvec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(v, vec![6.0, 15.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let m = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_and_map() {
+        let m = sample().scale(2.0);
+        assert_eq!(m[(0, 0)], 2.0);
+        let m2 = m.map(|x| x - 1.0);
+        assert_eq!(m2[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn mean_with_averages_entries() {
+        let a = Matrix::from_rows(&[vec![0.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![2.0, 4.0]]);
+        assert_eq!(a.mean_with(&b).unwrap(), Matrix::from_rows(&[vec![1.0, 3.0]]));
+    }
+
+    #[test]
+    fn take_cols_and_rows_truncate() {
+        let m = sample();
+        let c = m.take_cols(2);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c[(1, 1)], 5.0);
+        let r = m.take_rows(1);
+        assert_eq!(r.shape(), (1, 3));
+        // Requesting more than available keeps everything.
+        assert_eq!(m.take_cols(10), m);
+    }
+
+    #[test]
+    fn permute_cols_reorders() {
+        let m = sample();
+        let p = m.permute_cols(&[2, 0, 1]).unwrap();
+        assert_eq!(p.col(0), vec![3.0, 6.0]);
+        assert_eq!(p.col(1), vec![1.0, 4.0]);
+        assert!(m.permute_cols(&[0, 1]).is_err());
+        assert!(m.permute_cols(&[0, 1, 9]).is_err());
+    }
+
+    #[test]
+    fn column_norm_and_dot() {
+        let m = Matrix::from_rows(&[vec![3.0, 1.0], vec![4.0, 0.0]]);
+        assert!((m.col_norm(0) - 5.0).abs() < 1e-12);
+        assert!((m.col_dot(0, 1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_col_in_place() {
+        let mut m = sample();
+        m.scale_col(1, 10.0);
+        assert_eq!(m.col(1), vec![20.0, 50.0]);
+    }
+
+    #[test]
+    fn relative_error_behaviour() {
+        let m = sample();
+        assert_eq!(m.relative_error(&m).unwrap(), 0.0);
+        let zero = Matrix::zeros(2, 3);
+        assert_eq!(zero.relative_error(&zero).unwrap(), 0.0);
+        assert!(zero.relative_error(&m).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = sample();
+        assert!(!m.has_non_finite());
+        m[(0, 0)] = f64::NAN;
+        assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let m = Matrix::zeros(20, 20);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.contains("…"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Vector norms and small vector helpers shared across the workspace.
+
+/// Euclidean (L2) norm of a vector.
+pub fn l2_norm(v: &[f64]) -> f64 {
+    v.iter().map(|&x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of two equally-long vectors.
+///
+/// Panics if the lengths differ (callers always pass columns of matrices
+/// with statically equal row counts).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Cosine similarity between two vectors.
+///
+/// Returns `0.0` when either vector has (numerically) zero norm, which is
+/// the convention the alignment code relies on: a degenerate latent vector
+/// is simply "not similar" to anything.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na <= f64::EPSILON || nb <= f64::EPSILON {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// Mean of a slice (`0` for an empty slice).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice (`0` for fewer than 2 items).
+pub fn std_dev(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    (v.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+/// Euclidean distance between two equally-long vectors.
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance requires equal lengths");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Normalizes `v` to unit L2 norm in place; leaves zero vectors untouched.
+pub fn normalize_in_place(v: &mut [f64]) {
+    let n = l2_norm(v);
+    if n > f64::EPSILON {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_norm_of_pythagorean_triple() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_known_value() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_panics_on_length_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_distance_known_value() {
+        assert!((euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_makes_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize_in_place(&mut v);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize_in_place(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+}

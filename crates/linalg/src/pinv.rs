@@ -1,0 +1,109 @@
+//! Moore–Penrose pseudo-inverse.
+//!
+//! Section 4.4.2.2 of the paper: when the averaged factor matrix `V_avg`
+//! is ill-conditioned (or rectangular), ISVD3/ISVD4 fall back to the
+//! pseudo-inverse computed through the SVD, zeroing singular values below a
+//! threshold. The paper uses an absolute threshold of `0.1`; this module
+//! exposes the threshold as a parameter and provides that value as
+//! [`PAPER_SINGULAR_VALUE_CUTOFF`].
+
+use crate::svd::svd;
+use crate::{Matrix, Result};
+
+/// The absolute singular-value cutoff used by the paper when computing the
+/// pseudo-inverse of factor matrices ("replace singular values smaller than
+/// 0.1 with zero", Section 4.4.2.2).
+pub const PAPER_SINGULAR_VALUE_CUTOFF: f64 = 0.1;
+
+/// Computes the Moore–Penrose pseudo-inverse `A⁺` of `a`.
+///
+/// Singular values `σ ≤ cutoff` are treated as zero (their reciprocal is not
+/// taken). Pass `0.0` to keep every strictly positive singular value, or
+/// [`PAPER_SINGULAR_VALUE_CUTOFF`] to match the paper's behaviour exactly.
+///
+/// # Errors
+///
+/// Propagates SVD failures (empty input, non-convergence).
+pub fn pinv(a: &Matrix, cutoff: f64) -> Result<Matrix> {
+    let f = svd(a)?;
+    // A⁺ = V Σ⁺ Uᵀ where Σ⁺ reciprocates the retained singular values.
+    let k = f.k();
+    let mut sigma_pinv = Matrix::zeros(k, k);
+    let smax = f.singular_values.first().copied().unwrap_or(0.0);
+    // Always guard against degenerate singular values even when the caller
+    // requests cutoff = 0. The Gram-based SVD resolves zero singular values
+    // only down to ~√ε·σ_max, so the floor must sit above that level.
+    let relative_floor = smax * 1e-7;
+    for (i, &s) in f.singular_values.iter().enumerate() {
+        if s > cutoff && s > relative_floor {
+            sigma_pinv[(i, i)] = 1.0 / s;
+        }
+    }
+    f.v.matmul(&sigma_pinv)?.matmul(&f.u.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::invert;
+    use crate::random::{low_rank_matrix, uniform_matrix};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pinv_of_invertible_matrix_matches_inverse() {
+        let mut rng = SmallRng::seed_from_u64(51);
+        let a = uniform_matrix(&mut rng, 6, 6, -1.0, 1.0)
+            .add(&Matrix::identity(6).scale(4.0))
+            .unwrap();
+        let p = pinv(&a, 0.0).unwrap();
+        let inv = invert(&a).unwrap();
+        assert!(p.approx_eq(&inv, 1e-8));
+    }
+
+    #[test]
+    fn pinv_satisfies_penrose_conditions_for_rank_deficient_matrix() {
+        let mut rng = SmallRng::seed_from_u64(52);
+        let a = low_rank_matrix(&mut rng, 10, 7, 3);
+        let p = pinv(&a, 0.0).unwrap();
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        let pap = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        assert!(apa.approx_eq(&a, 1e-6), "A P A != A");
+        assert!(pap.approx_eq(&p, 1e-6), "P A P != P");
+        // A P and P A are symmetric.
+        let ap = a.matmul(&p).unwrap();
+        assert!(ap.approx_eq(&ap.transpose(), 1e-6));
+        let pa = p.matmul(&a).unwrap();
+        assert!(pa.approx_eq(&pa.transpose(), 1e-6));
+    }
+
+    #[test]
+    fn pinv_of_rectangular_matrix_is_left_inverse_when_full_column_rank() {
+        let mut rng = SmallRng::seed_from_u64(53);
+        let a = uniform_matrix(&mut rng, 12, 4, -1.0, 1.0);
+        let p = pinv(&a, 0.0).unwrap();
+        assert_eq!(p.shape(), (4, 12));
+        assert!(p.matmul(&a).unwrap().approx_eq(&Matrix::identity(4), 1e-8));
+    }
+
+    #[test]
+    fn cutoff_zeroes_small_singular_values() {
+        // diag(10, 0.01): with the paper cutoff (0.1) the second direction
+        // is discarded entirely.
+        let a = Matrix::from_diag(&[10.0, 0.01]);
+        let p = pinv(&a, PAPER_SINGULAR_VALUE_CUTOFF).unwrap();
+        assert!((p[(0, 0)] - 0.1).abs() < 1e-12);
+        assert!(p[(1, 1)].abs() < 1e-12);
+        // Without the cutoff it is a proper inverse.
+        let p_full = pinv(&a, 0.0).unwrap();
+        assert!((p_full[(1, 1)] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pinv_of_zero_matrix_is_zero() {
+        let a = Matrix::zeros(3, 5);
+        let p = pinv(&a, 0.0).unwrap();
+        assert_eq!(p.shape(), (5, 3));
+        assert!(p.frobenius_norm() < 1e-15);
+    }
+}

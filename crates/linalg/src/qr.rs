@@ -1,0 +1,152 @@
+//! Householder QR factorization.
+//!
+//! Used for orthonormalization checks and as an independent cross-check of
+//! the SVD-based routines in tests; also exposed publicly because a
+//! downstream user of a linear-algebra substrate legitimately expects it.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A thin QR factorization `A = Q R` with `Q` having orthonormal columns.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// `rows x k` matrix with orthonormal columns, `k = min(rows, cols)`.
+    pub q: Matrix,
+    /// `k x cols` upper-triangular matrix.
+    pub r: Matrix,
+}
+
+/// Computes the thin QR factorization of `a` using Householder reflections.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Empty`] for zero-sized input.
+pub fn qr(a: &Matrix) -> Result<Qr> {
+    if a.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Accumulate Q as a product of Householder reflectors applied to I.
+    let mut q_full = Matrix::identity(m);
+
+    for j in 0..k {
+        // Build the Householder vector for column j, rows j..m.
+        let mut norm = 0.0;
+        for i in j..m {
+            norm += r[(i, j)] * r[(i, j)];
+        }
+        let norm = norm.sqrt();
+        if norm <= f64::EPSILON {
+            continue;
+        }
+        let alpha = if r[(j, j)] >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m - j];
+        for i in j..m {
+            v[i - j] = r[(i, j)];
+        }
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|&x| x * x).sum();
+        if vnorm2 <= f64::EPSILON {
+            continue;
+        }
+
+        // Apply reflector to R: R -= 2 v (vᵀ R) / (vᵀ v) on rows j..m.
+        for col in j..n {
+            let mut dot = 0.0;
+            for i in j..m {
+                dot += v[i - j] * r[(i, col)];
+            }
+            let factor = 2.0 * dot / vnorm2;
+            for i in j..m {
+                r[(i, col)] -= factor * v[i - j];
+            }
+        }
+        // Apply reflector to Q (from the right of the accumulated product):
+        // Q -= (Q v) 2 vᵀ / (vᵀ v) on columns j..m.
+        for row in 0..m {
+            let mut dot = 0.0;
+            for i in j..m {
+                dot += q_full[(row, i)] * v[i - j];
+            }
+            let factor = 2.0 * dot / vnorm2;
+            for i in j..m {
+                q_full[(row, i)] -= factor * v[i - j];
+            }
+        }
+    }
+
+    // Thin factors.
+    let q = q_full.take_cols(k);
+    let r_thin = r.take_rows(k);
+    Ok(Qr { q, r: r_thin })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::uniform_matrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn check(a: &Matrix) {
+        let f = qr(a).unwrap();
+        let rec = f.q.matmul(&f.r).unwrap();
+        assert!(
+            rec.approx_eq(a, 1e-9 * a.frobenius_norm().max(1.0)),
+            "QR does not reconstruct the input"
+        );
+        // Q has orthonormal columns.
+        let qtq = f.q.gram();
+        assert!(qtq.approx_eq(&Matrix::identity(f.q.cols()), 1e-9));
+        // R is upper triangular.
+        for i in 0..f.r.rows() {
+            for j in 0..i.min(f.r.cols()) {
+                assert!(f.r[(i, j)].abs() < 1e-9, "R is not upper triangular");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_square_matrix() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        check(&uniform_matrix(&mut rng, 8, 8, -1.0, 1.0));
+    }
+
+    #[test]
+    fn qr_of_tall_matrix() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        check(&uniform_matrix(&mut rng, 12, 5, -1.0, 1.0));
+    }
+
+    #[test]
+    fn qr_of_wide_matrix() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        check(&uniform_matrix(&mut rng, 5, 12, -1.0, 1.0));
+    }
+
+    #[test]
+    fn qr_of_identity() {
+        // Householder sign conventions may negate columns; the factorization
+        // itself must still be exact with unit-magnitude diagonal.
+        check(&Matrix::identity(4));
+        let f = qr(&Matrix::identity(4)).unwrap();
+        for i in 0..4 {
+            assert!((f.r[(i, i)].abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn qr_handles_rank_deficient_input() {
+        // Two identical columns.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let f = qr(&a).unwrap();
+        let rec = f.q.matmul(&f.r).unwrap();
+        assert!(rec.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn qr_rejects_empty() {
+        assert!(qr(&Matrix::zeros(0, 0)).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Random matrix constructors used by tests, property tests and workload
+//! generators.
+
+use rand::Rng;
+
+use crate::Matrix;
+
+/// A matrix with entries drawn uniformly from `[lo, hi)`.
+pub fn uniform_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, lo: f64, hi: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// A matrix with i.i.d. standard normal entries (Box–Muller transform so we
+/// only rely on the `rand` core API).
+pub fn gaussian_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, mean: f64, std: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| mean + std * standard_normal(rng))
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A random symmetric matrix `(A + Aᵀ) / 2` with entries in `[lo, hi)`.
+pub fn symmetric_matrix<R: Rng + ?Sized>(rng: &mut R, n: usize, lo: f64, hi: f64) -> Matrix {
+    let a = uniform_matrix(rng, n, n, lo, hi);
+    a.add(&a.transpose()).expect("same shape").scale(0.5)
+}
+
+/// A random low-rank matrix `A = L * Rᵀ` where `L` is `rows x rank` and `R`
+/// is `cols x rank`, with factor entries uniform in `[0, 1)`.
+///
+/// Useful for generating matrices with a controlled spectrum, e.g. rating
+/// matrices that genuinely have low-rank latent structure.
+pub fn low_rank_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, rank: usize) -> Matrix {
+    let l = uniform_matrix(rng, rows, rank, 0.0, 1.0);
+    let r = uniform_matrix(rng, cols, rank, 0.0, 1.0);
+    l.matmul(&r.transpose()).expect("shapes agree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_entries_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = uniform_matrix(&mut rng, 10, 10, 2.0, 3.0);
+        assert!(m.as_slice().iter().all(|&x| (2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn gaussian_mean_roughly_correct() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = gaussian_matrix(&mut rng, 50, 50, 10.0, 1.0);
+        let mean = m.sum() / 2500.0;
+        assert!((mean - 10.0).abs() < 0.2, "mean was {mean}");
+    }
+
+    #[test]
+    fn symmetric_matrix_is_symmetric() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = symmetric_matrix(&mut rng, 8, -1.0, 1.0);
+        assert!(m.approx_eq(&m.transpose(), 1e-15));
+    }
+
+    #[test]
+    fn low_rank_matrix_has_bounded_rank() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let m = low_rank_matrix(&mut rng, 12, 9, 3);
+        let f = crate::svd::svd(&m).unwrap();
+        // Singular values beyond the requested rank must vanish.
+        for &s in &f.singular_values[3..] {
+            assert!(s < 1e-6, "unexpected singular value {s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(
+            uniform_matrix(&mut a, 4, 4, 0.0, 1.0),
+            uniform_matrix(&mut b, 4, 4, 0.0, 1.0)
+        );
+    }
+}

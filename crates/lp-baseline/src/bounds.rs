@@ -1,0 +1,111 @@
+//! Closed-form eigenvalue / eigenvector bounds for symmetric interval
+//! matrices (Deif [33]; Seif, Hashem & Deif [35]).
+
+use ivmf_linalg::Matrix;
+
+/// Upper bound on the spectral radius of the non-negative radius matrix
+/// `ΔA` via the maximum row sum (the ∞-norm), which dominates `ρ(ΔA)` for
+/// non-negative matrices.
+pub fn spectral_radius_bound(radius: &Matrix) -> f64 {
+    let mut max_row_sum = 0.0_f64;
+    for i in 0..radius.rows() {
+        let s: f64 = radius.row(i).iter().map(|x| x.abs()).sum();
+        max_row_sum = max_row_sum.max(s);
+    }
+    max_row_sum
+}
+
+/// Deif-style eigenvalue bounds: for each centre eigenvalue `λ_i(A_c)` the
+/// eigenvalues of every symmetric matrix inside `A_c ± ΔA` lie in
+/// `[λ_i − ρ(ΔA), λ_i + ρ(ΔA)]` (Weyl's inequality with the spectral-radius
+/// bound on the perturbation).
+pub fn eigenvalue_bounds(centre_eigenvalues: &[f64], radius: &Matrix) -> Vec<(f64, f64)> {
+    let rho = spectral_radius_bound(radius);
+    centre_eigenvalues
+        .iter()
+        .map(|&l| (l - rho, l + rho))
+        .collect()
+}
+
+/// Seif-style eigenvector deviation bounds: the entry-wise deviation of the
+/// `i`-th eigenvector over the interval matrix is bounded by the classical
+/// perturbation ratio `‖ΔA‖ / gap_i`, where `gap_i` is the distance of
+/// `λ_i(A_c)` to its nearest other centre eigenvalue. Deviations are capped
+/// at 2 (unit vectors cannot move further apart in any coordinate).
+pub fn eigenvector_bounds(centre_eigenvalues: &[f64], radius: &Matrix) -> Vec<f64> {
+    let rho = spectral_radius_bound(radius);
+    let n = centre_eigenvalues.len();
+    (0..n)
+        .map(|i| {
+            let gap = centre_eigenvalues
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &l)| (l - centre_eigenvalues[i]).abs())
+                .fold(f64::INFINITY, f64::min);
+            if !gap.is_finite() || gap <= f64::EPSILON {
+                // Degenerate spectrum: the eigenvector is not identifiable,
+                // the bound is vacuous.
+                2.0
+            } else {
+                (rho / gap).min(2.0)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectral_radius_bound_of_zero_matrix_is_zero() {
+        assert_eq!(spectral_radius_bound(&Matrix::zeros(3, 3)), 0.0);
+    }
+
+    #[test]
+    fn spectral_radius_bound_dominates_true_radius_for_simple_cases() {
+        // For diag(2, 1) the spectral radius is 2; the row-sum bound is 2.
+        let m = Matrix::from_diag(&[2.0, 1.0]);
+        assert!((spectral_radius_bound(&m) - 2.0).abs() < 1e-12);
+        // For the all-ones 3x3 matrix the radius is 3; the bound equals 3.
+        let ones = Matrix::filled(3, 3, 1.0);
+        assert!((spectral_radius_bound(&ones) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalue_bounds_contain_centre_and_shrink_with_radius() {
+        let centre = vec![5.0, 2.0, 1.0];
+        let tight = eigenvalue_bounds(&centre, &Matrix::zeros(3, 3));
+        for (i, &(lo, hi)) in tight.iter().enumerate() {
+            assert_eq!(lo, centre[i]);
+            assert_eq!(hi, centre[i]);
+        }
+        let loose = eigenvalue_bounds(&centre, &Matrix::filled(3, 3, 0.5));
+        for (i, &(lo, hi)) in loose.iter().enumerate() {
+            assert!(lo < centre[i] && centre[i] < hi);
+            assert!((hi - lo - 3.0).abs() < 1e-12); // 2 * rho = 2 * 1.5
+        }
+    }
+
+    #[test]
+    fn eigenvector_bounds_scale_with_gap() {
+        let eigenvalues = vec![10.0, 1.0, 0.9];
+        let radius = Matrix::filled(3, 3, 0.1); // rho bound = 0.3
+        let dev = eigenvector_bounds(&eigenvalues, &radius);
+        // The well-separated eigenvalue has a small deviation bound…
+        assert!(dev[0] < 0.05);
+        // …while the nearly-degenerate pair has a much larger one.
+        assert!(dev[1] > dev[0]);
+        assert!(dev[1] <= 2.0 && dev[2] <= 2.0);
+    }
+
+    #[test]
+    fn degenerate_spectrum_gives_vacuous_bound() {
+        let dev = eigenvector_bounds(&[3.0, 3.0], &Matrix::filled(2, 2, 0.1));
+        assert_eq!(dev, vec![2.0, 2.0]);
+        // Single eigenvalue: no gap exists, bound is vacuous as well.
+        let single = eigenvector_bounds(&[3.0], &Matrix::filled(1, 1, 0.1));
+        assert_eq!(single, vec![2.0]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Analyzing anonymized (generalized) data: shows that the interval-aware
+//! ISVD4 retains more of the structure of privacy-generalized data than the
+//! naive "average the intervals" baseline, across privacy levels.
+//!
+//! Run with: `cargo run --release -p ivmf-core --example anonymized_analysis`
+
+use ivmf_core::accuracy::reconstruction_accuracy;
+use ivmf_core::isvd::isvd;
+use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig};
+use ivmf_data::anonymize::{anonymize_matrix, PrivacyProfile};
+use ivmf_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    // The "true" data a curator holds: 60 records x 40 attributes.
+    let original = Matrix::from_fn(60, 40, |_, _| rng.gen_range(0.0..10.0));
+
+    println!("{:<16} {:>10} {:>10} {:>12}", "privacy", "ISVD0", "ISVD4-b", "mean span");
+    for profile in PrivacyProfile::paper_profiles() {
+        // What an analyst receives: every value generalized to a bin.
+        let published = anonymize_matrix(&original, 0.0, 10.0, profile, &mut rng);
+
+        let rank = 20;
+        let naive = isvd(
+            &published,
+            &IsvdConfig::new(rank).with_algorithm(IsvdAlgorithm::Isvd0),
+        )
+        .expect("ISVD0");
+        let interval_aware = isvd(
+            &published,
+            &IsvdConfig::new(rank)
+                .with_algorithm(IsvdAlgorithm::Isvd4)
+                .with_target(DecompositionTarget::IntervalCore),
+        )
+        .expect("ISVD4");
+
+        let naive_acc = reconstruction_accuracy(
+            &published,
+            &naive.factors.reconstruct().expect("reconstruction"),
+        )
+        .expect("accuracy")
+        .harmonic_mean;
+        let aware_acc = reconstruction_accuracy(
+            &published,
+            &interval_aware.factors.reconstruct().expect("reconstruction"),
+        )
+        .expect("accuracy")
+        .harmonic_mean;
+
+        println!(
+            "{:<16} {:>10.4} {:>10.4} {:>12.3}",
+            profile.label(),
+            naive_acc,
+            aware_acc,
+            published.mean_span()
+        );
+    }
+    println!("\nHigher H-mean = the decomposition preserves more of the published interval data.");
+    println!("ISVD4-b keeps its advantage as the generalization (interval width) grows.");
+}

@@ -1,0 +1,67 @@
+//! Face recognition on interval-valued images: build an ORL-like corpus,
+//! turn each image into interval pixels (neighbourhood uncertainty),
+//! decompose with ISVD2-b and classify individuals with 1-NN over the
+//! latent projection — the Figure 8b pipeline in miniature.
+//!
+//! Run with: `cargo run --release -p ivmf-core --example face_recognition`
+
+use ivmf_core::isvd::isvd;
+use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig};
+use ivmf_data::faces::{generate_faces, interval_faces, FaceCorpusConfig};
+use ivmf_data::split::stratified_split;
+use ivmf_eval::classification::{knn1_interval, macro_f1};
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn gather(m: &Matrix, rows: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(rows.len(), m.cols());
+    for (oi, &si) in rows.iter().enumerate() {
+        out.row_mut(oi).copy_from_slice(m.row(si));
+    }
+    out
+}
+
+fn gather_interval(m: &IntervalMatrix, rows: &[usize]) -> IntervalMatrix {
+    IntervalMatrix::from_bounds(gather(m.lo(), rows), gather(m.hi(), rows)).expect("same shape")
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let config = FaceCorpusConfig::orl_like()
+        .with_individuals(12)
+        .with_resolution(16);
+    println!(
+        "corpus: {} individuals x {} images at {}x{} pixels",
+        config.individuals, config.images_per_individual, config.resolution, config.resolution
+    );
+
+    let dataset = generate_faces(&config, &mut rng);
+    let faces = interval_faces(&dataset, 1, 1.0);
+    println!("interval pixels: mean span {:.4}\n", faces.mean_span());
+
+    println!("{:>6} {:>10}", "rank", "1-NN F1");
+    for rank in [5usize, 10, 20, 30] {
+        // Decompose all images, project rows onto the latent space (U x Sigma).
+        let isvd_config = IsvdConfig::new(rank)
+            .with_algorithm(IsvdAlgorithm::Isvd2)
+            .with_target(DecompositionTarget::IntervalCore);
+        let result = isvd(&faces, &isvd_config).expect("ISVD2-b");
+        let projection = result.factors.row_projection().expect("projection");
+
+        // 50/50 split per individual, then interval 1-NN on the projection.
+        let split = stratified_split(&dataset.labels, 0.5, &mut rng);
+        let train_labels: Vec<usize> = split.train.iter().map(|&i| dataset.labels[i]).collect();
+        let test_labels: Vec<usize> = split.test.iter().map(|&i| dataset.labels[i]).collect();
+        let predictions = knn1_interval(
+            &gather_interval(&projection, &split.train),
+            &train_labels,
+            &gather_interval(&projection, &split.test),
+        )
+        .expect("classification");
+        let f1 = macro_f1(&predictions, &test_labels).expect("F1");
+        println!("{rank:>6} {f1:>10.4}");
+    }
+    println!("\nLow-rank interval projections retain enough identity information to recognize people.");
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: synthetic data generation → ISVD
+//! decomposition → reconstruction accuracy, checking the paper's headline
+//! qualitative findings end to end.
+
+use ivmf_core::accuracy::reconstruction_accuracy;
+use ivmf_core::isvd::isvd;
+use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig};
+use ivmf_data::anonymize::{generate_anonymized, PrivacyProfile};
+use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
+use ivmf_interval::IntervalMatrix;
+use ivmf_lp::lp_isvd_with_target;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn hmean(m: &IntervalMatrix, alg: IsvdAlgorithm, target: DecompositionTarget, rank: usize) -> f64 {
+    let config = IsvdConfig::new(rank).with_algorithm(alg).with_target(target);
+    let out = isvd(m, &config).expect("decomposition");
+    reconstruction_accuracy(m, &out.factors.reconstruct().expect("reconstruction"))
+        .expect("accuracy")
+        .harmonic_mean
+}
+
+/// Averages a metric over a few seeded replicates of the default synthetic
+/// configuration (scaled down for test speed).
+fn average_over_replicates(
+    config: &SyntheticConfig,
+    replicates: usize,
+    mut f: impl FnMut(&IntervalMatrix) -> f64,
+) -> f64 {
+    let mut total = 0.0;
+    for rep in 0..replicates {
+        let mut rng = SmallRng::seed_from_u64(900 + rep as u64);
+        let m = generate_uniform(config, &mut rng);
+        total += f(&m);
+    }
+    total / replicates as f64
+}
+
+#[test]
+fn isvd4_option_b_beats_isvd0_on_wide_interval_data() {
+    // Table 2(b), 100% intensity row: the alignment-based methods beat the
+    // naive average baseline when intervals are wide.
+    let config = SyntheticConfig::paper_default().with_shape(30, 80);
+    let rank = 20;
+    let a0 = average_over_replicates(&config, 3, |m| {
+        hmean(m, IsvdAlgorithm::Isvd0, DecompositionTarget::Scalar, rank)
+    });
+    let a4 = average_over_replicates(&config, 3, |m| {
+        hmean(m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore, rank)
+    });
+    assert!(
+        a4 > a0,
+        "ISVD4-b ({a4:.3}) should beat ISVD0 ({a0:.3}) at 100% interval intensity"
+    );
+}
+
+#[test]
+fn option_b_is_at_least_as_good_as_option_c_for_isvd4() {
+    // Figure 6a: the option-b targets give the best accuracies overall.
+    let config = SyntheticConfig::paper_default().with_shape(30, 60);
+    let rank = 15;
+    let b = average_over_replicates(&config, 3, |m| {
+        hmean(m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore, rank)
+    });
+    let c = average_over_replicates(&config, 3, |m| {
+        hmean(m, IsvdAlgorithm::Isvd4, DecompositionTarget::Scalar, rank)
+    });
+    assert!(b >= c - 0.02, "option-b ({b:.3}) fell behind option-c ({c:.3})");
+}
+
+#[test]
+fn accuracy_improves_with_rank_for_every_algorithm() {
+    // Table 2(e): higher target rank means better reconstruction.
+    let config = SyntheticConfig::paper_default().with_shape(30, 60);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let m = generate_uniform(&config, &mut rng);
+    for alg in [IsvdAlgorithm::Isvd1, IsvdAlgorithm::Isvd3, IsvdAlgorithm::Isvd4] {
+        let low = hmean(&m, alg, DecompositionTarget::IntervalCore, 5);
+        let high = hmean(&m, alg, DecompositionTarget::IntervalCore, 25);
+        assert!(
+            high > low,
+            "{alg:?}: rank 25 accuracy {high:.3} not above rank 5 accuracy {low:.3}"
+        );
+    }
+}
+
+#[test]
+fn narrower_intervals_are_easier_to_reconstruct() {
+    // Table 2(b): accuracy decreases as interval intensity grows.
+    let rank = 20;
+    let narrow = average_over_replicates(
+        &SyntheticConfig::paper_default()
+            .with_shape(30, 80)
+            .with_interval_intensity(0.1),
+        3,
+        |m| hmean(m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore, rank),
+    );
+    let wide = average_over_replicates(
+        &SyntheticConfig::paper_default()
+            .with_shape(30, 80)
+            .with_interval_intensity(1.0),
+        3,
+        |m| hmean(m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore, rank),
+    );
+    assert!(narrow > wide, "narrow {narrow:.3} should beat wide {wide:.3}");
+}
+
+#[test]
+fn anonymized_data_higher_privacy_is_harder() {
+    // Figure 7: stronger anonymization (wider generalization intervals)
+    // lowers reconstruction accuracy at a fixed rank.
+    let rank = 10;
+    let accuracy_for = |profile: PrivacyProfile| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = generate_anonymized(30, 80, profile, &mut rng);
+        hmean(&m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore, rank)
+    };
+    let low = accuracy_for(PrivacyProfile::Low);
+    let high = accuracy_for(PrivacyProfile::High);
+    assert!(
+        low >= high - 0.02,
+        "low-privacy accuracy ({low:.3}) should not be below high-privacy ({high:.3})"
+    );
+}
+
+#[test]
+fn lp_competitor_is_dominated_by_isvd_on_paper_style_data() {
+    // Figures 6/7/9: the LP class is not competitive on interval data of
+    // realistic width.
+    let config = SyntheticConfig::paper_default().with_shape(30, 60);
+    let rank = 15;
+    let mut rng = SmallRng::seed_from_u64(3);
+    let m = generate_uniform(&config, &mut rng);
+    let lp = lp_isvd_with_target(&m, rank, DecompositionTarget::IntervalAll)
+        .expect("LP decomposition");
+    let lp_acc = reconstruction_accuracy(&m, &lp.reconstruct().expect("reconstruction"))
+        .expect("accuracy")
+        .harmonic_mean;
+    let isvd_acc = hmean(&m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalAll, rank);
+    assert!(
+        isvd_acc > lp_acc,
+        "ISVD4-a ({isvd_acc:.3}) should dominate LP-a ({lp_acc:.3})"
+    );
+}
+
+#[test]
+fn all_algorithms_and_targets_run_on_sparse_interval_data() {
+    // Matrix density sweep of Table 2(c): everything still runs (and stays
+    // finite) when 90% of the entries are zero.
+    let config = SyntheticConfig::paper_default()
+        .with_shape(30, 50)
+        .with_zero_fraction(0.9);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let m = generate_uniform(&config, &mut rng);
+    for alg in IsvdAlgorithm::all() {
+        for target in DecompositionTarget::all() {
+            let config = IsvdConfig::new(10).with_algorithm(alg).with_target(target);
+            let out = isvd(&m, &config).expect("decomposition on sparse data");
+            let rec = out.factors.reconstruct().expect("reconstruction");
+            assert!(!rec.has_non_finite(), "{alg:?}/{target:?} produced non-finite values");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end face-analysis pipeline tests (the Figure 8 / Table 3 code
+//! paths): corpus generation → interval construction → decomposition →
+//! classification and clustering.
+
+use ivmf_core::isvd::isvd;
+use ivmf_core::nmf::{interval_nmf, nmf, NmfConfig};
+use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig};
+use ivmf_data::faces::{generate_faces, interval_faces, FaceCorpusConfig};
+use ivmf_data::split::stratified_split;
+use ivmf_eval::classification::{accuracy, knn1_interval, knn1_scalar};
+use ivmf_eval::kmeans::{kmeans_interval, KMeansConfig};
+use ivmf_eval::nmi::nmi;
+use ivmf_eval::regression::matrix_rmse;
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn corpus() -> (ivmf_data::faces::FaceDataset, IntervalMatrix) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let config = FaceCorpusConfig::small();
+    let dataset = generate_faces(&config, &mut rng);
+    let faces = interval_faces(&dataset, 1, 1.0);
+    (dataset, faces)
+}
+
+fn gather(m: &Matrix, rows: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(rows.len(), m.cols());
+    for (oi, &si) in rows.iter().enumerate() {
+        out.row_mut(oi).copy_from_slice(m.row(si));
+    }
+    out
+}
+
+fn gather_interval(m: &IntervalMatrix, rows: &[usize]) -> IntervalMatrix {
+    IntervalMatrix::from_bounds(gather(m.lo(), rows), gather(m.hi(), rows)).unwrap()
+}
+
+#[test]
+fn isvd_projection_classifies_individuals_better_than_chance() {
+    let (dataset, faces) = corpus();
+    let config = IsvdConfig::new(10)
+        .with_algorithm(IsvdAlgorithm::Isvd2)
+        .with_target(DecompositionTarget::IntervalCore);
+    let result = isvd(&faces, &config).expect("ISVD2-b");
+    let projection = result.factors.row_projection().expect("projection");
+
+    let mut rng = SmallRng::seed_from_u64(2);
+    let split = stratified_split(&dataset.labels, 0.5, &mut rng);
+    let train_labels: Vec<usize> = split.train.iter().map(|&i| dataset.labels[i]).collect();
+    let test_labels: Vec<usize> = split.test.iter().map(|&i| dataset.labels[i]).collect();
+    let predictions = knn1_interval(
+        &gather_interval(&projection, &split.train),
+        &train_labels,
+        &gather_interval(&projection, &split.test),
+    )
+    .expect("1-NN");
+    let acc = accuracy(&predictions, &test_labels).expect("accuracy");
+    let chance = 1.0 / dataset.num_classes() as f64;
+    assert!(
+        acc > 3.0 * chance,
+        "projection classification accuracy {acc:.3} vs chance {chance:.3}"
+    );
+}
+
+#[test]
+fn low_rank_projection_is_competitive_with_raw_pixels_for_classification() {
+    let (dataset, faces) = corpus();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let split = stratified_split(&dataset.labels, 0.5, &mut rng);
+    let train_labels: Vec<usize> = split.train.iter().map(|&i| dataset.labels[i]).collect();
+    let test_labels: Vec<usize> = split.test.iter().map(|&i| dataset.labels[i]).collect();
+
+    // Raw-pixel baseline.
+    let raw_pred = knn1_scalar(
+        &gather(&dataset.data, &split.train),
+        &train_labels,
+        &gather(&dataset.data, &split.test),
+    )
+    .expect("raw 1-NN");
+    let raw_acc = accuracy(&raw_pred, &test_labels).unwrap();
+
+    // Rank-10 interval projection.
+    let result = isvd(
+        &faces,
+        &IsvdConfig::new(10).with_algorithm(IsvdAlgorithm::Isvd1),
+    )
+    .expect("ISVD1-b");
+    let projection = result.factors.row_projection().expect("projection");
+    let proj_pred = knn1_interval(
+        &gather_interval(&projection, &split.train),
+        &train_labels,
+        &gather_interval(&projection, &split.test),
+    )
+    .expect("projected 1-NN");
+    let proj_acc = accuracy(&proj_pred, &test_labels).unwrap();
+
+    assert!(
+        proj_acc >= raw_acc - 0.25,
+        "rank-10 projection accuracy {proj_acc:.3} collapsed relative to raw pixels {raw_acc:.3}"
+    );
+}
+
+#[test]
+fn clustering_on_projection_recovers_identity_structure() {
+    let (dataset, faces) = corpus();
+    let result = isvd(
+        &faces,
+        &IsvdConfig::new(8).with_algorithm(IsvdAlgorithm::Isvd2),
+    )
+    .expect("ISVD2-b");
+    let projection = result.factors.row_projection().expect("projection");
+    let clusters = kmeans_interval(
+        &projection,
+        &KMeansConfig::new(dataset.num_classes()).with_restarts(5),
+    )
+    .expect("k-means");
+    let quality = nmi(&clusters.assignments, &dataset.labels).expect("NMI");
+    assert!(quality > 0.5, "clustering NMI {quality:.3} too low");
+}
+
+#[test]
+fn reconstruction_error_decreases_with_rank_and_isvd_beats_nmf_at_equal_rank() {
+    let (dataset, faces) = corpus();
+    let rmse_at = |rank: usize| {
+        let result = isvd(
+            &faces,
+            &IsvdConfig::new(rank)
+                .with_algorithm(IsvdAlgorithm::Isvd4)
+                .with_target(DecompositionTarget::Scalar),
+        )
+        .expect("ISVD4-c");
+        matrix_rmse(
+            &dataset.data,
+            &result.factors.reconstruct().expect("reconstruction").mid(),
+        )
+        .expect("rmse")
+    };
+    let low = rmse_at(4);
+    let high = rmse_at(16);
+    assert!(high < low, "rank 16 RMSE {high:.4} should be below rank 4 RMSE {low:.4}");
+
+    // SVD-based reconstruction is optimal in Frobenius norm, so at equal
+    // rank it should not lose to the NMF baselines (Figure 8a shape).
+    let nmf_model = nmf(&faces.mid(), &NmfConfig::new(8).with_max_iters(150)).expect("NMF");
+    let nmf_rmse = matrix_rmse(&dataset.data, &nmf_model.reconstruct().unwrap()).unwrap();
+    let inmf_model = interval_nmf(&faces, &NmfConfig::new(8).with_max_iters(150)).expect("I-NMF");
+    let inmf_rmse =
+        matrix_rmse(&dataset.data, &inmf_model.reconstruct().unwrap().mid()).unwrap();
+    let isvd_rmse = rmse_at(8);
+    assert!(
+        isvd_rmse <= nmf_rmse + 1e-6 && isvd_rmse <= inmf_rmse + 1e-6,
+        "ISVD RMSE {isvd_rmse:.4} vs NMF {nmf_rmse:.4} / I-NMF {inmf_rmse:.4}"
+    );
+}
+
+#[test]
+fn interval_pixels_contain_the_scalar_image_and_feed_non_negative_baselines() {
+    let (dataset, faces) = corpus();
+    assert!(faces.contains_matrix(&dataset.data, 1e-9));
+    // Both NMF baselines accept the interval face data (non-negative).
+    assert!(interval_nmf(&faces, &NmfConfig::new(4).with_max_iters(30)).is_ok());
+}

@@ -1,0 +1,109 @@
+//! Cross-crate property-based tests: invariants that must hold for *every*
+//! ISVD algorithm, target and randomly generated interval matrix.
+
+use ivmf_core::accuracy::reconstruction_accuracy;
+use ivmf_core::isvd::isvd;
+use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig};
+use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_config() -> impl Strategy<Value = (SyntheticConfig, usize, u64)> {
+    // Shapes stay small so the whole property suite runs in seconds.
+    (4usize..14, 4usize..14, 0.0f64..0.6, 0.0f64..1.0, 0.05f64..1.0, 1u64..500).prop_map(
+        |(rows, cols, zeros, density, intensity, seed)| {
+            let config = SyntheticConfig::paper_default()
+                .with_shape(rows, cols)
+                .with_zero_fraction(zeros)
+                .with_interval_density(density)
+                .with_interval_intensity(intensity);
+            let rank = rows.min(cols).min(4).max(1);
+            (config, rank, seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every algorithm/target combination produces finite factors of the
+    /// right shape, a proper interval core, and a finite reconstruction
+    /// whose accuracy lies in [0, 1].
+    #[test]
+    fn decompositions_are_well_formed((config, rank, seed) in arb_config()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = generate_uniform(&config, &mut rng);
+        for alg in IsvdAlgorithm::all() {
+            for target in DecompositionTarget::all() {
+                let isvd_config = IsvdConfig::new(rank).with_algorithm(alg).with_target(target);
+                let out = isvd(&m, &isvd_config).expect("decomposition");
+                let f = &out.factors;
+                prop_assert_eq!(f.u.shape(), (m.rows(), rank));
+                prop_assert_eq!(f.v.shape(), (m.cols(), rank));
+                prop_assert_eq!(f.sigma.len(), rank);
+                prop_assert!(!f.u.has_non_finite());
+                prop_assert!(!f.v.has_non_finite());
+                prop_assert!(f.u.is_proper());
+                prop_assert!(f.v.is_proper());
+                prop_assert!(f.sigma.iter().all(|s| s.lo() <= s.hi() && s.lo().is_finite()));
+                // Scalar-factor guarantees per target.
+                if target != DecompositionTarget::IntervalAll {
+                    prop_assert!(f.u.is_scalar() && f.v.is_scalar());
+                }
+                if target == DecompositionTarget::Scalar || alg == IsvdAlgorithm::Isvd0 {
+                    prop_assert!(f.sigma.iter().all(|s| s.is_scalar()));
+                }
+                let rec = f.reconstruct().expect("reconstruction");
+                prop_assert!(!rec.has_non_finite());
+                prop_assert!(rec.is_proper());
+                let acc = reconstruction_accuracy(&m, &rec).expect("accuracy");
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&acc.harmonic_mean));
+            }
+        }
+    }
+
+    /// Full-rank decomposition of *scalar* (zero-width) data reconstructs
+    /// the input almost exactly for every algorithm under option c.
+    #[test]
+    fn scalar_data_full_rank_is_exact(
+        rows in 3usize..10,
+        cols in 3usize..10,
+        seed in 1u64..200,
+    ) {
+        let config = SyntheticConfig::paper_default()
+            .with_shape(rows, cols)
+            .with_interval_density(0.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = generate_uniform(&config, &mut rng);
+        let rank = rows.min(cols);
+        for alg in IsvdAlgorithm::all() {
+            let isvd_config = IsvdConfig::new(rank)
+                .with_algorithm(alg)
+                .with_target(DecompositionTarget::Scalar);
+            let out = isvd(&m, &isvd_config).expect("decomposition");
+            let acc = reconstruction_accuracy(&m, &out.factors.reconstruct().unwrap()).unwrap();
+            prop_assert!(
+                acc.harmonic_mean > 0.97,
+                "{} full-rank scalar accuracy {}", alg.name(), acc.harmonic_mean
+            );
+        }
+    }
+
+    /// The option-b and option-c factor matrices always have unit-norm
+    /// columns (up to degenerate zero columns).
+    #[test]
+    fn renormalized_targets_have_unit_columns((config, rank, seed) in arb_config()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = generate_uniform(&config, &mut rng);
+        let isvd_config = IsvdConfig::new(rank)
+            .with_algorithm(IsvdAlgorithm::Isvd4)
+            .with_target(DecompositionTarget::IntervalCore);
+        let out = isvd(&m, &isvd_config).expect("decomposition");
+        let u = out.factors.u_scalar().expect("option b has scalar U");
+        for j in 0..u.cols() {
+            let norm = u.col_norm(j);
+            prop_assert!(norm < 1e-9 || (norm - 1.0).abs() < 1e-6, "column {j} norm {norm}");
+        }
+    }
+}
