@@ -100,11 +100,7 @@ pub fn hungarian_min(cost: &Matrix) -> Vec<usize> {
 
 /// Total similarity achieved by a mapping (`Σ_j sim[mapping[j], j]`).
 pub fn mapping_score(sim: &Matrix, mapping: &[usize]) -> f64 {
-    mapping
-        .iter()
-        .enumerate()
-        .map(|(j, &i)| sim[(i, j)])
-        .sum()
+    mapping.iter().enumerate().map(|(j, &i)| sim[(i, j)]).sum()
 }
 
 #[cfg(test)]

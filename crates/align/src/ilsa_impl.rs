@@ -245,7 +245,10 @@ mod tests {
             flip: vec![false, true, false],
             matched_similarity: vec![1.0; 3],
         };
-        assert_eq!(a.apply_to_diag(&[10.0, 20.0, 30.0]).unwrap(), vec![30.0, 10.0, 20.0]);
+        assert_eq!(
+            a.apply_to_diag(&[10.0, 20.0, 30.0]).unwrap(),
+            vec![30.0, 10.0, 20.0]
+        );
         assert!(a.apply_to_diag(&[1.0]).is_err());
     }
 
@@ -257,7 +260,11 @@ mod tests {
             Err(AlignError::ShapeMismatch { .. })
         ));
         assert!(matches!(
-            ilsa(&Matrix::zeros(3, 0), &Matrix::zeros(3, 0), Matcher::Hungarian),
+            ilsa(
+                &Matrix::zeros(3, 0),
+                &Matrix::zeros(3, 0),
+                Matcher::Hungarian
+            ),
             Err(AlignError::Empty)
         ));
         let a = Alignment::identity(3);

@@ -27,7 +27,10 @@ fn bench_interval_gram(c: &mut Criterion) {
     group.sample_size(10);
     for &(rows, cols) in &[(40usize, 60usize), (40, 250)] {
         let mut rng = SmallRng::seed_from_u64(2);
-        let m = generate_uniform(&SyntheticConfig::paper_default().with_shape(rows, cols), &mut rng);
+        let m = generate_uniform(
+            &SyntheticConfig::paper_default().with_shape(rows, cols),
+            &mut rng,
+        );
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{rows}x{cols}")),
             &m,
@@ -39,9 +42,13 @@ fn bench_interval_gram(c: &mut Criterion) {
 
 fn bench_average_replacement(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(3);
-    let m = generate_uniform(&SyntheticConfig::paper_default().with_shape(200, 200), &mut rng);
+    let m = generate_uniform(
+        &SyntheticConfig::paper_default().with_shape(200, 200),
+        &mut rng,
+    );
     // Swap the bounds so every entry needs repair (worst case).
-    let swapped = ivmf_interval::IntervalMatrix::from_bounds(m.hi().clone(), m.lo().clone()).unwrap();
+    let swapped =
+        ivmf_interval::IntervalMatrix::from_bounds(m.hi().clone(), m.lo().clone()).unwrap();
     c.bench_function("average_replacement_200x200", |b| {
         b.iter(|| swapped.average_replacement())
     });

@@ -42,23 +42,34 @@ fn main() {
 
     // Training inputs built from the training ratings only.
     let (scalar_matrix, scalar_observed) = ivmf_data::ratings::cf_scalar_matrix(&train);
-    let (interval_matrix, interval_observed) = ivmf_data::ratings::cf_interval_matrix(&train, alpha);
+    let (interval_matrix, interval_observed) =
+        ivmf_data::ratings::cf_interval_matrix(&train, alpha);
 
     let mut table = Table::new(vec!["rank", "PMF", "I-PMF", "AI-PMF"]);
     for &rank in &ranks {
-        let pmf_config = PmfConfig::new(rank).with_epochs(epochs).with_learning_rate(0.01);
+        let pmf_config = PmfConfig::new(rank)
+            .with_epochs(epochs)
+            .with_learning_rate(0.01);
 
         let pmf_model = pmf(&scalar_matrix, &scalar_observed, &pmf_config).expect("PMF training");
-        let pmf_pred: Vec<f64> = test.iter().map(|r| pmf_model.predict(r.user, r.item)).collect();
+        let pmf_pred: Vec<f64> = test
+            .iter()
+            .map(|r| pmf_model.predict(r.user, r.item))
+            .collect();
 
         let ipmf_model =
             ipmf(&interval_matrix, &interval_observed, &pmf_config).expect("I-PMF training");
-        let ipmf_pred: Vec<f64> = test.iter().map(|r| ipmf_model.predict(r.user, r.item)).collect();
+        let ipmf_pred: Vec<f64> = test
+            .iter()
+            .map(|r| ipmf_model.predict(r.user, r.item))
+            .collect();
 
         let aipmf_model =
             aipmf(&interval_matrix, &interval_observed, &pmf_config).expect("AI-PMF training");
-        let aipmf_pred: Vec<f64> =
-            test.iter().map(|r| aipmf_model.predict(r.user, r.item)).collect();
+        let aipmf_pred: Vec<f64> = test
+            .iter()
+            .map(|r| aipmf_model.predict(r.user, r.item))
+            .collect();
 
         table.add_row(vec![
             rank.to_string(),

@@ -46,7 +46,9 @@ fn main() {
             before[i] += c.abs();
         }
         let alignment = ilsa(&f_lo.v, &f_hi.v, Matcher::Hungarian).expect("alignment");
-        let aligned_v_lo = alignment.apply_to_columns(&f_lo.v).expect("apply alignment");
+        let aligned_v_lo = alignment
+            .apply_to_columns(&f_lo.v)
+            .expect("apply alignment");
         for (i, c) in matched_cosines(&aligned_v_lo, &f_hi.v).iter().enumerate() {
             after_align[i] += c.abs();
         }

@@ -41,7 +41,10 @@ fn main() {
     println!("-- Figure 6a: reconstruction accuracy (harmonic mean, higher is better) --");
     let mut acc_table = Table::new(vec!["method", "H-mean"]);
     for (idx, spec) in roster.iter().enumerate() {
-        acc_table.add_row(vec![spec.name(), fmt3(ivmf_bench::runner::mean(&accuracy[idx]))]);
+        acc_table.add_row(vec![
+            spec.name(),
+            fmt3(ivmf_bench::runner::mean(&accuracy[idx])),
+        ]);
     }
     println!("{}", acc_table.render());
 

@@ -15,9 +15,15 @@ fn main() {
     let ranks = [
         ("100% rank", full_rank),
         ("50% rank", (full_rank / 2).max(1)),
-        ("5% rank", ((full_rank as f64 * 0.05).round() as usize).max(1)),
+        (
+            "5% rank",
+            ((full_rank as f64 * 0.05).round() as usize).max(1),
+        ),
     ];
-    println!("== Figure 7: anonymized data ({rows}x{cols}), {} replicates ==\n", opts.replicates);
+    println!(
+        "== Figure 7: anonymized data ({rows}x{cols}), {} replicates ==\n",
+        opts.replicates
+    );
 
     for profile in PrivacyProfile::paper_profiles() {
         let weights = profile.weights();

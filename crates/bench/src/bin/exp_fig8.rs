@@ -61,14 +61,32 @@ fn run_methods(faces: &IntervalMatrix, rank: usize, seed: u64) -> Vec<MethodOutp
     // ISVD family.
     let specs: [(&'static str, IsvdAlgorithm, DecompositionTarget); 6] = [
         ("ISVD0", IsvdAlgorithm::Isvd0, DecompositionTarget::Scalar),
-        ("ISVD1-b", IsvdAlgorithm::Isvd1, DecompositionTarget::IntervalCore),
-        ("ISVD2-b", IsvdAlgorithm::Isvd2, DecompositionTarget::IntervalCore),
-        ("ISVD3-b", IsvdAlgorithm::Isvd3, DecompositionTarget::IntervalCore),
-        ("ISVD4-b", IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore),
+        (
+            "ISVD1-b",
+            IsvdAlgorithm::Isvd1,
+            DecompositionTarget::IntervalCore,
+        ),
+        (
+            "ISVD2-b",
+            IsvdAlgorithm::Isvd2,
+            DecompositionTarget::IntervalCore,
+        ),
+        (
+            "ISVD3-b",
+            IsvdAlgorithm::Isvd3,
+            DecompositionTarget::IntervalCore,
+        ),
+        (
+            "ISVD4-b",
+            IsvdAlgorithm::Isvd4,
+            DecompositionTarget::IntervalCore,
+        ),
         ("ISVD4-c", IsvdAlgorithm::Isvd4, DecompositionTarget::Scalar),
     ];
     for (name, alg, target) in specs {
-        let config = IsvdConfig::new(rank).with_algorithm(alg).with_target(target);
+        let config = IsvdConfig::new(rank)
+            .with_algorithm(alg)
+            .with_target(target);
         if let Ok(result) = isvd(faces, &config) {
             let reconstruction = result
                 .factors
@@ -118,9 +136,7 @@ fn cluster(features: &Features, labels: &[usize], k: usize, seed: u64) -> f64 {
         Features::Scalar(m) => kmeans_scalar(m, &config).map(|r| r.assignments),
         Features::Interval(m) => kmeans_interval(m, &config).map(|r| r.assignments),
     };
-    assignments
-        .and_then(|a| nmi(&a, labels))
-        .unwrap_or(0.0)
+    assignments.and_then(|a| nmi(&a, labels)).unwrap_or(0.0)
 }
 
 fn gather_rows_scalar(m: &Matrix, rows: &[usize]) -> Matrix {
@@ -166,7 +182,12 @@ fn main() {
     let replicates = opts.replicates.min(3);
     let mut recon = Table::new(
         std::iter::once("rank".to_string())
-            .chain(["NMF", "I-NMF", "ISVD0", "ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b", "ISVD4-c"].map(String::from))
+            .chain(
+                [
+                    "NMF", "I-NMF", "ISVD0", "ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b", "ISVD4-c",
+                ]
+                .map(String::from),
+            )
             .collect::<Vec<_>>(),
     );
     let mut class = recon.clone();
@@ -184,13 +205,20 @@ fn main() {
             for method in run_methods(&faces, rank, 100 + rep as u64) {
                 let rmse = matrix_rmse(&dataset.data, &method.reconstruction).unwrap_or(f64::NAN);
                 let f1 = classify(&method.features, &dataset.labels, 200 + rep as u64);
-                let q = cluster(&method.features, &dataset.labels, config.individuals, 300 + rep as u64);
+                let q = cluster(
+                    &method.features,
+                    &dataset.labels,
+                    config.individuals,
+                    300 + rep as u64,
+                );
                 *rmse_acc.entry(method.name).or_insert(0.0) += rmse;
                 *f1_acc.entry(method.name).or_insert(0.0) += f1;
                 *nmi_acc.entry(method.name).or_insert(0.0) += q;
             }
         }
-        let order = ["NMF", "I-NMF", "ISVD0", "ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b", "ISVD4-c"];
+        let order = [
+            "NMF", "I-NMF", "ISVD0", "ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b", "ISVD4-c",
+        ];
         let collect = |acc: &std::collections::HashMap<&str, f64>| -> Vec<String> {
             order
                 .iter()

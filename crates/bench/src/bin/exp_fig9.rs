@@ -16,9 +16,15 @@ use rand::SeedableRng;
 fn rank_points(full: usize) -> [(String, usize); 3] {
     [
         (format!("100% rank (={full})"), full),
-        (format!("50% rank (={})", (full / 2).max(1)), (full / 2).max(1)),
         (
-            format!("5% rank (={})", ((full as f64 * 0.05).round() as usize).max(1)),
+            format!("50% rank (={})", (full / 2).max(1)),
+            (full / 2).max(1),
+        ),
+        (
+            format!(
+                "5% rank (={})",
+                ((full as f64 * 0.05).round() as usize).max(1)
+            ),
             ((full as f64 * 0.05).round() as usize).max(1),
         ),
     ]
@@ -50,7 +56,10 @@ fn report(name: &str, m: &IntervalMatrix, full_rank: usize) {
 fn main() {
     let opts = ExperimentOptions::from_env(0.1);
     println!("== Figure 9: social-media-like interval rating data ==");
-    println!("scale {} (user counts are scaled; category structure is preserved)\n", opts.scale);
+    println!(
+        "scale {} (user counts are scaled; category structure is preserved)\n",
+        opts.scale
+    );
     let mut rng = SmallRng::seed_from_u64(7000);
 
     // Ciao-like: 7K users x 28 categories in the paper.
@@ -60,8 +69,10 @@ fn main() {
 
     // Epinions-like: 22K users x 27 categories in the paper.
     let epinions_users = ((22_000.0 * opts.scale).round() as usize).max(200);
-    let epinions =
-        category_ratings_like(&CategoryRatingsConfig::epinions_like(epinions_users), &mut rng);
+    let epinions = category_ratings_like(
+        &CategoryRatingsConfig::epinions_like(epinions_users),
+        &mut rng,
+    );
     report("Epinions-like", &epinions, 27);
 
     // MovieLens-like user x genre range matrix (full rank 19).

@@ -55,7 +55,12 @@ fn main() {
             )
         })
         .collect();
-    sweep("Table 2(a): varying interval densities", "int. density", &cases, &opts);
+    sweep(
+        "Table 2(a): varying interval densities",
+        "int. density",
+        &cases,
+        &opts,
+    );
 
     // (b) Varying interval intensities.
     let cases: Vec<_> = [0.10, 0.25, 0.75, 1.0]
@@ -68,17 +73,39 @@ fn main() {
             )
         })
         .collect();
-    sweep("Table 2(b): varying interval intensities", "int. intensity", &cases, &opts);
+    sweep(
+        "Table 2(b): varying interval intensities",
+        "int. intensity",
+        &cases,
+        &opts,
+    );
 
     // (c) Varying matrix densities (fraction of zero entries).
     let cases: Vec<_> = [0.0, 0.5, 0.9]
         .iter()
-        .map(|&z| (format!("{:.0}%", z * 100.0), base.with_zero_fraction(z), rank))
+        .map(|&z| {
+            (
+                format!("{:.0}%", z * 100.0),
+                base.with_zero_fraction(z),
+                rank,
+            )
+        })
         .collect();
-    sweep("Table 2(c): varying matrix densities (0-values)", "mat. density", &cases, &opts);
+    sweep(
+        "Table 2(c): varying matrix densities (0-values)",
+        "mat. density",
+        &cases,
+        &opts,
+    );
 
     // (d) Varying matrix configurations.
-    let shapes = [(25usize, 400usize), (40, 250), (250, 40), (400, 250), (250, 400)];
+    let shapes = [
+        (25usize, 400usize),
+        (40, 250),
+        (250, 40),
+        (400, 250),
+        (250, 400),
+    ];
     let cases: Vec<_> = shapes
         .iter()
         .map(|&(r, c)| {
@@ -86,7 +113,12 @@ fn main() {
             (format!("{r}-by-{c}"), shape_cfg, rank.min(r.min(c)))
         })
         .collect();
-    sweep("Table 2(d): varying matrix configurations", "matrix conf.", &cases, &opts);
+    sweep(
+        "Table 2(d): varying matrix configurations",
+        "matrix conf.",
+        &cases,
+        &opts,
+    );
 
     // (e) Varying target ranks.
     let cases: Vec<_> = [5usize, 10, 20, 40]

@@ -19,14 +19,23 @@ fn main() {
     let opts = ExperimentOptions::from_env(0.35);
     let individuals = ((40.0 * opts.scale).round() as usize).clamp(6, 40);
     // Paper resolutions are 32x32 and 64x64; the scaled default uses 16/32.
-    let resolutions: [usize; 2] = if opts.scale >= 0.99 { [32, 64] } else { [16, 32] };
+    let resolutions: [usize; 2] = if opts.scale >= 0.99 {
+        [32, 64]
+    } else {
+        [16, 32]
+    };
     let rank = 20;
     println!("== Table 3: clustering accuracy and execution time ==");
     println!(
         "corpus: {individuals} individuals x 10 images; resolutions {resolutions:?}; rank {rank}\n"
     );
 
-    let mut acc_table = Table::new(vec!["res.", "scalar vectors", "interval vectors", "ISVD2-b (r=20)"]);
+    let mut acc_table = Table::new(vec![
+        "res.",
+        "scalar vectors",
+        "interval vectors",
+        "ISVD2-b (r=20)",
+    ]);
     let mut time_table = Table::new(vec![
         "res.",
         "scalar vectors (s)",

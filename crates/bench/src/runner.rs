@@ -74,7 +74,10 @@ impl AlgoSpec {
             out.push(AlgoSpec::Lp(target));
         }
         // ISVD0 only supports option c.
-        out.push(AlgoSpec::Isvd(IsvdAlgorithm::Isvd0, DecompositionTarget::Scalar));
+        out.push(AlgoSpec::Isvd(
+            IsvdAlgorithm::Isvd0,
+            DecompositionTarget::Scalar,
+        ));
         out
     }
 
@@ -94,7 +97,10 @@ impl AlgoSpec {
     /// and b, ISVD0–4 under option c).
     pub fn per_target_roster() -> Vec<AlgoSpec> {
         let mut out = Vec::new();
-        for target in [DecompositionTarget::IntervalAll, DecompositionTarget::IntervalCore] {
+        for target in [
+            DecompositionTarget::IntervalAll,
+            DecompositionTarget::IntervalCore,
+        ] {
             for alg in [
                 IsvdAlgorithm::Isvd1,
                 IsvdAlgorithm::Isvd2,
@@ -130,7 +136,9 @@ pub fn evaluate_algorithm(m: &IntervalMatrix, rank: usize, spec: AlgoSpec) -> Ev
     let start = std::time::Instant::now();
     let (factors, timings) = match spec {
         AlgoSpec::Isvd(alg, target) => {
-            let config = IsvdConfig::new(rank).with_algorithm(alg).with_target(target);
+            let config = IsvdConfig::new(rank)
+                .with_algorithm(alg)
+                .with_target(target);
             match isvd(m, &config) {
                 Ok(result) => (Some(result.factors), result.timings),
                 Err(_) => (None, StageTimings::default()),
@@ -187,7 +195,10 @@ mod tests {
     #[test]
     fn evaluate_algorithm_produces_sane_accuracy() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let m = generate_uniform(&SyntheticConfig::paper_default().with_shape(15, 12), &mut rng);
+        let m = generate_uniform(
+            &SyntheticConfig::paper_default().with_shape(15, 12),
+            &mut rng,
+        );
         let outcome = evaluate_algorithm(
             &m,
             8,

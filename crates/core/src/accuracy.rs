@@ -54,7 +54,10 @@ pub fn reconstruction_accuracy(
 
 /// Accuracy of a *scalar* reconstruction against a scalar original — used
 /// by the fully scalar pipelines (ISVD0 / option c applied to scalar data).
-pub fn scalar_reconstruction_accuracy(original: &Matrix, reconstructed: &Matrix) -> Result<AccuracyReport> {
+pub fn scalar_reconstruction_accuracy(
+    original: &Matrix,
+    reconstructed: &Matrix,
+) -> Result<AccuracyReport> {
     if original.shape() != reconstructed.shape() {
         return Err(IvmfError::InvalidInput(format!(
             "shape mismatch: original is {:?}, reconstruction is {:?}",
@@ -160,7 +163,9 @@ mod tests {
         let a = IntervalMatrix::zeros(2, 2);
         let b = IntervalMatrix::zeros(2, 3);
         assert!(reconstruction_accuracy(&a, &b).is_err());
-        assert!(scalar_reconstruction_accuracy(&Matrix::zeros(1, 1), &Matrix::zeros(2, 2)).is_err());
+        assert!(
+            scalar_reconstruction_accuracy(&Matrix::zeros(1, 1), &Matrix::zeros(2, 2)).is_err()
+        );
     }
 
     #[test]

@@ -141,7 +141,9 @@ impl IsvdConfig {
             ));
         }
         if self.rank == 0 {
-            return Err(IvmfError::InvalidConfig("rank must be at least 1".to_string()));
+            return Err(IvmfError::InvalidConfig(
+                "rank must be at least 1".to_string(),
+            ));
         }
         if self.rank > n.min(m) {
             return Err(IvmfError::InvalidConfig(format!(
@@ -296,8 +298,14 @@ mod tests {
         assert!(IsvdConfig::new(7).validate(shape).is_err());
         assert!(IsvdConfig::new(6).validate(shape).is_ok());
         assert!(IsvdConfig::new(3).validate((0, 5)).is_err());
-        assert!(IsvdConfig::new(3).with_condition_threshold(0.0).validate(shape).is_err());
-        assert!(IsvdConfig::new(3).with_pinv_cutoff(-1.0).validate(shape).is_err());
+        assert!(IsvdConfig::new(3)
+            .with_condition_threshold(0.0)
+            .validate(shape)
+            .is_err());
+        assert!(IsvdConfig::new(3)
+            .with_pinv_cutoff(-1.0)
+            .validate(shape)
+            .is_err());
     }
 
     #[test]
@@ -368,7 +376,10 @@ mod tests {
         let inv = invert_factor(&f, &config).unwrap();
         assert_eq!(inv.shape(), (3, 6));
         // Left inverse property for full column rank.
-        assert!(inv.matmul(&f).unwrap().approx_eq(&Matrix::identity(3), 1e-7));
+        assert!(inv
+            .matmul(&f)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-7));
         let inv_t = invert_factor_transpose(&f, &config).unwrap();
         assert_eq!(inv_t.shape(), (6, 3));
     }

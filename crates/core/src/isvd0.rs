@@ -26,7 +26,9 @@ pub fn isvd0(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
     let avg = timed(&mut timings.preprocessing, || m.mid());
 
     // Decomposition: plain truncated SVD of the average matrix.
-    let f = timed(&mut timings.decomposition, || svd_truncated(&avg, config.rank))?;
+    let f = timed(&mut timings.decomposition, || {
+        svd_truncated(&avg, config.rank)
+    })?;
 
     // No alignment stage. Renormalization = target construction (always
     // scalar for ISVD0).
@@ -53,8 +55,16 @@ mod tests {
 
     fn sample() -> IntervalMatrix {
         IntervalMatrix::from_bounds(
-            Matrix::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]),
-            Matrix::from_rows(&[vec![5.0, 1.5, 1.0], vec![1.5, 4.0, 1.5], vec![0.5, 2.0, 3.0]]),
+            Matrix::from_rows(&[
+                vec![4.0, 1.0, 0.5],
+                vec![1.0, 3.0, 1.0],
+                vec![0.0, 1.0, 2.0],
+            ]),
+            Matrix::from_rows(&[
+                vec![5.0, 1.5, 1.0],
+                vec![1.5, 4.0, 1.5],
+                vec![0.5, 2.0, 3.0],
+            ]),
         )
         .unwrap()
     }

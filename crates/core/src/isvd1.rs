@@ -146,7 +146,10 @@ mod tests {
             let acc = reconstruction_accuracy(&m, &out.factors.reconstruct().unwrap())
                 .unwrap()
                 .harmonic_mean;
-            assert!(acc >= last - 0.05, "rank {r}: accuracy {acc} < previous {last}");
+            assert!(
+                acc >= last - 0.05,
+                "rank {r}: accuracy {acc} < previous {last}"
+            );
             last = acc;
         }
     }

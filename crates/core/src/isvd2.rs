@@ -82,7 +82,11 @@ mod tests {
         let config = IsvdConfig::new(3).with_target(DecompositionTarget::Scalar);
         let out = isvd2(&m, &config).unwrap();
         let acc = reconstruction_accuracy(&m, &out.factors.reconstruct().unwrap()).unwrap();
-        assert!(acc.harmonic_mean > 1.0 - 1e-6, "accuracy {}", acc.harmonic_mean);
+        assert!(
+            acc.harmonic_mean > 1.0 - 1e-6,
+            "accuracy {}",
+            acc.harmonic_mean
+        );
     }
 
     #[test]

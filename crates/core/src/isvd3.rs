@@ -165,7 +165,11 @@ mod tests {
         .harmonic_mean;
         let a3 = reconstruction_accuracy(
             &m,
-            &isvd3(&m, &IsvdConfig::new(rank)).unwrap().factors.reconstruct().unwrap(),
+            &isvd3(&m, &IsvdConfig::new(rank))
+                .unwrap()
+                .factors
+                .reconstruct()
+                .unwrap(),
         )
         .unwrap()
         .harmonic_mean;

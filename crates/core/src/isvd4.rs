@@ -80,7 +80,11 @@ mod tests {
             vec![1.0, 2.0, 1.0],
             vec![0.0, 1.0, 4.0],
         ]));
-        let out = isvd4(&m, &IsvdConfig::new(3).with_target(DecompositionTarget::Scalar)).unwrap();
+        let out = isvd4(
+            &m,
+            &IsvdConfig::new(3).with_target(DecompositionTarget::Scalar),
+        )
+        .unwrap();
         let acc = reconstruction_accuracy(&m, &out.factors.reconstruct().unwrap()).unwrap();
         assert!(acc.harmonic_mean > 0.99, "accuracy {}", acc.harmonic_mean);
     }
@@ -102,7 +106,10 @@ mod tests {
         };
         let a1 = acc(IsvdAlgorithm::Isvd1);
         let a4 = acc(IsvdAlgorithm::Isvd4);
-        assert!(a4 >= a1 - 0.03, "ISVD4 ({a4}) unexpectedly below ISVD1 ({a1})");
+        assert!(
+            a4 >= a1 - 0.03,
+            "ISVD4 ({a4}) unexpectedly below ISVD1 ({a1})"
+        );
     }
 
     #[test]
@@ -136,7 +143,10 @@ mod tests {
         };
         let a3 = acc(&crate::isvd3::isvd3(&m, &config_b).unwrap());
         let a4 = acc(&isvd4(&m, &config_b).unwrap());
-        assert!(a4 >= a3 - 0.05, "ISVD4-b accuracy {a4} fell behind ISVD3-b {a3}");
+        assert!(
+            a4 >= a3 - 0.05,
+            "ISVD4-b accuracy {a4} fell behind ISVD3-b {a3}"
+        );
     }
 
     #[test]

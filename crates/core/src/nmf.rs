@@ -73,7 +73,9 @@ impl NmfConfig {
             )));
         }
         if self.max_iters == 0 {
-            return Err(IvmfError::InvalidConfig("max_iters must be positive".into()));
+            return Err(IvmfError::InvalidConfig(
+                "max_iters must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -275,7 +277,11 @@ mod tests {
         assert!(model.v.as_slice().iter().all(|&x| x >= 0.0));
         // Loss is well below the "predict zero" baseline.
         let baseline = m.frobenius_norm().powi(2);
-        assert!(model.loss < 0.5 * baseline, "loss {} vs baseline {baseline}", model.loss);
+        assert!(
+            model.loss < 0.5 * baseline,
+            "loss {} vs baseline {baseline}",
+            model.loss
+        );
         assert!(model.iterations > 1);
     }
 
@@ -283,7 +289,11 @@ mod tests {
     fn nmf_recovers_low_rank_non_negative_matrix() {
         let mut rng = SmallRng::seed_from_u64(2);
         let m = ivmf_linalg::random::low_rank_matrix(&mut rng, 15, 10, 3);
-        let model = nmf(&m, &NmfConfig::new(3).with_max_iters(500).with_tolerance(1e-10)).unwrap();
+        let model = nmf(
+            &m,
+            &NmfConfig::new(3).with_max_iters(500).with_tolerance(1e-10),
+        )
+        .unwrap();
         let rel = m
             .sub(&model.reconstruct().unwrap())
             .unwrap()

@@ -101,10 +101,14 @@ impl PmfConfig {
             return Err(IvmfError::InvalidConfig("epochs must be at least 1".into()));
         }
         if self.learning_rate <= 0.0 {
-            return Err(IvmfError::InvalidConfig("learning rate must be positive".into()));
+            return Err(IvmfError::InvalidConfig(
+                "learning rate must be positive".into(),
+            ));
         }
         if self.lambda_u < 0.0 || self.lambda_v < 0.0 {
-            return Err(IvmfError::InvalidConfig("regularization must be non-negative".into()));
+            return Err(IvmfError::InvalidConfig(
+                "regularization must be non-negative".into(),
+            ));
         }
         if observed.is_empty() {
             return Err(IvmfError::InvalidInput("no observed entries".into()));
@@ -207,8 +211,7 @@ pub fn pmf(m: &Matrix, observed: &[(usize, usize)], config: &PmfConfig) -> Resul
     // Initialize so that U·Vᵀ starts near the mean observed value: this is
     // the usual mean-matching initialization and avoids the long "warm-up"
     // a zero-mean start needs when ratings live on a 1-5 scale.
-    let mean_rating =
-        observed.iter().map(|&(i, j)| m[(i, j)]).sum::<f64>() / observed.len() as f64;
+    let mean_rating = observed.iter().map(|&(i, j)| m[(i, j)]).sum::<f64>() / observed.len() as f64;
     let base = (mean_rating.max(0.0) / config.rank as f64).sqrt();
     let mut u = init_factor(&mut rng, n, config.rank, base);
     let mut v = init_factor(&mut rng, cols, config.rank, base);
@@ -220,7 +223,16 @@ pub fn pmf(m: &Matrix, observed: &[(usize, usize)], config: &PmfConfig) -> Resul
         for &idx in &order {
             let (i, j) = observed[idx];
             let err = dot_rows(&u, i, &v, j) - m[(i, j)];
-            sgd_step(&mut u, i, &mut v, j, err, config.learning_rate, config.lambda_u, config.lambda_v);
+            sgd_step(
+                &mut u,
+                i,
+                &mut v,
+                j,
+                err,
+                config.learning_rate,
+                config.lambda_u,
+                config.lambda_v,
+            );
         }
         loss_history.push(pmf_loss(m, observed, &u, &v, config));
     }
@@ -285,8 +297,7 @@ fn train_interval_pmf(
             let lr = config.learning_rate;
             for k in 0..config.rank {
                 let u_ik = u[(i, k)];
-                let grad_u =
-                    err_lo * v_lo[(j, k)] + err_hi * v_hi[(j, k)] + config.lambda_u * u_ik;
+                let grad_u = err_lo * v_lo[(j, k)] + err_hi * v_hi[(j, k)] + config.lambda_u * u_ik;
                 let grad_vlo = err_lo * u_ik + config.lambda_v * v_lo[(j, k)];
                 let grad_vhi = err_hi * u_ik + config.lambda_v * v_hi[(j, k)];
                 u[(i, k)] -= lr * grad_u;

@@ -288,8 +288,12 @@ impl IntervalSvd {
                 // Algorithm 13: scalar factors, interval core.
                 let u = self.u.lo();
                 let v_t = self.v.lo().transpose();
-                let lo = u.matmul(&Matrix::from_diag(&self.sigma_lo()))?.matmul(&v_t)?;
-                let hi = u.matmul(&Matrix::from_diag(&self.sigma_hi()))?.matmul(&v_t)?;
+                let lo = u
+                    .matmul(&Matrix::from_diag(&self.sigma_lo()))?
+                    .matmul(&v_t)?;
+                let hi = u
+                    .matmul(&Matrix::from_diag(&self.sigma_hi()))?
+                    .matmul(&v_t)?;
                 Ok(IntervalMatrix::from_bounds(lo, hi)?.average_replacement())
             }
             DecompositionTarget::Scalar => {
@@ -387,7 +391,9 @@ mod tests {
 
     #[test]
     fn option_c_everything_scalar() {
-        let svd = raw_sample().into_target(DecompositionTarget::Scalar).unwrap();
+        let svd = raw_sample()
+            .into_target(DecompositionTarget::Scalar)
+            .unwrap();
         assert!(svd.u_scalar().is_some());
         assert!(svd.v_scalar().is_some());
         assert!(svd.sigma.iter().all(|s| s.is_scalar()));
@@ -433,7 +439,9 @@ mod tests {
 
     #[test]
     fn row_projection_shapes_and_scalar_case() {
-        let svd = raw_sample().into_target(DecompositionTarget::Scalar).unwrap();
+        let svd = raw_sample()
+            .into_target(DecompositionTarget::Scalar)
+            .unwrap();
         let proj = svd.row_projection().unwrap();
         assert_eq!(proj.shape(), (2, 2));
         assert!(proj.is_scalar());

@@ -64,7 +64,11 @@ impl PrivacyProfile {
 
     /// The three profiles evaluated in Figure 7 of the paper.
     pub fn paper_profiles() -> [PrivacyProfile; 3] {
-        [PrivacyProfile::High, PrivacyProfile::Medium, PrivacyProfile::Low]
+        [
+            PrivacyProfile::High,
+            PrivacyProfile::Medium,
+            PrivacyProfile::Low,
+        ]
     }
 }
 
@@ -153,7 +157,10 @@ mod tests {
         for level in 0..4 {
             for &v in &[0.0, 0.37, 5.21, 9.999] {
                 let (lo, hi) = generalize_value(v, 0.0, 10.0, level);
-                assert!(lo <= v + 1e-12 && v <= hi + 1e-12, "level {level} value {v}");
+                assert!(
+                    lo <= v + 1e-12 && v <= hi + 1e-12,
+                    "level {level} value {v}"
+                );
             }
         }
     }
@@ -167,7 +174,10 @@ mod tests {
             })
             .collect();
         for w in widths.windows(2) {
-            assert!(w[1] >= w[0], "bin widths should grow with the level: {widths:?}");
+            assert!(
+                w[1] >= w[0],
+                "bin widths should grow with the level: {widths:?}"
+            );
         }
         // L4 splits [0,10] into 5 bins of width 2.
         assert!((widths[3] - 2.0).abs() < 1e-12);
@@ -194,7 +204,10 @@ mod tests {
         let high = span_of(PrivacyProfile::High, &mut rng);
         let medium = span_of(PrivacyProfile::Medium, &mut rng);
         let low = span_of(PrivacyProfile::Low, &mut rng);
-        assert!(high > medium && medium > low, "high={high}, medium={medium}, low={low}");
+        assert!(
+            high > medium && medium > low,
+            "high={high}, medium={medium}, low={low}"
+        );
     }
 
     #[test]

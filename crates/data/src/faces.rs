@@ -167,7 +167,8 @@ pub fn generate_faces<R: Rng + ?Sized>(config: &FaceCorpusConfig, rng: &mut R) -
                     for b in &blobs {
                         let dx = px as f64 - b.x;
                         let dy = py as f64 - b.y;
-                        value += b.amplitude * (-(dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma)).exp();
+                        value +=
+                            b.amplitude * (-(dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma)).exp();
                     }
                     value += config.pixel_noise * standard_normal(rng);
                     data[(row, py * res + px)] = value.clamp(0.0, 1.5);

@@ -118,11 +118,15 @@ impl MovieLensConfig {
 /// genres, and a rating is the (noisy, clipped, discretized) affinity of
 /// the user for the item's genres.
 pub fn movielens_like<R: Rng + ?Sized>(config: &MovieLensConfig, rng: &mut R) -> RatingDataset {
-    let user_affinity = Matrix::from_fn(config.n_users, config.n_genres, |_, _| rng.gen_range(1.0..5.0));
+    let user_affinity = Matrix::from_fn(config.n_users, config.n_genres, |_, _| {
+        rng.gen_range(1.0..5.0)
+    });
     let item_genres: Vec<Vec<usize>> = (0..config.n_items)
         .map(|_| {
             let count = rng.gen_range(1..=3usize);
-            let mut genres: Vec<usize> = (0..count).map(|_| rng.gen_range(0..config.n_genres)).collect();
+            let mut genres: Vec<usize> = (0..count)
+                .map(|_| rng.gen_range(0..config.n_genres))
+                .collect();
             genres.sort_unstable();
             genres.dedup();
             genres
@@ -195,7 +199,10 @@ pub fn user_genre_interval_matrix(dataset: &RatingDataset) -> IntervalMatrix {
 ///
 /// Returns the interval matrix together with the observed coordinates (in
 /// the order of `dataset.ratings`), ready to feed the PMF-family trainers.
-pub fn cf_interval_matrix(dataset: &RatingDataset, alpha: f64) -> (IntervalMatrix, Vec<(usize, usize)>) {
+pub fn cf_interval_matrix(
+    dataset: &RatingDataset,
+    alpha: f64,
+) -> (IntervalMatrix, Vec<(usize, usize)>) {
     let mut by_user: Vec<Vec<f64>> = vec![Vec::new(); dataset.n_users];
     let mut by_item: Vec<Vec<f64>> = vec![Vec::new(); dataset.n_items];
     for r in &dataset.ratings {
@@ -349,10 +356,17 @@ mod tests {
         assert_eq!(d.len(), c.n_ratings);
         assert!(!d.is_empty());
         assert!(d.ratings.iter().all(|r| (1.0..=5.0).contains(&r.value)));
-        assert!(d.ratings.iter().all(|r| r.user < d.n_users && r.item < d.n_items));
+        assert!(d
+            .ratings
+            .iter()
+            .all(|r| r.user < d.n_users && r.item < d.n_items));
         assert!(d.item_genres.iter().all(|g| !g.is_empty() && g.len() <= 3));
         // Density roughly matches MovieLens-100K (~6%).
-        assert!((d.density() - 0.064).abs() < 0.03, "density {}", d.density());
+        assert!(
+            (d.density() - 0.064).abs() < 0.03,
+            "density {}",
+            d.density()
+        );
     }
 
     #[test]
@@ -360,7 +374,11 @@ mod tests {
         let d = small_dataset(2);
         let mut seen = std::collections::HashSet::new();
         for r in &d.ratings {
-            assert!(seen.insert((r.user, r.item)), "duplicate rating for {:?}", (r.user, r.item));
+            assert!(
+                seen.insert((r.user, r.item)),
+                "duplicate rating for {:?}",
+                (r.user, r.item)
+            );
         }
     }
 
@@ -419,7 +437,10 @@ mod tests {
         let density = 1.0 - m.zero_fraction();
         assert!((density - 0.28).abs() < 0.04, "matrix density {density}");
         let int_density = m.interval_density();
-        assert!((int_density - 0.44).abs() < 0.08, "interval density {int_density}");
+        assert!(
+            (int_density - 0.44).abs() < 0.08,
+            "interval density {int_density}"
+        );
         // All bounds on the 1..5 scale.
         for (&l, &h) in m.lo().as_slice().iter().zip(m.hi().as_slice()) {
             assert!(l == 0.0 || ((1.0..=5.0).contains(&l) && (1.0..=5.0).contains(&h)));

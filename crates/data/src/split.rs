@@ -47,7 +47,11 @@ pub fn random_split<R: Rng + ?Sized>(n: usize, train_fraction: f64, rng: &mut R)
 /// samples (rounded, but at least one when the class has two or more
 /// members) goes to the training set. This mirrors the paper's ORL
 /// protocol of "randomly select 50% rows per individual as training data".
-pub fn stratified_split<R: Rng + ?Sized>(labels: &[usize], train_fraction: f64, rng: &mut R) -> Split {
+pub fn stratified_split<R: Rng + ?Sized>(
+    labels: &[usize],
+    train_fraction: f64,
+    rng: &mut R,
+) -> Split {
     let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
     let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
     for (idx, &label) in labels.iter().enumerate() {

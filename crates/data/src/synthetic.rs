@@ -198,7 +198,10 @@ mod tests {
     #[test]
     fn values_respect_the_configured_range() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let m = generate_uniform(&SyntheticConfig::paper_default().with_shape(20, 20), &mut rng);
+        let m = generate_uniform(
+            &SyntheticConfig::paper_default().with_shape(20, 20),
+            &mut rng,
+        );
         for &x in m.lo().as_slice() {
             assert!(x == 0.0 || (1.0..10.0).contains(&x));
         }

@@ -14,11 +14,7 @@ use crate::{interval_row_distance, scalar_row_distance, EvalError, Result};
 
 /// Classifies each test row by the label of its nearest training row
 /// (scalar Euclidean distance).
-pub fn knn1_scalar(
-    train: &Matrix,
-    train_labels: &[usize],
-    test: &Matrix,
-) -> Result<Vec<usize>> {
+pub fn knn1_scalar(train: &Matrix, train_labels: &[usize], test: &Matrix) -> Result<Vec<usize>> {
     if train.rows() != train_labels.len() {
         return Err(EvalError::LengthMismatch {
             what: "train rows vs labels",
@@ -156,7 +152,12 @@ mod tests {
 
     #[test]
     fn knn_scalar_classifies_separable_clusters() {
-        let train = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 5.0]]);
+        let train = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ]);
         let labels = vec![0, 0, 1, 1];
         let test = Matrix::from_rows(&[vec![0.05, 0.05], vec![4.9, 5.1]]);
         assert_eq!(knn1_scalar(&train, &labels, &test).unwrap(), vec![0, 1]);

@@ -92,12 +92,18 @@ pub fn kmeans_interval(data: &IntervalMatrix, config: &KMeansConfig) -> Result<K
         )));
     }
     if config.max_iters == 0 {
-        return Err(EvalError::InvalidArgument("max_iters must be positive".into()));
+        return Err(EvalError::InvalidArgument(
+            "max_iters must be positive".into(),
+        ));
     }
     let restarts = config.restarts.max(1);
     let mut best: Option<KMeansResult> = None;
     for attempt in 0..restarts {
-        let result = lloyd_run(data, config, config.seed.wrapping_add(attempt as u64 * 7919))?;
+        let result = lloyd_run(
+            data,
+            config,
+            config.seed.wrapping_add(attempt as u64 * 7919),
+        )?;
         if best.as_ref().map_or(true, |b| result.inertia < b.inertia) {
             best = Some(result);
         }
@@ -221,7 +227,10 @@ mod tests {
         let mut labels = Vec::new();
         for (c, &(cx, cy)) in centers.iter().enumerate() {
             for _ in 0..per_cluster {
-                rows.push(vec![cx + rng.gen_range(-0.5..0.5), cy + rng.gen_range(-0.5..0.5)]);
+                rows.push(vec![
+                    cx + rng.gen_range(-0.5..0.5),
+                    cy + rng.gen_range(-0.5..0.5),
+                ]);
                 labels.push(c);
             }
         }
@@ -275,14 +284,15 @@ mod tests {
             hi_rows.push(vec![9.0 + jitter]);
             labels.push(1);
         }
-        let data = IntervalMatrix::from_bounds(
-            Matrix::from_rows(&lo_rows),
-            Matrix::from_rows(&hi_rows),
-        )
-        .unwrap();
+        let data =
+            IntervalMatrix::from_bounds(Matrix::from_rows(&lo_rows), Matrix::from_rows(&hi_rows))
+                .unwrap();
         let result = kmeans_interval(&data, &KMeansConfig::new(2)).unwrap();
         let quality = nmi(&result.assignments, &labels).unwrap();
-        assert!(quality > 0.95, "interval k-means should separate spans, NMI {quality}");
+        assert!(
+            quality > 0.95,
+            "interval k-means should separate spans, NMI {quality}"
+        );
     }
 
     #[test]

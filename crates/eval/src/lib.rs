@@ -125,6 +125,8 @@ mod tests {
         };
         assert!(e.to_string().contains("labels"));
         assert!(EvalError::Empty.to_string().contains("non-empty"));
-        assert!(EvalError::InvalidArgument("k".into()).to_string().contains("k"));
+        assert!(EvalError::InvalidArgument("k".into())
+            .to_string()
+            .contains("k"));
     }
 }

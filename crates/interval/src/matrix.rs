@@ -44,7 +44,10 @@ impl IntervalMatrix {
     /// Builds a degenerate (scalar) interval matrix where both bounds equal
     /// `m`.
     pub fn from_scalar(m: Matrix) -> Self {
-        IntervalMatrix { lo: m.clone(), hi: m }
+        IntervalMatrix {
+            lo: m.clone(),
+            hi: m,
+        }
     }
 
     /// Builds an interval matrix by evaluating `f(i, j)` for every entry.

@@ -327,7 +327,10 @@ mod tests {
             for &b in &grid {
                 for &c in &grid {
                     for &d in &grid {
-                        let (Ok(x), Ok(y)) = (Interval::from_unordered(a, b), Interval::from_unordered(c, d)) else {
+                        let (Ok(x), Ok(y)) = (
+                            Interval::from_unordered(a, b),
+                            Interval::from_unordered(c, d),
+                        ) else {
                             continue;
                         };
                         if !x.is_scalar() && !y.is_scalar() {

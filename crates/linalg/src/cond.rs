@@ -40,8 +40,7 @@ pub fn condition_number(a: &Matrix) -> Result<f64> {
 /// Convenience helper: true when `a` is well-conditioned with respect to
 /// `threshold` (and square, so that a direct inverse exists).
 pub fn is_well_conditioned(a: &Matrix, threshold: f64) -> bool {
-    a.is_square()
-        && matches!(condition_number(a), Ok(c) if c.is_finite() && c <= threshold)
+    a.is_square() && matches!(condition_number(a), Ok(c) if c.is_finite() && c <= threshold)
 }
 
 #[cfg(test)]
@@ -63,7 +62,9 @@ mod tests {
     fn singular_matrix_is_infinitely_conditioned() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
         assert!(condition_number(&a).unwrap().is_infinite());
-        assert!(condition_number(&Matrix::zeros(3, 3)).unwrap().is_infinite());
+        assert!(condition_number(&Matrix::zeros(3, 3))
+            .unwrap()
+            .is_infinite());
     }
 
     #[test]

@@ -382,7 +382,10 @@ mod tests {
             sym_eigen(&Matrix::zeros(2, 3)),
             Err(LinalgError::NotSquare { .. })
         ));
-        assert!(matches!(sym_eigen(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+        assert!(matches!(
+            sym_eigen(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge within {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge within {iterations} iterations"
+            ),
             LinalgError::IndexOutOfBounds { row, col, shape } => write!(
                 f,
                 "index ({row}, {col}) out of bounds for {}x{} matrix",

@@ -199,7 +199,10 @@ mod tests {
             Lu::new(&Matrix::zeros(2, 3)),
             Err(LinalgError::NotSquare { .. })
         ));
-        assert!(matches!(Lu::new(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
     }
 
     #[test]

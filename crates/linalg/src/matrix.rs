@@ -77,7 +77,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix by evaluating `f(i, j)` for every entry.
@@ -242,7 +246,11 @@ impl Matrix {
     /// This is the guarded division used by the NMF multiplicative update
     /// rules, which must stay finite when a denominator entry collapses.
     pub fn hadamard_div_guarded(&self, rhs: &Matrix, eps: f64) -> Result<Matrix> {
-        self.zip_with(rhs, "hadamard_div", |a, b| if b.abs() < eps { 0.0 } else { a / b })
+        self.zip_with(
+            rhs,
+            "hadamard_div",
+            |a, b| if b.abs() < eps { 0.0 } else { a / b },
+        )
     }
 
     fn zip_with(
@@ -459,7 +467,10 @@ impl Matrix {
 
     /// Euclidean norm of column `j`.
     pub fn col_norm(&self, j: usize) -> f64 {
-        (0..self.rows).map(|i| self[(i, j)] * self[(i, j)]).sum::<f64>().sqrt()
+        (0..self.rows)
+            .map(|i| self[(i, j)] * self[(i, j)])
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Dot product of columns `a` and `b`.
@@ -488,7 +499,11 @@ impl Matrix {
         let diff = self.sub(rhs)?;
         let denom = self.frobenius_norm();
         if denom == 0.0 {
-            return Ok(if diff.frobenius_norm() == 0.0 { 0.0 } else { f64::INFINITY });
+            return Ok(if diff.frobenius_norm() == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            });
         }
         Ok(diff.frobenius_norm() / denom)
     }
@@ -691,7 +706,10 @@ mod tests {
     fn mean_with_averages_entries() {
         let a = Matrix::from_rows(&[vec![0.0, 2.0]]);
         let b = Matrix::from_rows(&[vec![2.0, 4.0]]);
-        assert_eq!(a.mean_with(&b).unwrap(), Matrix::from_rows(&[vec![1.0, 3.0]]));
+        assert_eq!(
+            a.mean_with(&b).unwrap(),
+            Matrix::from_rows(&[vec![1.0, 3.0]])
+        );
     }
 
     #[test]

@@ -6,13 +6,25 @@ use rand::Rng;
 use crate::Matrix;
 
 /// A matrix with entries drawn uniformly from `[lo, hi)`.
-pub fn uniform_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, lo: f64, hi: f64) -> Matrix {
+pub fn uniform_matrix<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    lo: f64,
+    hi: f64,
+) -> Matrix {
     Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
 }
 
 /// A matrix with i.i.d. standard normal entries (Box–Muller transform so we
 /// only rely on the `rand` core API).
-pub fn gaussian_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, mean: f64, std: f64) -> Matrix {
+pub fn gaussian_matrix<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    mean: f64,
+    std: f64,
+) -> Matrix {
     Matrix::from_fn(rows, cols, |_, _| mean + std * standard_normal(rng))
 }
 
@@ -35,7 +47,12 @@ pub fn symmetric_matrix<R: Rng + ?Sized>(rng: &mut R, n: usize, lo: f64, hi: f64
 ///
 /// Useful for generating matrices with a controlled spectrum, e.g. rating
 /// matrices that genuinely have low-rank latent structure.
-pub fn low_rank_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, rank: usize) -> Matrix {
+pub fn low_rank_matrix<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    rank: usize,
+) -> Matrix {
     let l = uniform_matrix(rng, rows, rank, 0.0, 1.0);
     let r = uniform_matrix(rng, cols, rank, 0.0, 1.0);
     l.matmul(&r.transpose()).expect("shapes agree")

@@ -86,11 +86,8 @@ pub fn svd(m: &Matrix) -> Result<Svd> {
     if c <= n {
         // Eigen-decompose the c x c Gram matrix MᵀM.
         let eig = sym_eigen(&m.gram())?;
-        let singular_values: Vec<f64> = eig
-            .eigenvalues
-            .iter()
-            .map(|&l| l.max(0.0).sqrt())
-            .collect();
+        let singular_values: Vec<f64> =
+            eig.eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let v = eig.eigenvectors;
         let u = recover_other_factor(m, &v, &singular_values);
         Ok(Svd {
@@ -101,11 +98,8 @@ pub fn svd(m: &Matrix) -> Result<Svd> {
     } else {
         // Eigen-decompose the n x n Gram matrix MMᵀ.
         let eig = sym_eigen(&m.outer_gram())?;
-        let singular_values: Vec<f64> = eig
-            .eigenvalues
-            .iter()
-            .map(|&l| l.max(0.0).sqrt())
-            .collect();
+        let singular_values: Vec<f64> =
+            eig.eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).collect();
         let u = eig.eigenvectors;
         let v = recover_other_factor(&m.transpose(), &u, &singular_values);
         Ok(Svd {
@@ -160,7 +154,11 @@ mod tests {
         let rec = f.reconstruct();
         let denom = m.frobenius_norm().max(1.0);
         let err = m.sub(&rec).unwrap().frobenius_norm() / denom;
-        assert!(err < tol, "reconstruction error {err} for shape {:?}", m.shape());
+        assert!(
+            err < tol,
+            "reconstruction error {err} for shape {:?}",
+            m.shape()
+        );
     }
 
     fn check_orthonormal_leading(q: &Matrix, count: usize, tol: f64) {
@@ -197,7 +195,15 @@ mod tests {
     #[test]
     fn svd_reconstructs_random_matrices_of_various_shapes() {
         let mut rng = SmallRng::seed_from_u64(21);
-        for &(r, c) in &[(1usize, 1usize), (5, 3), (3, 5), (10, 10), (40, 25), (25, 40), (60, 7)] {
+        for &(r, c) in &[
+            (1usize, 1usize),
+            (5, 3),
+            (3, 5),
+            (10, 10),
+            (40, 25),
+            (25, 40),
+            (60, 7),
+        ] {
             let m = uniform_matrix(&mut rng, r, c, -3.0, 3.0);
             check_reconstruction(&m, 1e-8);
         }

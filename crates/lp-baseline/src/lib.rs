@@ -68,8 +68,14 @@ pub fn lp_isvd(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IntervalSvd> {
     // Truncate to the target rank; eigenvalue bounds become singular value
     // bounds through sqrt (clamped at zero).
     let v_c = eig.eigenvectors.take_cols(r);
-    let sigma_lo: Vec<f64> = lambda_bounds[..r].iter().map(|b| b.0.max(0.0).sqrt()).collect();
-    let sigma_hi: Vec<f64> = lambda_bounds[..r].iter().map(|b| b.1.max(0.0).sqrt()).collect();
+    let sigma_lo: Vec<f64> = lambda_bounds[..r]
+        .iter()
+        .map(|b| b.0.max(0.0).sqrt())
+        .collect();
+    let sigma_hi: Vec<f64> = lambda_bounds[..r]
+        .iter()
+        .map(|b| b.1.max(0.0).sqrt())
+        .collect();
 
     // Eigenvector bounds: v_i ± dev_i entry-wise.
     let mut v_lo = v_c.clone();
@@ -161,7 +167,11 @@ mod tests {
         // With zero-width intervals the bounds collapse and the LP method is
         // an ordinary truncated SVD.
         let m = interval_matrix(1, 10, 8, 0.0);
-        let f = lp_isvd(&m, &IsvdConfig::new(8).with_target(DecompositionTarget::Scalar)).unwrap();
+        let f = lp_isvd(
+            &m,
+            &IsvdConfig::new(8).with_target(DecompositionTarget::Scalar),
+        )
+        .unwrap();
         let acc = reconstruction_accuracy(&m, &f.reconstruct().unwrap()).unwrap();
         assert!(acc.harmonic_mean > 0.99, "accuracy {}", acc.harmonic_mean);
     }
@@ -185,7 +195,10 @@ mod tests {
         // Option a exposes the (enormous) factor bounds directly: accuracy
         // must collapse on wide intervals, as the paper reports.
         let lp_wide_a = lp_acc(&wide, DecompositionTarget::IntervalAll);
-        assert!(lp_wide_a < 0.2, "LP option-a accuracy unexpectedly high: {lp_wide_a}");
+        assert!(
+            lp_wide_a < 0.2,
+            "LP option-a accuracy unexpectedly high: {lp_wide_a}"
+        );
         let lp_wide_b = lp_acc(&wide, DecompositionTarget::IntervalCore);
         // ISVD4 dominates LP on the wide-interval data.
         let isvd4 = isvd(

@@ -17,7 +17,10 @@ fn main() {
     // The "true" data a curator holds: 60 records x 40 attributes.
     let original = Matrix::from_fn(60, 40, |_, _| rng.gen_range(0.0..10.0));
 
-    println!("{:<16} {:>10} {:>10} {:>12}", "privacy", "ISVD0", "ISVD4-b", "mean span");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12}",
+        "privacy", "ISVD0", "ISVD4-b", "mean span"
+    );
     for profile in PrivacyProfile::paper_profiles() {
         // What an analyst receives: every value generalized to a bin.
         let published = anonymize_matrix(&original, 0.0, 10.0, profile, &mut rng);
@@ -44,7 +47,10 @@ fn main() {
         .harmonic_mean;
         let aware_acc = reconstruction_accuracy(
             &published,
-            &interval_aware.factors.reconstruct().expect("reconstruction"),
+            &interval_aware
+                .factors
+                .reconstruct()
+                .expect("reconstruction"),
         )
         .expect("accuracy")
         .harmonic_mean;

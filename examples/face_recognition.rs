@@ -63,5 +63,7 @@ fn main() {
         let f1 = macro_f1(&predictions, &test_labels).expect("F1");
         println!("{rank:>6} {f1:>10.4}");
     }
-    println!("\nLow-rank interval projections retain enough identity information to recognize people.");
+    println!(
+        "\nLow-rank interval projections retain enough identity information to recognize people."
+    );
 }

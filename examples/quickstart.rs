@@ -23,8 +23,16 @@ fn main() {
     let hi = lo.add(&spans).expect("same shape");
     let m = IntervalMatrix::from_bounds(lo, hi).expect("valid bounds");
 
-    println!("input: {}x{} interval matrix, mean span {:.3}", m.rows(), m.cols(), m.mean_span());
-    println!("entry (0,0) = {}", Interval::new(m.get_raw(0, 0).0, m.get_raw(0, 0).1).unwrap());
+    println!(
+        "input: {}x{} interval matrix, mean span {:.3}",
+        m.rows(),
+        m.cols(),
+        m.mean_span()
+    );
+    println!(
+        "entry (0,0) = {}",
+        Interval::new(m.get_raw(0, 0).0, m.get_raw(0, 0).1).unwrap()
+    );
     println!();
 
     // Decompose with every strategy at rank 3, option b (scalar factors +
@@ -35,7 +43,10 @@ fn main() {
             .with_algorithm(algorithm)
             .with_target(DecompositionTarget::IntervalCore);
         let result = isvd(&m, &config).expect("decomposition succeeds");
-        let reconstruction = result.factors.reconstruct().expect("reconstruction succeeds");
+        let reconstruction = result
+            .factors
+            .reconstruct()
+            .expect("reconstruction succeeds");
         let accuracy = reconstruction_accuracy(&m, &reconstruction).expect("same shape");
         println!(
             "{:<10} {:>10.4} {:>12.1}",

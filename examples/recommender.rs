@@ -36,13 +36,19 @@ fn main() {
     };
     let test: Vec<_> = split.test.iter().map(|&i| dataset.ratings[i]).collect();
     let targets: Vec<f64> = test.iter().map(|r| r.value).collect();
-    println!("train: {} ratings, test: {} ratings\n", train.len(), test.len());
+    println!(
+        "train: {} ratings, test: {} ratings\n",
+        train.len(),
+        test.len()
+    );
 
     let (scalar, scalar_obs) = cf_scalar_matrix(&train);
     let (interval, interval_obs) = cf_interval_matrix(&train, 0.5);
 
     let rank = 20;
-    let pmf_config = PmfConfig::new(rank).with_epochs(40).with_learning_rate(0.01);
+    let pmf_config = PmfConfig::new(rank)
+        .with_epochs(40)
+        .with_learning_rate(0.01);
 
     let pmf_model = pmf(&scalar, &scalar_obs, &pmf_config).expect("PMF");
     let ipmf_model = ipmf(&interval, &interval_obs, &pmf_config).expect("I-PMF");
@@ -52,9 +58,24 @@ fn main() {
         let err = rmse(&predictions, &targets).expect("rmse");
         println!("{name:<8} test RMSE = {err:.4}");
     };
-    eval("PMF", test.iter().map(|r| pmf_model.predict(r.user, r.item)).collect());
-    eval("I-PMF", test.iter().map(|r| ipmf_model.predict(r.user, r.item)).collect());
-    eval("AI-PMF", test.iter().map(|r| aipmf_model.predict(r.user, r.item)).collect());
+    eval(
+        "PMF",
+        test.iter()
+            .map(|r| pmf_model.predict(r.user, r.item))
+            .collect(),
+    );
+    eval(
+        "I-PMF",
+        test.iter()
+            .map(|r| ipmf_model.predict(r.user, r.item))
+            .collect(),
+    );
+    eval(
+        "AI-PMF",
+        test.iter()
+            .map(|r| aipmf_model.predict(r.user, r.item))
+            .collect(),
+    );
 
     // Show a few interval predictions from the aligned model.
     println!("\nsample AI-PMF interval predictions (true rating in brackets):");

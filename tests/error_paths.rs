@@ -1,0 +1,90 @@
+//! Error-path coverage across the crate stack: constructors and
+//! configuration validation must fail with the *specific* error variant the
+//! API documents, not just "some error".
+
+use ivmf_core::isvd::isvd;
+use ivmf_core::{IsvdConfig, IvmfError};
+use ivmf_interval::{Interval, IntervalError, IntervalMatrix};
+use ivmf_linalg::Matrix;
+
+fn small_interval_matrix(rows: usize, cols: usize) -> IntervalMatrix {
+    let lo = Matrix::from_fn(rows, cols, |i, j| (i + j) as f64 + 1.0);
+    let hi = Matrix::from_fn(rows, cols, |i, j| (i + j) as f64 + 2.0);
+    IntervalMatrix::from_bounds(lo, hi).unwrap()
+}
+
+#[test]
+fn interval_new_rejects_misordered_bounds() {
+    let err = Interval::new(2.0, 1.0).unwrap_err();
+    assert_eq!(err, IntervalError::InvalidBounds { lo: 2.0, hi: 1.0 });
+}
+
+#[test]
+fn interval_new_rejects_nan_bounds() {
+    assert_eq!(
+        Interval::new(f64::NAN, 1.0).unwrap_err(),
+        IntervalError::NotANumber
+    );
+    assert_eq!(
+        Interval::new(0.0, f64::NAN).unwrap_err(),
+        IntervalError::NotANumber
+    );
+}
+
+#[test]
+fn from_bounds_rejects_shape_mismatch() {
+    let lo = Matrix::zeros(2, 3);
+    let hi = Matrix::zeros(3, 2);
+    match IntervalMatrix::from_bounds(lo, hi).unwrap_err() {
+        IntervalError::DimensionMismatch { lhs, rhs, .. } => {
+            assert_eq!(lhs, (2, 3));
+            assert_eq!(rhs, (3, 2));
+        }
+        other => panic!("expected DimensionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn from_bounds_defers_misordered_entries_to_repair() {
+    // Entry-wise lo > hi is *not* a constructor error: the ISVD algorithms
+    // routinely build mis-ordered intermediate factors and the paper defers
+    // the fix to the average-replacement repair (supplementary Algorithm 3).
+    let m = IntervalMatrix::from_bounds(
+        Matrix::from_rows(&[vec![3.0]]),
+        Matrix::from_rows(&[vec![1.0]]),
+    )
+    .unwrap();
+    assert!(!m.is_proper());
+    assert!(m.average_replacement().is_proper());
+}
+
+#[test]
+fn isvd_config_rejects_rank_zero() {
+    let m = small_interval_matrix(4, 5);
+    match isvd(&m, &IsvdConfig::new(0)).unwrap_err() {
+        IvmfError::InvalidConfig(msg) => assert!(msg.contains("rank"), "message: {msg}"),
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+#[test]
+fn isvd_config_rejects_rank_above_min_dimension() {
+    let m = small_interval_matrix(4, 5);
+    match isvd(&m, &IsvdConfig::new(5)).unwrap_err() {
+        IvmfError::InvalidConfig(msg) => {
+            assert!(msg.contains("exceeds min(n, m)"), "message: {msg}")
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    // rank == min(n, m) is the largest legal value.
+    assert!(isvd(&m, &IsvdConfig::new(4)).is_ok());
+}
+
+#[test]
+fn isvd_rejects_empty_input() {
+    let m = IntervalMatrix::from_bounds(Matrix::zeros(0, 3), Matrix::zeros(0, 3)).unwrap();
+    match isvd(&m, &IsvdConfig::new(1)).unwrap_err() {
+        IvmfError::InvalidInput(msg) => assert!(msg.contains("non-empty"), "message: {msg}"),
+        other => panic!("expected InvalidInput, got {other:?}"),
+    }
+}

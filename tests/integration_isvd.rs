@@ -13,7 +13,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn hmean(m: &IntervalMatrix, alg: IsvdAlgorithm, target: DecompositionTarget, rank: usize) -> f64 {
-    let config = IsvdConfig::new(rank).with_algorithm(alg).with_target(target);
+    let config = IsvdConfig::new(rank)
+        .with_algorithm(alg)
+        .with_target(target);
     let out = isvd(m, &config).expect("decomposition");
     reconstruction_accuracy(m, &out.factors.reconstruct().expect("reconstruction"))
         .expect("accuracy")
@@ -46,7 +48,12 @@ fn isvd4_option_b_beats_isvd0_on_wide_interval_data() {
         hmean(m, IsvdAlgorithm::Isvd0, DecompositionTarget::Scalar, rank)
     });
     let a4 = average_over_replicates(&config, 3, |m| {
-        hmean(m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore, rank)
+        hmean(
+            m,
+            IsvdAlgorithm::Isvd4,
+            DecompositionTarget::IntervalCore,
+            rank,
+        )
     });
     assert!(
         a4 > a0,
@@ -60,12 +67,20 @@ fn option_b_is_at_least_as_good_as_option_c_for_isvd4() {
     let config = SyntheticConfig::paper_default().with_shape(30, 60);
     let rank = 15;
     let b = average_over_replicates(&config, 3, |m| {
-        hmean(m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore, rank)
+        hmean(
+            m,
+            IsvdAlgorithm::Isvd4,
+            DecompositionTarget::IntervalCore,
+            rank,
+        )
     });
     let c = average_over_replicates(&config, 3, |m| {
         hmean(m, IsvdAlgorithm::Isvd4, DecompositionTarget::Scalar, rank)
     });
-    assert!(b >= c - 0.02, "option-b ({b:.3}) fell behind option-c ({c:.3})");
+    assert!(
+        b >= c - 0.02,
+        "option-b ({b:.3}) fell behind option-c ({c:.3})"
+    );
 }
 
 #[test]
@@ -74,7 +89,11 @@ fn accuracy_improves_with_rank_for_every_algorithm() {
     let config = SyntheticConfig::paper_default().with_shape(30, 60);
     let mut rng = SmallRng::seed_from_u64(42);
     let m = generate_uniform(&config, &mut rng);
-    for alg in [IsvdAlgorithm::Isvd1, IsvdAlgorithm::Isvd3, IsvdAlgorithm::Isvd4] {
+    for alg in [
+        IsvdAlgorithm::Isvd1,
+        IsvdAlgorithm::Isvd3,
+        IsvdAlgorithm::Isvd4,
+    ] {
         let low = hmean(&m, alg, DecompositionTarget::IntervalCore, 5);
         let high = hmean(&m, alg, DecompositionTarget::IntervalCore, 25);
         assert!(
@@ -93,16 +112,33 @@ fn narrower_intervals_are_easier_to_reconstruct() {
             .with_shape(30, 80)
             .with_interval_intensity(0.1),
         3,
-        |m| hmean(m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore, rank),
+        |m| {
+            hmean(
+                m,
+                IsvdAlgorithm::Isvd4,
+                DecompositionTarget::IntervalCore,
+                rank,
+            )
+        },
     );
     let wide = average_over_replicates(
         &SyntheticConfig::paper_default()
             .with_shape(30, 80)
             .with_interval_intensity(1.0),
         3,
-        |m| hmean(m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore, rank),
+        |m| {
+            hmean(
+                m,
+                IsvdAlgorithm::Isvd4,
+                DecompositionTarget::IntervalCore,
+                rank,
+            )
+        },
     );
-    assert!(narrow > wide, "narrow {narrow:.3} should beat wide {wide:.3}");
+    assert!(
+        narrow > wide,
+        "narrow {narrow:.3} should beat wide {wide:.3}"
+    );
 }
 
 #[test]
@@ -113,7 +149,12 @@ fn anonymized_data_higher_privacy_is_harder() {
     let accuracy_for = |profile: PrivacyProfile| {
         let mut rng = SmallRng::seed_from_u64(7);
         let m = generate_anonymized(30, 80, profile, &mut rng);
-        hmean(&m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore, rank)
+        hmean(
+            &m,
+            IsvdAlgorithm::Isvd4,
+            DecompositionTarget::IntervalCore,
+            rank,
+        )
     };
     let low = accuracy_for(PrivacyProfile::Low);
     let high = accuracy_for(PrivacyProfile::High);
@@ -131,12 +172,17 @@ fn lp_competitor_is_dominated_by_isvd_on_paper_style_data() {
     let rank = 15;
     let mut rng = SmallRng::seed_from_u64(3);
     let m = generate_uniform(&config, &mut rng);
-    let lp = lp_isvd_with_target(&m, rank, DecompositionTarget::IntervalAll)
-        .expect("LP decomposition");
+    let lp =
+        lp_isvd_with_target(&m, rank, DecompositionTarget::IntervalAll).expect("LP decomposition");
     let lp_acc = reconstruction_accuracy(&m, &lp.reconstruct().expect("reconstruction"))
         .expect("accuracy")
         .harmonic_mean;
-    let isvd_acc = hmean(&m, IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalAll, rank);
+    let isvd_acc = hmean(
+        &m,
+        IsvdAlgorithm::Isvd4,
+        DecompositionTarget::IntervalAll,
+        rank,
+    );
     assert!(
         isvd_acc > lp_acc,
         "ISVD4-a ({isvd_acc:.3}) should dominate LP-a ({lp_acc:.3})"
@@ -157,7 +203,10 @@ fn all_algorithms_and_targets_run_on_sparse_interval_data() {
             let config = IsvdConfig::new(10).with_algorithm(alg).with_target(target);
             let out = isvd(&m, &config).expect("decomposition on sparse data");
             let rec = out.factors.reconstruct().expect("reconstruction");
-            assert!(!rec.has_non_finite(), "{alg:?}/{target:?} produced non-finite values");
+            assert!(
+                !rec.has_non_finite(),
+                "{alg:?}/{target:?} produced non-finite values"
+            );
         }
     }
 }

@@ -138,15 +138,17 @@ fn reconstruction_error_decreases_with_rank_and_isvd_beats_nmf_at_equal_rank() {
     };
     let low = rmse_at(4);
     let high = rmse_at(16);
-    assert!(high < low, "rank 16 RMSE {high:.4} should be below rank 4 RMSE {low:.4}");
+    assert!(
+        high < low,
+        "rank 16 RMSE {high:.4} should be below rank 4 RMSE {low:.4}"
+    );
 
     // SVD-based reconstruction is optimal in Frobenius norm, so at equal
     // rank it should not lose to the NMF baselines (Figure 8a shape).
     let nmf_model = nmf(&faces.mid(), &NmfConfig::new(8).with_max_iters(150)).expect("NMF");
     let nmf_rmse = matrix_rmse(&dataset.data, &nmf_model.reconstruct().unwrap()).unwrap();
     let inmf_model = interval_nmf(&faces, &NmfConfig::new(8).with_max_iters(150)).expect("I-NMF");
-    let inmf_rmse =
-        matrix_rmse(&dataset.data, &inmf_model.reconstruct().unwrap().mid()).unwrap();
+    let inmf_rmse = matrix_rmse(&dataset.data, &inmf_model.reconstruct().unwrap().mid()).unwrap();
     let isvd_rmse = rmse_at(8);
     assert!(
         isvd_rmse <= nmf_rmse + 1e-6 && isvd_rmse <= inmf_rmse + 1e-6,

@@ -46,8 +46,7 @@ fn setup(seed: u64) -> CfSetup {
 fn all_three_models_beat_the_global_mean_baseline() {
     let cf = setup(1);
     let targets: Vec<f64> = cf.test.iter().map(|r| r.value).collect();
-    let global_mean =
-        cf.train.ratings.iter().map(|r| r.value).sum::<f64>() / cf.train.len() as f64;
+    let global_mean = cf.train.ratings.iter().map(|r| r.value).sum::<f64>() / cf.train.len() as f64;
     let baseline = rmse(&vec![global_mean; targets.len()], &targets).unwrap();
 
     let (scalar, scalar_obs) = cf_scalar_matrix(&cf.train);
@@ -55,27 +54,18 @@ fn all_three_models_beat_the_global_mean_baseline() {
     let config = PmfConfig::new(10).with_epochs(40).with_learning_rate(0.01);
 
     let models: Vec<(&str, Vec<f64>)> = vec![
-        (
-            "PMF",
-            {
-                let m = pmf(&scalar, &scalar_obs, &config).unwrap();
-                cf.test.iter().map(|r| m.predict(r.user, r.item)).collect()
-            },
-        ),
-        (
-            "I-PMF",
-            {
-                let m = ipmf(&interval, &interval_obs, &config).unwrap();
-                cf.test.iter().map(|r| m.predict(r.user, r.item)).collect()
-            },
-        ),
-        (
-            "AI-PMF",
-            {
-                let m = aipmf(&interval, &interval_obs, &config).unwrap();
-                cf.test.iter().map(|r| m.predict(r.user, r.item)).collect()
-            },
-        ),
+        ("PMF", {
+            let m = pmf(&scalar, &scalar_obs, &config).unwrap();
+            cf.test.iter().map(|r| m.predict(r.user, r.item)).collect()
+        }),
+        ("I-PMF", {
+            let m = ipmf(&interval, &interval_obs, &config).unwrap();
+            cf.test.iter().map(|r| m.predict(r.user, r.item)).collect()
+        }),
+        ("AI-PMF", {
+            let m = aipmf(&interval, &interval_obs, &config).unwrap();
+            cf.test.iter().map(|r| m.predict(r.user, r.item)).collect()
+        }),
     ];
     for (name, predictions) in models {
         let err = rmse(&predictions, &targets).unwrap();
@@ -99,12 +89,18 @@ fn aipmf_is_competitive_with_ipmf_on_held_out_data() {
     let ipmf_model = ipmf(&interval, &interval_obs, &config).unwrap();
     let aipmf_model = aipmf(&interval, &interval_obs, &config).unwrap();
     let ipmf_rmse = rmse(
-        &cf.test.iter().map(|r| ipmf_model.predict(r.user, r.item)).collect::<Vec<_>>(),
+        &cf.test
+            .iter()
+            .map(|r| ipmf_model.predict(r.user, r.item))
+            .collect::<Vec<_>>(),
         &targets,
     )
     .unwrap();
     let aipmf_rmse = rmse(
-        &cf.test.iter().map(|r| aipmf_model.predict(r.user, r.item)).collect::<Vec<_>>(),
+        &cf.test
+            .iter()
+            .map(|r| aipmf_model.predict(r.user, r.item))
+            .collect::<Vec<_>>(),
         &targets,
     )
     .unwrap();
@@ -122,7 +118,10 @@ fn training_loss_decreases_monotonically_enough() {
     let model = aipmf(&interval, &interval_obs, &config).unwrap();
     let first = model.loss_history.first().copied().unwrap();
     let last = model.loss_history.last().copied().unwrap();
-    assert!(last < 0.8 * first, "loss did not decrease enough: {first:.1} -> {last:.1}");
+    assert!(
+        last < 0.8 * first,
+        "loss did not decrease enough: {first:.1} -> {last:.1}"
+    );
 }
 
 #[test]
@@ -140,5 +139,9 @@ fn user_genre_matrix_feeds_the_isvd_pipeline() {
         &out.factors.reconstruct().expect("reconstruction"),
     )
     .expect("accuracy");
-    assert!(acc.harmonic_mean > 0.6, "full-rank accuracy {:.3}", acc.harmonic_mean);
+    assert!(
+        acc.harmonic_mean > 0.6,
+        "full-rank accuracy {:.3}",
+        acc.harmonic_mean
+    );
 }

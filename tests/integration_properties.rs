@@ -11,8 +11,15 @@ use rand::SeedableRng;
 
 fn arb_config() -> impl Strategy<Value = (SyntheticConfig, usize, u64)> {
     // Shapes stay small so the whole property suite runs in seconds.
-    (4usize..14, 4usize..14, 0.0f64..0.6, 0.0f64..1.0, 0.05f64..1.0, 1u64..500).prop_map(
-        |(rows, cols, zeros, density, intensity, seed)| {
+    (
+        4usize..14,
+        4usize..14,
+        0.0f64..0.6,
+        0.0f64..1.0,
+        0.05f64..1.0,
+        1u64..500,
+    )
+        .prop_map(|(rows, cols, zeros, density, intensity, seed)| {
             let config = SyntheticConfig::paper_default()
                 .with_shape(rows, cols)
                 .with_zero_fraction(zeros)
@@ -20,8 +27,7 @@ fn arb_config() -> impl Strategy<Value = (SyntheticConfig, usize, u64)> {
                 .with_interval_intensity(intensity);
             let rank = rows.min(cols).min(4).max(1);
             (config, rank, seed)
-        },
-    )
+        })
 }
 
 proptest! {

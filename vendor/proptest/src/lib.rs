@@ -1,0 +1,85 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! It keeps the same test-authoring surface the workspace uses — the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, `pat in strategy`
+//! parameters, range and tuple strategies, [`Strategy::prop_map`],
+//! [`prop_assert!`] / [`prop_assert_eq!`] — but replaces proptest's
+//! shrinking machinery with straightforward deterministic random sampling:
+//! each test runs `cases` times with a per-case seeded RNG, and a failing
+//! case reports its test name and case index on stderr so it can be
+//! replayed through `test_runner::rng_for_case`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::ProptestConfig;
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a property holds; panics (failing the current case) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two values are equal within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts two values differ within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a test that draws its inputs from the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let _guard = $crate::test_runner::CaseGuard::new(stringify!($name), case);
+                    let mut prop_rng = $crate::test_runner::rng_for_case(stringify!($name), case);
+                    $( let $pat = $crate::Strategy::generate(&$strat, &mut prop_rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($pat in $strat),+ ) $body
+            )*
+        }
+    };
+}

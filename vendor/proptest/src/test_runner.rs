@@ -1,0 +1,62 @@
+//! Test-runner configuration and per-case RNG derivation.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Derives a deterministic RNG for one case of one named property, so a
+/// failure report ("case N of test T") can be replayed exactly.
+pub fn rng_for_case(test_name: &str, case: u32) -> SmallRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(hash ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Announces the failing case when a property panics, so it can be replayed
+/// via [`rng_for_case`] with the reported name and index.
+pub struct CaseGuard {
+    test_name: &'static str,
+    case: u32,
+}
+
+impl CaseGuard {
+    /// Arms the guard for one case of one named property.
+    pub fn new(test_name: &'static str, case: u32) -> Self {
+        CaseGuard { test_name, case }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest stub: property `{}` failed on case {}; replay its inputs with \
+                 proptest::test_runner::rng_for_case({:?}, {})",
+                self.test_name, self.case, self.test_name, self.case
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Exercises the `proptest!` macro surface end-to-end: case counts,
+//! multi-parameter strategies, `prop_map`, and per-case determinism.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use proptest::prelude::*;
+
+static CASES_RUN: AtomicU32 = AtomicU32::new(0);
+
+// No `#[test]` on this property: it is invoked directly below so the case
+// count can be asserted without racing the parallel test harness.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    fn counting_property(_x in 0usize..10) {
+        CASES_RUN.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn runs_exactly_the_configured_number_of_cases() {
+    let before = CASES_RUN.load(Ordering::SeqCst);
+    counting_property();
+    assert_eq!(CASES_RUN.load(Ordering::SeqCst) - before, 24);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn multi_parameter_strategies_stay_in_bounds(
+        a in 1usize..5,
+        b in 0.0f64..1.0,
+        (c, d) in (2u64..9, -3i32..=3).prop_map(|(c, d)| (c * 2, d)),
+    ) {
+        prop_assert!((1..5).contains(&a));
+        prop_assert!((0.0..1.0).contains(&b));
+        prop_assert!(c % 2 == 0 && (4..18).contains(&c));
+        prop_assert!((-3..=3).contains(&d));
+    }
+}
+
+#[test]
+fn per_case_rngs_are_deterministic() {
+    let mut a = proptest::test_runner::rng_for_case("some_test", 3);
+    let mut b = proptest::test_runner::rng_for_case("some_test", 3);
+    let s = (0usize..1000).generate(&mut a);
+    assert_eq!(s, (0usize..1000).generate(&mut b));
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and result
+//! types so that downstream users can wire up real serialization, but no
+//! code in the repository serializes anything yet and the build environment
+//! cannot fetch the real crate. This stub keeps the derive sites compiling
+//! by providing the two trait names as empty marker traits together with
+//! stub derive macros (see `vendor/serde_derive`).
+//!
+//! Swapping in the real serde later is a one-line change in the workspace
+//! `Cargo.toml`; no source file needs to change.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,57 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The real derive macros generate full (de)serialization code; this
+//! workspace only uses the derives as declarations (no serialization
+//! back-end is wired up offline), so the stand-in emits empty impls of the
+//! marker traits defined by the vendored `serde` stub.
+//!
+//! Only plain, non-generic `struct`s and `enum`s are supported; anything
+//! else fails the build loudly so a silent no-op can never mask a real
+//! serialization need.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the deriving type, rejecting generic types.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = iter.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "serde stub derive: generic type `{name}` is not supported; \
+                                     write the impls by hand or extend vendor/serde_derive"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("serde stub derive: expected type name, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: input is not a struct or enum")
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
