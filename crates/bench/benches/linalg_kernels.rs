@@ -1,0 +1,160 @@
+//! Kernel-level benchmarks of the matrix-multiplication layer: the seed
+//! i-k-j scalar kernel vs the blocked k-panel kernel (with the
+//! `IVMF_THREADS` worker pool), and the paper's four-product interval
+//! matmul vs the Rump midpoint–radius two-product enclosure.
+//!
+//! Unlike the other benches this one has a custom `main`: after the timing
+//! groups run it collects the recorded medians from the criterion stub and
+//! writes them — plus the blocked-vs-naive and mr-vs-4mul speedups at
+//! 256×256 — to `BENCH_linalg.json` at the repository root (override the
+//! path with `IVMF_BENCH_OUT`), so the kernel perf trajectory is recorded
+//! across PRs.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
+use ivmf_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SIZES: [usize; 3] = [64, 128, 256];
+
+fn random_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    ivmf_linalg::random::uniform_matrix(&mut rng, rows, cols, -1.0, 1.0)
+}
+
+fn bench_scalar_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_naive");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let a = random_matrix(1, n, n);
+        let b = random_matrix(2, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| a.matmul_naive(&b).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("matmul_blocked");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let a = random_matrix(1, n, n);
+        let b = random_matrix(2, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| a.matmul(&b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_interval_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_matmul_4mul");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let config = SyntheticConfig::paper_default().with_shape(n, n);
+        let a = generate_uniform(&config, &mut rng);
+        let b = generate_uniform(&config, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| a.interval_matmul(&b).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("interval_matmul_mr");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let config = SyntheticConfig::paper_default().with_shape(n, n);
+        let a = generate_uniform(&config, &mut rng);
+        let b = generate_uniform(&config, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| a.interval_matmul_mr(&b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Looks up the median for a `group/size` benchmark name.
+fn median_of(results: &[(String, Duration)], name: &str) -> Option<Duration> {
+    results
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, median)| median)
+}
+
+fn speedup(results: &[(String, Duration)], baseline: &str, fast: &str) -> Option<f64> {
+    let base = median_of(results, baseline)?.as_secs_f64();
+    let new = median_of(results, fast)?.as_secs_f64();
+    (new > 0.0).then(|| base / new)
+}
+
+fn emit_json(results: &[(String, Duration)]) -> std::io::Result<()> {
+    let out_path = std::env::var("IVMF_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_linalg.json",
+            env!("CARGO_MANIFEST_DIR") // crates/bench -> repository root
+        )
+    });
+    let mut json = String::from("{\n  \"bench\": \"linalg_kernels\",\n  \"results\": [\n");
+    for (i, (name, median)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ns\": {}}}{}\n",
+            median.as_nanos(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"speedups\": {\n");
+    let pairs = [
+        (
+            "matmul_blocked_vs_naive_256",
+            "matmul_naive/256",
+            "matmul_blocked/256",
+        ),
+        (
+            "interval_mr_vs_4mul_256",
+            "interval_matmul_4mul/256",
+            "interval_matmul_mr/256",
+        ),
+    ];
+    let lines: Vec<String> = pairs
+        .iter()
+        .filter_map(|&(label, base, fast)| {
+            speedup(results, base, fast).map(|s| format!("    \"{label}\": {s:.3}"))
+        })
+        .collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  },\n");
+    json.push_str(&format!(
+        "  \"threads\": {}\n}}\n",
+        ivmf_par::configured_threads()
+    ));
+    std::fs::write(&out_path, json)?;
+    eprintln!("wrote kernel benchmark results to {out_path}");
+    Ok(())
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_scalar_matmul(&mut criterion);
+    bench_interval_matmul(&mut criterion);
+
+    let results = criterion::recorded_measurements();
+    for &(label, base, fast) in &[
+        ("blocked vs naive", "matmul_naive/256", "matmul_blocked/256"),
+        (
+            "mid-rad vs 4-multiply",
+            "interval_matmul_4mul/256",
+            "interval_matmul_mr/256",
+        ),
+    ] {
+        if let Some(s) = speedup(&results, base, fast) {
+            println!("speedup at 256x256 ({label}): {s:.2}x");
+        }
+    }
+    if let Err(e) = emit_json(&results) {
+        eprintln!("failed to write BENCH_linalg.json: {e}");
+    }
+}

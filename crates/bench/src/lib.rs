@@ -16,15 +16,37 @@
 //! | `exp_fig9` | Figure 9 — Ciao/Epinions/MovieLens-like reconstruction accuracy × rank × target |
 //! | `exp_fig10` | Figure 10 — collaborative-filtering RMSE of PMF / I-PMF / AI-PMF vs rank |
 //!
-//! All binaries honour two environment variables so the full grids stay
-//! laptop-friendly:
+//! All binaries honour the environment variables documented in README.md
+//! (`IVMF_REPLICATES`, `IVMF_SCALE`, `IVMF_THREADS`,
+//! `IVMF_EXACT_INTERVAL`) so the full grids stay laptop-friendly.
 //!
-//! * `IVMF_REPLICATES` — number of seeded replicates to average over
-//!   (default 5; the paper averages over 100).
-//! * `IVMF_SCALE` — a size multiplier in `(0, 1]` applied to the larger
-//!   data sets (default keeps the moderate defaults documented per binary).
+//! Run them with `cargo run --release -p ivmf-bench --bin <name>`. The
+//! `linalg_kernels` bench additionally records kernel medians and speedups
+//! to `BENCH_linalg.json` at the repository root.
 //!
-//! Run them with `cargo run --release -p ivmf-bench --bin <name>`.
+//! ## Example
+//!
+//! The shared runner evaluates one method on one interval matrix exactly
+//! like the experiment binaries do:
+//!
+//! ```
+//! use ivmf_bench::{evaluate_algorithm, AlgoSpec, Table};
+//! use ivmf_bench::table::fmt3;
+//! use ivmf_core::{DecompositionTarget, IsvdAlgorithm};
+//! use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let m = generate_uniform(&SyntheticConfig::paper_default().with_shape(12, 9), &mut rng);
+//! let spec = AlgoSpec::Isvd(IsvdAlgorithm::Isvd4, DecompositionTarget::IntervalCore);
+//! let outcome = evaluate_algorithm(&m, 6, spec);
+//!
+//! let mut table = Table::new(vec!["algo", "H-mean"]);
+//! table.add_row(vec![spec.name(), fmt3(outcome.harmonic_mean)]);
+//! assert!(table.render().contains("ISVD4-b"));
+//! assert!(outcome.harmonic_mean > 0.5);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -21,8 +21,9 @@ pub fn isvd2(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
     config.validate(m.shape())?;
     let mut timings = StageTimings::default();
 
-    // Preprocessing: interval Gram matrix A† = M†ᵀ M†.
-    let gram = timed(&mut timings.preprocessing, || m.interval_gram())?;
+    // Preprocessing: interval Gram matrix A† = M†ᵀ M† (midpoint–radius
+    // fast path at experiment scale, exact envelope below it).
+    let gram = timed(&mut timings.preprocessing, || m.interval_gram_fast())?;
 
     // Decomposition: eigendecompose both bounds of A†, then solve for the
     // left factors of both bounds.

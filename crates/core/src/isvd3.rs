@@ -43,8 +43,9 @@ pub(crate) fn decompose_align_solve(
     config: &IsvdConfig,
     timings: &mut StageTimings,
 ) -> Result<AlignedSolve> {
-    // Preprocessing: interval Gram matrix.
-    let gram = timed(&mut timings.preprocessing, || m.interval_gram())?;
+    // Preprocessing: interval Gram matrix (midpoint–radius fast path at
+    // experiment scale, exact envelope below it).
+    let gram = timed(&mut timings.preprocessing, || m.interval_gram_fast())?;
 
     // Decomposition (part 1): eigendecompose the Gram bounds.
     let (eig_lo, eig_hi) = timed(&mut timings.decomposition, || {

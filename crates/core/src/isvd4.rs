@@ -35,11 +35,12 @@ pub fn isvd4(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
     // Recomputation of the right factor (Algorithm 11, lines 26-34).
     let (v_lo, v_hi) = timed(&mut timings.decomposition, || {
         let u_avg = solved.u.mid();
-        let u_inv = invert_factor(&u_avg, config)?; // r x n
-        let projector = solved.sigma_inv.matmul(&u_inv)?; // r x n
-        let recomputed = IntervalMatrix::from_scalar(projector)
-            .interval_matmul(m)? // r x m
-            .transpose(); // m x r
+        let u_inv = invert_factor(&u_avg, config)?;
+        // r x n projector; the degenerate left operand needs two bound
+        // products instead of the four of the general interval product,
+        // with identical results.
+        let projector = solved.sigma_inv.matmul(&u_inv)?;
+        let recomputed = m.matmul_scalar_left(&projector)?.transpose(); // m x r
         Ok::<_, crate::IvmfError>(recomputed.into_bounds())
     })?;
 

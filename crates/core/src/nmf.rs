@@ -3,7 +3,7 @@
 //!
 //! * [`nmf`] — classic Lee–Seung multiplicative updates minimizing
 //!   `‖M − U Vᵀ‖²_F` with non-negative factors.
-//! * [`interval_nmf`] — the I-NMF scheme of Shen et al. [9] quoted by the
+//! * [`interval_nmf`] — the I-NMF scheme of Shen et al. \[9\] quoted by the
 //!   paper: a **scalar** non-negative `U` shared by both bounds, and an
 //!   **interval-valued** `V† = [V_lo, V_hi]`, minimizing
 //!   `‖M_lo − U V_loᵀ‖²_F + ‖M_hi − U V_hiᵀ‖²_F`. The `U` update combines the
@@ -168,7 +168,7 @@ pub fn nmf(m: &Matrix, config: &NmfConfig) -> Result<NmfModel> {
     })
 }
 
-/// Runs I-NMF (Shen et al. [9]) on a non-negative interval matrix.
+/// Runs I-NMF (Shen et al. \[9\]) on a non-negative interval matrix.
 ///
 /// # Errors
 ///

@@ -1,10 +1,10 @@
 //! Probabilistic matrix factorization (PMF), its interval extension (I-PMF)
 //! and the paper's aligned variant (AI-PMF), Sections 2.2.3 and 5.
 //!
-//! * [`pmf`] — classic PMF [7]: stochastic gradient descent over the
+//! * [`pmf`] — classic PMF \[7\]: stochastic gradient descent over the
 //!   observed entries of a scalar rating matrix, minimizing
 //!   `‖M − U Vᵀ‖²_F + λ_U ‖U‖² + λ_V ‖V‖²` (observed entries only).
-//! * [`ipmf`] — I-PMF of Shen et al. [9]: a scalar `U` shared by both
+//! * [`ipmf`] — I-PMF of Shen et al. \[9\]: a scalar `U` shared by both
 //!   bounds and interval-valued `V† = [V_lo, V_hi]`, trained on the observed
 //!   interval entries with the loss of Section 5.
 //! * [`aipmf`] — the paper's **AI-PMF**: I-PMF plus interval latent semantic

@@ -276,7 +276,13 @@ impl IntervalSvd {
     pub fn reconstruct(&self) -> Result<IntervalMatrix> {
         match self.target {
             DecompositionTarget::IntervalAll => {
-                // Algorithm 12: full interval-algebra product.
+                // Algorithm 12: full interval-algebra product. Reconstruction
+                // is a scoring path: it stays on the exact four-product
+                // operator so accuracy curves over rank sweeps never mix the
+                // paper's envelope with the wider midpoint–radius enclosure
+                // (whose dispatch work term depends on the rank). The
+                // compute-heavy Gram products in the decompositions are the
+                // ones that take the fast path.
                 let sigma = IntervalMatrix::from_bounds(
                     Matrix::from_diag(&self.sigma_lo()),
                     Matrix::from_diag(&self.sigma_hi()),

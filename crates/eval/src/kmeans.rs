@@ -12,7 +12,7 @@ use rand::Rng;
 use ivmf_interval::IntervalMatrix;
 use ivmf_linalg::Matrix;
 
-use crate::{interval_row_distance, EvalError, Result};
+use crate::{EvalError, Result};
 
 /// Result of a k-means run.
 #[derive(Debug, Clone)]
@@ -111,6 +111,16 @@ pub fn kmeans_interval(data: &IntervalMatrix, config: &KMeansConfig) -> Result<K
     Ok(best.expect("at least one restart was run"))
 }
 
+/// Squared Euclidean norm of row `i` over both bound matrices.
+fn interval_row_sq_norm(m: &IntervalMatrix, i: usize) -> f64 {
+    m.lo()
+        .row(i)
+        .iter()
+        .zip(m.hi().row(i))
+        .map(|(&l, &h)| l * l + h * h)
+        .sum()
+}
+
 fn lloyd_run(data: &IntervalMatrix, config: &KMeansConfig, seed: u64) -> Result<KMeansResult> {
     let n = data.rows();
     let d = data.cols();
@@ -124,18 +134,40 @@ fn lloyd_run(data: &IntervalMatrix, config: &KMeansConfig, seed: u64) -> Result<
     let mut iterations = 0;
     let mut inertia = f64::INFINITY;
 
+    // ‖x_i‖² over both bounds, fixed across iterations.
+    let point_sq: Vec<f64> = (0..n).map(|i| interval_row_sq_norm(data, i)).collect();
+
     for it in 0..config.max_iters {
         iterations = it + 1;
-        // Assignment step.
+        // Assignment step. The Section 6.1.2 interval distance expands as
+        // dist²(i, c) = ‖x_i‖² + ‖µ_c‖² − 2(⟨x_lo,i, µ_lo,c⟩ + ⟨x_hi,i, µ_hi,c⟩),
+        // so the dominant n·k·d cross terms become two matrix products that
+        // run on the blocked, parallel `Matrix::matmul` kernel instead of
+        // n·k scalar row-distance loops.
+        let cross_lo = data
+            .lo()
+            .matmul(&centroids.lo().transpose())
+            .expect("data and centroids share a feature dimension");
+        let cross_hi = data
+            .hi()
+            .matmul(&centroids.hi().transpose())
+            .expect("data and centroids share a feature dimension");
+        let cent_sq: Vec<f64> = (0..config.k)
+            .map(|c| interval_row_sq_norm(&centroids, c))
+            .collect();
         let mut changed = false;
         let mut new_inertia = 0.0;
         for i in 0..n {
             let mut best = 0usize;
-            let mut best_dist = f64::INFINITY;
+            let mut best_dist_sq = f64::INFINITY;
             for c in 0..config.k {
-                let dist = interval_row_distance(data, i, &centroids, c);
-                if dist < best_dist {
-                    best_dist = dist;
+                // Clamped at zero: the expansion can go a few ulps negative
+                // when a point coincides with its centroid.
+                let dist_sq = (point_sq[i] + cent_sq[c]
+                    - 2.0 * (cross_lo[(i, c)] + cross_hi[(i, c)]))
+                    .max(0.0);
+                if dist_sq < best_dist_sq {
+                    best_dist_sq = dist_sq;
                     best = c;
                 }
             }
@@ -143,7 +175,7 @@ fn lloyd_run(data: &IntervalMatrix, config: &KMeansConfig, seed: u64) -> Result<
                 assignments[i] = best;
                 changed = true;
             }
-            new_inertia += best_dist * best_dist;
+            new_inertia += best_dist_sq;
         }
         inertia = new_inertia;
 
@@ -313,6 +345,54 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 3);
         assert!(result.inertia < 1e-12);
+    }
+
+    #[test]
+    fn matmul_assignment_agrees_with_direct_interval_distance() {
+        // The Gram-trick assignment must land every point on a centroid
+        // that minimizes the direct Section 6.1.2 row distance.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let lo = Matrix::from_fn(40, 6, |_, _| rng.gen_range(-2.0..2.0));
+        let span = Matrix::from_fn(40, 6, |_, _| rng.gen_range(0.0..1.0));
+        let data = IntervalMatrix::from_bounds(lo.clone(), lo.add(&span).unwrap()).unwrap();
+        let result = kmeans_interval(&data, &KMeansConfig::new(4).with_restarts(1)).unwrap();
+        // Recover the converged centroids from the assignments.
+        let k = 4;
+        let mut counts = vec![0usize; k];
+        let mut sum_lo = Matrix::zeros(k, 6);
+        let mut sum_hi = Matrix::zeros(k, 6);
+        for (i, &c) in result.assignments.iter().enumerate() {
+            counts[c] += 1;
+            for j in 0..6 {
+                sum_lo[(c, j)] += data.lo()[(i, j)];
+                sum_hi[(c, j)] += data.hi()[(i, j)];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                sum_lo
+                    .row_mut(c)
+                    .iter_mut()
+                    .for_each(|x| *x /= counts[c] as f64);
+                sum_hi
+                    .row_mut(c)
+                    .iter_mut()
+                    .for_each(|x| *x /= counts[c] as f64);
+            }
+        }
+        let centroids = IntervalMatrix::from_bounds(sum_lo, sum_hi).unwrap();
+        for i in 0..40 {
+            let assigned =
+                crate::interval_row_distance(&data, i, &centroids, result.assignments[i]);
+            let min = (0..k)
+                .filter(|&c| counts[c] > 0)
+                .map(|c| crate::interval_row_distance(&data, i, &centroids, c))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                assigned <= min + 1e-9,
+                "point {i}: assigned distance {assigned} exceeds optimum {min}"
+            );
+        }
     }
 
     #[test]

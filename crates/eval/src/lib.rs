@@ -13,7 +13,33 @@
 //!
 //! The interval Euclidean distance follows Section 6.1.2:
 //! `dist(a, b) = sqrt((a_lo − b_lo)² + (a_hi − b_hi)²)` summed over
-//! features.
+//! features. The k-means assignment step expands that distance so its
+//! dominant cross terms run on the blocked, parallel matrix-product kernel
+//! of `ivmf-linalg` (see ARCHITECTURE.md, "The kernel layer").
+//!
+//! ## Example
+//!
+//! Cluster interval rows and score the result against ground truth:
+//!
+//! ```
+//! use ivmf_eval::kmeans::{kmeans_interval, KMeansConfig};
+//! use ivmf_eval::nmi::nmi;
+//! use ivmf_interval::IntervalMatrix;
+//! use ivmf_linalg::Matrix;
+//!
+//! // Two well-separated groups of interval rows: values near 0 and near 10.
+//! let lo = Matrix::from_rows(&[
+//!     vec![0.0], vec![0.2], vec![0.1],
+//!     vec![10.0], vec![10.2], vec![10.1],
+//! ]);
+//! let hi = lo.map(|x| x + 0.5);
+//! let data = IntervalMatrix::from_bounds(lo, hi).unwrap();
+//!
+//! let result = kmeans_interval(&data, &KMeansConfig::new(2)).unwrap();
+//! let truth = vec![0, 0, 0, 1, 1, 1];
+//! let quality = nmi(&result.assignments, &truth).unwrap();
+//! assert!(quality > 0.99, "NMI {quality}");
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -15,7 +15,12 @@
 //! * [`IntervalMatrix`] — a dense interval matrix stored as two scalar
 //!   bound matrices (`lo`, `hi`), interval matrix multiplication
 //!   (supplementary Algorithm 1), and the matrix average-replacement repair
-//!   of supplementary Algorithm 3.
+//!   of supplementary Algorithm 3,
+//! * [`MrMatrix`] — the midpoint–radius representation with Rump's
+//!   two-product enclosure of the interval matrix product, used by
+//!   [`IntervalMatrix::interval_matmul_fast`] as the size-dispatched fast
+//!   path over the four-product reference operator (the module docs in
+//!   `mr.rs` carry the soundness argument).
 //!
 //! Storing the two bounds as separate [`ivmf_linalg::Matrix`] values keeps
 //! the ISVD algorithms simple (they constantly decompose the bounds
@@ -45,11 +50,13 @@
 
 mod error;
 mod matrix;
+mod mr;
 mod scalar;
 mod vector;
 
 pub use error::IntervalError;
 pub use matrix::IntervalMatrix;
+pub use mr::{MrMatrix, EXACT_INTERVAL_ENV, MR_MIN_WORK};
 pub use scalar::Interval;
 pub use vector::IntervalVector;
 

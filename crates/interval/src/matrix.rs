@@ -311,8 +311,41 @@ impl IntervalMatrix {
     }
 
     /// Multiplies by a scalar matrix on the right.
+    ///
+    /// With a degenerate right operand the four endpoint products of
+    /// [`IntervalMatrix::interval_matmul`] collapse pairwise to `lo·rhs`
+    /// and `hi·rhs`, so this computes exactly those two products and takes
+    /// the entry-wise envelope — the same result as wrapping `rhs` in a
+    /// scalar interval matrix at half the multiplications and without the
+    /// clone.
     pub fn matmul_scalar(&self, rhs: &Matrix) -> Result<IntervalMatrix> {
-        self.interval_matmul(&IntervalMatrix::from_scalar(rhs.clone()))
+        if self.cols() != rhs.rows() {
+            return Err(IntervalError::DimensionMismatch {
+                op: "interval_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let p = self.lo.matmul(rhs)?;
+        let q = self.hi.matmul(rhs)?;
+        Ok(envelope_of_two(p, q))
+    }
+
+    /// Multiplies by a scalar matrix on the left: the interval counterpart
+    /// of `lhs · self`, computed as the entry-wise envelope of `lhs·lo` and
+    /// `lhs·hi` (exactly [`IntervalMatrix::interval_matmul`] with a
+    /// degenerate left operand, at half the multiplications).
+    pub fn matmul_scalar_left(&self, lhs: &Matrix) -> Result<IntervalMatrix> {
+        if lhs.cols() != self.rows() {
+            return Err(IntervalError::DimensionMismatch {
+                op: "interval_matmul",
+                lhs: lhs.shape(),
+                rhs: self.shape(),
+            });
+        }
+        let p = lhs.matmul(&self.lo)?;
+        let q = lhs.matmul(&self.hi)?;
+        Ok(envelope_of_two(p, q))
     }
 
     /// Interval Gram matrix `M†ᵀ · M†` using interval multiplication
@@ -341,6 +374,18 @@ impl IntervalMatrix {
         }
         Ok(())
     }
+}
+
+/// Entry-wise interval envelope of two equally-shaped scalar matrices.
+fn envelope_of_two(p: Matrix, q: Matrix) -> IntervalMatrix {
+    let mut lo = p;
+    let mut hi = q;
+    for (l, h) in lo.as_mut_slice().iter_mut().zip(hi.as_mut_slice()) {
+        if *l > *h {
+            std::mem::swap(l, h);
+        }
+    }
+    IntervalMatrix { lo, hi }
 }
 
 #[cfg(test)]
@@ -506,6 +551,33 @@ mod tests {
         let id = Matrix::identity(2);
         let prod = m.matmul_scalar(&id).unwrap();
         assert!(prod.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_scalar_matches_degenerate_interval_product() {
+        // The two-product rewrite must agree with the four-product path it
+        // replaced, including for sign-flipping scalar operands.
+        let m = sample().scale(-1.0);
+        let rhs = Matrix::from_rows(&[vec![1.0, -2.0], vec![-0.5, 3.0]]);
+        let fast = m.matmul_scalar(&rhs).unwrap();
+        let oracle = m
+            .interval_matmul(&IntervalMatrix::from_scalar(rhs.clone()))
+            .unwrap();
+        assert!(fast.approx_eq(&oracle, 0.0));
+        assert!(m.matmul_scalar(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn matmul_scalar_left_matches_degenerate_interval_product() {
+        let m = sample();
+        let lhs = Matrix::from_rows(&[vec![-1.0, 2.0], vec![0.5, -3.0], vec![1.0, 1.0]]);
+        let fast = m.matmul_scalar_left(&lhs).unwrap();
+        let oracle = IntervalMatrix::from_scalar(lhs.clone())
+            .interval_matmul(&m)
+            .unwrap();
+        assert!(fast.approx_eq(&oracle, 0.0));
+        assert!(fast.is_proper());
+        assert!(m.matmul_scalar_left(&Matrix::zeros(3, 3)).is_err());
     }
 
     #[test]

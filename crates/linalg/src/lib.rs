@@ -53,7 +53,7 @@ pub mod random;
 pub mod svd;
 
 pub use error::LinalgError;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MATMUL_BLOCKED_MIN_WORK, MATMUL_PAR_MIN_WORK};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -11,7 +11,7 @@
 //! for ISVD2–ISVD4 (Section 4.3: "the columns of V are the eigenvectors of
 //! MᵀM and the singular values are the square roots of its eigenvalues"),
 //! keeps the implementation compact and reuses the heavily-tested
-//! [`sym_eigen`](crate::eigen_sym::sym_eigen) kernel. The trade-off is that
+//! [`sym_eigen`] kernel. The trade-off is that
 //! singular values below roughly `√ε · σ_max` are resolved less accurately
 //! than a Golub–Kahan bidiagonalization would give; for the decomposition
 //! *accuracy* experiments in the paper (relative errors well above 1e-6)

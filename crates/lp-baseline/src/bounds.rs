@@ -1,5 +1,5 @@
 //! Closed-form eigenvalue / eigenvector bounds for symmetric interval
-//! matrices (Deif [33]; Seif, Hashem & Deif [35]).
+//! matrices (Deif \[33\]; Seif, Hashem & Deif \[35\]).
 
 use ivmf_linalg::Matrix;
 

@@ -1,8 +1,8 @@
 //! # ivmf-lp
 //!
 //! The "LPx" competitor of the paper: interval-valued SVD built on the
-//! bound-based interval eigen-decomposition techniques of Deif [33] and
-//! Seif, Hashem & Deif [35].
+//! bound-based interval eigen-decomposition techniques of Deif \[33\] and
+//! Seif, Hashem & Deif \[35\].
 //!
 //! These classical techniques treat the interval Gram matrix
 //! `A† = M†ᵀ M†` as a perturbation `A_c ± ΔA` of its centre matrix and
@@ -16,7 +16,7 @@
 //!   `‖ΔA‖₂ / gap_i`, where `gap_i` is the spectral gap of `λ_i(A_c)`.
 //!
 //! [`lp_isvd`] assembles these bounds into the same
-//! [`IntervalSvd`](ivmf_core::IntervalSvd) structure produced by the ISVD
+//! [`IntervalSvd`] structure produced by the ISVD
 //! algorithms (targets a/b/c), so the experiment harness can evaluate it
 //! with exactly the same reconstruction-accuracy pipeline. As the paper
 //! reports (and the original authors acknowledge), the bounds are only
@@ -55,8 +55,9 @@ pub fn lp_isvd(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IntervalSvd> {
     config.validate(m.shape())?;
     let r = config.rank;
 
-    // Interval Gram matrix and its centre/radius decomposition.
-    let gram = m.interval_gram()?;
+    // Interval Gram matrix and its centre/radius decomposition
+    // (midpoint–radius fast path at experiment scale).
+    let gram = m.interval_gram_fast()?;
     let centre = gram.mid();
     let radius = gram.spans().scale(0.5);
 

@@ -1,0 +1,246 @@
+//! # ivmf-par
+//!
+//! A zero-dependency scoped worker pool for data-parallel kernels.
+//!
+//! The hot paths of this workspace (blocked matrix multiplication, interval
+//! products, k-means distance accumulation) all share the same shape: an
+//! output buffer is partitioned into contiguous *row panels* and each panel
+//! can be computed independently. This crate provides exactly that
+//! primitive, built on [`std::thread::scope`] so it needs no external
+//! dependencies and no `unsafe` code:
+//!
+//! * [`par_row_panels`] — split a mutable row-major buffer into balanced
+//!   contiguous row panels and fill each panel on its own worker thread,
+//! * [`panel_ranges`] — the deterministic partitioning it uses,
+//! * [`configured_threads`] — the worker count, taken from the
+//!   `IVMF_THREADS` environment variable and defaulting to
+//!   [`std::thread::available_parallelism`].
+//!
+//! ## Determinism
+//!
+//! Panel boundaries never change *what* is computed, only *where*: a kernel
+//! that derives every output element from its own row produces bitwise
+//! identical results for any worker count. The workspace's blocked matmul
+//! relies on this (see the `IVMF_THREADS` determinism test in
+//! `ivmf-linalg`).
+//!
+//! ## Example
+//!
+//! ```
+//! // Square each row's elements in parallel: 4 rows of length 3.
+//! let mut data: Vec<f64> = (0..12).map(f64::from).collect();
+//! ivmf_par::par_row_panels(&mut data, 3, 4, |first_row, panel| {
+//!     for (i, row) in panel.chunks_mut(3).enumerate() {
+//!         let scale = (first_row + i + 1) as f64;
+//!         for x in row.iter_mut() {
+//!             *x *= scale;
+//!         }
+//!     }
+//! });
+//! assert_eq!(data[0], 0.0); // row 0 scaled by 1
+//! assert_eq!(data[11], 44.0); // row 3 scaled by 4
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Environment variable overriding the worker count used by
+/// [`configured_threads`]. Unset or unparsable values fall back to the
+/// machine's available parallelism; `IVMF_THREADS=1` forces every parallel
+/// kernel to run inline on the calling thread.
+pub const THREADS_ENV: &str = "IVMF_THREADS";
+
+/// The worker count for parallel kernels: `IVMF_THREADS` when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`]
+/// (1 when even that is unavailable).
+///
+/// The value is re-read on every call — it is a handful of nanoseconds
+/// against kernels that run for milliseconds, and it keeps tests free to
+/// flip the variable at runtime.
+pub fn configured_threads() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(default_threads)
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `0..n` into at most `parts` contiguous, non-overlapping,
+/// covering ranges whose lengths differ by at most one (the first
+/// `n % parts` ranges are one element longer).
+///
+/// Returns fewer than `parts` ranges when `n < parts` (never an empty
+/// range), and an empty vector when `n == 0`.
+pub fn panel_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits a row-major buffer of `data.len() / row_len` rows into balanced
+/// contiguous row panels and calls `f(first_row, panel)` for each, one
+/// scoped worker thread per panel.
+///
+/// With `threads <= 1` (or a single resulting panel) `f` runs inline on
+/// the calling thread with the whole buffer — the zero-overhead path the
+/// kernels take for small inputs.
+///
+/// # Panics
+///
+/// Panics when `row_len` does not evenly divide `data.len()` (a row must
+/// never straddle two panels). `row_len == 0` is accepted only for an
+/// empty buffer.
+pub fn par_row_panels<T, F>(data: &mut [T], row_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(
+        row_len > 0 && data.len() % row_len == 0,
+        "row length {row_len} must evenly divide buffer length {}",
+        data.len()
+    );
+    let rows = data.len() / row_len;
+    let ranges = panel_ranges(rows, threads);
+    if ranges.len() <= 1 {
+        f(0, data);
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut rest = data;
+        let mut ranges = ranges.into_iter();
+        let last = ranges.next_back().expect("at least two ranges");
+        for r in ranges {
+            let (panel, tail) = rest.split_at_mut(r.len() * row_len);
+            rest = tail;
+            s.spawn(move || f(r.start, panel));
+        }
+        f(last.start, rest);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_ranges_cover_without_overlap() {
+        for n in [0usize, 1, 2, 7, 64, 101] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = panel_ranges(n, parts);
+                assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), n);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous coverage for n={n} parts={parts}");
+                    assert!(!r.is_empty(), "no empty panels for n={n} parts={parts}");
+                    next = r.end;
+                }
+                // Balanced: panel lengths differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.len()).min(),
+                    ranges.iter().map(|r| r.len()).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panel_count_never_exceeds_rows() {
+        assert_eq!(panel_ranges(3, 8).len(), 3);
+        assert_eq!(panel_ranges(0, 8).len(), 0);
+        assert_eq!(panel_ranges(8, 0).len(), 1); // parts clamped to 1
+    }
+
+    #[test]
+    fn par_row_panels_fills_every_row_once() {
+        for threads in [1usize, 2, 4, 7, 32] {
+            let mut data = vec![0u32; 9 * 5];
+            par_row_panels(&mut data, 5, threads, |first_row, panel| {
+                for (i, row) in panel.chunks_mut(5).enumerate() {
+                    for x in row.iter_mut() {
+                        *x += (first_row + i) as u32;
+                    }
+                }
+            });
+            for (i, row) in data.chunks(5).enumerate() {
+                assert!(
+                    row.iter().all(|&x| x == i as u32),
+                    "row {i} wrong with {threads} threads: {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_row_panels_results_independent_of_thread_count() {
+        let run = |threads: usize| {
+            let mut data = vec![0.0f64; 13 * 7];
+            par_row_panels(&mut data, 7, threads, |first_row, panel| {
+                for (i, row) in panel.chunks_mut(7).enumerate() {
+                    for (j, x) in row.iter_mut().enumerate() {
+                        *x = ((first_row + i) * 31 + j) as f64 / 3.0;
+                    }
+                }
+            });
+            data
+        };
+        let reference = run(1);
+        for threads in [2usize, 3, 13, 64] {
+            assert_eq!(run(threads), reference);
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_a_noop() {
+        let mut data: Vec<f64> = Vec::new();
+        par_row_panels(&mut data, 0, 4, |_, _| panic!("must not be called"));
+        par_row_panels(&mut data, 3, 4, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn ragged_rows_panic() {
+        let mut data = vec![0.0f64; 7];
+        par_row_panels(&mut data, 3, 2, |_, _| {});
+    }
+
+    #[test]
+    fn configured_threads_respects_env() {
+        // Serial within this test; other tests in this binary do not read
+        // the variable.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(configured_threads(), 3);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(configured_threads() >= 1); // invalid -> fallback
+        std::env::set_var(THREADS_ENV, "not a number");
+        assert!(configured_threads() >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -12,7 +12,21 @@
 #![deny(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Registry of `(name, median)` pairs recorded by every benchmark run in
+/// this process, in execution order. The real criterion persists results
+/// under `target/criterion/`; this stand-in exposes them programmatically
+/// instead so custom bench `main`s (e.g. the workspace's `linalg_kernels`
+/// JSON emitter) can post-process measurements.
+static MEASUREMENTS: Mutex<Vec<(String, Duration)>> = Mutex::new(Vec::new());
+
+/// Returns a snapshot of every `(benchmark name, median time per
+/// iteration)` recorded so far in this process.
+pub fn recorded_measurements() -> Vec<(String, Duration)> {
+    MEASUREMENTS.lock().expect("measurement registry").clone()
+}
 
 /// Prevents the compiler from optimising away a benchmarked value.
 pub fn black_box<T>(x: T) -> T {
@@ -85,6 +99,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
         "{name:<50} {:>12.3?}/iter (median of {samples})",
         bencher.median
     );
+    MEASUREMENTS
+        .lock()
+        .expect("measurement registry")
+        .push((name.to_string(), bencher.median));
 }
 
 /// A named collection of related benchmarks.
