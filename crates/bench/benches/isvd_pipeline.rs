@@ -1,0 +1,139 @@
+//! End-to-end trajectory bench for the decomposition pipelines: wall-clock
+//! medians of ISVD0–ISVD4 (paper default 40×250 synthetic config, rank 20)
+//! and of the `sym_eigen` kernel that backs every eigen-route decomposition,
+//! written to `BENCH_isvd.json` at the repository root (override with
+//! `IVMF_BENCH_ISVD_OUT`).
+//!
+//! Unlike `linalg_kernels` — which tracks isolated kernels against each
+//! other — this bench tracks the *algorithm-level* trajectory across PRs:
+//! each recorded name also carries the median measured on the commit just
+//! before the packed-kernel rebuild ([`PRE_CHANGE_BASELINE_NS`], same
+//! machine, single-threaded — this bench pins `IVMF_THREADS=1` unless the
+//! caller exports a count, keeping the ratios apples-to-apples), so the
+//! JSON reports how far each pipeline has moved since then. Set
+//! `IVMF_BENCH_SMOKE=1` to run every benchmark with a single sample (CI
+//! bitrot guard).
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use ivmf_core::isvd::isvd;
+use ivmf_core::{IsvdAlgorithm, IsvdConfig};
+use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
+use ivmf_linalg::eigen_sym::sym_eigen;
+use ivmf_linalg::random::symmetric_matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Medians recorded on the commit immediately before the packed
+/// register-tiled kernel rebuild (same machine, `IVMF_THREADS=1`), so the
+/// emitted JSON can report each pipeline's improvement over that reference
+/// point. `0` means "no baseline recorded" and suppresses the ratio.
+const PRE_CHANGE_BASELINE_NS: &[(&str, u128)] = &[
+    ("isvd_pipeline/ISVD0", 879_447),
+    ("isvd_pipeline/ISVD1", 1_884_989),
+    ("isvd_pipeline/ISVD2", 72_127_202),
+    ("isvd_pipeline/ISVD3", 79_383_911),
+    ("isvd_pipeline/ISVD4", 71_784_384),
+    ("sym_eigen/128", 10_644_512),
+    ("sym_eigen/256", 107_244_895),
+];
+
+use ivmf_bench::{bench_sample_count as sample_count, bench_smoke_mode as smoke_mode};
+
+fn bench_isvd_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isvd_pipeline");
+    group.sample_size(sample_count());
+    let config = SyntheticConfig::paper_default();
+    let rank = config.default_rank();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let m = generate_uniform(&config, &mut rng);
+    for alg in IsvdAlgorithm::all() {
+        let isvd_config = IsvdConfig::new(rank).with_algorithm(alg);
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &m, |b, m| {
+            b.iter(|| isvd(m, &isvd_config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sym_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym_eigen");
+    group.sample_size(sample_count());
+    let sizes: &[usize] = if smoke_mode() { &[128] } else { &[128, 256] };
+    for &n in sizes {
+        let mut rng = SmallRng::seed_from_u64(3 + n as u64);
+        let a = symmetric_matrix(&mut rng, n, -2.0, 2.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| sym_eigen(a).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn baseline_of(name: &str) -> Option<u128> {
+    PRE_CHANGE_BASELINE_NS
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .map(|&(_, ns)| ns)
+        .filter(|&ns| ns > 0)
+}
+
+fn emit_json(results: &[(String, Duration)]) -> std::io::Result<()> {
+    let out_path = std::env::var("IVMF_BENCH_ISVD_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_isvd.json",
+            env!("CARGO_MANIFEST_DIR") // crates/bench -> repository root
+        )
+    });
+    let mut json = String::from("{\n  \"bench\": \"isvd_pipeline\",\n  \"results\": [\n");
+    for (i, (name, median)) in results.iter().enumerate() {
+        let ns = median.as_nanos();
+        match baseline_of(name) {
+            Some(base) => json.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"median_ns\": {ns}, \
+                 \"pre_change_ns\": {base}, \"speedup_vs_pre_change\": {:.3}}}{}\n",
+                base as f64 / ns.max(1) as f64,
+                if i + 1 < results.len() { "," } else { "" }
+            )),
+            None => json.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"median_ns\": {ns}}}{}\n",
+                if i + 1 < results.len() { "," } else { "" }
+            )),
+        }
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"smoke\": {},\n  \"threads\": {}\n}}\n",
+        smoke_mode(),
+        ivmf_par::configured_threads()
+    ));
+    std::fs::write(&out_path, json)?;
+    eprintln!("wrote ISVD pipeline benchmark results to {out_path}");
+    Ok(())
+}
+
+fn main() {
+    // The hardcoded pre-change baselines were recorded at IVMF_THREADS=1;
+    // pin the pool to the same configuration (unless the caller exports a
+    // count explicitly) so speedup_vs_pre_change stays apples-to-apples.
+    if std::env::var(ivmf_par::THREADS_ENV).is_err() {
+        std::env::set_var(ivmf_par::THREADS_ENV, "1");
+    }
+    let mut criterion = Criterion::default();
+    bench_isvd_pipeline(&mut criterion);
+    bench_sym_eigen(&mut criterion);
+
+    let results = criterion::recorded_measurements();
+    for (name, median) in &results {
+        if let Some(base) = baseline_of(name) {
+            println!(
+                "{name}: {:.2}x vs pre-change baseline",
+                base as f64 / median.as_nanos().max(1) as f64
+            );
+        }
+    }
+    if let Err(e) = emit_json(&results) {
+        eprintln!("failed to write BENCH_isvd.json: {e}");
+    }
+}

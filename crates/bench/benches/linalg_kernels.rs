@@ -1,14 +1,20 @@
 //! Kernel-level benchmarks of the matrix-multiplication layer: the seed
-//! i-k-j scalar kernel vs the blocked k-panel kernel (with the
-//! `IVMF_THREADS` worker pool), and the paper's four-product interval
-//! matmul vs the Rump midpoint–radius two-product enclosure.
+//! i-k-j scalar kernel vs the packed register-tiled GEBP kernel, the
+//! symmetry-aware SYRK Gram kernel vs the transpose-then-multiply route,
+//! and the paper's four-product interval matmul vs the Rump
+//! midpoint–radius two-product enclosure.
+//!
+//! The scalar-kernel comparisons are **single-threaded**: unless the caller
+//! exports `IVMF_THREADS` explicitly, this bench pins it to `1` so the
+//! recorded speedups isolate kernel quality from the worker pool.
 //!
 //! Unlike the other benches this one has a custom `main`: after the timing
 //! groups run it collects the recorded medians from the criterion stub and
-//! writes them — plus the blocked-vs-naive and mr-vs-4mul speedups at
-//! 256×256 — to `BENCH_linalg.json` at the repository root (override the
-//! path with `IVMF_BENCH_OUT`), so the kernel perf trajectory is recorded
-//! across PRs.
+//! writes them — plus the packed-vs-naive, SYRK-vs-matmul and mr-vs-4mul
+//! speedups at 256×256 — to `BENCH_linalg.json` at the repository root
+//! (override the path with `IVMF_BENCH_OUT`), so the kernel perf trajectory
+//! is recorded across PRs. Set `IVMF_BENCH_SMOKE=1` to run every benchmark
+//! with a single sample (CI bitrot guard).
 
 use std::time::Duration;
 
@@ -20,6 +26,8 @@ use rand::SeedableRng;
 
 const SIZES: [usize; 3] = [64, 128, 256];
 
+use ivmf_bench::{bench_sample_count as sample_count, bench_smoke_mode as smoke_mode};
+
 fn random_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
     let mut rng = SmallRng::seed_from_u64(seed);
     ivmf_linalg::random::uniform_matrix(&mut rng, rows, cols, -1.0, 1.0)
@@ -27,7 +35,7 @@ fn random_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
 
 fn bench_scalar_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul_naive");
-    group.sample_size(10);
+    group.sample_size(sample_count());
     for &n in &SIZES {
         let a = random_matrix(1, n, n);
         let b = random_matrix(2, n, n);
@@ -37,8 +45,8 @@ fn bench_scalar_matmul(c: &mut Criterion) {
     }
     group.finish();
 
-    let mut group = c.benchmark_group("matmul_blocked");
-    group.sample_size(10);
+    let mut group = c.benchmark_group("matmul_packed");
+    group.sample_size(sample_count());
     for &n in &SIZES {
         let a = random_matrix(1, n, n);
         let b = random_matrix(2, n, n);
@@ -49,9 +57,34 @@ fn bench_scalar_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gram(c: &mut Criterion) {
+    // Baseline: the transpose-then-multiply route the call sites used
+    // before the SYRK kernels (on the packed matmul, so the recorded
+    // speedup isolates the symmetry win, not the packing win).
+    let mut group = c.benchmark_group("gram_via_matmul");
+    group.sample_size(sample_count());
+    for &n in &SIZES {
+        let m = random_matrix(3, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| m.transpose().matmul(&m).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gram_syrk");
+    group.sample_size(sample_count());
+    for &n in &SIZES {
+        let m = random_matrix(3, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| m.gram());
+        });
+    }
+    group.finish();
+}
+
 fn bench_interval_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("interval_matmul_4mul");
-    group.sample_size(10);
+    group.sample_size(sample_count());
     for &n in &SIZES {
         let mut rng = SmallRng::seed_from_u64(3);
         let config = SyntheticConfig::paper_default().with_shape(n, n);
@@ -64,7 +97,7 @@ fn bench_interval_matmul(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("interval_matmul_mr");
-    group.sample_size(10);
+    group.sample_size(sample_count());
     for &n in &SIZES {
         let mut rng = SmallRng::seed_from_u64(3);
         let config = SyntheticConfig::paper_default().with_shape(n, n);
@@ -91,6 +124,25 @@ fn speedup(results: &[(String, Duration)], baseline: &str, fast: &str) -> Option
     (new > 0.0).then(|| base / new)
 }
 
+/// The tracked `(label, baseline, fast)` speedup triples at 256×256.
+const SPEEDUP_PAIRS: [(&str, &str, &str); 3] = [
+    (
+        "matmul_packed_vs_naive_256",
+        "matmul_naive/256",
+        "matmul_packed/256",
+    ),
+    (
+        "gram_syrk_vs_matmul_256",
+        "gram_via_matmul/256",
+        "gram_syrk/256",
+    ),
+    (
+        "interval_mr_vs_4mul_256",
+        "interval_matmul_4mul/256",
+        "interval_matmul_mr/256",
+    ),
+];
+
 fn emit_json(results: &[(String, Duration)]) -> std::io::Result<()> {
     let out_path = std::env::var("IVMF_BENCH_OUT").unwrap_or_else(|_| {
         format!(
@@ -107,19 +159,7 @@ fn emit_json(results: &[(String, Duration)]) -> std::io::Result<()> {
         ));
     }
     json.push_str("  ],\n  \"speedups\": {\n");
-    let pairs = [
-        (
-            "matmul_blocked_vs_naive_256",
-            "matmul_naive/256",
-            "matmul_blocked/256",
-        ),
-        (
-            "interval_mr_vs_4mul_256",
-            "interval_matmul_4mul/256",
-            "interval_matmul_mr/256",
-        ),
-    ];
-    let lines: Vec<String> = pairs
+    let lines: Vec<String> = SPEEDUP_PAIRS
         .iter()
         .filter_map(|&(label, base, fast)| {
             speedup(results, base, fast).map(|s| format!("    \"{label}\": {s:.3}"))
@@ -128,7 +168,8 @@ fn emit_json(results: &[(String, Duration)]) -> std::io::Result<()> {
     json.push_str(&lines.join(",\n"));
     json.push_str("\n  },\n");
     json.push_str(&format!(
-        "  \"threads\": {}\n}}\n",
+        "  \"smoke\": {},\n  \"threads\": {}\n}}\n",
+        smoke_mode(),
         ivmf_par::configured_threads()
     ));
     std::fs::write(&out_path, json)?;
@@ -137,19 +178,18 @@ fn emit_json(results: &[(String, Duration)]) -> std::io::Result<()> {
 }
 
 fn main() {
+    // Kernel-vs-kernel comparisons are single-threaded unless the caller
+    // pins a worker count explicitly.
+    if std::env::var(ivmf_par::THREADS_ENV).is_err() {
+        std::env::set_var(ivmf_par::THREADS_ENV, "1");
+    }
     let mut criterion = Criterion::default();
     bench_scalar_matmul(&mut criterion);
+    bench_gram(&mut criterion);
     bench_interval_matmul(&mut criterion);
 
     let results = criterion::recorded_measurements();
-    for &(label, base, fast) in &[
-        ("blocked vs naive", "matmul_naive/256", "matmul_blocked/256"),
-        (
-            "mid-rad vs 4-multiply",
-            "interval_matmul_4mul/256",
-            "interval_matmul_mr/256",
-        ),
-    ] {
+    for &(label, base, fast) in &SPEEDUP_PAIRS {
         if let Some(s) = speedup(&results, base, fast) {
             println!("speedup at 256x256 ({label}): {s:.2}x");
         }

@@ -95,9 +95,9 @@ pub struct NmfModel {
 }
 
 impl NmfModel {
-    /// Reconstructs `U Vᵀ`.
+    /// Reconstructs `U Vᵀ` (transpose-free, [`Matrix::matmul_nt`]).
     pub fn reconstruct(&self) -> Result<Matrix> {
-        Ok(self.u.matmul(&self.v.transpose())?)
+        Ok(self.u.matmul_nt(&self.v)?)
     }
 }
 
@@ -118,8 +118,8 @@ impl IntervalNmfModel {
     /// Reconstructs the interval approximation `[U V_loᵀ, U V_hiᵀ]`
     /// (with average repair of any mis-ordered entries).
     pub fn reconstruct(&self) -> Result<IntervalMatrix> {
-        let lo = self.u.matmul(&self.v.lo().transpose())?;
-        let hi = self.u.matmul(&self.v.hi().transpose())?;
+        let lo = self.u.matmul_nt(self.v.lo())?;
+        let hi = self.u.matmul_nt(self.v.hi())?;
         Ok(IntervalMatrix::from_bounds(lo, hi)?.average_replacement())
     }
 }
@@ -147,8 +147,9 @@ pub fn nmf(m: &Matrix, config: &NmfConfig) -> Result<NmfModel> {
         let numer_u = m.matmul(&v)?;
         let denom_u = u.matmul(&v.gram())?;
         u = u.hadamard(&numer_u.hadamard_div_guarded(&denom_u, DIV_EPS)?)?;
-        // V <- V .* (Mᵀ U) ./ (V Uᵀ U)
-        let numer_v = m.transpose().matmul(&u)?;
+        // V <- V .* (Mᵀ U) ./ (V Uᵀ U); Mᵀ U runs transpose-free on the
+        // packed kernel's transposed-LHS view.
+        let numer_v = m.matmul_tn(&u)?;
         let denom_v = v.matmul(&u.gram())?;
         v = v.hadamard(&numer_v.hadamard_div_guarded(&denom_v, DIV_EPS)?)?;
 
@@ -202,10 +203,10 @@ pub fn interval_nmf(m: &IntervalMatrix, config: &NmfConfig) -> Result<IntervalNm
 
         // Per-bound updates of V_lo and V_hi against their own bound matrix.
         let ut_u = u.gram();
-        let numer_vlo = m.lo().transpose().matmul(&u)?;
+        let numer_vlo = m.lo().matmul_tn(&u)?;
         let denom_vlo = v_lo.matmul(&ut_u)?;
         v_lo = v_lo.hadamard(&numer_vlo.hadamard_div_guarded(&denom_vlo, DIV_EPS)?)?;
-        let numer_vhi = m.hi().transpose().matmul(&u)?;
+        let numer_vhi = m.hi().matmul_tn(&u)?;
         let denom_vhi = v_hi.matmul(&ut_u)?;
         v_hi = v_hi.hadamard(&numer_vhi.hadamard_div_guarded(&denom_vhi, DIV_EPS)?)?;
 
@@ -230,7 +231,7 @@ fn random_factor(rng: &mut SmallRng, rows: usize, rank: usize) -> Matrix {
 }
 
 fn frobenius_loss(m: &Matrix, u: &Matrix, v: &Matrix) -> Result<f64> {
-    let diff = m.sub(&u.matmul(&v.transpose())?)?;
+    let diff = m.sub(&u.matmul_nt(v)?)?;
     let f = diff.frobenius_norm();
     Ok(f * f)
 }

@@ -194,6 +194,36 @@ impl RawFactors {
     }
 }
 
+/// The interval product `U† × Σ†` for a *diagonal* interval core, computed
+/// as the four-way column-scaling envelope: entry `(i, j)` is the min/max
+/// over `{u_lo·σ_lo, u_lo·σ_hi, u_hi·σ_lo, u_hi·σ_hi}` — exactly the four
+/// endpoint products of the paper's interval matmul applied to a diagonal
+/// right operand, in `O(n·r)` instead of the `O(n·r²)` of materializing the
+/// diagonal bound matrices.
+fn scale_cols_envelope(
+    u: &IntervalMatrix,
+    sigma_lo: &[f64],
+    sigma_hi: &[f64],
+) -> Result<IntervalMatrix> {
+    let (n, r) = u.shape();
+    let mut lo = Matrix::zeros(n, r);
+    let mut hi = Matrix::zeros(n, r);
+    for i in 0..n {
+        for j in 0..r {
+            let (ulo, uhi) = u.get_raw(i, j);
+            let vals = [
+                ulo * sigma_lo[j],
+                ulo * sigma_hi[j],
+                uhi * sigma_lo[j],
+                uhi * sigma_hi[j],
+            ];
+            lo[(i, j)] = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            hi[(i, j)] = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        }
+    }
+    Ok(IntervalMatrix::from_bounds(lo, hi)?)
+}
+
 /// Builds an interval from bound values, replacing a mis-ordered pair by its
 /// average (the Section 3.4.1 rule).
 fn repaired_interval(lo: f64, hi: f64) -> Interval {
@@ -263,10 +293,10 @@ impl IntervalSvd {
     /// classification and clustering tasks ("use `U × S` for SVD-based
     /// schemes").
     pub fn row_projection(&self) -> Result<IntervalMatrix> {
-        let sigma_lo = Matrix::from_diag(&self.sigma_lo());
-        let sigma_hi = Matrix::from_diag(&self.sigma_hi());
-        let lo = self.u.lo().matmul(&sigma_lo)?;
-        let hi = self.u.hi().matmul(&sigma_hi)?;
+        // U × Σ with a diagonal Σ is a per-column scaling; no diagonal
+        // matrix is materialized and no O(n·r²) product paid.
+        let lo = self.u.lo().scale_cols(&self.sigma_lo())?;
+        let hi = self.u.hi().scale_cols(&self.sigma_hi())?;
         Ok(IntervalMatrix::from_bounds(lo, hi)?.average_replacement())
     }
 
@@ -282,24 +312,20 @@ impl IntervalSvd {
                 // paper's envelope with the wider midpoint–radius enclosure
                 // (whose dispatch work term depends on the rank). The
                 // compute-heavy Gram products in the decompositions are the
-                // ones that take the fast path.
-                let sigma = IntervalMatrix::from_bounds(
-                    Matrix::from_diag(&self.sigma_lo()),
-                    Matrix::from_diag(&self.sigma_hi()),
-                )?;
-                let us = self.u.interval_matmul(&sigma)?;
+                // ones that take the fast path. U† × Σ† with a *diagonal*
+                // interval Σ† collapses to the four-way column-scaling
+                // envelope (same endpoint products as building the diagonal
+                // matrices, without the O(n·r²) multiplications).
+                let us = scale_cols_envelope(&self.u, &self.sigma_lo(), &self.sigma_hi())?;
                 Ok(us.interval_matmul(&self.v.transpose())?)
             }
             DecompositionTarget::IntervalCore => {
-                // Algorithm 13: scalar factors, interval core.
+                // Algorithm 13: scalar factors, interval core. Σ scales the
+                // columns of U directly and Vᵀ multiplies transpose-free.
                 let u = self.u.lo();
-                let v_t = self.v.lo().transpose();
-                let lo = u
-                    .matmul(&Matrix::from_diag(&self.sigma_lo()))?
-                    .matmul(&v_t)?;
-                let hi = u
-                    .matmul(&Matrix::from_diag(&self.sigma_hi()))?
-                    .matmul(&v_t)?;
+                let v = self.v.lo();
+                let lo = u.scale_cols(&self.sigma_lo())?.matmul_nt(v)?;
+                let hi = u.scale_cols(&self.sigma_hi())?.matmul_nt(v)?;
                 Ok(IntervalMatrix::from_bounds(lo, hi)?.average_replacement())
             }
             DecompositionTarget::Scalar => {
@@ -307,8 +333,8 @@ impl IntervalSvd {
                 let rec = self
                     .u
                     .lo()
-                    .matmul(&Matrix::from_diag(&self.sigma_mid()))?
-                    .matmul(&self.v.lo().transpose())?;
+                    .scale_cols(&self.sigma_mid())?
+                    .matmul_nt(self.v.lo())?;
                 Ok(IntervalMatrix::from_scalar(rec))
             }
         }

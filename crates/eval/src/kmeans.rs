@@ -142,15 +142,15 @@ fn lloyd_run(data: &IntervalMatrix, config: &KMeansConfig, seed: u64) -> Result<
         // Assignment step. The Section 6.1.2 interval distance expands as
         // dist²(i, c) = ‖x_i‖² + ‖µ_c‖² − 2(⟨x_lo,i, µ_lo,c⟩ + ⟨x_hi,i, µ_hi,c⟩),
         // so the dominant n·k·d cross terms become two matrix products that
-        // run on the blocked, parallel `Matrix::matmul` kernel instead of
+        // run on the packed, parallel `Matrix::matmul_nt` kernel instead of
         // n·k scalar row-distance loops.
         let cross_lo = data
             .lo()
-            .matmul(&centroids.lo().transpose())
+            .matmul_nt(centroids.lo())
             .expect("data and centroids share a feature dimension");
         let cross_hi = data
             .hi()
-            .matmul(&centroids.hi().transpose())
+            .matmul_nt(centroids.hi())
             .expect("data and centroids share a feature dimension");
         let cent_sq: Vec<f64> = (0..config.k)
             .map(|c| interval_row_sq_norm(&centroids, c))

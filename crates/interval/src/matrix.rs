@@ -350,8 +350,33 @@ impl IntervalMatrix {
 
     /// Interval Gram matrix `M†ᵀ · M†` using interval multiplication
     /// (the `A†` matrix of Section 4.3).
+    ///
+    /// Computes the same four-endpoint envelope as
+    /// `self.transpose().interval_matmul(self)` — bitwise, since the
+    /// scalar products commute term by term — but exploits the Gram
+    /// structure: `loᵀ·lo` and `hiᵀ·hi` run on the symmetric SYRK kernel
+    /// ([`ivmf_linalg::Matrix::gram`]), and the two cross products are each
+    /// other's transposes, so only one (`loᵀ·hi`, via
+    /// [`ivmf_linalg::Matrix::matmul_tn`]) is computed. Roughly half the
+    /// multiplications of the generic operator, and no materialized
+    /// transpose.
     pub fn interval_gram(&self) -> Result<IntervalMatrix> {
-        self.transpose().interval_matmul(self)
+        let t1 = self.lo.gram();
+        let t4 = self.hi.gram();
+        // T2 = loᵀ·hi; T3 = hiᵀ·lo = T2ᵀ entry-wise (identical products,
+        // identical accumulation order).
+        let t2 = self.lo.matmul_tn(&self.hi)?;
+        let (r, c) = t1.shape();
+        let mut lo = Matrix::zeros(r, c);
+        let mut hi = Matrix::zeros(r, c);
+        for i in 0..r {
+            for j in 0..c {
+                let vals = [t1[(i, j)], t2[(i, j)], t2[(j, i)], t4[(i, j)]];
+                lo[(i, j)] = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                hi[(i, j)] = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            }
+        }
+        Ok(IntervalMatrix { lo, hi })
     }
 
     /// True when both bound matrices agree with `rhs` within `tol`.

@@ -126,6 +126,31 @@ impl MrMatrix {
         let rad = p2.sub(&p1.map(f64::abs))?.map(|x| x.max(0.0));
         Ok(MrMatrix { mid: p1, rad })
     }
+
+    /// Rump's two-product enclosure of the interval Gram matrix
+    /// `⟨self⟩ᵀ · ⟨self⟩`.
+    ///
+    /// Both products of [`MrMatrix::matmul`] become *symmetric* when the
+    /// operands are a matrix and its own transpose — `P1 = midᵀ·mid` and
+    /// `P2 = (|mid|+rad)ᵀ(|mid|+rad)` — so they run on the SYRK kernel
+    /// ([`ivmf_linalg::Matrix::gram`]): half the multiplications of the
+    /// general product, no transpose materialized, and the enclosure is
+    /// exactly symmetric by construction.
+    pub fn gram(&self) -> MrMatrix {
+        let p1 = self.mid.gram();
+        let sum = self
+            .mid
+            .map(f64::abs)
+            .add(&self.rad)
+            .expect("parts share a shape");
+        let p2 = sum.gram();
+        // Same clamp as the general product: P2 ≥ |P1| up to rounding.
+        let rad = p2
+            .sub(&p1.map(f64::abs))
+            .expect("gram outputs share a shape")
+            .map(|x| x.max(0.0));
+        MrMatrix { mid: p1, rad }
+    }
 }
 
 impl IntervalMatrix {
@@ -160,10 +185,21 @@ impl IntervalMatrix {
         }
     }
 
-    /// Size-dispatched interval Gram matrix `M†ᵀ · M†`
-    /// (see [`IntervalMatrix::interval_matmul_fast`]).
+    /// Size-dispatched interval Gram matrix `M†ᵀ · M†`: the paper's exact
+    /// four-product envelope (symmetry-aware, see
+    /// [`IntervalMatrix::interval_gram`]) below [`MR_MIN_WORK`] scalar
+    /// multiplications, the midpoint–radius SYRK enclosure
+    /// ([`MrMatrix::gram`]) at or above it. `IVMF_EXACT_INTERVAL` pins the
+    /// exact envelope at every size, exactly as for
+    /// [`IntervalMatrix::interval_matmul_fast`].
     pub fn interval_gram_fast(&self) -> Result<IntervalMatrix> {
-        self.transpose().interval_matmul_fast(self)
+        let (n, m) = self.shape();
+        let work = m * n * m;
+        if work >= MR_MIN_WORK && !exact_interval_forced() {
+            Ok(MrMatrix::from_interval(self).gram().to_interval())
+        } else {
+            self.interval_gram()
+        }
     }
 }
 

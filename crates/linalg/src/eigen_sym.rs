@@ -12,11 +12,46 @@
 //! This is the standard EISPACK/`tred2`+`tql2` pair; it is `O(n³)` with a
 //! small constant, numerically robust for the symmetric (Gram) matrices the
 //! interval SVD algorithms produce, and has no external dependencies.
+//!
+//! ## Memory layout and parallelism
+//!
+//! The classic EISPACK loops walk *columns* of the accumulated
+//! transformation — a stride-`n` access pattern that thrashes the cache as
+//! soon as the matrix outgrows L2. The `O(n³)` passes here are therefore
+//! restructured **row-wise** (same per-element operations in the same
+//! order, so the results match the textbook formulation bitwise):
+//!
+//! * `tred2`'s symmetric product, rank-2 update and transformation
+//!   accumulation sweep contiguous rows of `v`,
+//! * `tql2` records each QL iteration's Givens rotations `(c, s)` first
+//!   and then applies the whole batch row by row, instead of dragging
+//!   every rotation down a column pair.
+//!
+//! The purely element-wise passes (the rank-2 update, the accumulation
+//! update and the batched rotation application) additionally split their
+//! row panels across the `IVMF_THREADS` worker pool once a pass touches at
+//! least [`EIGEN_PAR_MIN_WORK`] elements; per-element arithmetic does not
+//! depend on the panel split, so results stay bitwise identical for every
+//! thread count.
 
 use crate::{LinalgError, Matrix, Result};
 
 /// Maximum QL iterations per eigenvalue before giving up.
 const MAX_QL_ITERATIONS: usize = 64;
+
+/// Minimum number of touched matrix elements before an element-wise
+/// eigensolver pass is split across the worker pool: below this the pass is
+/// cheaper than spawning the scoped workers (the pool spawns per call).
+pub const EIGEN_PAR_MIN_WORK: usize = 32 * 1024;
+
+/// Worker count for one element-wise pass over `work` matrix elements.
+fn pass_threads(work: usize) -> usize {
+    if work >= EIGEN_PAR_MIN_WORK {
+        ivmf_par::configured_threads()
+    } else {
+        1
+    }
+}
 
 /// Result of a symmetric eigendecomposition `A = Q Λ Qᵀ`.
 #[derive(Debug, Clone)]
@@ -29,11 +64,14 @@ pub struct SymEigen {
 
 impl SymEigen {
     /// Reconstructs `Q Λ Qᵀ`; useful for testing the factorization.
+    ///
+    /// `Q Λ` is formed by scaling the columns of `Q` directly
+    /// ([`Matrix::scale_cols`], `O(n²)`) rather than materializing the
+    /// diagonal matrix and paying an `O(n³)` product for it.
     pub fn reconstruct(&self) -> Matrix {
         let q = &self.eigenvectors;
-        let lambda = Matrix::from_diag(&self.eigenvalues);
-        q.matmul(&lambda)
-            .and_then(|ql| ql.matmul(&q.transpose()))
+        q.scale_cols(&self.eigenvalues)
+            .and_then(|ql| ql.matmul_nt(q))
             .expect("shapes are consistent by construction")
     }
 }
@@ -121,16 +159,25 @@ fn tred2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
                 *item = 0.0;
             }
 
-            // Apply similarity transformation to remaining columns.
+            // Apply the similarity transformation to the remaining columns:
+            // e[0..i] becomes the product of the symmetric matrix (stored in
+            // the lower triangle of v) with the Householder vector d. Swept
+            // row-wise — row k contributes its below-diagonal entries to
+            // both e[k] (dot with d) and e[j], j < k (scatter) — in the same
+            // per-element order as the column-walking EISPACK loop, so the
+            // results match it bitwise.
             for j in 0..i {
-                let f = d[j];
-                v[(j, i)] = f;
-                let mut g = e[j] + v[(j, j)] * f;
-                for k in (j + 1)..i {
-                    g += v[(k, j)] * d[k];
-                    e[k] += v[(k, j)] * f;
+                v[(j, i)] = d[j];
+            }
+            for k in 0..i {
+                let dk = d[k];
+                let mut s = 0.0;
+                let row = &v.row(k)[..=k];
+                for (j, &vkj) in row[..k].iter().enumerate() {
+                    s += vkj * d[j];
+                    e[j] += vkj * dk;
                 }
-                e[j] = g;
+                e[k] = s + row[k] * dk;
             }
             let mut f = 0.0;
             for j in 0..i {
@@ -141,13 +188,31 @@ fn tred2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
             for j in 0..i {
                 e[j] -= hh * d[j];
             }
+            // Rank-2 update A ← A − d·eᵀ − e·dᵀ on the lower triangle,
+            // row-wise; each element is touched exactly once, so the row
+            // panels split across the worker pool without changing the
+            // arithmetic.
+            {
+                let cols = v.cols();
+                let d_ro: &[f64] = d;
+                let e_ro: &[f64] = e;
+                let threads = pass_threads(i * i / 2);
+                ivmf_par::par_row_panels(
+                    &mut v.as_mut_slice()[..i * cols],
+                    cols,
+                    threads,
+                    |first_row, panel| {
+                        for (r, row) in panel.chunks_mut(cols).enumerate() {
+                            let k = first_row + r;
+                            let (ek, dk) = (e_ro[k], d_ro[k]);
+                            for (j, x) in row[..=k].iter_mut().enumerate() {
+                                *x -= d_ro[j] * ek + e_ro[j] * dk;
+                            }
+                        }
+                    },
+                );
+            }
             for j in 0..i {
-                let f = d[j];
-                let g = e[j];
-                for k in j..i {
-                    let delta = f * e[k] + g * d[k];
-                    v[(k, j)] -= delta;
-                }
                 d[j] = v[(i - 1, j)];
                 v[(i, j)] = 0.0;
             }
@@ -155,25 +220,48 @@ fn tred2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
         d[i] = h;
     }
 
-    // Accumulate transformations.
+    // Accumulate transformations: for each stored Householder vector
+    // (column i+1), project the leading block onto it and subtract the
+    // rank-1 correction. The projection coefficients g[j] accumulate row by
+    // row (k ascending per coefficient, matching the column walk bitwise)
+    // and the element-wise rank-1 update splits its row panels across the
+    // worker pool.
+    let mut w = vec![0.0; n];
+    let mut g = vec![0.0; n];
     for i in 0..(n - 1) {
         v[(n - 1, i)] = v[(i, i)];
         v[(i, i)] = 1.0;
         let h = d[i + 1];
         if h != 0.0 {
             for k in 0..=i {
-                d[k] = v[(k, i + 1)] / h;
+                w[k] = v[(k, i + 1)];
+                d[k] = w[k] / h;
             }
-            for j in 0..=i {
-                let mut g = 0.0;
-                for k in 0..=i {
-                    g += v[(k, i + 1)] * v[(k, j)];
-                }
-                for k in 0..=i {
-                    let delta = g * d[k];
-                    v[(k, j)] -= delta;
+            for x in g[..=i].iter_mut() {
+                *x = 0.0;
+            }
+            for (k, &wk) in w[..=i].iter().enumerate() {
+                for (x, &vkj) in g[..=i].iter_mut().zip(&v.row(k)[..=i]) {
+                    *x += wk * vkj;
                 }
             }
+            let cols = v.cols();
+            let d_ro: &[f64] = d;
+            let g_ro: &[f64] = &g;
+            let threads = pass_threads((i + 1) * (i + 1));
+            ivmf_par::par_row_panels(
+                &mut v.as_mut_slice()[..(i + 1) * cols],
+                cols,
+                threads,
+                |first_row, panel| {
+                    for (r, row) in panel.chunks_mut(cols).enumerate() {
+                        let dk = d_ro[first_row + r];
+                        for (x, &gj) in row[..=i].iter_mut().zip(&g_ro[..=i]) {
+                            *x -= gj * dk;
+                        }
+                    }
+                },
+            );
         }
         for k in 0..=i {
             v[(k, i + 1)] = 0.0;
@@ -187,10 +275,50 @@ fn tred2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
     e[0] = 0.0;
 }
 
+/// Applies one QL iteration's recorded Givens rotations to the eigenvector
+/// matrix: `rotations[idx]` rotates the column pair `(i, i+1)` with
+/// `i = m − 1 − idx` (the order the scalar recurrence produced them).
+///
+/// The batch is applied to one cache-resident block of rows at a time,
+/// with the rotation loop *outside* the row loop: successive rotations on
+/// one row form a serial dependency chain (rotation `i` reads what rotation
+/// `i+1` wrote), so iterating rows innermost keeps the updates independent
+/// and superscalar while the block's column window stays L1-resident —
+/// unlike the textbook full-height column walk, which streams a stride-`n`
+/// pair through the whole matrix per rotation. Per element the rotations
+/// still apply in the recorded order, so the result is bitwise identical to
+/// the column walk, for any row-panel split across the worker pool.
+fn apply_rotations(v: &mut Matrix, m: usize, rotations: &[(f64, f64)]) {
+    /// Rows rotated together: enough independent updates per rotation to
+    /// saturate the FP units, few enough that the block's active column
+    /// pair stays in L1.
+    const ROTATION_ROW_BLOCK: usize = 32;
+    if rotations.is_empty() {
+        return;
+    }
+    let cols = v.cols();
+    let threads = pass_threads(v.rows() * rotations.len());
+    ivmf_par::par_row_panels(v.as_mut_slice(), cols, threads, |_, panel| {
+        for block in panel.chunks_mut(ROTATION_ROW_BLOCK * cols) {
+            let rows = block.len() / cols;
+            for (idx, &(c, s)) in rotations.iter().enumerate() {
+                let i = m - 1 - idx;
+                for r in 0..rows {
+                    let base = r * cols + i;
+                    let (lo, hi) = (block[base], block[base + 1]);
+                    block[base + 1] = s * lo + c * hi;
+                    block[base] = c * lo - s * hi;
+                }
+            }
+        }
+    });
+}
+
 /// Implicit QL algorithm with shifts applied to the tridiagonal matrix
 /// `(d, e)`, accumulating rotations into `v`.
 fn tql2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<()> {
     let n = d.len();
+    let mut rotations: Vec<(f64, f64)> = Vec::with_capacity(n);
     for i in 1..n {
         e[i - 1] = e[i];
     }
@@ -248,6 +376,7 @@ fn tql2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<()> {
                 let el1 = e[l + 1];
                 let mut s = 0.0;
                 let mut s2 = 0.0;
+                rotations.clear();
                 for i in (l..m).rev() {
                     c3 = c2;
                     c2 = c;
@@ -260,14 +389,11 @@ fn tql2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<()> {
                     c = p / r;
                     p = c * d[i] - s * g;
                     d[i + 1] = h + s * (c * g + s * d[i]);
-
-                    // Accumulate the rotation into the eigenvector matrix.
-                    for k in 0..n {
-                        h = v[(k, i + 1)];
-                        v[(k, i + 1)] = s * v[(k, i)] + c * h;
-                        v[(k, i)] = c * v[(k, i)] - s * h;
-                    }
+                    rotations.push((c, s));
                 }
+                // Accumulate the recorded rotations into the eigenvector
+                // matrix in one row-wise batch.
+                apply_rotations(v, m, &rotations);
                 p = -s * s2 * c3 * el1 * e[l] / dl1;
                 e[l] = s * p;
                 d[l] = c * p;
@@ -400,6 +526,37 @@ mod tests {
         let e = sym_eigen(&Matrix::zeros(4, 4)).unwrap();
         assert!(e.eigenvalues.iter().all(|&l| l.abs() < 1e-15));
         assert_orthonormal(&e.eigenvectors, 1e-12);
+    }
+
+    #[test]
+    fn parallel_eigensolver_is_bitwise_deterministic_across_thread_counts() {
+        // n chosen so the gated element-wise passes (rank-2 update,
+        // accumulation update, batched rotations) actually cross
+        // EIGEN_PAR_MIN_WORK and engage the worker pool. The contract
+        // matches the packed matmul kernels: panel splits never change the
+        // arithmetic, so IVMF_THREADS=1 and IVMF_THREADS=4 agree bitwise.
+        let n = 260;
+        assert!(n * n / 2 >= EIGEN_PAR_MIN_WORK);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let a = symmetric_matrix(&mut rng, n, -3.0, 3.0);
+        let _guard = crate::test_env::THREADS_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let prev = std::env::var(ivmf_par::THREADS_ENV).ok();
+        std::env::set_var(ivmf_par::THREADS_ENV, "1");
+        let single = sym_eigen(&a).unwrap();
+        std::env::set_var(ivmf_par::THREADS_ENV, "4");
+        let quad = sym_eigen(&a).unwrap();
+        match prev {
+            Some(v) => std::env::set_var(ivmf_par::THREADS_ENV, v),
+            None => std::env::remove_var(ivmf_par::THREADS_ENV),
+        }
+        assert_eq!(single.eigenvalues, quad.eigenvalues);
+        assert_eq!(
+            single.eigenvectors.as_slice(),
+            quad.eigenvectors.as_slice(),
+            "eigenvectors must agree bitwise across thread counts"
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod cond;
 pub mod eigen_sym;
 mod error;
+mod kernel;
 pub mod lu;
 mod matrix;
 pub mod norms;
@@ -57,6 +58,18 @@ pub use matrix::{Matrix, MATMUL_BLOCKED_MIN_WORK, MATMUL_PAR_MIN_WORK};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+pub(crate) mod test_env {
+    /// Serializes the tests that mutate the `IVMF_THREADS` environment
+    /// variable. `ivmf_par::configured_threads()` re-reads the variable on
+    /// every call, so two concurrently running determinism tests would race:
+    /// one test's "single-threaded" run could silently execute with the
+    /// other test's transient override (degenerating the 1-vs-4 comparison
+    /// to 4-vs-4), and a test could capture the other's transient value as
+    /// "previous" and leak it into the rest of the suite.
+    pub static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}
 
 /// Default numerical tolerance used for rank / singularity decisions.
 pub const DEFAULT_EPS: f64 = 1e-12;

@@ -3,6 +3,7 @@ use std::ops::{Index, IndexMut};
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernel::{gemm_into, mirror_upper, Plain, Trans};
 use crate::{LinalgError, Result};
 
 /// A dense, row-major, `f64` matrix.
@@ -23,63 +24,23 @@ pub struct Matrix {
 }
 
 /// Scalar-multiplication count (`n·k·m`) below which [`Matrix::matmul`]
-/// runs the reference i-k-j kernel instead of the blocked one: at tiny
-/// sizes the two kernels are equivalent and the reference one keeps the
-/// historical bitwise behaviour of the small-matrix tests.
+/// runs the reference i-k-j kernel instead of the packed register-tiled
+/// one: at tiny sizes the two kernels are equivalent, packing overhead
+/// dominates, and the reference kernel keeps the historical bitwise
+/// behaviour of the small-matrix tests.
 pub const MATMUL_BLOCKED_MIN_WORK: usize = 32 * 32 * 32;
 
 /// Scalar-multiplication count (`n·k·m`) above which [`Matrix::matmul`]
 /// splits its output row panels across the `IVMF_THREADS` worker pool.
 pub const MATMUL_PAR_MIN_WORK: usize = 64 * 64 * 64;
 
-/// Blocked panel kernel: computes `out[first_row.., :] = A[first_row.., :] · B`
-/// for one contiguous panel of output rows.
-///
-/// The inner-dimension loop is unrolled into panels of four `B` rows that
-/// stay hot in L1 while every `A` row of the output panel streams past
-/// them — four fused update terms per output element give the vectorizer
-/// independent work without introducing a reduction chain. (A
-/// transposed-RHS dot-product kernel was benchmarked too and lost to the
-/// baseline-SIMD saxpy form; see the `linalg_kernels` bench.)
-///
-/// Determinism: each output element accumulates its `k`-terms in a fixed
-/// global order — ascending blocks of four with fixed associativity, then
-/// ascending singles — that does not depend on the panel split, so results
-/// are bitwise identical for every thread count.
-fn matmul_panel(a: &Matrix, b: &Matrix, first_row: usize, panel: &mut [f64]) {
-    let (k, m) = b.shape();
-    let rows = panel.len() / m;
-    let mut kb = 0;
-    while kb + 4 <= k {
-        let b0 = b.row(kb);
-        let b1 = b.row(kb + 1);
-        let b2 = b.row(kb + 2);
-        let b3 = b.row(kb + 3);
-        for i in 0..rows {
-            let a_row = a.row(first_row + i);
-            let (a0, a1, a2, a3) = (a_row[kb], a_row[kb + 1], a_row[kb + 2], a_row[kb + 3]);
-            if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
-                continue; // whole block contributes nothing (sparse inputs)
-            }
-            let out_row = &mut panel[i * m..(i + 1) * m];
-            for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-            {
-                *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
-            }
-        }
-        kb += 4;
-    }
-    for kk in kb..k {
-        let b_row = b.row(kk);
-        for i in 0..rows {
-            let av = a.row(first_row + i)[kk];
-            if av == 0.0 {
-                continue;
-            }
-            for (o, &bv) in panel[i * m..(i + 1) * m].iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
+/// Worker count for a product of `work` scalar multiplications: 1 below
+/// [`MATMUL_PAR_MIN_WORK`], the `IVMF_THREADS` pool size at or above it.
+fn threads_for(work: usize) -> usize {
+    if work >= MATMUL_PAR_MIN_WORK {
+        ivmf_par::configured_threads()
+    } else {
+        1
     }
 }
 
@@ -377,9 +338,10 @@ impl Matrix {
     ///
     /// Products below [`MATMUL_BLOCKED_MIN_WORK`] scalar multiplications run
     /// the reference i-k-j kernel ([`Matrix::matmul_naive`]); larger ones
-    /// take the blocked k-panel kernel, and above [`MATMUL_PAR_MIN_WORK`]
-    /// its output row panels are split across the worker threads configured
-    /// by the `IVMF_THREADS` environment variable (see
+    /// take the packed, register-tiled GEBP kernel (see the `kernel` module
+    /// docs for the packing layout), and above [`MATMUL_PAR_MIN_WORK`] its
+    /// output row panels are split across the worker threads configured by
+    /// the `IVMF_THREADS` environment variable (see
     /// [`ivmf_par::configured_threads`]).
     ///
     /// Every output element accumulates its inner-dimension terms in a
@@ -399,14 +361,100 @@ impl Matrix {
             return self.matmul_naive(rhs);
         }
         let mut out = Matrix::zeros(n, m);
-        let threads = if work >= MATMUL_PAR_MIN_WORK {
-            ivmf_par::configured_threads()
+        gemm_into(
+            &Plain(self),
+            &Plain(rhs),
+            &mut out,
+            threads_for(work),
+            false,
+        );
+        Ok(out)
+    }
+
+    /// Matrix product with a transposed right operand: `self * rhsᵀ`, for
+    /// `self` of shape `n×k` and `rhs` of shape `m×k`, **without**
+    /// materializing the transpose.
+    ///
+    /// This is the shape of every `U Vᵀ` reconstruction and of the k-means
+    /// cross-term products; the packed kernel reads `rhs` through a
+    /// transposed view while packing, and small products fall back to
+    /// row-by-row dot products (both operands walk contiguous rows).
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_nt",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (n, k, m) = (self.rows, self.cols, rhs.rows);
+        let work = n * k * m;
+        let mut out = Matrix::zeros(n, m);
+        if work < MATMUL_BLOCKED_MIN_WORK {
+            for i in 0..n {
+                let a_row = self.row(i);
+                let out_row = &mut out.data[i * m..(i + 1) * m];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = a_row
+                        .iter()
+                        .zip(rhs.row(j))
+                        .map(|(&a, &b)| a * b)
+                        .sum::<f64>();
+                }
+            }
         } else {
-            1
-        };
-        ivmf_par::par_row_panels(&mut out.data, m, threads, |first_row, panel| {
-            matmul_panel(self, rhs, first_row, panel)
-        });
+            gemm_into(
+                &Plain(self),
+                &Trans(rhs),
+                &mut out,
+                threads_for(work),
+                false,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Matrix product with a transposed left operand: `selfᵀ * rhs`, for
+    /// `self` of shape `k×n` and `rhs` of shape `k×m`, **without**
+    /// materializing the transpose.
+    ///
+    /// This is the `Mᵀ U` shape of the NMF/PMF multiplicative updates; the
+    /// packed kernel packs `selfᵀ` straight out of the row-major storage
+    /// (columns of a row-major matrix are contiguous in the transposed
+    /// view's rows), and small products run a k-outer saxpy accumulation.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_tn",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (n, k, m) = (self.cols, self.rows, rhs.cols);
+        let work = n * k * m;
+        let mut out = Matrix::zeros(n, m);
+        if work < MATMUL_BLOCKED_MIN_WORK {
+            for kk in 0..k {
+                let a_row = self.row(kk);
+                let b_row = rhs.row(kk);
+                for (i, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (o, &b) in out.data[i * m..(i + 1) * m].iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        } else {
+            gemm_into(
+                &Trans(self),
+                &Plain(rhs),
+                &mut out,
+                threads_for(work),
+                false,
+            );
+        }
         Ok(out)
     }
 
@@ -443,44 +491,81 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Computes `selfᵀ * self` (the Gram matrix) without materializing the
-    /// transpose.
+    /// Computes the Gram matrix `selfᵀ * self` without materializing the
+    /// transpose, exploiting symmetry (SYRK): only the upper triangle is
+    /// computed — half the multiplications of a general product — and then
+    /// mirrored into the lower one.
+    ///
+    /// Large products run the packed register-tiled kernel over a
+    /// transposed-LHS view, skipping every tile strictly below the
+    /// diagonal; small ones run an upper-triangle row saxpy. The result is
+    /// exactly symmetric by construction.
     pub fn gram(&self) -> Matrix {
         let (n, m) = self.shape();
         let mut out = Matrix::zeros(m, m);
-        for i in 0..n {
-            let row = self.row(i);
-            for a in 0..m {
-                let ra = row[a];
-                if ra == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[a * m..(a + 1) * m];
-                for (b, &rb) in row.iter().enumerate() {
-                    out_row[b] += ra * rb;
+        let work = n * m * m / 2;
+        if work < MATMUL_BLOCKED_MIN_WORK {
+            for i in 0..n {
+                let row = self.row(i);
+                for a in 0..m {
+                    let ra = row[a];
+                    if ra == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[a * m + a..(a + 1) * m];
+                    for (o, &rb) in out_row.iter_mut().zip(&row[a..]) {
+                        *o += ra * rb;
+                    }
                 }
             }
+        } else {
+            gemm_into(
+                &Trans(self),
+                &Plain(self),
+                &mut out,
+                threads_for(work),
+                true,
+            );
         }
+        mirror_upper(&mut out);
         out
     }
 
-    /// Computes `self * selfᵀ` without materializing the transpose.
-    pub fn outer_gram(&self) -> Matrix {
-        let n = self.rows;
+    /// Computes the left Gram matrix `self * selfᵀ` without materializing
+    /// the transpose, exploiting symmetry exactly like [`Matrix::gram`]
+    /// (upper triangle + mirror).
+    pub fn gram_left(&self) -> Matrix {
+        let (n, k) = self.shape();
         let mut out = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in i..n {
-                let dot: f64 = self
-                    .row(i)
-                    .iter()
-                    .zip(self.row(j))
-                    .map(|(&a, &b)| a * b)
-                    .sum();
-                out[(i, j)] = dot;
-                out[(j, i)] = dot;
+        let work = n * n * k / 2;
+        if work < MATMUL_BLOCKED_MIN_WORK {
+            for i in 0..n {
+                let row_i = self.row(i);
+                for j in i..n {
+                    out.data[i * n + j] = row_i
+                        .iter()
+                        .zip(self.row(j))
+                        .map(|(&a, &b)| a * b)
+                        .sum::<f64>();
+                }
             }
+        } else {
+            gemm_into(
+                &Plain(self),
+                &Trans(self),
+                &mut out,
+                threads_for(work),
+                true,
+            );
         }
+        mirror_upper(&mut out);
         out
+    }
+
+    /// Alias for [`Matrix::gram_left`], kept for the callers that predate
+    /// the SYRK kernels.
+    pub fn outer_gram(&self) -> Matrix {
+        self.gram_left()
     }
 
     /// Matrix-vector product `self * v`.
@@ -553,6 +638,29 @@ impl Matrix {
             }
             for i in 0..self.rows {
                 out[(i, j_new)] = self[(i, j_old)];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns a copy with column `j` scaled by `scales[j]` — i.e. the
+    /// product `self · diag(scales)` in `O(n·m)` instead of the `O(n·m²)`
+    /// of materializing the diagonal matrix and multiplying.
+    ///
+    /// This is the kernel behind every `U Σ` / `V Σ⁻¹` factor scaling in
+    /// the SVD/eigen reconstructions and the pseudo-inverse.
+    pub fn scale_cols(&self, scales: &[f64]) -> Result<Matrix> {
+        if scales.len() != self.cols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "scale vector length {} does not match column count {}",
+                scales.len(),
+                self.cols
+            )));
+        }
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            for (x, &s) in out.row_mut(i).iter_mut().zip(scales) {
+                *x *= s;
             }
         }
         Ok(out)
@@ -804,23 +912,88 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matmul_is_bitwise_deterministic_across_thread_counts() {
-        // 80³ work is above MATMUL_PAR_MIN_WORK, so the panel split actually
-        // engages the worker pool. Bitwise equality — not approx_eq — is the
-        // contract: panel boundaries must never change the arithmetic.
-        let a = lcg_matrix(80, 80, 7);
-        let b = lcg_matrix(80, 80, 11);
-        assert!(80 * 80 * 80 >= MATMUL_PAR_MIN_WORK);
+    fn packed_kernels_are_bitwise_deterministic_across_thread_counts() {
+        // All shapes above MATMUL_PAR_MIN_WORK, so the row-panel split
+        // actually engages the worker pool. Bitwise equality — not
+        // approx_eq — is the contract: panel boundaries must never change
+        // the arithmetic, for the general product and for every packed
+        // variant (SYRK gram, transposed-operand products).
+        let a = lcg_matrix(96, 80, 7);
+        let b = lcg_matrix(80, 96, 11);
+        let c = lcg_matrix(100, 80, 13);
+        assert!(96 * 80 * 96 >= MATMUL_PAR_MIN_WORK);
+        assert!(96 * 80 * 80 / 2 >= MATMUL_PAR_MIN_WORK);
+        let run = || {
+            (
+                a.matmul(&b).unwrap(),
+                a.gram(),
+                a.gram_left(),
+                a.matmul_nt(&c).unwrap(),
+                b.matmul_tn(&b).unwrap(),
+            )
+        };
+        let _guard = crate::test_env::THREADS_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let prev = std::env::var(ivmf_par::THREADS_ENV).ok();
         std::env::set_var(ivmf_par::THREADS_ENV, "1");
-        let single = a.matmul(&b).unwrap();
+        let single = run();
         std::env::set_var(ivmf_par::THREADS_ENV, "4");
-        let quad = a.matmul(&b).unwrap();
-        std::env::remove_var(ivmf_par::THREADS_ENV);
-        assert_eq!(
-            single.as_slice(),
-            quad.as_slice(),
-            "IVMF_THREADS=1 and IVMF_THREADS=4 must agree bitwise"
-        );
+        let quad = run();
+        match prev {
+            Some(v) => std::env::set_var(ivmf_par::THREADS_ENV, v),
+            None => std::env::remove_var(ivmf_par::THREADS_ENV),
+        }
+        for (label, s, q) in [
+            ("matmul", &single.0, &quad.0),
+            ("gram", &single.1, &quad.1),
+            ("gram_left", &single.2, &quad.2),
+            ("matmul_nt", &single.3, &quad.3),
+            ("matmul_tn", &single.4, &quad.4),
+        ] {
+            assert_eq!(
+                s.as_slice(),
+                q.as_slice(),
+                "{label}: IVMF_THREADS=1 and IVMF_THREADS=4 must agree bitwise"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_packed_kernels_match_reference(seed in 0u64..1_000_000) {
+            // Random shapes straddling the packed-kernel dispatch threshold
+            // (and, at the top of the range, the SYRK dispatch too): every
+            // packed kernel must match the naive reference within a
+            // componentwise tolerance.
+            use rand::rngs::SmallRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(28usize..78);
+            let k = rng.gen_range(28usize..78);
+            let m = rng.gen_range(28usize..78);
+            let a = lcg_matrix(n, k, seed ^ 1);
+            let b = lcg_matrix(k, m, seed ^ 2);
+            let bt = lcg_matrix(m, k, seed ^ 3);
+            let tol_of = |reference: &Matrix| 1e-12 * reference.max_abs().max(1.0) * k as f64;
+
+            let reference = a.matmul_naive(&b).unwrap();
+            proptest::prop_assert!(a.matmul(&b).unwrap().approx_eq(&reference, tol_of(&reference)));
+
+            let reference = a.matmul_naive(&bt.transpose()).unwrap();
+            proptest::prop_assert!(a.matmul_nt(&bt).unwrap().approx_eq(&reference, tol_of(&reference)));
+
+            let ta = lcg_matrix(k, n, seed ^ 4);
+            let reference = ta.transpose().matmul_naive(&b).unwrap();
+            proptest::prop_assert!(ta.matmul_tn(&b).unwrap().approx_eq(&reference, tol_of(&reference)));
+
+            let reference = a.transpose().matmul_naive(&a).unwrap();
+            proptest::prop_assert!(a.gram().approx_eq(&reference, tol_of(&reference)));
+
+            let reference = a.matmul_naive(&a.transpose()).unwrap();
+            proptest::prop_assert!(a.gram_left().approx_eq(&reference, tol_of(&reference)));
+        }
     }
 
     #[test]
@@ -832,6 +1005,66 @@ mod tests {
         let og = m.outer_gram();
         let expected2 = m.matmul(&m.transpose()).unwrap();
         assert!(og.approx_eq(&expected2, 1e-12));
+    }
+
+    #[test]
+    fn syrk_gram_is_exactly_symmetric_and_matches_reference_at_scale() {
+        // Large enough that the packed SYRK path (upper triangle + mirror)
+        // engages rather than the small-product fallback.
+        let m = lcg_matrix(70, 60, 31);
+        for g in [m.gram(), m.gram_left()] {
+            for i in 0..g.rows() {
+                for j in 0..i {
+                    assert_eq!(g[(i, j)].to_bits(), g[(j, i)].to_bits());
+                }
+            }
+        }
+        let scale = m.max_abs().max(1.0);
+        let expected = m.transpose().matmul_naive(&m).unwrap();
+        assert!(m.gram().approx_eq(&expected, 1e-10 * scale * scale));
+        let expected_left = m.matmul_naive(&m.transpose()).unwrap();
+        assert!(m
+            .gram_left()
+            .approx_eq(&expected_left, 1e-10 * scale * scale));
+    }
+
+    #[test]
+    fn matmul_nt_tn_match_explicit_transpose() {
+        // Below and above the packed-kernel dispatch threshold, including
+        // ragged shapes that exercise the zero-padded tail strips.
+        for &(n, k, m) in &[(3usize, 5usize, 4usize), (41, 67, 39), (70, 70, 70)] {
+            let a = lcg_matrix(n, k, 5 + n as u64);
+            let b = lcg_matrix(m, k, 6 + m as u64);
+            let fast = a.matmul_nt(&b).unwrap();
+            let reference = a.matmul_naive(&b.transpose()).unwrap();
+            let scale = reference.max_abs().max(1.0);
+            assert!(
+                fast.approx_eq(&reference, 1e-12 * scale),
+                "matmul_nt diverged at {n}x{k}x{m}"
+            );
+
+            let at = lcg_matrix(k, n, 7 + n as u64);
+            let bt = lcg_matrix(k, m, 8 + m as u64);
+            let fast = at.matmul_tn(&bt).unwrap();
+            let reference = at.transpose().matmul_naive(&bt).unwrap();
+            let scale = reference.max_abs().max(1.0);
+            assert!(
+                fast.approx_eq(&reference, 1e-12 * scale),
+                "matmul_tn diverged at {n}x{k}x{m}"
+            );
+        }
+        assert!(sample().matmul_nt(&Matrix::zeros(2, 2)).is_err());
+        assert!(sample().matmul_tn(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn scale_cols_matches_diagonal_product() {
+        let m = sample();
+        let scales = [2.0, 0.5, -1.0];
+        let scaled = m.scale_cols(&scales).unwrap();
+        let expected = m.matmul(&Matrix::from_diag(&scales)).unwrap();
+        assert_eq!(scaled, expected);
+        assert!(m.scale_cols(&[1.0]).is_err());
     }
 
     #[test]

@@ -26,20 +26,26 @@ pub const PAPER_SINGULAR_VALUE_CUTOFF: f64 = 0.1;
 /// Propagates SVD failures (empty input, non-convergence).
 pub fn pinv(a: &Matrix, cutoff: f64) -> Result<Matrix> {
     let f = svd(a)?;
-    // A⁺ = V Σ⁺ Uᵀ where Σ⁺ reciprocates the retained singular values.
-    let k = f.k();
-    let mut sigma_pinv = Matrix::zeros(k, k);
+    // A⁺ = V Σ⁺ Uᵀ where Σ⁺ reciprocates the retained singular values:
+    // V Σ⁺ is a column scaling (no diagonal matrix, no O(n³) product) and
+    // the trailing Uᵀ product runs transpose-free.
     let smax = f.singular_values.first().copied().unwrap_or(0.0);
     // Always guard against degenerate singular values even when the caller
     // requests cutoff = 0. The Gram-based SVD resolves zero singular values
     // only down to ~√ε·σ_max, so the floor must sit above that level.
     let relative_floor = smax * 1e-7;
-    for (i, &s) in f.singular_values.iter().enumerate() {
-        if s > cutoff && s > relative_floor {
-            sigma_pinv[(i, i)] = 1.0 / s;
-        }
-    }
-    f.v.matmul(&sigma_pinv)?.matmul(&f.u.transpose())
+    let inv_sigma: Vec<f64> = f
+        .singular_values
+        .iter()
+        .map(|&s| {
+            if s > cutoff && s > relative_floor {
+                1.0 / s
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    f.v.scale_cols(&inv_sigma)?.matmul_nt(&f.u)
 }
 
 #[cfg(test)]

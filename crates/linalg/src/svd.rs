@@ -43,11 +43,15 @@ impl Svd {
     }
 
     /// Reconstructs `U Σ Vᵀ`.
+    ///
+    /// `U Σ` is formed by scaling the columns of `U` directly
+    /// ([`Matrix::scale_cols`], `O(n·k)`) instead of materializing the
+    /// diagonal matrix and paying an `O(n·k²)` product, and the trailing
+    /// `· Vᵀ` runs transpose-free on [`Matrix::matmul_nt`].
     pub fn reconstruct(&self) -> Matrix {
-        let sigma = Matrix::from_diag(&self.singular_values);
         self.u
-            .matmul(&sigma)
-            .and_then(|us| us.matmul(&self.v.transpose()))
+            .scale_cols(&self.singular_values)
+            .and_then(|us| us.matmul_nt(&self.v))
             .expect("shapes are consistent by construction")
     }
 
