@@ -1,6 +1,8 @@
 //! End-to-end trajectory bench for the decomposition pipelines: wall-clock
-//! medians of ISVD0–ISVD4 (paper default 40×250 synthetic config, rank 20)
-//! and of the `sym_eigen` kernel that backs every eigen-route decomposition,
+//! medians of ISVD0–ISVD4 (paper default 40×250 synthetic config, rank 20),
+//! the shared-stage batched driver against the sequential five-algorithm
+//! path (`batched_vs_sequential`, whose speedup is recorded in the JSON),
+//! and the `sym_eigen` kernel that backs every eigen-route decomposition,
 //! written to `BENCH_isvd.json` at the repository root (override with
 //! `IVMF_BENCH_ISVD_OUT`).
 //!
@@ -18,6 +20,7 @@ use std::time::Duration;
 
 use criterion::{BenchmarkId, Criterion};
 use ivmf_core::isvd::isvd;
+use ivmf_core::pipeline::run_all;
 use ivmf_core::{IsvdAlgorithm, IsvdConfig};
 use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
 use ivmf_linalg::eigen_sym::sym_eigen;
@@ -57,6 +60,32 @@ fn bench_isvd_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// The shared-stage batched driver against the sequential path: both
+/// evaluate all five ISVD algorithms on the paper-default matrix (bitwise
+/// identical outputs); the batched run computes the interval Gram, the
+/// bound eigendecompositions, the ILSA alignment and the aligned solve at
+/// most once across the whole roster.
+fn bench_batched_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_vs_sequential");
+    group.sample_size(sample_count());
+    let config = SyntheticConfig::paper_default();
+    let rank = config.default_rank();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let m = generate_uniform(&config, &mut rng);
+    let isvd_config = IsvdConfig::new(rank);
+    group.bench_with_input(BenchmarkId::from_parameter("sequential"), &m, |b, m| {
+        b.iter(|| {
+            for alg in IsvdAlgorithm::all() {
+                isvd(m, &isvd_config.with_algorithm(alg)).unwrap();
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("batched"), &m, |b, m| {
+        b.iter(|| run_all(m, &isvd_config).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_sym_eigen(c: &mut Criterion) {
     let mut group = c.benchmark_group("sym_eigen");
     group.sample_size(sample_count());
@@ -69,6 +98,20 @@ fn bench_sym_eigen(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// Median-over-median speedup of the shared-stage batched driver against
+/// five sequential `isvd` calls, if both measurements were recorded.
+fn batched_speedup(results: &[(String, Duration)]) -> Option<f64> {
+    let median_of = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_secs_f64())
+    };
+    let sequential = median_of("batched_vs_sequential/sequential")?;
+    let batched = median_of("batched_vs_sequential/batched")?;
+    (batched > 0.0).then(|| sequential / batched)
 }
 
 fn baseline_of(name: &str) -> Option<u128> {
@@ -103,6 +146,11 @@ fn emit_json(results: &[(String, Duration)]) -> std::io::Result<()> {
         }
     }
     json.push_str("  ],\n");
+    if let Some(speedup) = batched_speedup(results) {
+        json.push_str(&format!(
+            "  \"batched_vs_sequential_speedup\": {speedup:.3},\n"
+        ));
+    }
     json.push_str(&format!(
         "  \"smoke\": {},\n  \"threads\": {}\n}}\n",
         smoke_mode(),
@@ -122,6 +170,7 @@ fn main() {
     }
     let mut criterion = Criterion::default();
     bench_isvd_pipeline(&mut criterion);
+    bench_batched_vs_sequential(&mut criterion);
     bench_sym_eigen(&mut criterion);
 
     let results = criterion::recorded_measurements();
@@ -132,6 +181,9 @@ fn main() {
                 base as f64 / median.as_nanos().max(1) as f64
             );
         }
+    }
+    if let Some(speedup) = batched_speedup(&results) {
+        println!("batched_vs_sequential: {speedup:.2}x (shared-stage cache)");
     }
     if let Err(e) = emit_json(&results) {
         eprintln!("failed to write BENCH_isvd.json: {e}");

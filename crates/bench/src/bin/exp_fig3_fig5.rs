@@ -7,12 +7,11 @@
 //! intensity, rank 20); higher cosine = more precise interval latent space.
 
 use ivmf_align::cosine::matched_cosines;
-use ivmf_align::{ilsa, Matcher};
 use ivmf_bench::table::fmt3;
 use ivmf_bench::{ExperimentOptions, Table};
-use ivmf_core::{isvd4::isvd4, DecompositionTarget, IsvdConfig};
+use ivmf_core::pipeline::Pipeline;
+use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig};
 use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
-use ivmf_linalg::svd::svd_truncated;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -39,26 +38,33 @@ fn main() {
         let mut rng = SmallRng::seed_from_u64(1000 + rep as u64);
         let m = generate_uniform(&config, &mut rng);
 
+        // One batched pipeline session per replicate: the bound SVDs and
+        // the ILSA alignment are pipeline stages (shared with any ISVD1
+        // run), and ISVD4 runs against the same stage cache.
+        let mut pipeline = Pipeline::new(
+            &m,
+            IsvdConfig::new(rank).with_target(DecompositionTarget::IntervalAll),
+        )
+        .expect("pipeline session");
+
         // Figure 3: independent bound SVDs, before vs after ILSA.
-        let f_lo = svd_truncated(m.lo(), rank).expect("SVD of the lower bound");
-        let f_hi = svd_truncated(m.hi(), rank).expect("SVD of the upper bound");
-        for (i, c) in matched_cosines(&f_lo.v, &f_hi.v).iter().enumerate() {
+        let svds = pipeline.bound_svds().expect("bound SVD stage");
+        for (i, c) in matched_cosines(&svds.lo.v, &svds.hi.v).iter().enumerate() {
             before[i] += c.abs();
         }
-        let alignment = ilsa(&f_lo.v, &f_hi.v, Matcher::Hungarian).expect("alignment");
+        let alignment = pipeline.svd_alignment().expect("SVD alignment stage");
         let aligned_v_lo = alignment
-            .apply_to_columns(&f_lo.v)
+            .apply_to_columns(&svds.lo.v)
             .expect("apply alignment");
-        for (i, c) in matched_cosines(&aligned_v_lo, &f_hi.v).iter().enumerate() {
+        for (i, c) in matched_cosines(&aligned_v_lo, &svds.hi.v)
+            .iter()
+            .enumerate()
+        {
             after_align[i] += c.abs();
         }
 
         // Figure 5: ISVD4's interval factors after the recomputation step.
-        let out = isvd4(
-            &m,
-            &IsvdConfig::new(rank).with_target(DecompositionTarget::IntervalAll),
-        )
-        .expect("ISVD4");
+        let out = pipeline.run(IsvdAlgorithm::Isvd4).expect("ISVD4");
         for (i, c) in matched_cosines(out.factors.v.lo(), out.factors.v.hi())
             .iter()
             .enumerate()

@@ -3,10 +3,8 @@
 //! ranks of 100%, 50% and 5% of the full rank.
 
 use ivmf_bench::table::fmt3;
-use ivmf_bench::{evaluate_algorithm, AlgoSpec, ExperimentOptions, Table};
+use ivmf_bench::{replicate_roster_means, AlgoSpec, ExperimentOptions, Table};
 use ivmf_data::anonymize::{generate_anonymized, PrivacyProfile};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() {
     let opts = ExperimentOptions::from_env(1.0);
@@ -40,20 +38,19 @@ fn main() {
         header.extend(ranks.iter().map(|(label, _)| label.to_string()));
         let mut table = Table::new(header);
 
-        // Accumulate accuracy per (method, rank).
-        let mut sums = vec![vec![0.0; ranks.len()]; roster.len()];
-        for rep in 0..opts.replicates {
-            let mut rng = SmallRng::seed_from_u64(4000 + rep as u64);
-            let m = generate_anonymized(rows, cols, profile, &mut rng);
-            for (ri, &(_, rank)) in ranks.iter().enumerate() {
-                for (ai, &spec) in roster.iter().enumerate() {
-                    sums[ai][ri] += evaluate_algorithm(&m, rank, spec).harmonic_mean;
-                }
-            }
-        }
+        // Batched driver: per replicate and rank, the whole 13-method
+        // roster runs through one shared-stage pipeline.
+        let rank_values: Vec<usize> = ranks.iter().map(|&(_, r)| r).collect();
+        let means = replicate_roster_means(
+            opts.replicates,
+            4000,
+            |rng| generate_anonymized(rows, cols, profile, rng),
+            &rank_values,
+            &roster,
+        );
         for (ai, spec) in roster.iter().enumerate() {
             let mut row = vec![spec.name()];
-            row.extend(sums[ai].iter().map(|s| fmt3(s / opts.replicates as f64)));
+            row.extend(means.iter().map(|per_rank| fmt3(per_rank[ai])));
             table.add_row(row);
         }
         println!("{}", table.render());

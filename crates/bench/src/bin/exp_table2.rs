@@ -4,10 +4,8 @@
 //! configuration.
 
 use ivmf_bench::table::fmt3;
-use ivmf_bench::{evaluate_algorithm, AlgoSpec, ExperimentOptions, Table};
+use ivmf_bench::{replicate_roster_means, AlgoSpec, ExperimentOptions, Table};
 use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn sweep(
     title: &str,
@@ -22,16 +20,19 @@ fn sweep(
     let mut table = Table::new(header);
 
     for (label, config, rank) in cases {
-        let mut sums = vec![0.0; roster.len()];
-        for rep in 0..opts.replicates {
-            let mut rng = SmallRng::seed_from_u64(3000 + rep as u64);
-            let m = generate_uniform(config, &mut rng);
-            for (idx, &spec) in roster.iter().enumerate() {
-                sums[idx] += evaluate_algorithm(&m, *rank, spec).harmonic_mean;
-            }
-        }
+        // Batched driver: each replicate evaluates the whole roster through
+        // one shared-stage pipeline (the interval Gram and the bound
+        // eigendecompositions are computed once per replicate, not once per
+        // algorithm).
+        let means = replicate_roster_means(
+            opts.replicates,
+            3000,
+            |rng| generate_uniform(config, rng),
+            &[*rank],
+            &roster,
+        );
         let mut row = vec![label.clone()];
-        row.extend(sums.iter().map(|s| fmt3(s / opts.replicates as f64)));
+        row.extend(means[0].iter().map(|&s| fmt3(s)));
         table.add_row(row);
     }
     println!("{}", table.render());

@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use ivmf_bench::table::fmt3;
 use ivmf_bench::{ExperimentOptions, Table};
-use ivmf_core::isvd::isvd;
+use ivmf_core::pipeline::Pipeline;
 use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig};
 use ivmf_data::faces::{generate_faces, interval_faces, FaceCorpusConfig};
 use ivmf_eval::kmeans::{kmeans_interval, kmeans_scalar, KMeansConfig};
@@ -65,12 +65,15 @@ fn main() {
         let interval_time = t0.elapsed();
         let interval_nmi = nmi(&interval_result.assignments, &dataset.labels).unwrap_or(0.0);
 
-        // (iii) ISVD2-b (r = 20) projection.
+        // (iii) ISVD2-b (r = 20) projection, through the batched driver's
+        // pipeline session (stage outputs would be shared with any further
+        // algorithm evaluated on the same face matrix).
         let t0 = Instant::now();
         let isvd_cfg = IsvdConfig::new(rank.min(dataset.len().min(config.pixels())))
-            .with_algorithm(IsvdAlgorithm::Isvd2)
             .with_target(DecompositionTarget::IntervalCore);
-        let result = isvd(&faces, &isvd_cfg).expect("ISVD2-b");
+        let result = Pipeline::new(&faces, isvd_cfg)
+            .and_then(|mut p| p.run(IsvdAlgorithm::Isvd2))
+            .expect("ISVD2-b");
         let decomp_time = t0.elapsed();
         let projection = result.factors.row_projection().expect("projection");
         let t1 = Instant::now();

@@ -54,17 +54,18 @@
 pub mod runner;
 pub mod table;
 
-pub use runner::{evaluate_algorithm, AlgoSpec, EvalOutcome, ExperimentOptions};
+pub use runner::{
+    evaluate_algorithm, evaluate_roster, evaluate_roster_with_cache, replicate_roster_means,
+    AlgoSpec, EvalOutcome, ExperimentOptions,
+};
 pub use table::Table;
 
-/// True when `IVMF_BENCH_SMOKE` is set to `1`/`true`: the Criterion-style
-/// benches then run every benchmark with a single sample — the CI bitrot
-/// guard that keeps `cargo bench` runs fast while still exercising every
-/// kernel and the JSON emitters.
+/// True when `IVMF_BENCH_SMOKE` is set to `1`/`true` (shared [`ivmf_env`]
+/// rule): the Criterion-style benches then run every benchmark with a
+/// single sample — the CI bitrot guard that keeps `cargo bench` runs fast
+/// while still exercising every kernel and the JSON emitters.
 pub fn bench_smoke_mode() -> bool {
-    std::env::var("IVMF_BENCH_SMOKE")
-        .map(|v| v.trim() == "1" || v.trim().eq_ignore_ascii_case("true"))
-        .unwrap_or(false)
+    ivmf_env::flag(ivmf_env::BENCH_SMOKE)
 }
 
 /// Samples per benchmark: 1 in smoke mode, 10 otherwise.

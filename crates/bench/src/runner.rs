@@ -1,14 +1,18 @@
-//! Shared experiment plumbing: algorithm specifications, single-run
-//! evaluation, and environment-driven options.
+//! Shared experiment plumbing: algorithm specifications, batched roster
+//! evaluation over the decomposition pipeline's shared-stage cache, the
+//! replicate-averaging loop every `exp_*` binary previously hand-rolled,
+//! and environment-driven options.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ivmf_core::accuracy::reconstruction_accuracy;
-use ivmf_core::isvd::isvd;
+use ivmf_core::pipeline::{Pipeline, StageCache};
 use ivmf_core::timing::StageTimings;
 use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig};
 use ivmf_interval::IntervalMatrix;
 use ivmf_lp::lp_isvd;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// Options shared by every experiment binary, read from the environment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,20 +25,13 @@ pub struct ExperimentOptions {
 }
 
 impl ExperimentOptions {
-    /// Reads `IVMF_REPLICATES` and `IVMF_SCALE` from the environment,
-    /// falling back to `(5, default_scale)`.
+    /// Reads `IVMF_REPLICATES` and `IVMF_SCALE` through the shared
+    /// [`ivmf_env`] helpers, falling back to `(5, default_scale)`.
     pub fn from_env(default_scale: f64) -> Self {
-        let replicates = std::env::var("IVMF_REPLICATES")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&r| r > 0)
-            .unwrap_or(5);
-        let scale = std::env::var("IVMF_SCALE")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .filter(|&s| s > 0.0 && s <= 1.0)
-            .unwrap_or(default_scale);
-        ExperimentOptions { replicates, scale }
+        ExperimentOptions {
+            replicates: ivmf_env::usize_var(ivmf_env::REPLICATES, 1, || 5),
+            scale: ivmf_env::f64_var_in(ivmf_env::SCALE, 0.0, 1.0, default_scale),
+        }
     }
 }
 
@@ -125,44 +122,141 @@ pub struct EvalOutcome {
     /// Stage timings (zero for the LP competitor, which has no staged
     /// pipeline).
     pub timings: StageTimings,
-    /// Total wall-clock time of the decomposition.
+    /// Total wall-clock time of the decomposition. Under
+    /// [`evaluate_roster`] this is the *marginal* cost given the shared
+    /// stage cache — a spec evaluated after another that already computed
+    /// the Gram/eigen stages pays only for its own stages (see
+    /// `timings.cache_hits`), so it is order- and roster-dependent. For a
+    /// method's standalone cost, use [`evaluate_algorithm`].
     pub total_time: Duration,
+}
+
+/// Evaluates a whole roster of methods on one interval matrix through a
+/// single shared [`Pipeline`] session: every ISVD spec in the roster runs
+/// against the same stage cache, so the interval Gram matrix, the bound
+/// eigendecompositions and the ILSA alignment are computed at most once no
+/// matter how many algorithm × target combinations the roster lists. The
+/// LP competitor has no staged pipeline and is evaluated standalone.
+///
+/// Results are in roster order; per-spec cache accounting is in
+/// [`EvalOutcome::timings`]. Outputs are bitwise identical to
+/// [`evaluate_algorithm`] on each spec separately (the cache changes when a
+/// stage runs, never its arithmetic) — but each [`EvalOutcome::total_time`]
+/// is the *marginal* cost under sharing, not the method's standalone cost
+/// (which is why the Figure 6b time breakdown stays on the sequential
+/// path).
+pub fn evaluate_roster(m: &IntervalMatrix, rank: usize, roster: &[AlgoSpec]) -> Vec<EvalOutcome> {
+    evaluate_roster_with_cache(m, rank, roster, StageCache::new()).0
+}
+
+/// [`evaluate_roster`] over a caller-supplied [`StageCache`], returning the
+/// cache for further reuse. This is how rank sweeps share the
+/// rank-independent stages: the interval Gram is keyed without the rank
+/// (see [`ivmf_core::pipeline::stage_fingerprint`]), so evaluating several
+/// ranks on one matrix over one threaded cache computes it exactly once.
+pub fn evaluate_roster_with_cache(
+    m: &IntervalMatrix,
+    rank: usize,
+    roster: &[AlgoSpec],
+    cache: StageCache,
+) -> (Vec<EvalOutcome>, StageCache) {
+    // An invalid (rank, shape) combination degrades every ISVD spec to zero
+    // accuracy, exactly like the standalone path — but the caller's cache
+    // must survive the failed rank so the rest of a sweep keeps its warm
+    // rank-independent stages.
+    let config = IsvdConfig::new(rank);
+    let (mut pipeline, mut unused_cache) = if config.validate(m.shape()).is_ok() {
+        // `with_cache` validates the same config, so it cannot fail here.
+        (Pipeline::with_cache(m, config, cache).ok(), None)
+    } else {
+        (None, Some(cache))
+    };
+    let outcomes = roster
+        .iter()
+        .map(|&spec| {
+            let start = Instant::now();
+            let (factors, timings) = match spec {
+                AlgoSpec::Isvd(alg, target) => {
+                    match pipeline.as_mut().map(|p| p.run_with_target(alg, target)) {
+                        Some(Ok(result)) => (Some(result.factors), result.timings),
+                        _ => (None, StageTimings::default()),
+                    }
+                }
+                AlgoSpec::Lp(target) => {
+                    let config = IsvdConfig::new(rank).with_target(target);
+                    match lp_isvd(m, &config) {
+                        Ok(factors) => (Some(factors), StageTimings::default()),
+                        Err(_) => (None, StageTimings::default()),
+                    }
+                }
+            };
+            let total_time = start.elapsed();
+            let harmonic_mean = factors
+                .and_then(|f| f.reconstruct().ok())
+                .and_then(|rec| reconstruction_accuracy(m, &rec).ok())
+                .map(|a| a.harmonic_mean)
+                .unwrap_or(0.0);
+            EvalOutcome {
+                harmonic_mean,
+                timings,
+                total_time,
+            }
+        })
+        .collect();
+    let cache = pipeline
+        .map(Pipeline::into_cache)
+        .or_else(|| unused_cache.take())
+        .unwrap_or_default();
+    (outcomes, cache)
 }
 
 /// Decomposes `m` at the given rank with the specified method, reconstructs
 /// and scores it (Definition 5). Failures (singular inputs, non-convergence)
 /// are reported as zero accuracy rather than aborting a whole sweep.
+///
+/// Single-spec wrapper over [`evaluate_roster`] (fresh cache, nothing
+/// shared) — the sequential path experiment binaries use when per-run
+/// timing fidelity matters more than stage reuse.
 pub fn evaluate_algorithm(m: &IntervalMatrix, rank: usize, spec: AlgoSpec) -> EvalOutcome {
-    let start = std::time::Instant::now();
-    let (factors, timings) = match spec {
-        AlgoSpec::Isvd(alg, target) => {
-            let config = IsvdConfig::new(rank)
-                .with_algorithm(alg)
-                .with_target(target);
-            match isvd(m, &config) {
-                Ok(result) => (Some(result.factors), result.timings),
-                Err(_) => (None, StageTimings::default()),
+    evaluate_roster(m, rank, &[spec])
+        .pop()
+        .expect("one spec in, one outcome out")
+}
+
+/// The replicate/averaging loop shared by the sweep-style experiment
+/// binaries: for each replicate, seeds an RNG with `seed_base + rep`,
+/// generates a matrix, evaluates the full roster at every rank through one
+/// stage cache threaded across the whole rank sweep (so rank-independent
+/// stages — above all the `O(nm²)` interval Gram — are computed once per
+/// replicate, not once per rank), and returns the per-`(rank, spec)` mean
+/// harmonic accuracy (`out[rank_idx][spec_idx]`).
+pub fn replicate_roster_means(
+    replicates: usize,
+    seed_base: u64,
+    mut generate: impl FnMut(&mut SmallRng) -> IntervalMatrix,
+    ranks: &[usize],
+    roster: &[AlgoSpec],
+) -> Vec<Vec<f64>> {
+    let mut sums = vec![vec![0.0; roster.len()]; ranks.len()];
+    for rep in 0..replicates {
+        let mut rng = SmallRng::seed_from_u64(seed_base + rep as u64);
+        let m = generate(&mut rng);
+        let mut cache = StageCache::new();
+        for (ri, &rank) in ranks.iter().enumerate() {
+            let (outcomes, reused) = evaluate_roster_with_cache(&m, rank, roster, cache);
+            cache = reused;
+            for (si, outcome) in outcomes.iter().enumerate() {
+                sums[ri][si] += outcome.harmonic_mean;
             }
         }
-        AlgoSpec::Lp(target) => {
-            let config = IsvdConfig::new(rank).with_target(target);
-            match lp_isvd(m, &config) {
-                Ok(factors) => (Some(factors), StageTimings::default()),
-                Err(_) => (None, StageTimings::default()),
-            }
-        }
-    };
-    let total_time = start.elapsed();
-    let harmonic_mean = factors
-        .and_then(|f| f.reconstruct().ok())
-        .and_then(|rec| reconstruction_accuracy(m, &rec).ok())
-        .map(|a| a.harmonic_mean)
-        .unwrap_or(0.0);
-    EvalOutcome {
-        harmonic_mean,
-        timings,
-        total_time,
     }
+    let n = replicates.max(1) as f64;
+    for per_rank in &mut sums {
+        for v in per_rank.iter_mut() {
+            *v /= n;
+        }
+    }
+    sums
 }
 
 /// Arithmetic mean of a slice (0 for an empty slice).
@@ -218,6 +312,72 @@ mod tests {
             AlgoSpec::Isvd(IsvdAlgorithm::Isvd1, DecompositionTarget::Scalar),
         );
         assert_eq!(outcome.harmonic_mean, 0.0);
+    }
+
+    #[test]
+    fn evaluate_roster_shares_stages_and_matches_standalone() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = generate_uniform(
+            &SyntheticConfig::paper_default().with_shape(14, 10),
+            &mut rng,
+        );
+        let roster = AlgoSpec::table2_roster();
+        let shared = evaluate_roster(&m, 6, &roster);
+        assert_eq!(shared.len(), roster.len());
+        // The batched outcomes are bitwise identical to standalone runs.
+        for (outcome, &spec) in shared.iter().zip(&roster) {
+            let standalone = evaluate_algorithm(&m, 6, spec);
+            assert_eq!(
+                outcome.harmonic_mean.to_bits(),
+                standalone.harmonic_mean.to_bits(),
+                "{} diverged between shared and standalone evaluation",
+                spec.name()
+            );
+        }
+        // ISVD3 (index 3) reuses the Gram/eigen/alignment stages ISVD2
+        // computed; the standalone path reuses nothing.
+        assert!(shared[3].timings.cache_hits >= 4);
+        assert_eq!(evaluate_algorithm(&m, 6, roster[3]).timings.cache_hits, 0);
+    }
+
+    #[test]
+    fn invalid_rank_preserves_the_threaded_cache() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = generate_uniform(&SyntheticConfig::paper_default().with_shape(8, 6), &mut rng);
+        let roster = AlgoSpec::table2_roster();
+        // Warm the cache at a valid rank...
+        let (_, cache) = evaluate_roster_with_cache(&m, 4, &roster, StageCache::new());
+        let warm_entries = cache.len();
+        assert!(warm_entries > 0);
+        // ...then hit an invalid rank: every outcome is zero but the warm
+        // cache must come back intact for the rest of the sweep.
+        let (outcomes, cache) = evaluate_roster_with_cache(&m, 99, &roster, cache);
+        assert!(outcomes
+            .iter()
+            .zip(&roster)
+            .filter(|(_, s)| matches!(s, AlgoSpec::Isvd(..)))
+            .all(|(o, _)| o.harmonic_mean == 0.0));
+        assert_eq!(cache.len(), warm_entries, "warm cache was dropped");
+    }
+
+    #[test]
+    fn replicate_roster_means_shapes_and_range() {
+        let roster = AlgoSpec::table2_roster();
+        let ranks = [3usize, 5];
+        let means = replicate_roster_means(
+            2,
+            17,
+            |rng| generate_uniform(&SyntheticConfig::paper_default().with_shape(10, 8), rng),
+            &ranks,
+            &roster,
+        );
+        assert_eq!(means.len(), ranks.len());
+        for per_rank in &means {
+            assert_eq!(per_rank.len(), roster.len());
+            for &v in per_rank {
+                assert!((0.0..=1.0).contains(&v), "accuracy {v} out of range");
+            }
+        }
     }
 
     #[test]

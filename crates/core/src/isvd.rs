@@ -167,28 +167,32 @@ impl IsvdConfig {
 }
 
 /// Output of an ISVD run: the assembled factorization plus per-stage
-/// wall-clock timings.
+/// wall-clock timings and the executed stage trace.
 #[derive(Debug, Clone)]
 pub struct IsvdResult {
     /// The factorization, assembled for the configured target.
     pub factors: IntervalSvd,
-    /// Wall-clock breakdown by pipeline stage (Figure 6b).
+    /// Wall-clock breakdown by pipeline stage (Figure 6b), including the
+    /// run's stage-cache hit/miss accounting.
     pub timings: StageTimings,
+    /// The memoizable pipeline stages this run touched, in execution order,
+    /// each flagged with whether it was served from the
+    /// [`StageCache`](crate::pipeline::StageCache).
+    pub stages: Vec<crate::pipeline::StageEvent>,
 }
 
 /// Runs the configured ISVD strategy on an interval-valued matrix.
 ///
 /// This is the main entry point of the crate; it validates the
-/// configuration and dispatches to the strategy modules.
+/// configuration and executes the strategy's [`DecompPlan`] through a fresh
+/// (single-run) [`Pipeline`] — to evaluate several algorithms on one matrix
+/// with the expensive common stages shared, use
+/// [`crate::pipeline::run_all`] instead.
+///
+/// [`DecompPlan`]: crate::pipeline::DecompPlan
+/// [`Pipeline`]: crate::pipeline::Pipeline
 pub fn isvd(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
-    config.validate(m.shape())?;
-    match config.algorithm {
-        IsvdAlgorithm::Isvd0 => crate::isvd0::isvd0(m, config),
-        IsvdAlgorithm::Isvd1 => crate::isvd1::isvd1(m, config),
-        IsvdAlgorithm::Isvd2 => crate::isvd2::isvd2(m, config),
-        IsvdAlgorithm::Isvd3 => crate::isvd3::isvd3(m, config),
-        IsvdAlgorithm::Isvd4 => crate::isvd4::isvd4(m, config),
-    }
+    crate::pipeline::run_single(m, config, config.algorithm)
 }
 
 // ---------------------------------------------------------------------------

@@ -5,52 +5,30 @@
 //! SVD of the resulting scalar matrix is computed. The factors are scalar
 //! and orthonormal, so the result is only compatible with decomposition
 //! target (c); this module therefore always returns a
-//! [`DecompositionTarget::Scalar`] factorization regardless of the target
+//! [`crate::DecompositionTarget::Scalar`] factorization regardless of the target
 //! requested in the configuration (matching the paper, which lists ISVD0
 //! only under option-c).
 
 use ivmf_interval::IntervalMatrix;
-use ivmf_linalg::svd::svd_truncated;
 
-use crate::isvd::{IsvdConfig, IsvdResult};
-use crate::target::{DecompositionTarget, RawFactors};
-use crate::timing::{timed, StageTimings};
+use crate::isvd::{IsvdAlgorithm, IsvdConfig, IsvdResult};
 use crate::Result;
 
 /// Runs ISVD0 on an interval-valued matrix.
+///
+/// Thin wrapper over the staged pipeline: executes the
+/// [`Midpoint`](crate::pipeline::StageId::Midpoint) →
+/// [`MidpointSvd`](crate::pipeline::StageId::MidpointSvd) plan through a
+/// fresh single-run [`crate::pipeline::Pipeline`].
 pub fn isvd0(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
-    config.validate(m.shape())?;
-    let mut timings = StageTimings::default();
-
-    // Preprocessing: collapse intervals to their midpoints.
-    let avg = timed(&mut timings.preprocessing, || m.mid());
-
-    // Decomposition: plain truncated SVD of the average matrix.
-    let f = timed(&mut timings.decomposition, || {
-        svd_truncated(&avg, config.rank)
-    })?;
-
-    // No alignment stage. Renormalization = target construction (always
-    // scalar for ISVD0).
-    let factors = timed(&mut timings.renormalization, || {
-        RawFactors::new(
-            f.u.clone(),
-            f.u.clone(),
-            f.singular_values.clone(),
-            f.singular_values.clone(),
-            f.v.clone(),
-            f.v.clone(),
-        )
-        .and_then(|raw| raw.into_target(DecompositionTarget::Scalar))
-    })?;
-
-    Ok(IsvdResult { factors, timings })
+    crate::pipeline::run_single(m, config, IsvdAlgorithm::Isvd0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::accuracy::reconstruction_accuracy;
+    use crate::target::DecompositionTarget;
     use ivmf_linalg::Matrix;
 
     fn sample() -> IntervalMatrix {

@@ -6,44 +6,19 @@
 //! minimum-side factors accordingly, and the requested decomposition target
 //! is assembled.
 
-use ivmf_align::ilsa;
 use ivmf_interval::IntervalMatrix;
-use ivmf_linalg::svd::svd_truncated;
 
-use crate::isvd::{IsvdConfig, IsvdResult};
-use crate::target::RawFactors;
-use crate::timing::{timed, StageTimings};
+use crate::isvd::{IsvdAlgorithm, IsvdConfig, IsvdResult};
 use crate::Result;
 
 /// Runs ISVD1 on an interval-valued matrix.
+///
+/// Thin wrapper over the staged pipeline: executes the
+/// [`BoundSvd`](crate::pipeline::StageId::BoundSvd) →
+/// [`SvdAlign`](crate::pipeline::StageId::SvdAlign) plan through a fresh
+/// single-run [`crate::pipeline::Pipeline`].
 pub fn isvd1(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
-    config.validate(m.shape())?;
-    let mut timings = StageTimings::default();
-
-    // Decomposition: independent truncated SVDs of the two bounds.
-    let (f_lo, f_hi) = timed(&mut timings.decomposition, || {
-        let lo = svd_truncated(m.lo(), config.rank)?;
-        let hi = svd_truncated(m.hi(), config.rank)?;
-        Ok::<_, crate::IvmfError>((lo, hi))
-    })?;
-
-    // Alignment: pair the right singular vectors, then reorder/reorient the
-    // minimum-side factors (Algorithm 8, lines 4-14).
-    let (u_lo, sigma_lo, v_lo) = timed(&mut timings.alignment, || {
-        let alignment = ilsa(&f_lo.v, &f_hi.v, config.matcher)?;
-        let u_lo = alignment.apply_to_columns(&f_lo.u)?;
-        let v_lo = alignment.apply_to_columns(&f_lo.v)?;
-        let sigma_lo = alignment.apply_to_diag(&f_lo.singular_values)?;
-        Ok::<_, crate::IvmfError>((u_lo, sigma_lo, v_lo))
-    })?;
-
-    // Renormalization / target construction (Algorithm 8, lines 16-38).
-    let factors = timed(&mut timings.renormalization, || {
-        RawFactors::new(u_lo, f_hi.u, sigma_lo, f_hi.singular_values, v_lo, f_hi.v)
-            .and_then(|raw| raw.into_target(config.target))
-    })?;
-
-    Ok(IsvdResult { factors, timings })
+    crate::pipeline::run_single(m, config, IsvdAlgorithm::Isvd1)
 }
 
 #[cfg(test)]
@@ -51,18 +26,10 @@ mod tests {
     use super::*;
     use crate::accuracy::reconstruction_accuracy;
     use crate::target::DecompositionTarget;
-    use ivmf_linalg::random::uniform_matrix;
+    use crate::test_support::random_interval_matrix;
+    use ivmf_align::ilsa;
+    use ivmf_linalg::svd::svd_truncated;
     use ivmf_linalg::Matrix;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
-
-    fn random_interval_matrix(seed: u64, n: usize, m: usize, span: f64) -> IntervalMatrix {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let lo = uniform_matrix(&mut rng, n, m, 0.5, 4.0);
-        let spans = Matrix::from_fn(n, m, |_, _| rng.gen_range(0.0..span));
-        let hi = lo.add(&spans).unwrap();
-        IntervalMatrix::from_bounds(lo, hi).unwrap()
-    }
 
     #[test]
     fn scalar_input_full_rank_reconstructs_exactly_for_all_targets() {

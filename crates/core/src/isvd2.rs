@@ -8,50 +8,24 @@
 //! SVD definition (`U = M (Vᵀ)⁻¹ Σ⁻¹`), and only then aligns the
 //! minimum/maximum latent spaces with ILSA.
 
-use ivmf_align::ilsa;
 use ivmf_interval::IntervalMatrix;
 
-use crate::isvd::{bound_eigen, recover_left_factor, IsvdConfig, IsvdResult};
-use crate::target::RawFactors;
-use crate::timing::{timed, StageTimings};
+use crate::isvd::{IsvdAlgorithm, IsvdConfig, IsvdResult};
 use crate::Result;
 
 /// Runs ISVD2 on an interval-valued matrix.
+///
+/// Thin wrapper over the staged pipeline: executes the
+/// [`IntervalGram`](crate::pipeline::StageId::IntervalGram) →
+/// [`BoundEigenLo`](crate::pipeline::StageId::BoundEigenLo) /
+/// [`BoundEigenHi`](crate::pipeline::StageId::BoundEigenHi) →
+/// [`LeftRecover`](crate::pipeline::StageId::LeftRecover) →
+/// [`GramAlign`](crate::pipeline::StageId::GramAlign) plan through a fresh
+/// single-run [`crate::pipeline::Pipeline`]. In a batched
+/// [`crate::pipeline::run_all`] the Gram, eigen and alignment stages are
+/// shared with ISVD3/ISVD4.
 pub fn isvd2(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
-    config.validate(m.shape())?;
-    let mut timings = StageTimings::default();
-
-    // Preprocessing: interval Gram matrix A† = M†ᵀ M† (midpoint–radius
-    // fast path at experiment scale, exact envelope below it).
-    let gram = timed(&mut timings.preprocessing, || m.interval_gram_fast())?;
-
-    // Decomposition: eigendecompose both bounds of A†, then solve for the
-    // left factors of both bounds.
-    let (u_lo, u_hi, eig_lo, eig_hi) = timed(&mut timings.decomposition, || {
-        let eig_lo = bound_eigen(gram.lo(), config.rank)?;
-        let eig_hi = bound_eigen(gram.hi(), config.rank)?;
-        let u_lo = recover_left_factor(m.lo(), &eig_lo.v, &eig_lo.sigma)?;
-        let u_hi = recover_left_factor(m.hi(), &eig_hi.v, &eig_hi.sigma)?;
-        Ok::<_, crate::IvmfError>((u_lo, u_hi, eig_lo, eig_hi))
-    })?;
-
-    // Alignment: pair the right singular vectors and reorder/reorient the
-    // minimum-side factors (Algorithm 9, lines 7-17).
-    let (u_lo, sigma_lo, v_lo) = timed(&mut timings.alignment, || {
-        let alignment = ilsa(&eig_lo.v, &eig_hi.v, config.matcher)?;
-        let u_lo = alignment.apply_to_columns(&u_lo)?;
-        let v_lo = alignment.apply_to_columns(&eig_lo.v)?;
-        let sigma_lo = alignment.apply_to_diag(&eig_lo.sigma)?;
-        Ok::<_, crate::IvmfError>((u_lo, sigma_lo, v_lo))
-    })?;
-
-    // Renormalization / target construction.
-    let factors = timed(&mut timings.renormalization, || {
-        RawFactors::new(u_lo, u_hi, sigma_lo, eig_hi.sigma, v_lo, eig_hi.v)
-            .and_then(|raw| raw.into_target(config.target))
-    })?;
-
-    Ok(IsvdResult { factors, timings })
+    crate::pipeline::run_single(m, config, IsvdAlgorithm::Isvd2)
 }
 
 #[cfg(test)]
@@ -60,18 +34,10 @@ mod tests {
     use crate::accuracy::reconstruction_accuracy;
     use crate::isvd1::isvd1;
     use crate::target::DecompositionTarget;
-    use ivmf_linalg::random::uniform_matrix;
+    use crate::test_support::random_interval_matrix;
     use ivmf_linalg::Matrix;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
-
-    fn random_interval_matrix(seed: u64, n: usize, m: usize, span: f64) -> IntervalMatrix {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let lo = uniform_matrix(&mut rng, n, m, 0.5, 4.0);
-        let spans = Matrix::from_fn(n, m, |_, _| rng.gen_range(0.0..span));
-        let hi = lo.add(&spans).unwrap();
-        IntervalMatrix::from_bounds(lo, hi).unwrap()
-    }
 
     #[test]
     fn scalar_input_full_rank_reconstructs_exactly() {

@@ -14,98 +14,25 @@
 //! `((V†)ᵀ)⁻¹` is approximated by inverting (or pseudo-inverting, when the
 //! matrix is rectangular or ill-conditioned) the *averaged* factor `V_avg`.
 
-use ivmf_align::ilsa;
 use ivmf_interval::IntervalMatrix;
-use ivmf_linalg::Matrix;
 
-use crate::isvd::{bound_eigen, invert_factor_transpose, IsvdConfig, IsvdResult};
-use crate::sigma_inverse::sigma_inverse_matrix;
-use crate::target::RawFactors;
-use crate::timing::{timed, StageTimings};
+use crate::isvd::{IsvdAlgorithm, IsvdConfig, IsvdResult};
 use crate::Result;
 
-/// The aligned intermediate state shared by ISVD3 and ISVD4: right factors
-/// and singular values per bound (minimum side already aligned), plus the
-/// interval-algebra solve for the left factor.
-pub(crate) struct AlignedSolve {
-    pub v_lo: Matrix,
-    pub v_hi: Matrix,
-    pub sigma_lo: Vec<f64>,
-    pub sigma_hi: Vec<f64>,
-    pub u: IntervalMatrix,
-    /// Scalar approximation of `(Σ†)⁻¹` (diagonal), reused by ISVD4.
-    pub sigma_inv: Matrix,
-}
-
-/// Shared pipeline: Gram → eigendecompose → align → solve for `U†`.
-pub(crate) fn decompose_align_solve(
-    m: &IntervalMatrix,
-    config: &IsvdConfig,
-    timings: &mut StageTimings,
-) -> Result<AlignedSolve> {
-    // Preprocessing: interval Gram matrix (midpoint–radius fast path at
-    // experiment scale, exact envelope below it).
-    let gram = timed(&mut timings.preprocessing, || m.interval_gram_fast())?;
-
-    // Decomposition (part 1): eigendecompose the Gram bounds.
-    let (eig_lo, eig_hi) = timed(&mut timings.decomposition, || {
-        let lo = bound_eigen(gram.lo(), config.rank)?;
-        let hi = bound_eigen(gram.hi(), config.rank)?;
-        Ok::<_, crate::IvmfError>((lo, hi))
-    })?;
-
-    // Alignment: pair right singular vectors, reorder/reorient the minimum
-    // side (Algorithm 10, lines 5-13). The left factor does not exist yet.
-    let (v_lo, sigma_lo) = timed(&mut timings.alignment, || {
-        let alignment = ilsa(&eig_lo.v, &eig_hi.v, config.matcher)?;
-        let v_lo = alignment.apply_to_columns(&eig_lo.v)?;
-        let sigma_lo = alignment.apply_to_diag(&eig_lo.sigma)?;
-        Ok::<_, crate::IvmfError>((v_lo, sigma_lo))
-    })?;
-
-    // Decomposition (part 2): solve U† = M† ((V†)ᵀ)⁻¹ (Σ†)⁻¹ using the
-    // averaged V and the scalar interval-core inverse.
-    let (u, sigma_inv) = timed(&mut timings.decomposition, || {
-        let v_avg = v_lo.mean_with(&eig_hi.v)?;
-        let v_t_inv = invert_factor_transpose(&v_avg, config)?;
-        let sigma_inv = sigma_inverse_matrix(&sigma_lo, &eig_hi.sigma)?;
-        let projector = v_t_inv.matmul(&sigma_inv)?;
-        let u = m.matmul_scalar(&projector)?;
-        Ok::<_, crate::IvmfError>((u, sigma_inv))
-    })?;
-
-    Ok(AlignedSolve {
-        v_lo,
-        v_hi: eig_hi.v,
-        sigma_lo,
-        sigma_hi: eig_hi.sigma,
-        u,
-        sigma_inv,
-    })
-}
-
 /// Runs ISVD3 on an interval-valued matrix.
+///
+/// Thin wrapper over the staged pipeline: executes the
+/// [`IntervalGram`](crate::pipeline::StageId::IntervalGram) →
+/// [`BoundEigenLo`](crate::pipeline::StageId::BoundEigenLo) /
+/// [`BoundEigenHi`](crate::pipeline::StageId::BoundEigenHi) →
+/// [`GramAlign`](crate::pipeline::StageId::GramAlign) →
+/// [`AlignedSolve`](crate::pipeline::StageId::AlignedSolve) plan through a
+/// fresh single-run [`crate::pipeline::Pipeline`]. The aligned solve —
+/// everything up to the recovery of the interval-valued left factor — is
+/// the stage ISVD4 shares wholesale in a batched
+/// [`crate::pipeline::run_all`].
 pub fn isvd3(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
-    config.validate(m.shape())?;
-    let mut timings = StageTimings::default();
-
-    let solved = decompose_align_solve(m, config, &mut timings)?;
-
-    // Renormalization / target construction.
-    let factors = timed(&mut timings.renormalization, || {
-        let (u_lo, u_hi) = solved.u.into_bounds();
-        RawFactors::new(
-            u_lo,
-            u_hi,
-            solved.sigma_lo,
-            solved.sigma_hi,
-            solved.v_lo,
-            solved.v_hi,
-        )
-        .and_then(|raw| raw.into_target(config.target))
-    })?;
-
-    Ok(IsvdResult { factors, timings })
+    crate::pipeline::run_single(m, config, IsvdAlgorithm::Isvd3)
 }
 
 #[cfg(test)]
@@ -113,17 +40,8 @@ mod tests {
     use super::*;
     use crate::accuracy::reconstruction_accuracy;
     use crate::target::DecompositionTarget;
-    use ivmf_linalg::random::uniform_matrix;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
-
-    fn random_interval_matrix(seed: u64, n: usize, m: usize, span: f64) -> IntervalMatrix {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let lo = uniform_matrix(&mut rng, n, m, 0.5, 4.0);
-        let spans = Matrix::from_fn(n, m, |_, _| rng.gen_range(0.0..span));
-        let hi = lo.add(&spans).unwrap();
-        IntervalMatrix::from_bounds(lo, hi).unwrap()
-    }
+    use crate::test_support::random_interval_matrix;
+    use ivmf_linalg::Matrix;
 
     #[test]
     fn scalar_input_full_rank_reconstructs_well() {

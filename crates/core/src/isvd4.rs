@@ -18,40 +18,19 @@
 
 use ivmf_interval::IntervalMatrix;
 
-use crate::isvd::{invert_factor, IsvdConfig, IsvdResult};
-use crate::isvd3::decompose_align_solve;
-use crate::target::RawFactors;
-use crate::timing::{timed, StageTimings};
+use crate::isvd::{IsvdAlgorithm, IsvdConfig, IsvdResult};
 use crate::Result;
 
 /// Runs ISVD4 on an interval-valued matrix.
+///
+/// Thin wrapper over the staged pipeline: ISVD3's plan plus the
+/// [`RightTighten`](crate::pipeline::StageId::RightTighten) stage
+/// (Algorithm 11, lines 26-34), executed through a fresh single-run
+/// [`crate::pipeline::Pipeline`]. In a batched
+/// [`crate::pipeline::run_all`] everything except the final tightening is
+/// served from the cache ISVD3 already filled.
 pub fn isvd4(m: &IntervalMatrix, config: &IsvdConfig) -> Result<IsvdResult> {
-    config.validate(m.shape())?;
-    let mut timings = StageTimings::default();
-
-    // Shared ISVD3 pipeline: Gram → eigendecompose → align → solve U†.
-    let solved = decompose_align_solve(m, config, &mut timings)?;
-
-    // Recomputation of the right factor (Algorithm 11, lines 26-34).
-    let (v_lo, v_hi) = timed(&mut timings.decomposition, || {
-        let u_avg = solved.u.mid();
-        let u_inv = invert_factor(&u_avg, config)?;
-        // r x n projector; the degenerate left operand needs two bound
-        // products instead of the four of the general interval product,
-        // with identical results.
-        let projector = solved.sigma_inv.matmul(&u_inv)?;
-        let recomputed = m.matmul_scalar_left(&projector)?.transpose(); // m x r
-        Ok::<_, crate::IvmfError>(recomputed.into_bounds())
-    })?;
-
-    // Renormalization / target construction.
-    let factors = timed(&mut timings.renormalization, || {
-        let (u_lo, u_hi) = solved.u.into_bounds();
-        RawFactors::new(u_lo, u_hi, solved.sigma_lo, solved.sigma_hi, v_lo, v_hi)
-            .and_then(|raw| raw.into_target(config.target))
-    })?;
-
-    Ok(IsvdResult { factors, timings })
+    crate::pipeline::run_single(m, config, IsvdAlgorithm::Isvd4)
 }
 
 #[cfg(test)]
@@ -60,19 +39,9 @@ mod tests {
     use crate::accuracy::reconstruction_accuracy;
     use crate::isvd::IsvdAlgorithm;
     use crate::target::DecompositionTarget;
+    use crate::test_support::random_interval_matrix;
     use ivmf_align::cosine::matched_cosines;
-    use ivmf_linalg::random::uniform_matrix;
     use ivmf_linalg::Matrix;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
-
-    fn random_interval_matrix(seed: u64, n: usize, m: usize, span: f64) -> IntervalMatrix {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let lo = uniform_matrix(&mut rng, n, m, 0.5, 4.0);
-        let spans = Matrix::from_fn(n, m, |_, _| rng.gen_range(0.0..span));
-        let hi = lo.add(&spans).unwrap();
-        IntervalMatrix::from_bounds(lo, hi).unwrap()
-    }
 
     #[test]
     fn scalar_input_full_rank_reconstructs_well() {

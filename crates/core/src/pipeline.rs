@@ -1,0 +1,1203 @@
+//! Staged decomposition pipeline with shared-stage caching.
+//!
+//! The five ISVD strategies are not five independent programs: they are
+//! compositions of a small set of named, memoizable **stages** (Figure 4 of
+//! the paper). ISVD2, ISVD3 and ISVD4 all start from the same interval Gram
+//! matrix and the same two bound eigendecompositions; ISVD3 and ISVD4 share
+//! the whole aligned interval solve; ISVD2 and ISVD3/4 share the ILSA
+//! alignment of the Gram eigenvectors. This module makes that structure
+//! explicit:
+//!
+//! * [`StageId`] names every memoizable stage and [`DecompPlan`] lists, per
+//!   algorithm, the stages it executes (in order);
+//! * [`StageCache`] memoizes stage outputs, keyed on the *content* of the
+//!   input matrix and a per-stage fingerprint of the arithmetic-relevant
+//!   configuration fields that stage consumes (rank, matcher, inversion
+//!   thresholds, the `IVMF_EXACT_INTERVAL` interval-operator flavour — see
+//!   [`stage_fingerprint`]) — never on the algorithm or decomposition
+//!   target, so different algorithms and targets share freely, and
+//!   rank-independent stages like the interval Gram survive rank sweeps;
+//! * [`Pipeline`] executes plans through the cache, and the batched drivers
+//!   [`run_all`] / [`run_all_batch`] evaluate all five algorithms on one (or
+//!   many) matrices with every shared stage computed **exactly once**.
+//!
+//! Caching changes *when* a stage runs, never its arithmetic: every stage is
+//! a pure function of its inputs, so a batched run is bitwise identical to
+//! five standalone [`isvd`](crate::isvd::isvd) calls (asserted by the
+//! workspace's `pipeline_equivalence` suite). Per-run cache accounting is
+//! reported in [`StageTimings::cache_hits`] /
+//! [`StageTimings::cache_misses`] and per-stage in
+//! [`IsvdResult::stages`].
+//!
+//! ## Example
+//!
+//! ```
+//! use ivmf_core::pipeline::{run_all, DecompPlan};
+//! use ivmf_core::{IsvdAlgorithm, IsvdConfig};
+//! use ivmf_interval::IntervalMatrix;
+//! use ivmf_linalg::Matrix;
+//!
+//! let lo = Matrix::from_rows(&[vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]);
+//! let hi = Matrix::from_rows(&[vec![5.0, 2.0, 1.0], vec![2.0, 4.0, 1.5], vec![0.5, 2.0, 3.0]]);
+//! let m = IntervalMatrix::from_bounds(lo, hi).unwrap();
+//!
+//! // One batched run of all five algorithms: the interval Gram matrix and
+//! // the bound eigendecompositions are computed once and shared.
+//! let results = run_all(&m, &IsvdConfig::new(2)).unwrap();
+//! assert_eq!(results.len(), 5);
+//! // ISVD3 (index 3) reuses ISVD2's Gram, eigen and alignment stages.
+//! assert!(results[3].timings.cache_hits >= 4);
+//! // The executed stages of each run match the algorithm's published plan.
+//! let plan = DecompPlan::for_algorithm(IsvdAlgorithm::Isvd4);
+//! let executed: Vec<_> = results[4].stages.iter().map(|e| e.stage).collect();
+//! assert_eq!(executed, plan.stages);
+//! ```
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use ivmf_align::{ilsa, Alignment};
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::svd::{svd_truncated, Svd};
+use ivmf_linalg::Matrix;
+
+use crate::isvd::{
+    bound_eigen, invert_factor, invert_factor_transpose, recover_left_factor, BoundEigen,
+    IsvdAlgorithm, IsvdConfig, IsvdResult,
+};
+use crate::sigma_inverse::sigma_inverse_matrix;
+use crate::target::{DecompositionTarget, RawFactors};
+use crate::timing::{timed, StageTimings};
+use crate::{IvmfError, Result};
+
+// ---------------------------------------------------------------------------
+// Stage identities and plans.
+// ---------------------------------------------------------------------------
+
+/// A named, memoizable stage of the decomposition pipeline.
+///
+/// Every variant is a pure function of the input matrix and the
+/// configuration fingerprint (plus outputs of earlier stages), which is what
+/// makes it safe to cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// Collapse every interval entry to its midpoint (ISVD0).
+    Midpoint,
+    /// Truncated SVD of the midpoint matrix (ISVD0).
+    MidpointSvd,
+    /// Independent truncated SVDs of the two bound matrices (ISVD1).
+    BoundSvd,
+    /// ILSA between the right singular vectors of the bound SVDs (ISVD1).
+    SvdAlign,
+    /// Interval Gram matrix `A† = M†ᵀ M†` (ISVD2/3/4).
+    IntervalGram,
+    /// Truncated eigendecomposition of the Gram minimum bound (ISVD2/3/4).
+    BoundEigenLo,
+    /// Truncated eigendecomposition of the Gram maximum bound (ISVD2/3/4).
+    BoundEigenHi,
+    /// Per-bound left-factor recovery `U = M V Σ⁻¹` (ISVD2).
+    LeftRecover,
+    /// ILSA between the Gram bound eigenvectors (ISVD2/3/4).
+    GramAlign,
+    /// Aligned interval-algebra solve `U† = M† ((V†)ᵀ)⁻¹ (Σ†)⁻¹`
+    /// (ISVD3/4).
+    AlignedSolve,
+    /// Recomputation of the right factor `V† = ((Σ†)⁻¹ (U†)⁻¹ M†)ᵀ`
+    /// (ISVD4).
+    RightTighten,
+}
+
+impl StageId {
+    /// Human-readable stage name (also used in the bench JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageId::Midpoint => "midpoint",
+            StageId::MidpointSvd => "midpoint_svd",
+            StageId::BoundSvd => "bound_svd",
+            StageId::SvdAlign => "svd_align",
+            StageId::IntervalGram => "interval_gram",
+            StageId::BoundEigenLo => "bound_eigen_lo",
+            StageId::BoundEigenHi => "bound_eigen_hi",
+            StageId::LeftRecover => "left_recover",
+            StageId::GramAlign => "gram_align",
+            StageId::AlignedSolve => "aligned_solve",
+            StageId::RightTighten => "right_tighten",
+        }
+    }
+
+    /// Which of the paper's Figure 6b wall-clock slots this stage's compute
+    /// time is attributed to. [`StageId::AlignedSolve`] splits its time
+    /// between `alignment` (the ILSA application) and `decomposition` (the
+    /// interval solve); it is listed under the slot receiving the bulk.
+    pub fn paper_slot(&self) -> &'static str {
+        match self {
+            StageId::Midpoint | StageId::IntervalGram => "preprocessing",
+            StageId::MidpointSvd
+            | StageId::BoundSvd
+            | StageId::BoundEigenLo
+            | StageId::BoundEigenHi
+            | StageId::LeftRecover
+            | StageId::AlignedSolve
+            | StageId::RightTighten => "decomposition",
+            StageId::SvdAlign | StageId::GramAlign => "alignment",
+        }
+    }
+}
+
+impl std::fmt::Display for StageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The ordered list of memoizable stages one algorithm executes.
+///
+/// Per-run work that is never cached (applying an alignment to factor
+/// matrices, target assembly) is not listed: it is cheap, depends on the
+/// requested target, and reuses nothing across algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompPlan {
+    /// The algorithm this plan belongs to.
+    pub algorithm: IsvdAlgorithm,
+    /// Memoizable stages in execution order.
+    pub stages: &'static [StageId],
+}
+
+impl DecompPlan {
+    /// The stage composition of the given algorithm (Figure 4).
+    pub fn for_algorithm(algorithm: IsvdAlgorithm) -> DecompPlan {
+        use StageId::*;
+        let stages: &'static [StageId] = match algorithm {
+            IsvdAlgorithm::Isvd0 => &[Midpoint, MidpointSvd],
+            IsvdAlgorithm::Isvd1 => &[BoundSvd, SvdAlign],
+            IsvdAlgorithm::Isvd2 => &[
+                IntervalGram,
+                BoundEigenLo,
+                BoundEigenHi,
+                LeftRecover,
+                GramAlign,
+            ],
+            IsvdAlgorithm::Isvd3 => &[
+                IntervalGram,
+                BoundEigenLo,
+                BoundEigenHi,
+                GramAlign,
+                AlignedSolve,
+            ],
+            IsvdAlgorithm::Isvd4 => &[
+                IntervalGram,
+                BoundEigenLo,
+                BoundEigenHi,
+                GramAlign,
+                AlignedSolve,
+                RightTighten,
+            ],
+        };
+        DecompPlan { algorithm, stages }
+    }
+
+    /// Plans for all five algorithms, in paper order.
+    pub fn all() -> [DecompPlan; 5] {
+        IsvdAlgorithm::all().map(DecompPlan::for_algorithm)
+    }
+
+    /// True when this plan shares at least one stage with `other` (the
+    /// "sharing matrix" of the architecture docs).
+    pub fn shares_with(&self, other: &DecompPlan) -> bool {
+        self.algorithm != other.algorithm && self.stages.iter().any(|s| other.stages.contains(s))
+    }
+}
+
+/// One executed (or cache-served) stage of a run, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageEvent {
+    /// Which stage.
+    pub stage: StageId,
+    /// True when the output came from the [`StageCache`] instead of being
+    /// computed.
+    pub cache_hit: bool,
+    /// Wall-clock time spent obtaining the output (≈ 0 on a hit).
+    pub duration: Duration,
+}
+
+// ---------------------------------------------------------------------------
+// Cache keying.
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a folded over whole 64-bit words (one multiply per word instead of
+/// eight): the hash only discriminates cache keys, and word folding keeps
+/// the per-call cost of hashing a 40×250 matrix in the tens of
+/// microseconds — small even against ISVD0's sub-millisecond pipeline.
+fn fnv1a_u64(hash: &mut u64, value: u64) {
+    *hash ^= value;
+    *hash = hash.wrapping_mul(FNV_PRIME);
+}
+
+/// Content identity of an interval matrix: an FNV-1a hash over its shape and
+/// the IEEE-754 bit patterns of both bounds. Two matrices with identical
+/// contents share stage outputs even across separate [`Pipeline`] sessions
+/// on one cache; hashing is `O(nm)`, negligible against the `O(nm²)` Gram
+/// stage it guards.
+///
+/// Identity is the 64-bit hash alone — a hit does not re-compare the
+/// inputs, so two *distinct* matrices whose hashes collide (probability
+/// ≈ 2⁻⁶⁴ per pair) would silently share entries on one cache. That
+/// residual risk is accepted; callers that cannot tolerate it should use
+/// one cache per matrix, as [`run_all_batch`] does.
+pub fn matrix_id(m: &IntervalMatrix) -> u64 {
+    let mut h = FNV_OFFSET;
+    let (rows, cols) = m.shape();
+    fnv1a_u64(&mut h, rows as u64);
+    fnv1a_u64(&mut h, cols as u64);
+    for &x in m.lo().as_slice() {
+        fnv1a_u64(&mut h, x.to_bits());
+    }
+    for &x in m.hi().as_slice() {
+        fnv1a_u64(&mut h, x.to_bits());
+    }
+    h
+}
+
+/// Fingerprint of every configuration field that influences stage
+/// *arithmetic*: rank, matcher, the inversion thresholds, and the
+/// interval-operator flavour pinned by `IVMF_EXACT_INTERVAL`. The algorithm
+/// selector and the decomposition target are deliberately excluded — stage
+/// outputs do not depend on them, which is exactly what lets a batched run
+/// share stages across algorithms and targets.
+///
+/// Cache keys refine this further: each stage is keyed by
+/// [`stage_fingerprint`], which folds in only the fields that stage (or its
+/// inputs) actually consumes, so e.g. the rank-independent interval Gram is
+/// shared across a rank sweep on one cache.
+pub fn config_fingerprint(config: &IsvdConfig) -> u64 {
+    stage_mask_fingerprint(config, true, true, true, true)
+}
+
+/// Per-stage configuration fingerprint: folds in only the fields the stage
+/// consumes, directly or through its inputs.
+///
+/// | stage | depends on |
+/// |---|---|
+/// | `Midpoint` | — |
+/// | `MidpointSvd`, `BoundSvd` | rank |
+/// | `SvdAlign` | rank, matcher |
+/// | `IntervalGram` | interval-operator flavour (`IVMF_EXACT_INTERVAL`) |
+/// | `BoundEigenLo/Hi`, `LeftRecover` | flavour, rank |
+/// | `GramAlign` | flavour, rank, matcher |
+/// | `AlignedSolve`, `RightTighten` | flavour, rank, matcher, thresholds |
+///
+/// The practical payoff is rank sweeps: the `O(nm²)` Gram stage is keyed
+/// without the rank, so evaluating several ranks on one matrix over one
+/// cache computes it once.
+pub fn stage_fingerprint(stage: StageId, config: &IsvdConfig) -> u64 {
+    let (rank, matcher, thresholds, flavour) = match stage {
+        StageId::Midpoint => (false, false, false, false),
+        StageId::MidpointSvd | StageId::BoundSvd => (true, false, false, false),
+        StageId::SvdAlign => (true, true, false, false),
+        StageId::IntervalGram => (false, false, false, true),
+        StageId::BoundEigenLo | StageId::BoundEigenHi | StageId::LeftRecover => {
+            (true, false, false, true)
+        }
+        StageId::GramAlign => (true, true, false, true),
+        StageId::AlignedSolve | StageId::RightTighten => (true, true, true, true),
+    };
+    stage_mask_fingerprint(config, rank, matcher, thresholds, flavour)
+}
+
+fn stage_mask_fingerprint(
+    config: &IsvdConfig,
+    rank: bool,
+    matcher: bool,
+    thresholds: bool,
+    flavour: bool,
+) -> u64 {
+    let mut h = FNV_OFFSET;
+    if rank {
+        fnv1a_u64(&mut h, config.rank as u64);
+    }
+    if matcher {
+        fnv1a_u64(
+            &mut h,
+            match config.matcher {
+                ivmf_align::Matcher::Greedy => 1,
+                ivmf_align::Matcher::Hungarian => 2,
+                ivmf_align::Matcher::StableMarriage => 3,
+            },
+        );
+    }
+    if thresholds {
+        fnv1a_u64(&mut h, config.condition_threshold.to_bits());
+        fnv1a_u64(&mut h, config.pinv_cutoff.to_bits());
+    }
+    if flavour {
+        fnv1a_u64(&mut h, 0xf1a6); // domain separator: flavour field present
+        fnv1a_u64(&mut h, u64::from(ivmf_interval::exact_interval_forced()));
+    }
+    h
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct StageKey {
+    matrix: u64,
+    fingerprint: u64,
+    stage: StageId,
+}
+
+// ---------------------------------------------------------------------------
+// The cache.
+// ---------------------------------------------------------------------------
+
+/// Per-run log threaded through the stage executors.
+#[derive(Default)]
+struct RunLog {
+    timings: StageTimings,
+    events: Vec<StageEvent>,
+}
+
+/// Memoizes stage outputs across runs, algorithms and targets.
+///
+/// Keys are `(matrix id, config fingerprint, stage)` — see [`matrix_id`] and
+/// [`config_fingerprint`]. Values are reference-counted, so a hit costs a
+/// pointer clone. The cache never alters arithmetic: a stage output is only
+/// reused for bit-identical inputs under a bit-identical configuration.
+#[derive(Default)]
+pub struct StageCache {
+    entries: HashMap<StageKey, Rc<dyn Any>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl StageCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        StageCache::default()
+    }
+
+    /// Number of memoized stage outputs currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total stage lookups served from the cache since construction (or the
+    /// last [`StageCache::clear`]).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total stage lookups that had to compute since construction (or the
+    /// last [`StageCache::clear`]).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every memoized output and resets the hit/miss counters. Used
+    /// between matrices of a large batch to bound memory.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Looks up `key`, computing and memoizing on a miss. The compute
+    /// closure receives the run's [`StageTimings`] so it can attribute its
+    /// wall-clock time to the paper's slots; on a hit nothing is attributed
+    /// (no work was done) and only the hit counter moves.
+    fn get_or_compute<T: Any>(
+        &mut self,
+        key: StageKey,
+        run: &mut RunLog,
+        compute: impl FnOnce(&mut StageTimings) -> Result<T>,
+    ) -> Result<Rc<T>> {
+        let start = Instant::now();
+        if let Some(value) = self.entries.get(&key) {
+            if let Ok(typed) = Rc::clone(value).downcast::<T>() {
+                self.hits += 1;
+                run.timings.cache_hits += 1;
+                run.events.push(StageEvent {
+                    stage: key.stage,
+                    cache_hit: true,
+                    duration: start.elapsed(),
+                });
+                return Ok(typed);
+            }
+        }
+        let value = Rc::new(compute(&mut run.timings)?);
+        self.misses += 1;
+        run.timings.cache_misses += 1;
+        self.entries.insert(key, Rc::clone(&value) as Rc<dyn Any>);
+        run.events.push(StageEvent {
+            stage: key.stage,
+            cache_hit: false,
+            duration: start.elapsed(),
+        });
+        Ok(value)
+    }
+}
+
+impl std::fmt::Debug for StageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageCache")
+            .field("entries", &self.entries.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage payloads.
+// ---------------------------------------------------------------------------
+
+/// Output of the [`StageId::BoundSvd`] stage: independent truncated SVDs of
+/// the two bound matrices.
+#[derive(Debug, Clone)]
+pub struct BoundSvds {
+    /// Truncated SVD of the minimum bound.
+    pub lo: Svd,
+    /// Truncated SVD of the maximum bound.
+    pub hi: Svd,
+}
+
+/// Output of the [`StageId::AlignedSolve`] stage (shared by ISVD3/ISVD4):
+/// the aligned minimum-side right factor and singular values, the
+/// interval-algebra left factor, and the scalar core inverse ISVD4 reuses.
+#[derive(Debug, Clone)]
+struct AlignedSolveOut {
+    v_lo: Matrix,
+    sigma_lo: Vec<f64>,
+    u: IntervalMatrix,
+    sigma_inv: Matrix,
+}
+
+// ---------------------------------------------------------------------------
+// The pipeline session.
+// ---------------------------------------------------------------------------
+
+/// A decomposition session over one interval matrix: executes
+/// [`DecompPlan`]s through a [`StageCache`].
+///
+/// Construct once per matrix/configuration, then run any number of
+/// algorithms (and targets) against it; shared stages are computed on first
+/// use and served from the cache afterwards. See the
+/// [module docs](self) for the full sharing matrix.
+#[derive(Debug)]
+pub struct Pipeline<'m> {
+    m: &'m IntervalMatrix,
+    config: IsvdConfig,
+    matrix: u64,
+    cache: StageCache,
+}
+
+impl<'m> Pipeline<'m> {
+    /// Creates a session with a fresh cache. Fails when the configuration
+    /// is invalid for the matrix shape.
+    pub fn new(m: &'m IntervalMatrix, config: IsvdConfig) -> Result<Self> {
+        Pipeline::with_cache(m, config, StageCache::new())
+    }
+
+    /// Creates a session reusing an existing cache (e.g. carried over from
+    /// an earlier session on the same matrix, or a shared accounting
+    /// cache). Entries with a different matrix id or configuration
+    /// fingerprint never collide — they simply miss.
+    pub fn with_cache(
+        m: &'m IntervalMatrix,
+        config: IsvdConfig,
+        cache: StageCache,
+    ) -> Result<Self> {
+        config.validate(m.shape())?;
+        Ok(Pipeline {
+            m,
+            config,
+            matrix: matrix_id(m),
+            cache,
+        })
+    }
+
+    /// The session's input matrix.
+    pub fn matrix(&self) -> &IntervalMatrix {
+        self.m
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &IsvdConfig {
+        &self.config
+    }
+
+    /// The session's cache (for accounting).
+    pub fn cache(&self) -> &StageCache {
+        &self.cache
+    }
+
+    /// Consumes the session, returning the cache for reuse.
+    pub fn into_cache(self) -> StageCache {
+        self.cache
+    }
+
+    /// Runs one algorithm with the session's configured target.
+    pub fn run(&mut self, algorithm: IsvdAlgorithm) -> Result<IsvdResult> {
+        self.run_with_target(algorithm, self.config.target)
+    }
+
+    /// Runs one algorithm with an explicit decomposition target (stage
+    /// outputs are target-independent, so any mix of targets shares the
+    /// same cache entries). ISVD0 always produces a scalar factorization,
+    /// matching [`crate::isvd0::isvd0`].
+    pub fn run_with_target(
+        &mut self,
+        algorithm: IsvdAlgorithm,
+        target: DecompositionTarget,
+    ) -> Result<IsvdResult> {
+        let mut run = RunLog::default();
+        let factors = match algorithm {
+            IsvdAlgorithm::Isvd0 => self.exec_isvd0(&mut run),
+            IsvdAlgorithm::Isvd1 => self.exec_isvd1(&mut run, target),
+            IsvdAlgorithm::Isvd2 => self.exec_isvd2(&mut run, target),
+            IsvdAlgorithm::Isvd3 => self.exec_isvd3(&mut run, target),
+            IsvdAlgorithm::Isvd4 => self.exec_isvd4(&mut run, target),
+        }?;
+        Ok(IsvdResult {
+            factors,
+            timings: run.timings,
+            stages: run.events,
+        })
+    }
+
+    /// Runs all five algorithms (paper order) with the configured target,
+    /// sharing every common stage through the cache: the interval Gram
+    /// matrix and each bound eigendecomposition are computed at most once.
+    pub fn run_all(&mut self) -> Result<[IsvdResult; 5]> {
+        Ok([
+            self.run(IsvdAlgorithm::Isvd0)?,
+            self.run(IsvdAlgorithm::Isvd1)?,
+            self.run(IsvdAlgorithm::Isvd2)?,
+            self.run(IsvdAlgorithm::Isvd3)?,
+            self.run(IsvdAlgorithm::Isvd4)?,
+        ])
+    }
+
+    // -- public stage accessors (experiment harnesses read intermediate
+    // -- stage outputs, e.g. Figures 3 & 5) --
+
+    /// The [`StageId::BoundSvd`] output: independent truncated SVDs of the
+    /// two bounds (computing it on first call, cached afterwards and shared
+    /// with any later ISVD1 run).
+    pub fn bound_svds(&mut self) -> Result<Rc<BoundSvds>> {
+        let mut run = RunLog::default();
+        self.stage_bound_svds(&mut run)
+    }
+
+    /// The [`StageId::SvdAlign`] output: the ILSA alignment between the
+    /// right singular vectors of the two bound SVDs.
+    pub fn svd_alignment(&mut self) -> Result<Rc<Alignment>> {
+        let mut run = RunLog::default();
+        let svds = self.stage_bound_svds(&mut run)?;
+        self.stage_svd_align(&mut run, svds)
+    }
+
+    /// The [`StageId::IntervalGram`] output: the interval Gram matrix
+    /// `A† = M†ᵀ M†`.
+    pub fn interval_gram(&mut self) -> Result<Rc<IntervalMatrix>> {
+        let mut run = RunLog::default();
+        self.stage_interval_gram(&mut run)
+    }
+
+    // -- plan executors --
+
+    fn exec_isvd0(&mut self, run: &mut RunLog) -> Result<crate::target::IntervalSvd> {
+        let avg = self.stage_midpoint(run)?;
+        let f = self.stage_midpoint_svd(run, avg)?;
+        timed(&mut run.timings.renormalization, || {
+            RawFactors::new(
+                f.u.clone(),
+                f.u.clone(),
+                f.singular_values.clone(),
+                f.singular_values.clone(),
+                f.v.clone(),
+                f.v.clone(),
+            )
+            .and_then(|raw| raw.into_target(DecompositionTarget::Scalar))
+        })
+    }
+
+    fn exec_isvd1(
+        &mut self,
+        run: &mut RunLog,
+        target: DecompositionTarget,
+    ) -> Result<crate::target::IntervalSvd> {
+        let svds = self.stage_bound_svds(run)?;
+        let alignment = self.stage_svd_align(run, Rc::clone(&svds))?;
+        let (u_lo, sigma_lo, v_lo) = timed(&mut run.timings.alignment, || {
+            let u_lo = alignment.apply_to_columns(&svds.lo.u)?;
+            let v_lo = alignment.apply_to_columns(&svds.lo.v)?;
+            let sigma_lo = alignment.apply_to_diag(&svds.lo.singular_values)?;
+            Ok::<_, IvmfError>((u_lo, sigma_lo, v_lo))
+        })?;
+        timed(&mut run.timings.renormalization, || {
+            RawFactors::new(
+                u_lo,
+                svds.hi.u.clone(),
+                sigma_lo,
+                svds.hi.singular_values.clone(),
+                v_lo,
+                svds.hi.v.clone(),
+            )
+            .and_then(|raw| raw.into_target(target))
+        })
+    }
+
+    fn exec_isvd2(
+        &mut self,
+        run: &mut RunLog,
+        target: DecompositionTarget,
+    ) -> Result<crate::target::IntervalSvd> {
+        let gram = self.stage_interval_gram(run)?;
+        let eig_lo = self.stage_bound_eigen(run, Rc::clone(&gram), false)?;
+        let eig_hi = self.stage_bound_eigen(run, gram, true)?;
+        let recovered = self.stage_left_recover(run, Rc::clone(&eig_lo), Rc::clone(&eig_hi))?;
+        let alignment = self.stage_gram_align(run, Rc::clone(&eig_lo), Rc::clone(&eig_hi))?;
+        let (u_lo, sigma_lo, v_lo) = timed(&mut run.timings.alignment, || {
+            let u_lo = alignment.apply_to_columns(&recovered.0)?;
+            let v_lo = alignment.apply_to_columns(&eig_lo.v)?;
+            let sigma_lo = alignment.apply_to_diag(&eig_lo.sigma)?;
+            Ok::<_, IvmfError>((u_lo, sigma_lo, v_lo))
+        })?;
+        timed(&mut run.timings.renormalization, || {
+            RawFactors::new(
+                u_lo,
+                recovered.1.clone(),
+                sigma_lo,
+                eig_hi.sigma.clone(),
+                v_lo,
+                eig_hi.v.clone(),
+            )
+            .and_then(|raw| raw.into_target(target))
+        })
+    }
+
+    /// The stage prefix ISVD3 and ISVD4 share verbatim: Gram → bound
+    /// eigens → ILSA → aligned interval solve. Returns the maximum-side
+    /// eigendecomposition (needed at assembly) alongside the solve.
+    fn solve_prefix(&mut self, run: &mut RunLog) -> Result<(Rc<BoundEigen>, Rc<AlignedSolveOut>)> {
+        let gram = self.stage_interval_gram(run)?;
+        let eig_lo = self.stage_bound_eigen(run, Rc::clone(&gram), false)?;
+        let eig_hi = self.stage_bound_eigen(run, gram, true)?;
+        let alignment = self.stage_gram_align(run, Rc::clone(&eig_lo), Rc::clone(&eig_hi))?;
+        let solved = self.stage_aligned_solve(run, eig_lo, Rc::clone(&eig_hi), alignment)?;
+        Ok((eig_hi, solved))
+    }
+
+    fn exec_isvd3(
+        &mut self,
+        run: &mut RunLog,
+        target: DecompositionTarget,
+    ) -> Result<crate::target::IntervalSvd> {
+        let (eig_hi, solved) = self.solve_prefix(run)?;
+        timed(&mut run.timings.renormalization, || {
+            let (u_lo, u_hi) = solved.u.clone().into_bounds();
+            RawFactors::new(
+                u_lo,
+                u_hi,
+                solved.sigma_lo.clone(),
+                eig_hi.sigma.clone(),
+                solved.v_lo.clone(),
+                eig_hi.v.clone(),
+            )
+            .and_then(|raw| raw.into_target(target))
+        })
+    }
+
+    fn exec_isvd4(
+        &mut self,
+        run: &mut RunLog,
+        target: DecompositionTarget,
+    ) -> Result<crate::target::IntervalSvd> {
+        let (eig_hi, solved) = self.solve_prefix(run)?;
+        let tightened = self.stage_right_tighten(run, Rc::clone(&solved))?;
+        timed(&mut run.timings.renormalization, || {
+            let (u_lo, u_hi) = solved.u.clone().into_bounds();
+            RawFactors::new(
+                u_lo,
+                u_hi,
+                solved.sigma_lo.clone(),
+                eig_hi.sigma.clone(),
+                tightened.0.clone(),
+                tightened.1.clone(),
+            )
+            .and_then(|raw| raw.into_target(target))
+        })
+    }
+
+    // -- memoized stages --
+
+    /// The fingerprint is derived per lookup from the fields this stage
+    /// consumes ([`stage_fingerprint`]): rank-independent stages survive a
+    /// rank change on a shared cache, and the live `IVMF_EXACT_INTERVAL`
+    /// read means a mid-session flip of the interval-operator flavour
+    /// invalidates (by key mismatch) entries computed under the other
+    /// flavour instead of serving them stale.
+    fn key(&self, stage: StageId) -> StageKey {
+        StageKey {
+            matrix: self.matrix,
+            fingerprint: stage_fingerprint(stage, &self.config),
+            stage,
+        }
+    }
+
+    fn stage_midpoint(&mut self, run: &mut RunLog) -> Result<Rc<Matrix>> {
+        let key = self.key(StageId::Midpoint);
+        let m = self.m;
+        self.cache
+            .get_or_compute(key, run, |t| Ok(timed(&mut t.preprocessing, || m.mid())))
+    }
+
+    fn stage_midpoint_svd(&mut self, run: &mut RunLog, avg: Rc<Matrix>) -> Result<Rc<Svd>> {
+        let key = self.key(StageId::MidpointSvd);
+        let rank = self.config.rank;
+        self.cache.get_or_compute(key, run, |t| {
+            timed(&mut t.decomposition, || {
+                svd_truncated(&avg, rank).map_err(IvmfError::from)
+            })
+        })
+    }
+
+    fn stage_bound_svds(&mut self, run: &mut RunLog) -> Result<Rc<BoundSvds>> {
+        let key = self.key(StageId::BoundSvd);
+        let m = self.m;
+        let rank = self.config.rank;
+        self.cache.get_or_compute(key, run, |t| {
+            timed(&mut t.decomposition, || {
+                let lo = svd_truncated(m.lo(), rank)?;
+                let hi = svd_truncated(m.hi(), rank)?;
+                Ok::<_, IvmfError>(BoundSvds { lo, hi })
+            })
+        })
+    }
+
+    fn stage_svd_align(&mut self, run: &mut RunLog, svds: Rc<BoundSvds>) -> Result<Rc<Alignment>> {
+        let key = self.key(StageId::SvdAlign);
+        let matcher = self.config.matcher;
+        self.cache.get_or_compute(key, run, |t| {
+            timed(&mut t.alignment, || {
+                ilsa(&svds.lo.v, &svds.hi.v, matcher).map_err(IvmfError::from)
+            })
+        })
+    }
+
+    fn stage_interval_gram(&mut self, run: &mut RunLog) -> Result<Rc<IntervalMatrix>> {
+        let key = self.key(StageId::IntervalGram);
+        let m = self.m;
+        self.cache.get_or_compute(key, run, |t| {
+            timed(&mut t.preprocessing, || {
+                m.interval_gram_fast().map_err(IvmfError::from)
+            })
+        })
+    }
+
+    fn stage_bound_eigen(
+        &mut self,
+        run: &mut RunLog,
+        gram: Rc<IntervalMatrix>,
+        hi: bool,
+    ) -> Result<Rc<BoundEigen>> {
+        let key = self.key(if hi {
+            StageId::BoundEigenHi
+        } else {
+            StageId::BoundEigenLo
+        });
+        let rank = self.config.rank;
+        self.cache.get_or_compute(key, run, |t| {
+            timed(&mut t.decomposition, || {
+                bound_eigen(if hi { gram.hi() } else { gram.lo() }, rank)
+            })
+        })
+    }
+
+    fn stage_left_recover(
+        &mut self,
+        run: &mut RunLog,
+        eig_lo: Rc<BoundEigen>,
+        eig_hi: Rc<BoundEigen>,
+    ) -> Result<Rc<(Matrix, Matrix)>> {
+        let key = self.key(StageId::LeftRecover);
+        let m = self.m;
+        self.cache.get_or_compute(key, run, |t| {
+            timed(&mut t.decomposition, || {
+                let u_lo = recover_left_factor(m.lo(), &eig_lo.v, &eig_lo.sigma)?;
+                let u_hi = recover_left_factor(m.hi(), &eig_hi.v, &eig_hi.sigma)?;
+                Ok::<_, IvmfError>((u_lo, u_hi))
+            })
+        })
+    }
+
+    fn stage_gram_align(
+        &mut self,
+        run: &mut RunLog,
+        eig_lo: Rc<BoundEigen>,
+        eig_hi: Rc<BoundEigen>,
+    ) -> Result<Rc<Alignment>> {
+        let key = self.key(StageId::GramAlign);
+        let matcher = self.config.matcher;
+        self.cache.get_or_compute(key, run, |t| {
+            timed(&mut t.alignment, || {
+                ilsa(&eig_lo.v, &eig_hi.v, matcher).map_err(IvmfError::from)
+            })
+        })
+    }
+
+    fn stage_aligned_solve(
+        &mut self,
+        run: &mut RunLog,
+        eig_lo: Rc<BoundEigen>,
+        eig_hi: Rc<BoundEigen>,
+        alignment: Rc<Alignment>,
+    ) -> Result<Rc<AlignedSolveOut>> {
+        let key = self.key(StageId::AlignedSolve);
+        let m = self.m;
+        let config = self.config;
+        self.cache.get_or_compute(key, run, |t| {
+            // Alignment application (Algorithm 10, lines 5-13): the left
+            // factor does not exist yet.
+            let (v_lo, sigma_lo) = timed(&mut t.alignment, || {
+                let v_lo = alignment.apply_to_columns(&eig_lo.v)?;
+                let sigma_lo = alignment.apply_to_diag(&eig_lo.sigma)?;
+                Ok::<_, IvmfError>((v_lo, sigma_lo))
+            })?;
+            // Solve U† = M† ((V†)ᵀ)⁻¹ (Σ†)⁻¹ using the averaged V and the
+            // scalar interval-core inverse.
+            let (u, sigma_inv) = timed(&mut t.decomposition, || {
+                let v_avg = v_lo.mean_with(&eig_hi.v)?;
+                let v_t_inv = invert_factor_transpose(&v_avg, &config)?;
+                let sigma_inv = sigma_inverse_matrix(&sigma_lo, &eig_hi.sigma)?;
+                let projector = v_t_inv.matmul(&sigma_inv)?;
+                let u = m.matmul_scalar(&projector)?;
+                Ok::<_, IvmfError>((u, sigma_inv))
+            })?;
+            Ok(AlignedSolveOut {
+                v_lo,
+                sigma_lo,
+                u,
+                sigma_inv,
+            })
+        })
+    }
+
+    fn stage_right_tighten(
+        &mut self,
+        run: &mut RunLog,
+        solved: Rc<AlignedSolveOut>,
+    ) -> Result<Rc<(Matrix, Matrix)>> {
+        let key = self.key(StageId::RightTighten);
+        let m = self.m;
+        let config = self.config;
+        self.cache.get_or_compute(key, run, |t| {
+            timed(&mut t.decomposition, || {
+                let u_avg = solved.u.mid();
+                let u_inv = invert_factor(&u_avg, &config)?;
+                // r x n projector; the degenerate left operand needs two
+                // bound products instead of the four of the general
+                // interval product, with identical results.
+                let projector = solved.sigma_inv.matmul(&u_inv)?;
+                let recomputed = m.matmul_scalar_left(&projector)?.transpose(); // m x r
+                Ok::<_, IvmfError>(recomputed.into_bounds())
+            })
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched drivers.
+// ---------------------------------------------------------------------------
+
+/// Runs every ISVD algorithm on one matrix through a shared fresh cache:
+/// the interval Gram matrix, each bound eigendecomposition and the ILSA
+/// alignment are computed at most once, and the results are bitwise
+/// identical to five standalone [`isvd`](crate::isvd::isvd) calls.
+///
+/// Results are in paper order (`ISVD0` … `ISVD4`), each carrying its own
+/// cache accounting in [`StageTimings`].
+pub fn run_all(m: &IntervalMatrix, config: &IsvdConfig) -> Result<[IsvdResult; 5]> {
+    Pipeline::new(m, *config)?.run_all()
+}
+
+/// Multi-matrix batch API: [`run_all`] over every matrix, with the stage
+/// cache cleared between matrices so memory stays bounded by one matrix's
+/// working set (identical replicate matrices still share within their own
+/// run; distinct matrices share nothing anyway).
+pub fn run_all_batch(
+    matrices: &[IntervalMatrix],
+    config: &IsvdConfig,
+) -> Result<Vec<[IsvdResult; 5]>> {
+    let mut cache = StageCache::new();
+    let mut out = Vec::with_capacity(matrices.len());
+    for m in matrices {
+        cache.clear();
+        let mut pipeline = Pipeline::with_cache(m, *config, cache)?;
+        let results = pipeline.run_all()?;
+        cache = pipeline.into_cache();
+        out.push(results);
+    }
+    Ok(out)
+}
+
+/// Single-algorithm entry used by the [`crate::isvd::isvd`] dispatcher and
+/// the thin `isvd0` … `isvd4` wrappers: a fresh pipeline (fresh cache), so
+/// the sequential path computes exactly what it always did.
+pub(crate) fn run_single(
+    m: &IntervalMatrix,
+    config: &IsvdConfig,
+    algorithm: IsvdAlgorithm,
+) -> Result<IsvdResult> {
+    Pipeline::new(m, *config)?.run(algorithm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::random_interval_matrix;
+
+    #[test]
+    fn plans_cover_all_algorithms_and_share_as_documented() {
+        let plans = DecompPlan::all();
+        assert_eq!(plans.len(), 5);
+        let plan_of = |alg| DecompPlan::for_algorithm(alg);
+        // ISVD2/3/4 share the Gram + eigen stages; ISVD0/1 share nothing.
+        assert!(plan_of(IsvdAlgorithm::Isvd2).shares_with(&plan_of(IsvdAlgorithm::Isvd3)));
+        assert!(plan_of(IsvdAlgorithm::Isvd3).shares_with(&plan_of(IsvdAlgorithm::Isvd4)));
+        assert!(!plan_of(IsvdAlgorithm::Isvd0).shares_with(&plan_of(IsvdAlgorithm::Isvd1)));
+        assert!(!plan_of(IsvdAlgorithm::Isvd0).shares_with(&plan_of(IsvdAlgorithm::Isvd0)));
+        // Every stage id names itself consistently.
+        for plan in plans {
+            for stage in plan.stages {
+                assert!(!stage.name().is_empty());
+                assert!(
+                    ["preprocessing", "decomposition", "alignment"].contains(&stage.paper_slot())
+                );
+                assert_eq!(format!("{stage}"), stage.name());
+            }
+        }
+    }
+
+    #[test]
+    fn executed_stages_match_the_published_plan() {
+        let m = random_interval_matrix(11, 10, 7, 1.0);
+        for alg in IsvdAlgorithm::all() {
+            let mut p = Pipeline::new(&m, IsvdConfig::new(4)).unwrap();
+            let result = p.run(alg).unwrap();
+            let executed: Vec<StageId> = result.stages.iter().map(|e| e.stage).collect();
+            assert_eq!(
+                executed,
+                DecompPlan::for_algorithm(alg).stages,
+                "stage trace mismatch for {alg}"
+            );
+            // A fresh pipeline misses every stage.
+            assert_eq!(result.timings.cache_hits, 0);
+            assert_eq!(
+                result.timings.cache_misses as usize,
+                DecompPlan::for_algorithm(alg).stages.len()
+            );
+        }
+    }
+
+    #[test]
+    fn second_run_is_served_entirely_from_cache() {
+        let m = random_interval_matrix(12, 9, 6, 1.0);
+        let mut p = Pipeline::new(&m, IsvdConfig::new(3)).unwrap();
+        let first = p.run(IsvdAlgorithm::Isvd4).unwrap();
+        let second = p.run(IsvdAlgorithm::Isvd4).unwrap();
+        assert_eq!(second.timings.cache_misses, 0);
+        assert_eq!(
+            second.timings.cache_hits, first.timings.cache_misses,
+            "every first-run miss must be a second-run hit"
+        );
+        assert!(second.stages.iter().all(|e| e.cache_hit));
+        // Bitwise-identical factors.
+        assert_eq!(first.factors.u, second.factors.u);
+        assert_eq!(first.factors.v, second.factors.v);
+        assert_eq!(first.factors.sigma, second.factors.sigma);
+    }
+
+    #[test]
+    fn matrix_id_is_content_based() {
+        let a = random_interval_matrix(13, 6, 5, 1.0);
+        let b = a.clone();
+        assert_eq!(matrix_id(&a), matrix_id(&b));
+        let c = random_interval_matrix(14, 6, 5, 1.0);
+        assert_ne!(matrix_id(&a), matrix_id(&c));
+    }
+
+    #[test]
+    fn fingerprint_covers_arithmetic_fields_only() {
+        let base = IsvdConfig::new(4);
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&base));
+        // Algorithm and target are excluded: stage outputs ignore them.
+        assert_eq!(
+            config_fingerprint(&base),
+            config_fingerprint(&base.with_algorithm(IsvdAlgorithm::Isvd1))
+        );
+        assert_eq!(
+            config_fingerprint(&base),
+            config_fingerprint(&base.with_target(DecompositionTarget::Scalar))
+        );
+        // Arithmetic-relevant fields are included.
+        assert_ne!(
+            config_fingerprint(&base),
+            config_fingerprint(&IsvdConfig::new(5))
+        );
+        assert_ne!(
+            config_fingerprint(&base),
+            config_fingerprint(&base.with_matcher(ivmf_align::Matcher::Greedy))
+        );
+        assert_ne!(
+            config_fingerprint(&base),
+            config_fingerprint(&base.with_condition_threshold(123.0))
+        );
+        assert_ne!(
+            config_fingerprint(&base),
+            config_fingerprint(&base.with_pinv_cutoff(0.2))
+        );
+
+        // Per-stage fingerprints fold in only what the stage consumes:
+        // the interval Gram is rank- and matcher-independent, the eigen
+        // stages are rank-dependent but matcher-independent.
+        let rank5 = IsvdConfig::new(5);
+        assert_eq!(
+            stage_fingerprint(StageId::IntervalGram, &base),
+            stage_fingerprint(StageId::IntervalGram, &rank5)
+        );
+        assert_ne!(
+            stage_fingerprint(StageId::MidpointSvd, &base),
+            stage_fingerprint(StageId::MidpointSvd, &rank5)
+        );
+        assert_eq!(
+            stage_fingerprint(StageId::BoundEigenLo, &base),
+            stage_fingerprint(
+                StageId::BoundEigenLo,
+                &base.with_matcher(ivmf_align::Matcher::Greedy)
+            )
+        );
+        assert_ne!(
+            stage_fingerprint(StageId::GramAlign, &base),
+            stage_fingerprint(
+                StageId::GramAlign,
+                &base.with_matcher(ivmf_align::Matcher::Greedy)
+            )
+        );
+    }
+
+    #[test]
+    fn cache_reuse_across_sessions_and_invalidated_by_fingerprint() {
+        let m = random_interval_matrix(15, 10, 6, 1.0);
+        let mut p = Pipeline::new(&m, IsvdConfig::new(4)).unwrap();
+        p.run(IsvdAlgorithm::Isvd2).unwrap();
+        let cache = p.into_cache();
+
+        // Same matrix + same config: the Gram stage is served from cache.
+        let mut p2 = Pipeline::with_cache(&m, IsvdConfig::new(4), cache).unwrap();
+        let r = p2.run(IsvdAlgorithm::Isvd2).unwrap();
+        assert_eq!(r.timings.cache_misses, 0);
+
+        // Changed rank: every rank-dependent stage misses again, but the
+        // rank-independent interval Gram survives the sweep.
+        let cache = p2.into_cache();
+        let mut p3 = Pipeline::with_cache(&m, IsvdConfig::new(5), cache).unwrap();
+        let r = p3.run(IsvdAlgorithm::Isvd2).unwrap();
+        assert_eq!(r.timings.cache_hits, 1, "only the Gram may be reused");
+        assert_eq!(r.timings.cache_misses, 4);
+        let gram_event = r
+            .stages
+            .iter()
+            .find(|e| e.stage == StageId::IntervalGram)
+            .unwrap();
+        assert!(gram_event.cache_hit);
+
+        // Changed matcher: only the ILSA stage consumes it, so the Gram,
+        // both eigens and the left-factor recovery all survive.
+        let cache = p3.into_cache();
+        let config = IsvdConfig::new(5).with_matcher(ivmf_align::Matcher::Greedy);
+        let mut p4 = Pipeline::with_cache(&m, config, cache).unwrap();
+        let r = p4.run(IsvdAlgorithm::Isvd2).unwrap();
+        assert_eq!(r.timings.cache_hits, 4); // gram + both eigens + recovery
+        assert_eq!(r.timings.cache_misses, 1); // the GramAlign ILSA
+    }
+
+    #[test]
+    fn run_all_shares_gram_and_eigens_exactly_once() {
+        let m = random_interval_matrix(16, 12, 8, 1.5);
+        let mut p = Pipeline::new(&m, IsvdConfig::new(5)).unwrap();
+        let results = p.run_all().unwrap();
+        let gram_computes: usize = results
+            .iter()
+            .flat_map(|r| r.stages.iter())
+            .filter(|e| e.stage == StageId::IntervalGram && !e.cache_hit)
+            .count();
+        assert_eq!(gram_computes, 1, "interval Gram must be computed once");
+        for eig in [StageId::BoundEigenLo, StageId::BoundEigenHi] {
+            let computes: usize = results
+                .iter()
+                .flat_map(|r| r.stages.iter())
+                .filter(|e| e.stage == eig && !e.cache_hit)
+                .count();
+            assert_eq!(computes, 1, "{eig} must be computed once");
+        }
+        // ISVD3 hits all four stages ISVD2 already computed.
+        assert_eq!(results[3].timings.cache_hits, 4);
+        assert_eq!(results[3].timings.cache_misses, 1); // AlignedSolve
+                                                        // ISVD4 additionally hits the solve, missing only RightTighten.
+        assert_eq!(results[4].timings.cache_hits, 5);
+        assert_eq!(results[4].timings.cache_misses, 1);
+    }
+
+    #[test]
+    fn run_all_batch_handles_multiple_matrices() {
+        let matrices: Vec<IntervalMatrix> = (0..3)
+            .map(|i| random_interval_matrix(20 + i, 8, 6, 1.0))
+            .collect();
+        let batch = run_all_batch(&matrices, &IsvdConfig::new(3)).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (per_matrix, m) in batch.iter().zip(&matrices) {
+            for (result, alg) in per_matrix.iter().zip(IsvdAlgorithm::all()) {
+                let standalone =
+                    crate::isvd::isvd(m, &IsvdConfig::new(3).with_algorithm(alg)).unwrap();
+                assert_eq!(result.factors.u, standalone.factors.u, "{alg} U mismatch");
+                assert_eq!(result.factors.v, standalone.factors.v, "{alg} V mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_accessors_share_with_isvd1_runs() {
+        let m = random_interval_matrix(30, 10, 7, 1.0);
+        let mut p = Pipeline::new(&m, IsvdConfig::new(4)).unwrap();
+        let svds = p.bound_svds().unwrap();
+        assert_eq!(svds.lo.k(), 4);
+        let alignment = p.svd_alignment().unwrap();
+        assert_eq!(alignment.len(), 4);
+        // The ISVD1 run now hits both of its stages.
+        let r = p.run(IsvdAlgorithm::Isvd1).unwrap();
+        assert_eq!(r.timings.cache_hits, 2);
+        assert_eq!(r.timings.cache_misses, 0);
+        // Gram accessor is idempotent.
+        let g1 = p.interval_gram().unwrap();
+        let g2 = p.interval_gram().unwrap();
+        assert_eq!(*g1, *g2);
+        assert_eq!(p.cache().misses(), 3); // bound_svd, svd_align, interval_gram
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_session_construction() {
+        let m = random_interval_matrix(31, 5, 4, 1.0);
+        assert!(Pipeline::new(&m, IsvdConfig::new(0)).is_err());
+        assert!(Pipeline::new(&m, IsvdConfig::new(9)).is_err());
+        assert!(run_all(&m, &IsvdConfig::new(0)).is_err());
+    }
+}

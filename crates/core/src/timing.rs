@@ -11,7 +11,8 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-/// Wall-clock duration of each ISVD pipeline stage.
+/// Wall-clock duration of each ISVD pipeline stage, plus the stage-cache
+/// accounting of the run that produced it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct StageTimings {
     /// Interval Gram-matrix construction / input averaging.
@@ -24,6 +25,13 @@ pub struct StageTimings {
     /// Target construction: column renormalization, core rescaling and
     /// interval repair.
     pub renormalization: Duration,
+    /// Memoizable pipeline stages served from the [`StageCache`] in this
+    /// run (their wall-clock cost is therefore *not* in the slots above).
+    ///
+    /// [`StageCache`]: crate::pipeline::StageCache
+    pub cache_hits: u32,
+    /// Memoizable pipeline stages actually computed in this run.
+    pub cache_misses: u32,
 }
 
 impl StageTimings {
@@ -33,16 +41,20 @@ impl StageTimings {
     }
 
     /// Adds another timing breakdown stage-by-stage (useful for averaging
-    /// over repeated runs).
+    /// over repeated runs). Cache hit/miss counters are summed as well.
     pub fn accumulate(&mut self, other: &StageTimings) {
         self.preprocessing += other.preprocessing;
         self.decomposition += other.decomposition;
         self.alignment += other.alignment;
         self.renormalization += other.renormalization;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 
     /// Scales the breakdown by `1 / n` (completing an average over `n`
-    /// accumulated runs).
+    /// accumulated runs). Cache counters are averaged with integer
+    /// division — exact when every accumulated run had the same hit/miss
+    /// profile, which is the common case for repeated identical runs.
     pub fn divide(&self, n: u32) -> StageTimings {
         if n == 0 {
             return *self;
@@ -52,6 +64,8 @@ impl StageTimings {
             decomposition: self.decomposition / n,
             alignment: self.alignment / n,
             renormalization: self.renormalization / n,
+            cache_hits: self.cache_hits / n,
+            cache_misses: self.cache_misses / n,
         }
     }
 
@@ -86,6 +100,7 @@ mod tests {
             decomposition: Duration::from_millis(2),
             alignment: Duration::from_millis(3),
             renormalization: Duration::from_millis(4),
+            ..StageTimings::default()
         };
         assert_eq!(t.total(), Duration::from_millis(10));
     }
@@ -98,9 +113,12 @@ mod tests {
             decomposition: Duration::from_millis(20),
             alignment: Duration::from_millis(30),
             renormalization: Duration::from_millis(40),
+            cache_hits: 4,
+            cache_misses: 2,
         };
         acc.accumulate(&t);
         acc.accumulate(&t);
+        assert_eq!(acc.cache_hits, 8);
         let avg = acc.divide(2);
         assert_eq!(avg, t);
         assert_eq!(avg.divide(0), avg);

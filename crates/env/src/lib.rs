@@ -1,0 +1,166 @@
+//! # ivmf-env
+//!
+//! One home for every `IVMF_*` environment variable the workspace honours:
+//! the canonical variable names and the (previously per-crate, ad-hoc)
+//! parsing rules. Every consumer — the worker pool in `ivmf-par`, the
+//! interval-product dispatch in `ivmf-interval`, the experiment binaries and
+//! Criterion-style benches in `ivmf-bench` — goes through these helpers, so
+//! a variable is parsed the same way everywhere and the README's environment
+//! table has a single source of truth to point at.
+//!
+//! | variable | consumed by | meaning |
+//! |---|---|---|
+//! | [`THREADS`] | `ivmf-par` | worker count for parallel kernels (default: available parallelism) |
+//! | [`EXACT_INTERVAL`] | `ivmf-interval` | `1`/`true` pins the exact four-product interval operator at every size |
+//! | [`REPLICATES`] | `ivmf-bench` | seeded replicates the `exp_*` binaries average over (default 5) |
+//! | [`SCALE`] | `ivmf-bench` | size multiplier in `(0, 1]` for the larger data sets |
+//! | [`BENCH_SMOKE`] | `ivmf-bench` | `1`/`true` runs every bench with a single sample (CI bitrot guard) |
+//! | [`BENCH_OUT`] | `linalg_kernels` bench | output path override for `BENCH_linalg.json` |
+//! | [`BENCH_ISVD_OUT`] | `isvd_pipeline` bench | output path override for `BENCH_isvd.json` |
+//!
+//! Unset or unparsable values always fall back to the documented default —
+//! a typo in an environment variable must never abort an experiment sweep.
+//!
+//! ## Example
+//!
+//! ```
+//! // Unset variables fall back to the supplied default...
+//! std::env::remove_var("IVMF_DOCTEST_ONLY");
+//! assert_eq!(ivmf_env::usize_var("IVMF_DOCTEST_ONLY", 1, || 5), 5);
+//! // ...and so do out-of-range values.
+//! std::env::set_var("IVMF_DOCTEST_ONLY", "0");
+//! assert_eq!(ivmf_env::usize_var("IVMF_DOCTEST_ONLY", 1, || 5), 5);
+//! std::env::set_var("IVMF_DOCTEST_ONLY", "3");
+//! assert_eq!(ivmf_env::usize_var("IVMF_DOCTEST_ONLY", 1, || 5), 3);
+//! std::env::remove_var("IVMF_DOCTEST_ONLY");
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+/// Worker count for the parallel kernels (`ivmf-par`); positive integer.
+pub const THREADS: &str = "IVMF_THREADS";
+
+/// When truthy, pins the interval matrix product / Gram to the paper's
+/// exact four-product envelope regardless of size (`ivmf-interval`).
+pub const EXACT_INTERVAL: &str = "IVMF_EXACT_INTERVAL";
+
+/// Number of seeded replicates the `exp_*` binaries average over.
+pub const REPLICATES: &str = "IVMF_REPLICATES";
+
+/// Size multiplier in `(0, 1]` applied to the larger experiment data sets.
+pub const SCALE: &str = "IVMF_SCALE";
+
+/// When truthy, every Criterion-style bench runs with a single sample.
+pub const BENCH_SMOKE: &str = "IVMF_BENCH_SMOKE";
+
+/// Output path override for the kernel bench's `BENCH_linalg.json`.
+pub const BENCH_OUT: &str = "IVMF_BENCH_OUT";
+
+/// Output path override for the pipeline bench's `BENCH_isvd.json`.
+pub const BENCH_ISVD_OUT: &str = "IVMF_BENCH_ISVD_OUT";
+
+/// Reads a `usize` variable, accepting only values `>= min`; anything else
+/// (unset, unparsable, below the minimum) yields `default()`.
+pub fn usize_var(name: &str, min: usize, default: impl FnOnce() -> usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v >= min)
+        .unwrap_or_else(default)
+}
+
+/// Reads an `f64` variable constrained to the half-open interval
+/// `(lo, hi]`; anything else yields `default`.
+pub fn f64_var_in(name: &str, lo: f64, hi: f64, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|&v| v > lo && v <= hi)
+        .unwrap_or(default)
+}
+
+/// True when the variable is set to `1` or (case-insensitively) `true`,
+/// ignoring surrounding whitespace. Every boolean `IVMF_*` switch uses this
+/// rule.
+pub fn flag(name: &str) -> bool {
+    std::env::var(name)
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false)
+}
+
+/// Reads a string variable verbatim (`None` when unset or non-UTF-8).
+pub fn string_var(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test uses its own variable name: tests in one binary may run
+    // concurrently and the process environment is shared.
+
+    #[test]
+    fn usize_var_parses_filters_and_defaults() {
+        const V: &str = "IVMF_TEST_USIZE";
+        std::env::remove_var(V);
+        assert_eq!(usize_var(V, 1, || 7), 7);
+        std::env::set_var(V, "4");
+        assert_eq!(usize_var(V, 1, || 7), 4);
+        std::env::set_var(V, " 12 ");
+        assert_eq!(usize_var(V, 1, || 7), 12);
+        std::env::set_var(V, "0");
+        assert_eq!(usize_var(V, 1, || 7), 7);
+        std::env::set_var(V, "junk");
+        assert_eq!(usize_var(V, 1, || 7), 7);
+        std::env::remove_var(V);
+    }
+
+    #[test]
+    fn f64_var_enforces_open_closed_range() {
+        const V: &str = "IVMF_TEST_F64";
+        std::env::remove_var(V);
+        assert_eq!(f64_var_in(V, 0.0, 1.0, 0.5), 0.5);
+        std::env::set_var(V, "0.25");
+        assert_eq!(f64_var_in(V, 0.0, 1.0, 0.5), 0.25);
+        std::env::set_var(V, "1.0");
+        assert_eq!(f64_var_in(V, 0.0, 1.0, 0.5), 1.0); // hi is inclusive
+        std::env::set_var(V, "0.0");
+        assert_eq!(f64_var_in(V, 0.0, 1.0, 0.5), 0.5); // lo is exclusive
+        std::env::set_var(V, "1.5");
+        assert_eq!(f64_var_in(V, 0.0, 1.0, 0.5), 0.5);
+        std::env::set_var(V, "NaN");
+        assert_eq!(f64_var_in(V, 0.0, 1.0, 0.5), 0.5);
+        std::env::remove_var(V);
+    }
+
+    #[test]
+    fn flag_accepts_one_and_true_only() {
+        const V: &str = "IVMF_TEST_FLAG";
+        std::env::remove_var(V);
+        assert!(!flag(V));
+        for truthy in ["1", "true", "TRUE", " True "] {
+            std::env::set_var(V, truthy);
+            assert!(flag(V), "{truthy:?} should be truthy");
+        }
+        for falsy in ["0", "yes", "on", ""] {
+            std::env::set_var(V, falsy);
+            assert!(!flag(V), "{falsy:?} should be falsy");
+        }
+        std::env::remove_var(V);
+    }
+
+    #[test]
+    fn string_var_passthrough() {
+        const V: &str = "IVMF_TEST_STRING";
+        std::env::remove_var(V);
+        assert_eq!(string_var(V), None);
+        std::env::set_var(V, "out.json");
+        assert_eq!(string_var(V).as_deref(), Some("out.json"));
+        std::env::remove_var(V);
+    }
+}

@@ -183,8 +183,7 @@ fn lloyd_run(data: &IntervalMatrix, config: &KMeansConfig, seed: u64) -> Result<
         let mut counts = vec![0usize; config.k];
         let mut sum_lo = Matrix::zeros(config.k, d);
         let mut sum_hi = Matrix::zeros(config.k, d);
-        for i in 0..n {
-            let c = assignments[i];
+        for (i, &c) in assignments.iter().enumerate() {
             counts[c] += 1;
             for j in 0..d {
                 sum_lo[(c, j)] += data.lo()[(i, j)];
@@ -368,16 +367,16 @@ mod tests {
                 sum_hi[(c, j)] += data.hi()[(i, j)];
             }
         }
-        for c in 0..k {
-            if counts[c] > 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
                 sum_lo
                     .row_mut(c)
                     .iter_mut()
-                    .for_each(|x| *x /= counts[c] as f64);
+                    .for_each(|x| *x /= count as f64);
                 sum_hi
                     .row_mut(c)
                     .iter_mut()
-                    .for_each(|x| *x /= counts[c] as f64);
+                    .for_each(|x| *x /= count as f64);
             }
         }
         let centroids = IntervalMatrix::from_bounds(sum_lo, sum_hi).unwrap();

@@ -56,7 +56,7 @@ mod vector;
 
 pub use error::IntervalError;
 pub use matrix::IntervalMatrix;
-pub use mr::{MrMatrix, EXACT_INTERVAL_ENV, MR_MIN_WORK};
+pub use mr::{exact_interval_forced, MrMatrix, EXACT_INTERVAL_ENV, MR_MIN_WORK};
 pub use scalar::Interval;
 pub use vector::IntervalVector;
 

@@ -67,7 +67,7 @@ impl MrMatrix {
                 rhs: rad.shape(),
             });
         }
-        if rad.as_slice().iter().any(|&r| !(r >= 0.0)) {
+        if rad.as_slice().iter().any(|&r| r.is_nan() || r < 0.0) {
             return Err(IntervalError::NotANumber);
         }
         Ok(MrMatrix { mid, rad })
@@ -213,15 +213,18 @@ pub const MR_MIN_WORK: usize = 64 * 64 * 64;
 /// Environment variable which, when set to `1`/`true`, pins
 /// [`IntervalMatrix::interval_matmul_fast`] to the exact four-product
 /// envelope regardless of size.
-pub const EXACT_INTERVAL_ENV: &str = "IVMF_EXACT_INTERVAL";
+///
+/// Re-exported from [`ivmf_env`], the shared home of every `IVMF_*`
+/// variable.
+pub const EXACT_INTERVAL_ENV: &str = ivmf_env::EXACT_INTERVAL;
 
-fn exact_interval_forced() -> bool {
-    std::env::var(EXACT_INTERVAL_ENV)
-        .map(|v| {
-            let v = v.trim();
-            v == "1" || v.eq_ignore_ascii_case("true")
-        })
-        .unwrap_or(false)
+/// True when `IVMF_EXACT_INTERVAL` pins the exact four-product envelope.
+///
+/// Public because the interval-product flavour is part of the arithmetic
+/// fingerprint of any computation built on the fast-path operators (the
+/// decomposition pipeline's stage cache keys on it, for example).
+pub fn exact_interval_forced() -> bool {
+    ivmf_env::flag(EXACT_INTERVAL_ENV)
 }
 
 #[cfg(test)]

@@ -59,6 +59,9 @@ pub use matrix::{Matrix, MATMUL_BLOCKED_MIN_WORK, MATMUL_PAR_MIN_WORK};
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;
 
+/// Default numerical tolerance used for rank / singularity decisions.
+pub const DEFAULT_EPS: f64 = 1e-12;
+
 #[cfg(test)]
 pub(crate) mod test_env {
     /// Serializes the tests that mutate the `IVMF_THREADS` environment
@@ -70,6 +73,3 @@ pub(crate) mod test_env {
     /// "previous" and leak it into the rest of the suite.
     pub static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 }
-
-/// Default numerical tolerance used for rank / singularity decisions.
-pub const DEFAULT_EPS: f64 = 1e-12;

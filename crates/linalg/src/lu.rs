@@ -97,18 +97,20 @@ impl Lu {
         // Apply permutation, then forward/backward substitution.
         let mut x: Vec<f64> = self.pivots.iter().map(|&p| b[p]).collect();
         for i in 1..n {
-            let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[(i, j)] * x[j];
+            let (solved, rest) = x.split_at_mut(i);
+            let mut sum = rest[0];
+            for (j, &xj) in solved.iter().enumerate() {
+                sum -= self.lu[(i, j)] * xj;
             }
-            x[i] = sum;
+            rest[0] = sum;
         }
         for i in (0..n).rev() {
-            let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[(i, j)] * x[j];
+            let (head, tail) = x.split_at_mut(i + 1);
+            let mut sum = head[i];
+            for (k, &xj) in tail.iter().enumerate() {
+                sum -= self.lu[(i, i + 1 + k)] * xj;
             }
-            x[i] = sum / self.lu[(i, i)];
+            head[i] = sum / self.lu[(i, i)];
         }
         Ok(x)
     }

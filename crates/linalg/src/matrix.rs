@@ -921,8 +921,8 @@ mod tests {
         let a = lcg_matrix(96, 80, 7);
         let b = lcg_matrix(80, 96, 11);
         let c = lcg_matrix(100, 80, 13);
-        assert!(96 * 80 * 96 >= MATMUL_PAR_MIN_WORK);
-        assert!(96 * 80 * 80 / 2 >= MATMUL_PAR_MIN_WORK);
+        const _: () = assert!(96 * 80 * 96 >= MATMUL_PAR_MIN_WORK);
+        const _: () = assert!(96 * 80 * 80 / 2 >= MATMUL_PAR_MIN_WORK);
         let run = || {
             (
                 a.matmul(&b).unwrap(),

@@ -13,7 +13,8 @@
 //!   contiguous row panels and fill each panel on its own worker thread,
 //! * [`panel_ranges`] — the deterministic partitioning it uses,
 //! * [`configured_threads`] — the worker count, taken from the
-//!   `IVMF_THREADS` environment variable and defaulting to
+//!   `IVMF_THREADS` environment variable (parsed through the shared
+//!   [`ivmf_env`] rules) and defaulting to
 //!   [`std::thread::available_parallelism`].
 //!
 //! ## Determinism
@@ -51,7 +52,10 @@ use std::ops::Range;
 /// [`configured_threads`]. Unset or unparsable values fall back to the
 /// machine's available parallelism; `IVMF_THREADS=1` forces every parallel
 /// kernel to run inline on the calling thread.
-pub const THREADS_ENV: &str = "IVMF_THREADS";
+///
+/// Re-exported from [`ivmf_env`], the shared home of every `IVMF_*`
+/// variable.
+pub const THREADS_ENV: &str = ivmf_env::THREADS;
 
 /// The worker count for parallel kernels: `IVMF_THREADS` when set to a
 /// positive integer, otherwise [`std::thread::available_parallelism`]
@@ -61,11 +65,7 @@ pub const THREADS_ENV: &str = "IVMF_THREADS";
 /// against kernels that run for milliseconds, and it keeps tests free to
 /// flip the variable at runtime.
 pub fn configured_threads() -> usize {
-    std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&t| t >= 1)
-        .unwrap_or_else(default_threads)
+    ivmf_env::usize_var(THREADS_ENV, 1, default_threads)
 }
 
 fn default_threads() -> usize {

@@ -25,7 +25,7 @@ fn arb_config() -> impl Strategy<Value = (SyntheticConfig, usize, u64)> {
                 .with_zero_fraction(zeros)
                 .with_interval_density(density)
                 .with_interval_intensity(intensity);
-            let rank = rows.min(cols).min(4).max(1);
+            let rank = rows.min(cols).clamp(1, 4);
             (config, rank, seed)
         })
 }

@@ -1,0 +1,207 @@
+//! Bitwise-equivalence and cache-accounting suite for the staged
+//! decomposition pipeline: a batched `run_all` (shared-stage cache on) must
+//! produce *exactly* the same factorizations as five standalone `isvd`
+//! calls — the cache changes when a stage runs, never its arithmetic — and
+//! the per-run accounting must report the sharing truthfully.
+
+use ivmf_core::isvd::isvd;
+use ivmf_core::pipeline::{run_all, run_all_batch, DecompPlan, Pipeline, StageId};
+use ivmf_core::{DecompositionTarget, IntervalSvd, IsvdAlgorithm, IsvdConfig};
+use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
+use ivmf_interval::IntervalMatrix;
+use ivmf_linalg::random::uniform_matrix;
+use ivmf_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Mirrors `ivmf_core::test_support::random_interval_matrix` (which is
+/// `cfg(test)`-gated and invisible to integration tests); keep the two in
+/// sync.
+fn random_interval_matrix(seed: u64, n: usize, m: usize, span: f64) -> IntervalMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let lo = uniform_matrix(&mut rng, n, m, 0.5, 4.0);
+    let spans = Matrix::from_fn(n, m, |_, _| rng.gen_range(0.0..span));
+    let hi = lo.add(&spans).unwrap();
+    IntervalMatrix::from_bounds(lo, hi).unwrap()
+}
+
+/// Asserts two factorizations are bitwise identical (not approximately —
+/// every f64 bit pattern must match).
+fn assert_bitwise_equal(a: &IntervalSvd, b: &IntervalSvd, context: &str) {
+    assert_eq!(a.target, b.target, "{context}: target differs");
+    assert!(
+        !a.u.has_non_finite() && !a.v.has_non_finite(),
+        "{context}: non-finite factors"
+    );
+    assert_eq!(a.u, b.u, "{context}: U factor differs");
+    assert_eq!(a.v, b.v, "{context}: V factor differs");
+    assert_eq!(a.sigma, b.sigma, "{context}: core differs");
+}
+
+#[test]
+fn run_all_matches_standalone_isvd_bitwise_for_every_algorithm_and_target() {
+    let inputs = [
+        random_interval_matrix(501, 14, 9, 1.5),
+        random_interval_matrix(502, 9, 14, 0.5),
+    ];
+    for (mi, m) in inputs.iter().enumerate() {
+        for target in DecompositionTarget::all() {
+            let config = IsvdConfig::new(5).with_target(target);
+            let batched = run_all(m, &config).expect("batched run");
+            for (result, alg) in batched.iter().zip(IsvdAlgorithm::all()) {
+                let standalone = isvd(m, &config.with_algorithm(alg)).expect("standalone run");
+                assert_bitwise_equal(
+                    &result.factors,
+                    &standalone.factors,
+                    &format!("matrix {mi}, {alg}, {target}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn run_all_matches_standalone_on_paper_shaped_synthetic_data() {
+    // A paper-shaped (wide) synthetic matrix large enough to take the
+    // midpoint–radius fast path in the Gram stage — the cache must be
+    // transparent there too.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let m = generate_uniform(
+        &SyntheticConfig::paper_default().with_shape(30, 80),
+        &mut rng,
+    );
+    let config = IsvdConfig::new(12);
+    let batched = run_all(&m, &config).expect("batched run");
+    for (result, alg) in batched.iter().zip(IsvdAlgorithm::all()) {
+        let standalone = isvd(&m, &config.with_algorithm(alg)).expect("standalone run");
+        assert_bitwise_equal(&result.factors, &standalone.factors, alg.name());
+    }
+}
+
+#[test]
+fn run_all_batch_matches_standalone_across_matrices() {
+    let matrices: Vec<IntervalMatrix> = (0..3)
+        .map(|i| random_interval_matrix(600 + i, 10, 7, 1.0))
+        .collect();
+    let config = IsvdConfig::new(4);
+    let batch = run_all_batch(&matrices, &config).expect("batch run");
+    assert_eq!(batch.len(), matrices.len());
+    for (per_matrix, m) in batch.iter().zip(&matrices) {
+        for (result, alg) in per_matrix.iter().zip(IsvdAlgorithm::all()) {
+            let standalone = isvd(m, &config.with_algorithm(alg)).expect("standalone");
+            assert_bitwise_equal(&result.factors, &standalone.factors, alg.name());
+        }
+    }
+}
+
+#[test]
+fn batched_run_computes_gram_and_bound_eigens_at_most_once() {
+    let m = random_interval_matrix(700, 12, 8, 1.0);
+    let results = run_all(&m, &IsvdConfig::new(4)).expect("batched run");
+    for stage in [
+        StageId::IntervalGram,
+        StageId::BoundEigenLo,
+        StageId::BoundEigenHi,
+        StageId::GramAlign,
+        StageId::AlignedSolve,
+    ] {
+        let computes = results
+            .iter()
+            .flat_map(|r| r.stages.iter())
+            .filter(|e| e.stage == stage && !e.cache_hit)
+            .count();
+        assert_eq!(computes, 1, "stage {stage} computed more than once");
+    }
+}
+
+#[test]
+fn second_algorithm_sharing_the_gram_reports_a_hit() {
+    let m = random_interval_matrix(701, 10, 6, 1.0);
+    let mut pipeline = Pipeline::new(&m, IsvdConfig::new(4)).expect("pipeline");
+
+    // ISVD2 computes the Gram — all misses, no hits.
+    let r2 = pipeline.run(IsvdAlgorithm::Isvd2).expect("ISVD2");
+    assert_eq!(r2.timings.cache_hits, 0);
+    assert_eq!(
+        r2.timings.cache_misses as usize,
+        DecompPlan::for_algorithm(IsvdAlgorithm::Isvd2).stages.len()
+    );
+
+    // ISVD3 shares Gram + both eigens + the ILSA alignment: 4 hits, and
+    // the only computed stage is its aligned solve.
+    let r3 = pipeline.run(IsvdAlgorithm::Isvd3).expect("ISVD3");
+    assert_eq!(r3.timings.cache_hits, 4);
+    assert_eq!(r3.timings.cache_misses, 1);
+    let gram_event = r3
+        .stages
+        .iter()
+        .find(|e| e.stage == StageId::IntervalGram)
+        .expect("gram event");
+    assert!(gram_event.cache_hit, "ISVD3 must reuse ISVD2's Gram");
+}
+
+#[test]
+fn changed_config_fingerprint_reports_a_miss() {
+    let m = random_interval_matrix(702, 10, 6, 1.0);
+    let mut pipeline = Pipeline::new(&m, IsvdConfig::new(4)).expect("pipeline");
+    pipeline.run(IsvdAlgorithm::Isvd2).expect("warm the cache");
+    let cache = pipeline.into_cache();
+    let warm_misses = cache.misses();
+
+    // Same matrix, different rank → different per-stage fingerprint for
+    // every rank-dependent stage, which all miss and recompute; only the
+    // rank-independent interval Gram is allowed to survive the change.
+    let mut changed =
+        Pipeline::with_cache(&m, IsvdConfig::new(3), cache).expect("changed-config pipeline");
+    let r = changed.run(IsvdAlgorithm::Isvd2).expect("ISVD2 at rank 3");
+    assert_eq!(
+        r.timings.cache_hits, 1,
+        "only the rank-independent Gram may leak across configs"
+    );
+    assert_eq!(r.timings.cache_misses, 4);
+    for event in &r.stages {
+        assert_eq!(
+            event.cache_hit,
+            event.stage == StageId::IntervalGram,
+            "unexpected cache behaviour for {}",
+            event.stage
+        );
+    }
+    assert_eq!(
+        changed.cache().misses(),
+        warm_misses + u64::from(r.timings.cache_misses)
+    );
+
+    // A changed matcher misses the ILSA stage while the matcher-free
+    // stages survive.
+    let cache = changed.into_cache();
+    let greedy = IsvdConfig::new(3).with_matcher(ivmf_align::Matcher::Greedy);
+    let mut rematched = Pipeline::with_cache(&m, greedy, cache).expect("matcher pipeline");
+    let r = rematched.run(IsvdAlgorithm::Isvd2).expect("greedy ISVD2");
+    assert_eq!(r.timings.cache_misses, 1, "only GramAlign recomputes");
+}
+
+#[test]
+fn mixed_targets_share_stages_within_one_session() {
+    // Stage outputs are target-independent: running the same algorithm
+    // under a different target must be a full cache hit, and the produced
+    // factors must still match the standalone path bitwise.
+    let m = random_interval_matrix(703, 11, 7, 1.0);
+    let config = IsvdConfig::new(4);
+    let mut pipeline = Pipeline::new(&m, config).expect("pipeline");
+    pipeline.run(IsvdAlgorithm::Isvd4).expect("warm");
+    for target in DecompositionTarget::all() {
+        let r = pipeline
+            .run_with_target(IsvdAlgorithm::Isvd4, target)
+            .expect("ISVD4 under target");
+        assert_eq!(r.timings.cache_misses, 0, "{target} recomputed a stage");
+        let standalone = isvd(
+            &m,
+            &config
+                .with_algorithm(IsvdAlgorithm::Isvd4)
+                .with_target(target),
+        )
+        .expect("standalone");
+        assert_bitwise_equal(&r.factors, &standalone.factors, &format!("ISVD4 {target}"));
+    }
+}
