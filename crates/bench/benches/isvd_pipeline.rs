@@ -1,48 +1,51 @@
 //! End-to-end trajectory bench for the decomposition pipelines: wall-clock
 //! medians of ISVD0–ISVD4 (paper default 40×250 synthetic config, rank 20),
 //! the shared-stage batched driver against the sequential five-algorithm
-//! path (`batched_vs_sequential`, whose speedup is recorded in the JSON),
-//! and the `sym_eigen` kernel that backs every eigen-route decomposition,
-//! written to `BENCH_isvd.json` at the repository root (override with
+//! path (`batched_vs_sequential`), the streamed sharded Gram against the
+//! dense path (`sharded_gram`), and the incremental `Pipeline::append_rows`
+//! refresh against a cold recompute (`append_rows`, whose speedup is the
+//! `append_vs_cold_speedup` field of the JSON), plus the `sym_eigen` kernel
+//! that backs every eigen-route decomposition. Results go to
+//! `BENCH_isvd.json` at the repository root (override with
 //! `IVMF_BENCH_ISVD_OUT`).
 //!
 //! Unlike `linalg_kernels` — which tracks isolated kernels against each
 //! other — this bench tracks the *algorithm-level* trajectory across PRs:
-//! each recorded name also carries the median measured on the commit just
-//! before the packed-kernel rebuild ([`PRE_CHANGE_BASELINE_NS`], same
-//! machine, single-threaded — this bench pins `IVMF_THREADS=1` unless the
-//! caller exports a count, keeping the ratios apples-to-apples), so the
-//! JSON reports how far each pipeline has moved since then. Set
-//! `IVMF_BENCH_SMOKE=1` to run every benchmark with a single sample (CI
-//! bitrot guard).
+//! baselines are the medians recorded in the **committed** `BENCH_isvd.json`
+//! (parsed at startup, before this run overwrites it), so every PR's report
+//! shows its movement relative to the previous committed run and the
+//! trajectory accumulates instead of comparing against frozen constants.
+//! Both runs pin `IVMF_THREADS=1` unless the caller exports a count,
+//! keeping the ratios apples-to-apples. Set `IVMF_BENCH_SMOKE=1` to run
+//! every benchmark with a single sample (CI bitrot guard; smoke medians are
+//! noise, so refresh the committed file only from a non-smoke run).
 
 use std::time::Duration;
 
 use criterion::{BenchmarkId, Criterion};
 use ivmf_core::isvd::isvd;
-use ivmf_core::pipeline::run_all;
+use ivmf_core::pipeline::{run_all, Pipeline};
 use ivmf_core::{IsvdAlgorithm, IsvdConfig};
 use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
+use ivmf_interval::RowShardedIntervalMatrix;
 use ivmf_linalg::eigen_sym::sym_eigen;
 use ivmf_linalg::random::symmetric_matrix;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-/// Medians recorded on the commit immediately before the packed
-/// register-tiled kernel rebuild (same machine, `IVMF_THREADS=1`), so the
-/// emitted JSON can report each pipeline's improvement over that reference
-/// point. `0` means "no baseline recorded" and suppresses the ratio.
-const PRE_CHANGE_BASELINE_NS: &[(&str, u128)] = &[
-    ("isvd_pipeline/ISVD0", 879_447),
-    ("isvd_pipeline/ISVD1", 1_884_989),
-    ("isvd_pipeline/ISVD2", 72_127_202),
-    ("isvd_pipeline/ISVD3", 79_383_911),
-    ("isvd_pipeline/ISVD4", 71_784_384),
-    ("sym_eigen/128", 10_644_512),
-    ("sym_eigen/256", 107_244_895),
-];
+use ivmf_bench::{
+    bench_sample_count as sample_count, bench_smoke_mode as smoke_mode, read_bench_medians,
+};
 
-use ivmf_bench::{bench_sample_count as sample_count, bench_smoke_mode as smoke_mode};
+/// The committed report this run compares against (always the repository
+/// root copy, independent of any `IVMF_BENCH_ISVD_OUT` override for the
+/// output).
+fn committed_json_path() -> String {
+    format!(
+        "{}/../../BENCH_isvd.json",
+        env!("CARGO_MANIFEST_DIR") // crates/bench -> repository root
+    )
+}
 
 fn bench_isvd_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("isvd_pipeline");
@@ -86,6 +89,77 @@ fn bench_batched_vs_sequential(c: &mut Criterion) {
     group.finish();
 }
 
+/// Streamed interval Gram over row shards against the dense one-block
+/// stream, at a taller-than-paper row count (the scaling direction the
+/// sharded storage exists for). The outputs are bitwise identical; the
+/// bench tracks the sharding overhead (chunk re-alignment buffering).
+fn bench_sharded_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_gram");
+    group.sample_size(sample_count());
+    let config = SyntheticConfig::paper_default().with_shape(480, 250);
+    let mut rng = SmallRng::seed_from_u64(4);
+    let m = generate_uniform(&config, &mut rng);
+    group.bench_with_input(BenchmarkId::from_parameter("dense_480x250"), &m, |b, m| {
+        b.iter(|| m.interval_gram_streamed().unwrap())
+    });
+    let sharded = RowShardedIntervalMatrix::from_dense(&m, 60).unwrap(); // 8 shards
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sharded_480x250_x8"),
+        &sharded,
+        |b, s| b.iter(|| s.interval_gram_streamed().unwrap()),
+    );
+    group.finish();
+}
+
+/// Incremental row-append Gram refresh against a cold recompute: the
+/// `append_rows` serving scenario. The cold path builds a fresh session
+/// over base+delta and computes the Gram from scratch (`O(n·m²)`); the
+/// incremental path appends the delta to a warmed session, folding only
+/// the new rows' contributions (`O(Δn·m²)`). Outputs are bitwise
+/// identical (asserted by the workspace's streaming test suite).
+fn bench_append_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("append_rows");
+    group.sample_size(sample_count());
+    let config = SyntheticConfig::paper_default().with_shape(480, 250);
+    let rank = config.default_rank();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let base = generate_uniform(&config, &mut rng);
+    let delta_config = SyntheticConfig::paper_default().with_shape(8, 250);
+    let delta = generate_uniform(&delta_config, &mut rng);
+    let base_sharded = RowShardedIntervalMatrix::from_dense(&base, 30).unwrap();
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold_recompute"),
+        &(&base_sharded, &delta),
+        |b, (base_sharded, delta)| {
+            b.iter(|| {
+                let mut combined = (*base_sharded).clone();
+                combined.append_rows((*delta).clone()).unwrap();
+                let mut session = Pipeline::from_shards(combined, IsvdConfig::new(rank)).unwrap();
+                session.interval_gram().unwrap()
+            })
+        },
+    );
+
+    // Warmed session: the Gram accumulator is retained, so each append
+    // folds only the delta. The matrix grows by Δ rows per iteration —
+    // which is exactly the serving workload, and the incremental cost is
+    // row-count-independent.
+    let mut warmed = Pipeline::from_shards(base_sharded.clone(), IsvdConfig::new(rank)).unwrap();
+    warmed.interval_gram().unwrap();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("incremental"),
+        &delta,
+        |b, delta| {
+            b.iter(|| {
+                warmed.append_rows(delta.clone()).unwrap();
+                warmed.interval_gram().unwrap()
+            })
+        },
+    );
+    group.finish();
+}
+
 fn bench_sym_eigen(c: &mut Criterion) {
     let mut group = c.benchmark_group("sym_eigen");
     group.sample_size(sample_count());
@@ -100,42 +174,45 @@ fn bench_sym_eigen(c: &mut Criterion) {
     group.finish();
 }
 
+fn median_of(results: &[(String, Duration)], name: &str) -> Option<f64> {
+    results
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, d)| d.as_secs_f64())
+}
+
 /// Median-over-median speedup of the shared-stage batched driver against
 /// five sequential `isvd` calls, if both measurements were recorded.
 fn batched_speedup(results: &[(String, Duration)]) -> Option<f64> {
-    let median_of = |name: &str| {
-        results
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, d)| d.as_secs_f64())
-    };
-    let sequential = median_of("batched_vs_sequential/sequential")?;
-    let batched = median_of("batched_vs_sequential/batched")?;
+    let sequential = median_of(results, "batched_vs_sequential/sequential")?;
+    let batched = median_of(results, "batched_vs_sequential/batched")?;
     (batched > 0.0).then(|| sequential / batched)
 }
 
-fn baseline_of(name: &str) -> Option<u128> {
-    PRE_CHANGE_BASELINE_NS
-        .iter()
-        .find(|&&(n, _)| n == name)
-        .map(|&(_, ns)| ns)
-        .filter(|&ns| ns > 0)
+/// Median-over-median speedup of the incremental append refresh against
+/// the cold recompute.
+fn append_speedup(results: &[(String, Duration)]) -> Option<f64> {
+    let cold = median_of(results, "append_rows/cold_recompute")?;
+    let incremental = median_of(results, "append_rows/incremental")?;
+    (incremental > 0.0).then(|| cold / incremental)
 }
 
-fn emit_json(results: &[(String, Duration)]) -> std::io::Result<()> {
-    let out_path = std::env::var("IVMF_BENCH_ISVD_OUT").unwrap_or_else(|_| {
-        format!(
-            "{}/../../BENCH_isvd.json",
-            env!("CARGO_MANIFEST_DIR") // crates/bench -> repository root
-        )
-    });
+fn emit_json(results: &[(String, Duration)], baselines: &[(String, u128)]) -> std::io::Result<()> {
+    let out_path = std::env::var("IVMF_BENCH_ISVD_OUT").unwrap_or_else(|_| committed_json_path());
+    let baseline_of = |name: &str| {
+        baselines
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, ns)| ns)
+            .filter(|&ns| ns > 0)
+    };
     let mut json = String::from("{\n  \"bench\": \"isvd_pipeline\",\n  \"results\": [\n");
     for (i, (name, median)) in results.iter().enumerate() {
         let ns = median.as_nanos();
         match baseline_of(name) {
             Some(base) => json.push_str(&format!(
                 "    {{\"name\": \"{name}\", \"median_ns\": {ns}, \
-                 \"pre_change_ns\": {base}, \"speedup_vs_pre_change\": {:.3}}}{}\n",
+                 \"baseline_ns\": {base}, \"speedup_vs_baseline\": {:.3}}}{}\n",
                 base as f64 / ns.max(1) as f64,
                 if i + 1 < results.len() { "," } else { "" }
             )),
@@ -151,6 +228,9 @@ fn emit_json(results: &[(String, Duration)]) -> std::io::Result<()> {
             "  \"batched_vs_sequential_speedup\": {speedup:.3},\n"
         ));
     }
+    if let Some(speedup) = append_speedup(results) {
+        json.push_str(&format!("  \"append_vs_cold_speedup\": {speedup:.3},\n"));
+    }
     json.push_str(&format!(
         "  \"smoke\": {},\n  \"threads\": {}\n}}\n",
         smoke_mode(),
@@ -162,30 +242,40 @@ fn emit_json(results: &[(String, Duration)]) -> std::io::Result<()> {
 }
 
 fn main() {
-    // The hardcoded pre-change baselines were recorded at IVMF_THREADS=1;
-    // pin the pool to the same configuration (unless the caller exports a
-    // count explicitly) so speedup_vs_pre_change stays apples-to-apples.
+    // The committed baselines were recorded at IVMF_THREADS=1; pin the
+    // pool to the same configuration (unless the caller exports a count
+    // explicitly) so speedup_vs_baseline stays apples-to-apples.
     if std::env::var(ivmf_par::THREADS_ENV).is_err() {
         std::env::set_var(ivmf_par::THREADS_ENV, "1");
     }
+    // Read the committed medians *before* running (and overwriting them).
+    let baselines = read_bench_medians(&committed_json_path());
+
     let mut criterion = Criterion::default();
     bench_isvd_pipeline(&mut criterion);
     bench_batched_vs_sequential(&mut criterion);
+    bench_sharded_gram(&mut criterion);
+    bench_append_rows(&mut criterion);
     bench_sym_eigen(&mut criterion);
 
     let results = criterion::recorded_measurements();
     for (name, median) in &results {
-        if let Some(base) = baseline_of(name) {
-            println!(
-                "{name}: {:.2}x vs pre-change baseline",
-                base as f64 / median.as_nanos().max(1) as f64
-            );
+        if let Some(&(_, base)) = baselines.iter().find(|(n, _)| n == name) {
+            if base > 0 {
+                println!(
+                    "{name}: {:.2}x vs committed baseline",
+                    base as f64 / median.as_nanos().max(1) as f64
+                );
+            }
         }
     }
     if let Some(speedup) = batched_speedup(&results) {
         println!("batched_vs_sequential: {speedup:.2}x (shared-stage cache)");
     }
-    if let Err(e) = emit_json(&results) {
+    if let Some(speedup) = append_speedup(&results) {
+        println!("append_rows: {speedup:.2}x incremental vs cold recompute");
+    }
+    if let Err(e) = emit_json(&results, &baselines) {
         eprintln!("failed to write BENCH_isvd.json: {e}");
     }
 }

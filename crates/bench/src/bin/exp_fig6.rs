@@ -4,9 +4,19 @@
 //! Figure 6a compares ISVD1–4 under targets a/b/c, ISVD0, and the LP
 //! competitor; Figure 6b breaks the execution time of each ISVD pipeline
 //! into preprocessing / decomposition / alignment / renormalization.
+//!
+//! Every replicate evaluates the whole roster through one shared-stage
+//! pipeline session (each common stage computed once), and the
+//! per-algorithm breakdown is **reconstructed from the stage event trace**
+//! (`ivmf_bench::evaluate_roster_breakdown`): a cache-served stage is
+//! charged its one computed duration, so the table reports what a
+//! sequential per-algorithm evaluation would measure — the paper's
+//! semantics — without timing anything twice.
 
 use ivmf_bench::table::{fmt3, fmt_ms};
-use ivmf_bench::{evaluate_algorithm, AlgoSpec, ExperimentOptions, Table};
+use ivmf_bench::{
+    evaluate_roster_breakdown, standalone_equivalent_timings, AlgoSpec, ExperimentOptions, Table,
+};
 use ivmf_core::pipeline::run_all;
 use ivmf_core::timing::StageTimings;
 use ivmf_core::IsvdConfig;
@@ -32,8 +42,10 @@ fn main() {
     for rep in 0..opts.replicates {
         let mut rng = SmallRng::seed_from_u64(2000 + rep as u64);
         let m = generate_uniform(&config, &mut rng);
-        for (idx, &spec) in roster.iter().enumerate() {
-            let outcome = evaluate_algorithm(&m, rank, spec);
+        for (idx, outcome) in evaluate_roster_breakdown(&m, rank, &roster)
+            .into_iter()
+            .enumerate()
+        {
             accuracy[idx].push(outcome.harmonic_mean);
             timings[idx].accumulate(&outcome.timings);
             totals[idx] += outcome.total_time;
@@ -75,34 +87,32 @@ fn main() {
     }
     println!("{}", time_table.render());
     println!(
-        "(Timings above are the sequential path — every algorithm computes all of its own \
-         stages, matching the paper's per-algorithm breakdown.)"
+        "(Per-algorithm timings are standalone-equivalent: reconstructed from the shared \
+         StageTimings event trace, so every algorithm is charged all of its own stages — \
+         matching the paper's per-algorithm breakdown — while each stage runs only once.)"
     );
 
     // Shared-stage bonus: the batched driver evaluates all five ISVD
     // algorithms through one stage cache, computing the interval Gram and
-    // the bound eigendecompositions exactly once.
+    // the bound eigendecompositions exactly once. The sequential-equivalent
+    // cost comes from the same event trace instead of a second timed loop.
     let mut rng = SmallRng::seed_from_u64(2000);
     let m = generate_uniform(&config, &mut rng);
-    let sequential: std::time::Duration = {
-        let t0 = std::time::Instant::now();
-        for alg in ivmf_core::IsvdAlgorithm::all() {
-            ivmf_core::isvd::isvd(&m, &IsvdConfig::new(rank).with_algorithm(alg))
-                .expect("sequential ISVD");
-        }
-        t0.elapsed()
-    };
     let t0 = std::time::Instant::now();
     let batched = run_all(&m, &IsvdConfig::new(rank)).expect("batched ISVD");
     let batched_time = t0.elapsed();
+    let sequential_equivalent: std::time::Duration = standalone_equivalent_timings(&batched)
+        .iter()
+        .map(StageTimings::total)
+        .sum();
     let hits: u32 = batched.iter().map(|r| r.timings.cache_hits).sum();
     let misses: u32 = batched.iter().map(|r| r.timings.cache_misses).sum();
     println!(
         "-- batched driver (shared-stage cache, identical outputs) --\n\
-         sequential 5-algorithm total: {}; batched run_all: {} ({:.2}x); \
+         sequential-equivalent 5-algorithm total: {}; batched run_all: {} ({:.2}x); \
          stage cache: {hits} hits / {misses} misses",
-        fmt_ms(sequential),
+        fmt_ms(sequential_equivalent),
         fmt_ms(batched_time),
-        sequential.as_secs_f64() / batched_time.as_secs_f64().max(1e-12),
+        sequential_equivalent.as_secs_f64() / batched_time.as_secs_f64().max(1e-12),
     );
 }

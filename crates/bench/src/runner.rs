@@ -3,12 +3,13 @@
 //! replicate-averaging loop every `exp_*` binary previously hand-rolled,
 //! and environment-driven options.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use ivmf_core::accuracy::reconstruction_accuracy;
-use ivmf_core::pipeline::{Pipeline, StageCache};
+use ivmf_core::pipeline::{Pipeline, StageCache, StageEvent, StageId};
 use ivmf_core::timing::StageTimings;
-use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig};
+use ivmf_core::{DecompositionTarget, IsvdAlgorithm, IsvdConfig, IsvdResult};
 use ivmf_interval::IntervalMatrix;
 use ivmf_lp::lp_isvd;
 use rand::rngs::SmallRng;
@@ -208,6 +209,142 @@ pub fn evaluate_roster_with_cache(
         .or_else(|| unused_cache.take())
         .unwrap_or_default();
     (outcomes, cache)
+}
+
+/// The wall-clock cost of each computed stage, collected from the miss
+/// events of a set of runs over one shared cache: every stage is computed
+/// exactly once across the set, so the map holds exactly one duration per
+/// stage.
+fn stage_costs<'a>(events: impl IntoIterator<Item = &'a StageEvent>) -> HashMap<StageId, Duration> {
+    let mut costs = HashMap::new();
+    for e in events {
+        if !e.cache_hit {
+            costs.insert(e.stage, e.duration);
+        }
+    }
+    costs
+}
+
+/// Adds the cost of every cache-served stage of `events` back onto
+/// `timings`, attributed to the stage's Figure 6b slot — turning a shared
+/// run's marginal timings into the breakdown an uncached standalone run
+/// would have reported (up to measurement noise; `AlignedSolve` charges
+/// its whole cost to the slot receiving the bulk, see
+/// [`StageId::paper_slot`]).
+fn augment_with_shared_stage_costs(
+    timings: &mut StageTimings,
+    events: &[StageEvent],
+    costs: &HashMap<StageId, Duration>,
+) {
+    for e in events {
+        if !e.cache_hit {
+            continue;
+        }
+        let Some(&d) = costs.get(&e.stage) else {
+            continue;
+        };
+        match e.stage.paper_slot() {
+            "preprocessing" => timings.preprocessing += d,
+            "decomposition" => timings.decomposition += d,
+            "alignment" => timings.alignment += d,
+            _ => {}
+        }
+    }
+}
+
+/// Rebuilds the standalone-equivalent per-run timing breakdown of a batch
+/// of runs that shared one stage cache (e.g. the five results of
+/// [`ivmf_core::pipeline::run_all`]): each run's marginal timings plus, for
+/// every stage it was served from the cache, the duration that stage's one
+/// computation took — the breakdown a sequential per-algorithm evaluation
+/// would measure, recovered from the shared event trace without running
+/// anything twice.
+pub fn standalone_equivalent_timings(results: &[IsvdResult]) -> Vec<StageTimings> {
+    let costs = stage_costs(results.iter().flat_map(|r| r.stages.iter()));
+    results
+        .iter()
+        .map(|r| {
+            let mut t = r.timings;
+            augment_with_shared_stage_costs(&mut t, &r.stages, &costs);
+            t
+        })
+        .collect()
+}
+
+/// [`evaluate_roster`] variant whose reported timings are
+/// **standalone-equivalent**: the roster is evaluated through one shared
+/// [`Pipeline`] session (every common stage computed once), and each
+/// spec's timings are then rebuilt from the stage event trace as if it had
+/// computed all of its own stages — the Figure 6b semantics — with
+/// [`EvalOutcome::total_time`] set to the reconstructed stage total.
+/// Accuracy outputs are bitwise identical to [`evaluate_algorithm`] on
+/// each spec separately. The LP competitor has no staged pipeline; its
+/// timings stay zero and its `total_time` is measured wall-clock.
+pub fn evaluate_roster_breakdown(
+    m: &IntervalMatrix,
+    rank: usize,
+    roster: &[AlgoSpec],
+) -> Vec<EvalOutcome> {
+    let config = IsvdConfig::new(rank);
+    let mut pipeline = config
+        .validate(m.shape())
+        .ok()
+        .and_then(|()| Pipeline::new(m, config).ok());
+    struct Row {
+        harmonic_mean: f64,
+        timings: StageTimings,
+        total_time: Duration,
+        events: Vec<StageEvent>,
+    }
+    let rows: Vec<Row> = roster
+        .iter()
+        .map(|&spec| {
+            let start = Instant::now();
+            let (factors, timings, events) = match spec {
+                AlgoSpec::Isvd(alg, target) => {
+                    match pipeline.as_mut().map(|p| p.run_with_target(alg, target)) {
+                        Some(Ok(result)) => (Some(result.factors), result.timings, result.stages),
+                        _ => (None, StageTimings::default(), Vec::new()),
+                    }
+                }
+                AlgoSpec::Lp(target) => {
+                    let config = IsvdConfig::new(rank).with_target(target);
+                    match lp_isvd(m, &config) {
+                        Ok(factors) => (Some(factors), StageTimings::default(), Vec::new()),
+                        Err(_) => (None, StageTimings::default(), Vec::new()),
+                    }
+                }
+            };
+            let total_time = start.elapsed();
+            let harmonic_mean = factors
+                .and_then(|f| f.reconstruct().ok())
+                .and_then(|rec| reconstruction_accuracy(m, &rec).ok())
+                .map(|a| a.harmonic_mean)
+                .unwrap_or(0.0);
+            Row {
+                harmonic_mean,
+                timings,
+                total_time,
+                events,
+            }
+        })
+        .collect();
+    let costs = stage_costs(rows.iter().flat_map(|r| r.events.iter()));
+    rows.into_iter()
+        .map(|mut row| {
+            let is_staged = !row.events.is_empty();
+            augment_with_shared_stage_costs(&mut row.timings, &row.events, &costs);
+            EvalOutcome {
+                harmonic_mean: row.harmonic_mean,
+                timings: row.timings,
+                total_time: if is_staged {
+                    row.timings.total()
+                } else {
+                    row.total_time
+                },
+            }
+        })
+        .collect()
 }
 
 /// Decomposes `m` at the given rank with the specified method, reconstructs

@@ -226,8 +226,20 @@ pub(crate) fn bound_eigen(gram_bound: &Matrix, r: usize) -> Result<BoundEigen> {
 ///
 /// For eigenvector matrices `V` with orthonormal columns this is exactly the
 /// paper's `U = M (Vᵀ)⁻¹ Σ⁻¹` (the pseudo-inverse of `Vᵀ` *is* `V`).
+/// Outside of tests the pipeline streams the `M V` product shard by shard
+/// instead of calling this one-shot form; it stays as the reference
+/// implementation the unit tests check the SVD relationship against.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn recover_left_factor(m_bound: &Matrix, v: &Matrix, sigma: &[f64]) -> Result<Matrix> {
     let mut u = m_bound.matmul(v)?;
+    scale_left_factor(&mut u, sigma);
+    Ok(u)
+}
+
+/// The `Σ⁻¹` column scaling of [`recover_left_factor`], split out so the
+/// pipeline's row-streamed recovery (which computes the `M V` product
+/// shard by shard) can apply the identical entry-wise scaling.
+pub(crate) fn scale_left_factor(u: &mut Matrix, sigma: &[f64]) {
     let smax = sigma.iter().cloned().fold(0.0_f64, f64::max);
     let tol = smax * 1e-12;
     for (j, &s) in sigma.iter().enumerate() {
@@ -239,7 +251,6 @@ pub(crate) fn recover_left_factor(m_bound: &Matrix, v: &Matrix, sigma: &[f64]) -
             }
         }
     }
-    Ok(u)
 }
 
 /// Inverts (or pseudo-inverts) the transposed averaged factor, following the

@@ -76,7 +76,10 @@ pub mod timing;
 
 pub use error::IvmfError;
 pub use isvd::{IsvdAlgorithm, IsvdConfig, IsvdResult};
-pub use pipeline::{run_all, run_all_batch, DecompPlan, Pipeline, StageCache, StageEvent, StageId};
+pub use pipeline::{
+    run_all, run_all_batch, run_all_batch_sharded, run_all_sharded, DecompPlan, Pipeline,
+    StageCache, StageEvent, StageId,
+};
 pub use target::{DecompositionTarget, IntervalSvd, RawFactors};
 
 /// Convenience result alias used throughout the crate.

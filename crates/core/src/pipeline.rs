@@ -29,6 +29,27 @@
 //! [`StageTimings::cache_misses`] and per-stage in
 //! [`IsvdResult::stages`].
 //!
+//! ## Row-sharded and streaming inputs
+//!
+//! A session's matrix can be supplied dense, as an in-memory
+//! [`RowShardedIntervalMatrix`], or as a lazy [`RowShardSource`]
+//! ([`Pipeline::new_streaming`]) that materializes one shard at a time.
+//! Every Gram-route stage folds the shards through the chunk-realigned
+//! streaming accumulators of `ivmf_linalg::streaming` /
+//! [`StreamingIntervalGram`], so **results are bitwise identical across
+//! input kinds and shard layouts** — `run_all_sharded` over four shards
+//! equals [`run_all`] over the dense concatenation bit for bit. Cache keys
+//! use a shard-layout-blind content id ([`matrix_id`]), so dense and
+//! sharded sessions share entries.
+//!
+//! On top of this, [`Pipeline::append_rows`] serves growing workloads:
+//! the session retains its Gram accumulator, folds only the appended
+//! shards' contributions (`O(Δn·m²)` instead of `O(n·m²)`), seeds the
+//! refreshed Gram into the cache under the extended matrix's id, and the
+//! changed id invalidates exactly the downstream stages. Incremental
+//! results are bitwise equal to a cold recompute over the extended
+//! matrix.
+//!
 //! ## Example
 //!
 //! ```
@@ -54,17 +75,20 @@
 //! ```
 
 use std::any::Any;
+use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use ivmf_align::{ilsa, Alignment};
-use ivmf_interval::IntervalMatrix;
+use ivmf_interval::{
+    use_mr_gram, IntervalMatrix, RowShardSource, RowShardedIntervalMatrix, StreamingIntervalGram,
+};
 use ivmf_linalg::svd::{svd_truncated, Svd};
-use ivmf_linalg::Matrix;
+use ivmf_linalg::{matmul_left_streamed, matmul_streamed, LinalgError, Matrix, RowBlocks};
 
 use crate::isvd::{
-    bound_eigen, invert_factor, invert_factor_transpose, recover_left_factor, BoundEigen,
+    bound_eigen, invert_factor, invert_factor_transpose, scale_left_factor, BoundEigen,
     IsvdAlgorithm, IsvdConfig, IsvdResult,
 };
 use crate::sigma_inverse::sigma_inverse_matrix;
@@ -238,11 +262,63 @@ fn fnv1a_u64(hash: &mut u64, value: u64) {
     *hash = hash.wrapping_mul(FNV_PRIME);
 }
 
+/// Incrementally extensible content identity of an interval matrix.
+///
+/// Two FNV-1a streams — one over the lower-bound words, one over the
+/// upper-bound words, both in row order — are combined with the shape into
+/// the final id. Keeping the two streams separate is what makes the id
+/// extensible by appended rows: [`Pipeline::append_rows`] continues both
+/// streams with the new rows' words and re-derives the id in `O(Δn·m)`,
+/// and the result equals hashing the extended matrix from scratch.
+///
+/// The shard layout never enters the hash, so a sharded matrix has the
+/// same id as its dense concatenation — deliberate, because every stage
+/// output is bitwise shard-layout-invariant.
+#[derive(Debug, Clone)]
+struct ContentHash {
+    rows: usize,
+    cols: usize,
+    h_lo: u64,
+    h_hi: u64,
+}
+
+impl ContentHash {
+    fn new(cols: usize) -> Self {
+        ContentHash {
+            rows: 0,
+            cols,
+            h_lo: FNV_OFFSET,
+            h_hi: FNV_OFFSET,
+        }
+    }
+
+    /// Folds the next row block (row order across calls).
+    fn push(&mut self, shard: &IntervalMatrix) {
+        for &x in shard.lo().as_slice() {
+            fnv1a_u64(&mut self.h_lo, x.to_bits());
+        }
+        for &x in shard.hi().as_slice() {
+            fnv1a_u64(&mut self.h_hi, x.to_bits());
+        }
+        self.rows += shard.rows();
+    }
+
+    fn id(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv1a_u64(&mut h, self.rows as u64);
+        fnv1a_u64(&mut h, self.cols as u64);
+        fnv1a_u64(&mut h, self.h_lo);
+        fnv1a_u64(&mut h, self.h_hi);
+        h
+    }
+}
+
 /// Content identity of an interval matrix: an FNV-1a hash over its shape and
 /// the IEEE-754 bit patterns of both bounds. Two matrices with identical
 /// contents share stage outputs even across separate [`Pipeline`] sessions
-/// on one cache; hashing is `O(nm)`, negligible against the `O(nm²)` Gram
-/// stage it guards.
+/// on one cache — regardless of shard layout, since only row-ordered
+/// content enters the hash; hashing is `O(nm)`, negligible against the
+/// `O(nm²)` Gram stage it guards.
 ///
 /// Identity is the 64-bit hash alone — a hit does not re-compare the
 /// inputs, so two *distinct* matrices whose hashes collide (probability
@@ -250,17 +326,9 @@ fn fnv1a_u64(hash: &mut u64, value: u64) {
 /// residual risk is accepted; callers that cannot tolerate it should use
 /// one cache per matrix, as [`run_all_batch`] does.
 pub fn matrix_id(m: &IntervalMatrix) -> u64 {
-    let mut h = FNV_OFFSET;
-    let (rows, cols) = m.shape();
-    fnv1a_u64(&mut h, rows as u64);
-    fnv1a_u64(&mut h, cols as u64);
-    for &x in m.lo().as_slice() {
-        fnv1a_u64(&mut h, x.to_bits());
-    }
-    for &x in m.hi().as_slice() {
-        fnv1a_u64(&mut h, x.to_bits());
-    }
-    h
+    let mut c = ContentHash::new(m.cols());
+    c.push(m);
+    c.id()
 }
 
 /// Fingerprint of every configuration field that influences stage
@@ -408,6 +476,23 @@ impl StageCache {
         self.misses = 0;
     }
 
+    /// Inserts a stage output computed outside the normal miss path (the
+    /// incremental Gram refresh of [`Pipeline::append_rows`]). Seeding
+    /// moves no hit/miss counter: the subsequent lookup that consumes the
+    /// entry reports a hit, which is exactly the accounting signal "this
+    /// run did not recompute the stage".
+    fn seed<T: Any>(&mut self, key: StageKey, value: Rc<T>) {
+        self.entries.insert(key, value as Rc<dyn Any>);
+    }
+
+    /// Drops every entry keyed to the given matrix id. Used by
+    /// [`Pipeline::append_rows`] to bound memory: after an append the
+    /// session's id changes, so entries under the old id can never hit
+    /// again from this session.
+    fn prune_matrix(&mut self, matrix: u64) {
+        self.entries.retain(|k, _| k.matrix != matrix);
+    }
+
     /// Looks up `key`, computing and memoizing on a miss. The compute
     /// closure receives the run's [`StageTimings`] so it can attribute its
     /// wall-clock time to the paper's slots; on a hit nothing is attributed
@@ -483,6 +568,189 @@ struct AlignedSolveOut {
 // The pipeline session.
 // ---------------------------------------------------------------------------
 
+/// The matrix behind a [`Pipeline`] session: a borrowed dense matrix, a
+/// borrowed or owned set of row-block shards, or a lazy shard source that
+/// materializes one shard at a time (out-of-core inputs).
+enum PipelineInput<'m> {
+    Dense(&'m IntervalMatrix),
+    Sharded(&'m RowShardedIntervalMatrix),
+    Owned(RowShardedIntervalMatrix),
+    Lazy(RefCell<Box<dyn RowShardSource + 'm>>),
+}
+
+impl PipelineInput<'_> {
+    /// The in-memory sharded matrix behind the `Sharded`/`Owned` variants
+    /// (which differ only in ownership), `None` for dense/lazy inputs.
+    fn as_sharded(&self) -> Option<&RowShardedIntervalMatrix> {
+        match self {
+            PipelineInput::Sharded(s) => Some(s),
+            PipelineInput::Owned(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for PipelineInput<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            PipelineInput::Dense(_) => "Dense",
+            PipelineInput::Sharded(_) => "Sharded",
+            PipelineInput::Owned(_) => "Owned",
+            PipelineInput::Lazy(_) => "Lazy",
+        };
+        let (rows, cols) = input_shape(self);
+        match self.as_sharded() {
+            Some(s) => write!(f, "{kind}({rows}x{cols}, {} shards)", s.num_shards()),
+            None => write!(f, "{kind}({rows}x{cols})"),
+        }
+    }
+}
+
+fn input_shape(input: &PipelineInput<'_>) -> (usize, usize) {
+    if let Some(s) = input.as_sharded() {
+        return s.shape();
+    }
+    match input {
+        PipelineInput::Dense(m) => m.shape(),
+        PipelineInput::Lazy(src) => {
+            let src = src.borrow();
+            (src.rows(), src.cols())
+        }
+        _ => unreachable!("sharded variants handled above"),
+    }
+}
+
+/// One pass over the input's row-block shards, in row order (a dense
+/// matrix is one shard; a lazy source is rewound first).
+fn input_for_each_shard(
+    input: &PipelineInput<'_>,
+    f: &mut dyn FnMut(&IntervalMatrix) -> Result<()>,
+) -> Result<()> {
+    if let Some(s) = input.as_sharded() {
+        for shard in s.shards() {
+            f(shard)?;
+        }
+        return Ok(());
+    }
+    match input {
+        PipelineInput::Dense(m) => f(m),
+        PipelineInput::Lazy(src) => {
+            let mut src = src.borrow_mut();
+            src.reset().map_err(IvmfError::from)?;
+            while let Some(shard) = src.next_shard().map_err(IvmfError::from)? {
+                f(&shard)?;
+            }
+            Ok(())
+        }
+        _ => unreachable!("sharded variants handled above"),
+    }
+}
+
+/// The midpoint matrix, assembled shard by shard (entry-wise, so bitwise
+/// identical to the dense `mid()` for every input kind).
+fn input_mid(input: &PipelineInput<'_>) -> Result<Matrix> {
+    let (rows, cols) = input_shape(input);
+    let mut data = Vec::with_capacity(rows * cols);
+    input_for_each_shard(input, &mut |shard| {
+        data.extend_from_slice(shard.mid().as_slice());
+        Ok(())
+    })?;
+    Matrix::from_vec(rows, cols, data).map_err(IvmfError::from)
+}
+
+/// The dense interval matrix, materializing (and memoizing) it for
+/// sharded and lazy inputs. Only the stages that genuinely need the whole
+/// matrix at once — the bound SVDs of ISVD1 and ISVD0's midpoint SVD —
+/// go through this; the Gram-route stages stream.
+fn input_dense<'a>(
+    input: &'a PipelineInput<'_>,
+    cell: &'a OnceCell<IntervalMatrix>,
+) -> Result<&'a IntervalMatrix> {
+    if let PipelineInput::Dense(m) = input {
+        return Ok(m);
+    }
+    if cell.get().is_none() {
+        let (rows, cols) = input_shape(input);
+        let mut lo = Vec::with_capacity(rows * cols);
+        let mut hi = Vec::with_capacity(rows * cols);
+        input_for_each_shard(input, &mut |shard| {
+            lo.extend_from_slice(shard.lo().as_slice());
+            hi.extend_from_slice(shard.hi().as_slice());
+            Ok(())
+        })?;
+        let dense = IntervalMatrix::from_bounds(
+            Matrix::from_vec(rows, cols, lo)?,
+            Matrix::from_vec(rows, cols, hi)?,
+        )?;
+        // A concurrent init is impossible (single-threaded session); if the
+        // cell were somehow filled, the freshly built value is identical.
+        let _ = cell.set(dense);
+    }
+    Ok(cell.get().expect("just initialized"))
+}
+
+/// One bound (`lo` or `hi`) of the input as a scalar row-block stream for
+/// the chunk-realigned streaming kernels. Shard-source errors surface as
+/// [`LinalgError::InvalidArgument`] and are converted back at the call
+/// sites.
+struct BoundStream<'a, 'm> {
+    input: &'a PipelineInput<'m>,
+    hi: bool,
+}
+
+impl RowBlocks for BoundStream<'_, '_> {
+    fn rows(&self) -> usize {
+        input_shape(self.input).0
+    }
+    fn cols(&self) -> usize {
+        input_shape(self.input).1
+    }
+    fn for_each_block(
+        &self,
+        f: &mut dyn FnMut(&Matrix) -> ivmf_linalg::Result<()>,
+    ) -> ivmf_linalg::Result<()> {
+        let hi = self.hi;
+        let mut adapted = |shard: &IntervalMatrix| -> Result<()> {
+            f(if hi { shard.hi() } else { shard.lo() }).map_err(IvmfError::from)
+        };
+        input_for_each_shard(self.input, &mut adapted)
+            .map_err(|e| LinalgError::InvalidArgument(format!("row-shard stream: {e}")))
+    }
+}
+
+/// Row-streamed product `bound(M) · rhs` over the input's shards.
+fn stream_bound_matmul(input: &PipelineInput<'_>, hi: bool, rhs: &Matrix) -> Result<Matrix> {
+    matmul_streamed(&BoundStream { input, hi }, rhs).map_err(IvmfError::from)
+}
+
+/// Row-streamed `M† · rhs` for a scalar right operand: the streamed
+/// counterpart of [`IntervalMatrix::matmul_scalar`] — the same
+/// [`IntervalMatrix::envelope_of`] combination over the two bound
+/// products — bitwise identical for every shard layout.
+fn stream_matmul_scalar(input: &PipelineInput<'_>, rhs: &Matrix) -> Result<IntervalMatrix> {
+    let p = stream_bound_matmul(input, false, rhs)?;
+    let q = stream_bound_matmul(input, true, rhs)?;
+    IntervalMatrix::envelope_of(p, q).map_err(IvmfError::from)
+}
+
+/// Reduction-streamed `lhs · M†` for a scalar left operand: the streamed
+/// counterpart of [`IntervalMatrix::matmul_scalar_left`], bitwise
+/// identical for every shard layout.
+fn stream_matmul_scalar_left(lhs: &Matrix, input: &PipelineInput<'_>) -> Result<IntervalMatrix> {
+    let p = matmul_left_streamed(lhs, &BoundStream { input, hi: false })?;
+    let q = matmul_left_streamed(lhs, &BoundStream { input, hi: true })?;
+    IntervalMatrix::envelope_of(p, q).map_err(IvmfError::from)
+}
+
+/// The retained interval-Gram accumulator of a session: lets
+/// [`Pipeline::append_rows`] fold only the new shards' contributions.
+#[derive(Debug, Clone)]
+struct GramState {
+    /// The matrix id the accumulator's content corresponds to.
+    matrix: u64,
+    acc: StreamingIntervalGram,
+}
+
 /// A decomposition session over one interval matrix: executes
 /// [`DecompPlan`]s through a [`StageCache`].
 ///
@@ -490,12 +758,25 @@ struct AlignedSolveOut {
 /// algorithms (and targets) against it; shared stages are computed on first
 /// use and served from the cache afterwards. See the
 /// [module docs](self) for the full sharing matrix.
+///
+/// The input can be a dense matrix ([`Pipeline::new`]), a set of row-block
+/// shards ([`Pipeline::new_sharded`] borrowed, [`Pipeline::from_shards`]
+/// owned — the owned form accepts [`Pipeline::append_rows`]), or a lazy
+/// shard source ([`Pipeline::new_streaming`]) for matrices larger than
+/// memory. Every Gram-route stage (interval Gram, left-factor recovery,
+/// aligned solve, right tightening) streams over the shards with
+/// chunk-realigned arithmetic, so **results are bitwise identical across
+/// input kinds and shard layouts**; only ISVD0/ISVD1's SVD stages
+/// materialize the dense bounds (memoized per session).
 #[derive(Debug)]
 pub struct Pipeline<'m> {
-    m: &'m IntervalMatrix,
+    input: PipelineInput<'m>,
     config: IsvdConfig,
+    content: ContentHash,
     matrix: u64,
     cache: StageCache,
+    dense: OnceCell<IntervalMatrix>,
+    gram_state: Option<GramState>,
 }
 
 impl<'m> Pipeline<'m> {
@@ -514,18 +795,70 @@ impl<'m> Pipeline<'m> {
         config: IsvdConfig,
         cache: StageCache,
     ) -> Result<Self> {
-        config.validate(m.shape())?;
-        Ok(Pipeline {
-            m,
+        Pipeline::from_input(PipelineInput::Dense(m), config, cache)
+    }
+
+    /// Creates a session over a borrowed row-sharded matrix. Results are
+    /// bitwise identical to a dense session over the concatenated rows
+    /// (and the two share cache entries: the content id ignores shard
+    /// layout).
+    pub fn new_sharded(m: &'m RowShardedIntervalMatrix, config: IsvdConfig) -> Result<Self> {
+        Pipeline::from_input(PipelineInput::Sharded(m), config, StageCache::new())
+    }
+
+    /// Creates a session that owns its row-sharded matrix — the form that
+    /// accepts [`Pipeline::append_rows`] without copying the existing
+    /// shards.
+    pub fn from_shards(m: RowShardedIntervalMatrix, config: IsvdConfig) -> Result<Self> {
+        Pipeline::from_input(PipelineInput::Owned(m), config, StageCache::new())
+    }
+
+    /// Creates a session over a lazy shard source (e.g. a chunked disk
+    /// loader from `ivmf-data`): the Gram-route stages of ISVD2–4 stream
+    /// the shards one at a time and never materialize the dense bounds, so
+    /// matrices larger than memory decompose end to end (the factor
+    /// outputs themselves are `n×r` / `m×r` — far smaller than the `n×m`
+    /// input for the paper's ranks). ISVD0/ISVD1 still materialize the
+    /// dense matrix on first use. Construction makes one streaming pass to
+    /// fingerprint the content.
+    pub fn new_streaming(source: Box<dyn RowShardSource + 'm>, config: IsvdConfig) -> Result<Self> {
+        Pipeline::from_input(
+            PipelineInput::Lazy(RefCell::new(source)),
             config,
-            matrix: matrix_id(m),
+            StageCache::new(),
+        )
+    }
+
+    fn from_input(input: PipelineInput<'m>, config: IsvdConfig, cache: StageCache) -> Result<Self> {
+        let (_, cols) = input_shape(&input);
+        config.validate(input_shape(&input))?;
+        let mut content = ContentHash::new(cols);
+        input_for_each_shard(&input, &mut |shard| {
+            content.push(shard);
+            Ok(())
+        })?;
+        let matrix = content.id();
+        Ok(Pipeline {
+            input,
+            config,
+            content,
+            matrix,
             cache,
+            dense: OnceCell::new(),
+            gram_state: None,
         })
     }
 
-    /// The session's input matrix.
-    pub fn matrix(&self) -> &IntervalMatrix {
-        self.m
+    /// `(rows, cols)` of the session's (virtual) input matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        input_shape(&self.input)
+    }
+
+    /// The session's input as a dense interval matrix, materializing it on
+    /// first call for sharded/lazy inputs (memoized for the session's
+    /// lifetime).
+    pub fn matrix(&self) -> Result<&IntervalMatrix> {
+        input_dense(&self.input, &self.dense)
     }
 
     /// The session's configuration.
@@ -541,6 +874,97 @@ impl<'m> Pipeline<'m> {
     /// Consumes the session, returning the cache for reuse.
     pub fn into_cache(self) -> StageCache {
         self.cache
+    }
+
+    /// Appends a block of new rows to the session's matrix, updating the
+    /// cached interval Gram **incrementally**: if the Gram stage has run
+    /// (or been appended to) in this session, only the new rows'
+    /// contributions are folded into the retained accumulator — an
+    /// `O(Δn·m²)` refresh instead of the `O(n·m²)` cold recompute — and
+    /// the refreshed Gram is seeded into the cache under the extended
+    /// matrix's id, where the next run finds it as a cache *hit*. The
+    /// result is bitwise identical to a cold recompute over the extended
+    /// matrix (the accumulator performs exactly the cold fold's operation
+    /// sequence, just split in time).
+    ///
+    /// Every downstream stage (eigen, alignment, solve, …) is invalidated
+    /// automatically and exactly: stage keys include the content id, which
+    /// the append changes; entries under the old id are pruned. If the
+    /// appended rows push the Gram across the midpoint–radius dispatch
+    /// threshold (or `IVMF_EXACT_INTERVAL` changed), the accumulator is
+    /// discarded and the next run recomputes cold under the new flavour.
+    ///
+    /// Borrowed dense/sharded inputs are converted to an owned sharded
+    /// copy on first append; lazy shard-source sessions reject appends
+    /// (the source owns the data).
+    pub fn append_rows(&mut self, rows: IntervalMatrix) -> Result<()> {
+        let (_, cols) = input_shape(&self.input);
+        if rows.rows() == 0 {
+            return Err(IvmfError::InvalidInput(
+                "append_rows needs at least one row".to_string(),
+            ));
+        }
+        if rows.cols() != cols {
+            return Err(IvmfError::InvalidInput(format!(
+                "appended rows have {} columns, the matrix has {cols}",
+                rows.cols()
+            )));
+        }
+        // Convert borrowed inputs into an owned sharded matrix.
+        let replacement = match &self.input {
+            PipelineInput::Owned(_) => None,
+            PipelineInput::Dense(m) => {
+                Some(RowShardedIntervalMatrix::from_shards(vec![(*m).clone()])?)
+            }
+            PipelineInput::Sharded(s) => Some((*s).clone()),
+            PipelineInput::Lazy(_) => {
+                return Err(IvmfError::InvalidInput(
+                    "append_rows is not supported on a lazy shard-source session; \
+                     collect the shards into a RowShardedIntervalMatrix first"
+                        .to_string(),
+                ))
+            }
+        };
+        if let Some(owned) = replacement {
+            self.input = PipelineInput::Owned(owned);
+        }
+
+        let old_id = self.matrix;
+        self.content.push(&rows);
+        let new_id = self.content.id();
+        let new_rows_total = self.content.rows;
+
+        // Incremental Gram refresh: fold only the appended contribution,
+        // seed the result under the new id so the next lookup hits.
+        match self.gram_state.take() {
+            Some(mut state)
+                if state.matrix == old_id
+                    && state.acc.is_mid_rad() == use_mr_gram(new_rows_total, cols) =>
+            {
+                state.acc.push_shard(&rows)?;
+                state.matrix = new_id;
+                let gram = state.acc.finish()?;
+                let key = StageKey {
+                    matrix: new_id,
+                    fingerprint: stage_fingerprint(StageId::IntervalGram, &self.config),
+                    stage: StageId::IntervalGram,
+                };
+                self.cache.seed(key, Rc::new(gram));
+                self.gram_state = Some(state);
+            }
+            // Never computed, stale, or flavour flipped: recompute cold on
+            // next use.
+            _ => self.gram_state = None,
+        }
+
+        match &mut self.input {
+            PipelineInput::Owned(s) => s.append_rows(rows)?,
+            _ => unreachable!("input was converted to Owned above"),
+        }
+        self.matrix = new_id;
+        self.dense = OnceCell::new();
+        self.cache.prune_matrix(old_id);
+        Ok(())
     }
 
     /// Runs one algorithm with the session's configured target.
@@ -755,9 +1179,10 @@ impl<'m> Pipeline<'m> {
 
     fn stage_midpoint(&mut self, run: &mut RunLog) -> Result<Rc<Matrix>> {
         let key = self.key(StageId::Midpoint);
-        let m = self.m;
-        self.cache
-            .get_or_compute(key, run, |t| Ok(timed(&mut t.preprocessing, || m.mid())))
+        let input = &self.input;
+        self.cache.get_or_compute(key, run, |t| {
+            timed(&mut t.preprocessing, || input_mid(input))
+        })
     }
 
     fn stage_midpoint_svd(&mut self, run: &mut RunLog, avg: Rc<Matrix>) -> Result<Rc<Svd>> {
@@ -772,10 +1197,12 @@ impl<'m> Pipeline<'m> {
 
     fn stage_bound_svds(&mut self, run: &mut RunLog) -> Result<Rc<BoundSvds>> {
         let key = self.key(StageId::BoundSvd);
-        let m = self.m;
+        let input = &self.input;
+        let dense = &self.dense;
         let rank = self.config.rank;
         self.cache.get_or_compute(key, run, |t| {
             timed(&mut t.decomposition, || {
+                let m = input_dense(input, dense)?;
                 let lo = svd_truncated(m.lo(), rank)?;
                 let hi = svd_truncated(m.hi(), rank)?;
                 Ok::<_, IvmfError>(BoundSvds { lo, hi })
@@ -793,12 +1220,35 @@ impl<'m> Pipeline<'m> {
         })
     }
 
+    /// The interval Gram through the streaming accumulator: one fold over
+    /// the input's shards (chunk-realigned, so bitwise identical for every
+    /// input kind and shard layout, and equal to the historical dense
+    /// `interval_gram_fast` for matrices within one chunk). The
+    /// accumulator is retained on the session so [`Pipeline::append_rows`]
+    /// can later fold only new contributions.
     fn stage_interval_gram(&mut self, run: &mut RunLog) -> Result<Rc<IntervalMatrix>> {
         let key = self.key(StageId::IntervalGram);
-        let m = self.m;
+        let input = &self.input;
+        let gram_state = &mut self.gram_state;
+        let matrix = self.matrix;
         self.cache.get_or_compute(key, run, |t| {
             timed(&mut t.preprocessing, || {
-                m.interval_gram_fast().map_err(IvmfError::from)
+                let (rows, cols) = input_shape(input);
+                let mut acc = StreamingIntervalGram::new(rows, cols);
+                input_for_each_shard(input, &mut |shard| {
+                    acc.push_shard(shard).map_err(IvmfError::from)
+                })?;
+                if acc.rows_seen() != rows {
+                    // An under-delivering lazy source would otherwise
+                    // yield a silently partial Gram.
+                    return Err(IvmfError::InvalidInput(format!(
+                        "row-shard source delivered {} of its declared {rows} rows",
+                        acc.rows_seen()
+                    )));
+                }
+                let gram = acc.finish().map_err(IvmfError::from)?;
+                *gram_state = Some(GramState { matrix, acc });
+                Ok::<_, IvmfError>(gram)
             })
         })
     }
@@ -829,11 +1279,16 @@ impl<'m> Pipeline<'m> {
         eig_hi: Rc<BoundEigen>,
     ) -> Result<Rc<(Matrix, Matrix)>> {
         let key = self.key(StageId::LeftRecover);
-        let m = self.m;
+        let input = &self.input;
         self.cache.get_or_compute(key, run, |t| {
             timed(&mut t.decomposition, || {
-                let u_lo = recover_left_factor(m.lo(), &eig_lo.v, &eig_lo.sigma)?;
-                let u_hi = recover_left_factor(m.hi(), &eig_hi.v, &eig_hi.sigma)?;
+                // Row-streamed `U = M V Σ⁻¹`: the product streams shard by
+                // shard, the Σ⁻¹ column scaling is entry-wise and applied
+                // afterwards exactly as in `recover_left_factor`.
+                let mut u_lo = stream_bound_matmul(input, false, &eig_lo.v)?;
+                scale_left_factor(&mut u_lo, &eig_lo.sigma);
+                let mut u_hi = stream_bound_matmul(input, true, &eig_hi.v)?;
+                scale_left_factor(&mut u_hi, &eig_hi.sigma);
                 Ok::<_, IvmfError>((u_lo, u_hi))
             })
         })
@@ -862,7 +1317,7 @@ impl<'m> Pipeline<'m> {
         alignment: Rc<Alignment>,
     ) -> Result<Rc<AlignedSolveOut>> {
         let key = self.key(StageId::AlignedSolve);
-        let m = self.m;
+        let input = &self.input;
         let config = self.config;
         self.cache.get_or_compute(key, run, |t| {
             // Alignment application (Algorithm 10, lines 5-13): the left
@@ -873,13 +1328,14 @@ impl<'m> Pipeline<'m> {
                 Ok::<_, IvmfError>((v_lo, sigma_lo))
             })?;
             // Solve U† = M† ((V†)ᵀ)⁻¹ (Σ†)⁻¹ using the averaged V and the
-            // scalar interval-core inverse.
+            // scalar interval-core inverse; the `M† · projector` product
+            // streams over the input's shards.
             let (u, sigma_inv) = timed(&mut t.decomposition, || {
                 let v_avg = v_lo.mean_with(&eig_hi.v)?;
                 let v_t_inv = invert_factor_transpose(&v_avg, &config)?;
                 let sigma_inv = sigma_inverse_matrix(&sigma_lo, &eig_hi.sigma)?;
                 let projector = v_t_inv.matmul(&sigma_inv)?;
-                let u = m.matmul_scalar(&projector)?;
+                let u = stream_matmul_scalar(input, &projector)?;
                 Ok::<_, IvmfError>((u, sigma_inv))
             })?;
             Ok(AlignedSolveOut {
@@ -897,7 +1353,7 @@ impl<'m> Pipeline<'m> {
         solved: Rc<AlignedSolveOut>,
     ) -> Result<Rc<(Matrix, Matrix)>> {
         let key = self.key(StageId::RightTighten);
-        let m = self.m;
+        let input = &self.input;
         let config = self.config;
         self.cache.get_or_compute(key, run, |t| {
             timed(&mut t.decomposition, || {
@@ -905,9 +1361,10 @@ impl<'m> Pipeline<'m> {
                 let u_inv = invert_factor(&u_avg, &config)?;
                 // r x n projector; the degenerate left operand needs two
                 // bound products instead of the four of the general
-                // interval product, with identical results.
+                // interval product, with identical results. The reduction
+                // over the row dimension streams over the input's shards.
                 let projector = solved.sigma_inv.matmul(&u_inv)?;
-                let recomputed = m.matmul_scalar_left(&projector)?.transpose(); // m x r
+                let recomputed = stream_matmul_scalar_left(&projector, input)?.transpose(); // m x r
                 Ok::<_, IvmfError>(recomputed.into_bounds())
             })
         })
@@ -942,6 +1399,36 @@ pub fn run_all_batch(
     for m in matrices {
         cache.clear();
         let mut pipeline = Pipeline::with_cache(m, *config, cache)?;
+        let results = pipeline.run_all()?;
+        cache = pipeline.into_cache();
+        out.push(results);
+    }
+    Ok(out)
+}
+
+/// [`run_all`] over a row-sharded matrix: bitwise identical to the dense
+/// driver on the concatenated rows (every stage either streams with
+/// chunk-realigned arithmetic or materializes the dense matrix), with the
+/// same shared-stage accounting.
+pub fn run_all_sharded(
+    m: &RowShardedIntervalMatrix,
+    config: &IsvdConfig,
+) -> Result<[IsvdResult; 5]> {
+    Pipeline::new_sharded(m, *config)?.run_all()
+}
+
+/// Multi-matrix batch API over row-sharded matrices: the sharded
+/// counterpart of [`run_all_batch`], clearing the shared cache between
+/// matrices so memory stays bounded by one matrix's working set.
+pub fn run_all_batch_sharded(
+    matrices: &[RowShardedIntervalMatrix],
+    config: &IsvdConfig,
+) -> Result<Vec<[IsvdResult; 5]>> {
+    let mut cache = StageCache::new();
+    let mut out = Vec::with_capacity(matrices.len());
+    for m in matrices {
+        cache.clear();
+        let mut pipeline = Pipeline::from_input(PipelineInput::Sharded(m), *config, cache)?;
         let results = pipeline.run_all()?;
         cache = pipeline.into_cache();
         out.push(results);
@@ -1199,5 +1686,184 @@ mod tests {
         assert!(Pipeline::new(&m, IsvdConfig::new(0)).is_err());
         assert!(Pipeline::new(&m, IsvdConfig::new(9)).is_err());
         assert!(run_all(&m, &IsvdConfig::new(0)).is_err());
+    }
+
+    fn assert_results_bitwise(a: &[IsvdResult; 5], b: &[IsvdResult; 5], context: &str) {
+        for ((ra, rb), alg) in a.iter().zip(b.iter()).zip(IsvdAlgorithm::all()) {
+            assert_eq!(ra.factors.u, rb.factors.u, "{context}: {alg} U differs");
+            assert_eq!(ra.factors.v, rb.factors.v, "{context}: {alg} V differs");
+            assert_eq!(
+                ra.factors.sigma, rb.factors.sigma,
+                "{context}: {alg} core differs"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_all_is_bitwise_identical_to_dense_for_every_shard_layout() {
+        let m = random_interval_matrix(40, 17, 11, 1.0);
+        let config = IsvdConfig::new(5);
+        let dense = run_all(&m, &config).unwrap();
+        for shard_rows in [1usize, 3, 4, 17] {
+            let sharded = RowShardedIntervalMatrix::from_dense(&m, shard_rows).unwrap();
+            let results = run_all_sharded(&sharded, &config).unwrap();
+            assert_results_bitwise(&results, &dense, &format!("shard_rows={shard_rows}"));
+        }
+    }
+
+    #[test]
+    fn sharded_and_dense_sessions_share_cache_entries() {
+        // The content id ignores shard layout, so a sharded session over
+        // one cache re-serves the dense session's stage outputs.
+        let m = random_interval_matrix(41, 14, 9, 1.0);
+        let sharded = RowShardedIntervalMatrix::from_dense(&m, 4).unwrap();
+        let mut p = Pipeline::new(&m, IsvdConfig::new(4)).unwrap();
+        p.run(IsvdAlgorithm::Isvd4).unwrap();
+        let cache = p.into_cache();
+        let mut p2 =
+            Pipeline::from_input(PipelineInput::Sharded(&sharded), IsvdConfig::new(4), cache)
+                .unwrap();
+        let r = p2.run(IsvdAlgorithm::Isvd4).unwrap();
+        assert_eq!(r.timings.cache_misses, 0, "sharded session must hit");
+    }
+
+    #[test]
+    fn append_rows_matches_cold_recompute_bitwise_and_reuses_the_gram() {
+        let base = random_interval_matrix(42, 13, 8, 1.0);
+        let extra = random_interval_matrix(43, 4, 8, 1.0);
+        let config = IsvdConfig::new(4);
+
+        // Incremental: run everything, append, run again.
+        let sharded = RowShardedIntervalMatrix::from_dense(&base, 5).unwrap();
+        let mut session = Pipeline::from_shards(sharded, config).unwrap();
+        session.run_all().unwrap();
+        session.append_rows(extra.clone()).unwrap();
+        let incremental = session.run_all().unwrap();
+
+        // Cold: one pipeline over the concatenated matrix.
+        let mut combined = RowShardedIntervalMatrix::from_dense(&base, 5).unwrap();
+        combined.append_rows(extra.clone()).unwrap();
+        let cold = run_all_sharded(&combined, &config).unwrap();
+        assert_results_bitwise(&incremental, &cold, "append vs cold");
+
+        // ...and identical to the dense path over the concatenation.
+        let dense = combined.to_dense();
+        let dense_results = run_all(&dense, &config).unwrap();
+        assert_results_bitwise(&incremental, &dense_results, "append vs dense");
+
+        // Cache accounting: the post-append ISVD2 run must *hit* the
+        // seeded Gram (only downstream stages recompute).
+        let gram_event = incremental[2]
+            .stages
+            .iter()
+            .find(|e| e.stage == StageId::IntervalGram)
+            .unwrap();
+        assert!(
+            gram_event.cache_hit,
+            "appended Gram must be served from the seeded cache entry"
+        );
+    }
+
+    #[test]
+    fn append_rows_works_on_borrowed_dense_sessions() {
+        let base = random_interval_matrix(44, 10, 6, 1.0);
+        let extra = random_interval_matrix(45, 3, 6, 1.0);
+        let config = IsvdConfig::new(3);
+        let mut session = Pipeline::new(&base, config).unwrap();
+        let before = session.run(IsvdAlgorithm::Isvd3).unwrap();
+        session.append_rows(extra.clone()).unwrap();
+        assert_eq!(session.shape(), (13, 6));
+        let after = session.run(IsvdAlgorithm::Isvd3).unwrap();
+
+        // Equal to a cold dense run over the concatenation.
+        let mut combined = RowShardedIntervalMatrix::from_shards(vec![base.clone()]).unwrap();
+        combined.append_rows(extra).unwrap();
+        let cold = run_all_sharded(&combined, &config).unwrap();
+        assert_eq!(after.factors.u, cold[3].factors.u);
+        assert_eq!(after.factors.v, cold[3].factors.v);
+        // The pre-append result was for the smaller matrix; sanity check
+        // the shapes moved.
+        assert_ne!(before.factors.u.shape(), after.factors.u.shape());
+    }
+
+    #[test]
+    fn append_rows_validates_input_and_prunes_old_entries() {
+        let base = random_interval_matrix(46, 9, 5, 1.0);
+        let mut session = Pipeline::from_shards(
+            RowShardedIntervalMatrix::from_dense(&base, 3).unwrap(),
+            IsvdConfig::new(3),
+        )
+        .unwrap();
+        session.run(IsvdAlgorithm::Isvd2).unwrap();
+        let entries_before = session.cache().len();
+        assert!(entries_before > 0);
+        // Wrong width and empty appends are rejected.
+        assert!(session
+            .append_rows(random_interval_matrix(47, 2, 4, 1.0))
+            .is_err());
+        assert!(session.append_rows(IntervalMatrix::zeros(0, 5)).is_err());
+        // A valid append prunes the old id's entries and seeds the Gram:
+        // only the seeded entry remains.
+        session
+            .append_rows(random_interval_matrix(48, 2, 5, 1.0))
+            .unwrap();
+        assert_eq!(
+            session.cache().len(),
+            1,
+            "old-id entries pruned, seeded Gram kept"
+        );
+    }
+
+    /// A deliberately minimal lazy source over pre-cut shards, counting
+    /// passes (what a disk loader would do with files).
+    struct VecSource {
+        shards: Vec<IntervalMatrix>,
+        cursor: usize,
+        rows: usize,
+        cols: usize,
+    }
+
+    impl VecSource {
+        fn new(m: &IntervalMatrix, shard_rows: usize) -> Self {
+            let sharded = RowShardedIntervalMatrix::from_dense(m, shard_rows).unwrap();
+            VecSource {
+                rows: m.rows(),
+                cols: m.cols(),
+                shards: sharded.shards().to_vec(),
+                cursor: 0,
+            }
+        }
+    }
+
+    impl RowShardSource for VecSource {
+        fn rows(&self) -> usize {
+            self.rows
+        }
+        fn cols(&self) -> usize {
+            self.cols
+        }
+        fn reset(&mut self) -> ivmf_interval::Result<()> {
+            self.cursor = 0;
+            Ok(())
+        }
+        fn next_shard(&mut self) -> ivmf_interval::Result<Option<IntervalMatrix>> {
+            let shard = self.shards.get(self.cursor).cloned();
+            self.cursor += 1;
+            Ok(shard)
+        }
+    }
+
+    #[test]
+    fn lazy_shard_source_sessions_match_dense_bitwise() {
+        let m = random_interval_matrix(49, 15, 10, 1.0);
+        let config = IsvdConfig::new(4);
+        let dense = run_all(&m, &config).unwrap();
+        let mut session = Pipeline::new_streaming(Box::new(VecSource::new(&m, 4)), config).unwrap();
+        let streamed = session.run_all().unwrap();
+        assert_results_bitwise(&streamed, &dense, "lazy vs dense");
+        // Appends are rejected on lazy sessions.
+        assert!(session
+            .append_rows(random_interval_matrix(50, 2, 10, 1.0))
+            .is_err());
     }
 }

@@ -25,6 +25,9 @@
 //! * [`ratings`] — MovieLens-like and Ciao/Epinions-like rating data plus
 //!   the interval constructions of supplementary F.2.
 //! * [`split`] — train/test splitting helpers.
+//! * [`stream`] — chunked disk loaders for row-sharded interval matrices
+//!   (write, shard-by-shard reads honouring `IVMF_SHARD_ROWS`, and a
+//!   one-pass out-of-core interval Gram).
 //!
 //! ## Example
 //!
@@ -56,4 +59,5 @@ pub mod anonymize;
 pub mod faces;
 pub mod ratings;
 pub mod split;
+pub mod stream;
 pub mod synthetic;

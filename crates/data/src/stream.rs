@@ -1,0 +1,317 @@
+//! Chunked disk loaders for row-sharded interval matrices.
+//!
+//! The decomposition pipeline's streaming stages consume interval matrices
+//! one row-block shard at a time, so a matrix never has to fit in memory —
+//! it only has to *stream*. This module provides the disk side of that
+//! contract:
+//!
+//! * [`write_interval_matrix`] — writes an interval matrix to a simple
+//!   line-per-row text format (values printed with Rust's shortest
+//!   round-trip `f64` formatting, so loading reproduces every bit),
+//! * [`ShardReader`] — reads such a file back in shards of a configurable
+//!   number of rows (`IVMF_SHARD_ROWS` by default), holding only one shard
+//!   in memory; it implements [`RowShardSource`], so it plugs directly
+//!   into `ivmf_core::Pipeline::new_streaming` for end-to-end out-of-core
+//!   decomposition of the Gram-route algorithms,
+//! * [`load_sharded`] — materializes the whole file as an in-memory
+//!   [`RowShardedIntervalMatrix`],
+//! * [`stream_interval_gram`] — one-pass out-of-core interval Gram:
+//!   `O(shard + m²)` peak memory regardless of the row count, bitwise
+//!   identical to the in-memory streamed Gram (and to the dense fast path
+//!   for matrices within one accumulation chunk).
+//!
+//! ## File format
+//!
+//! ```text
+//! <rows> <cols>
+//! lo(0,0) hi(0,0) lo(0,1) hi(0,1) …   # one line per row, interleaved bounds
+//! …
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ivmf_interval::{
+    configured_shard_rows, IntervalError, IntervalMatrix, RowShardSource, RowShardedIntervalMatrix,
+    StreamingIntervalGram,
+};
+use ivmf_linalg::Matrix;
+
+fn invalid_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Writes an interval matrix to `path` in the module's line-per-row text
+/// format. Values use shortest round-trip formatting, so a subsequent load
+/// is bit-exact.
+pub fn write_interval_matrix(path: impl AsRef<Path>, m: &IntervalMatrix) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let (rows, cols) = m.shape();
+    writeln!(w, "{rows} {cols}")?;
+    for i in 0..rows {
+        let mut line = String::new();
+        for j in 0..cols {
+            if j > 0 {
+                line.push(' ');
+            }
+            let (lo, hi) = m.get_raw(i, j);
+            line.push_str(&format!("{lo:?} {hi:?}"));
+        }
+        writeln!(w, "{line}")?;
+    }
+    w.flush()
+}
+
+/// Reads an interval matrix file shard by shard, holding one shard in
+/// memory at a time. See the [module docs](self) for the format.
+#[derive(Debug)]
+pub struct ShardReader {
+    path: PathBuf,
+    reader: BufReader<File>,
+    data_start: u64,
+    rows: usize,
+    cols: usize,
+    shard_rows: usize,
+    next_row: usize,
+}
+
+impl ShardReader {
+    /// Opens `path`, reading the header; shards will have at most
+    /// `shard_rows` rows (the last one takes the remainder).
+    pub fn open(path: impl AsRef<Path>, shard_rows: usize) -> io::Result<Self> {
+        if shard_rows == 0 {
+            return Err(invalid_data("shard_rows must be at least 1".to_string()));
+        }
+        let path = path.as_ref().to_path_buf();
+        let mut reader = BufReader::new(File::open(&path)?);
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let mut it = header.split_whitespace();
+        let rows: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| invalid_data(format!("{}: malformed header", path.display())))?;
+        let cols: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| invalid_data(format!("{}: malformed header", path.display())))?;
+        let data_start = reader.stream_position()?;
+        Ok(ShardReader {
+            path,
+            reader,
+            data_start,
+            rows,
+            cols,
+            shard_rows,
+            next_row: 0,
+        })
+    }
+
+    /// [`ShardReader::open`] with the configured default shard size
+    /// (`IVMF_SHARD_ROWS`, or
+    /// [`ivmf_interval::DEFAULT_SHARD_ROWS`]).
+    pub fn open_env(path: impl AsRef<Path>) -> io::Result<Self> {
+        ShardReader::open(path, configured_shard_rows())
+    }
+
+    /// Total number of rows in the file.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns per row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Configured maximum rows per shard.
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Rewinds to the first shard.
+    pub fn rewind(&mut self) -> io::Result<()> {
+        self.reader.seek(SeekFrom::Start(self.data_start))?;
+        self.next_row = 0;
+        Ok(())
+    }
+
+    /// Reads the next shard, or `None` after the last row.
+    pub fn read_shard(&mut self) -> io::Result<Option<IntervalMatrix>> {
+        if self.next_row >= self.rows {
+            return Ok(None);
+        }
+        let take = self.shard_rows.min(self.rows - self.next_row);
+        let mut lo = Vec::with_capacity(take * self.cols);
+        let mut hi = Vec::with_capacity(take * self.cols);
+        let mut line = String::new();
+        for r in 0..take {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(invalid_data(format!(
+                    "{}: unexpected end of file at row {}",
+                    self.path.display(),
+                    self.next_row + r
+                )));
+            }
+            let mut values = line.split_whitespace().map(|t| t.parse::<f64>());
+            for c in 0..self.cols {
+                match (values.next(), values.next()) {
+                    (Some(Ok(l)), Some(Ok(h))) => {
+                        lo.push(l);
+                        hi.push(h);
+                    }
+                    _ => {
+                        return Err(invalid_data(format!(
+                            "{}: malformed entry at row {}, column {c}",
+                            self.path.display(),
+                            self.next_row + r
+                        )))
+                    }
+                }
+            }
+        }
+        self.next_row += take;
+        let shard = IntervalMatrix::from_bounds(
+            Matrix::from_vec(take, self.cols, lo).map_err(|e| invalid_data(e.to_string()))?,
+            Matrix::from_vec(take, self.cols, hi).map_err(|e| invalid_data(e.to_string()))?,
+        )
+        .map_err(|e| invalid_data(e.to_string()))?;
+        Ok(Some(shard))
+    }
+}
+
+impl RowShardSource for ShardReader {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn reset(&mut self) -> ivmf_interval::Result<()> {
+        self.rewind()
+            .map_err(|e| IntervalError::Source(e.to_string()))
+    }
+    fn next_shard(&mut self) -> ivmf_interval::Result<Option<IntervalMatrix>> {
+        self.read_shard()
+            .map_err(|e| IntervalError::Source(e.to_string()))
+    }
+}
+
+/// Loads the whole file as an in-memory row-sharded matrix (shards of
+/// `shard_rows` rows).
+pub fn load_sharded(
+    path: impl AsRef<Path>,
+    shard_rows: usize,
+) -> io::Result<RowShardedIntervalMatrix> {
+    let mut reader = ShardReader::open(path, shard_rows)?;
+    let mut shards = Vec::new();
+    while let Some(shard) = reader.read_shard()? {
+        shards.push(shard);
+    }
+    RowShardedIntervalMatrix::from_shards(shards).map_err(|e| invalid_data(e.to_string()))
+}
+
+/// One-pass out-of-core interval Gram `M†ᵀ M†` of the file at `path`: each
+/// shard is loaded, folded into the streaming accumulator and dropped, so
+/// peak memory is one shard plus the `m×m` accumulators — independent of
+/// the row count. Bitwise identical to the in-memory streamed Gram of the
+/// same matrix.
+pub fn stream_interval_gram(
+    path: impl AsRef<Path>,
+    shard_rows: usize,
+) -> io::Result<IntervalMatrix> {
+    let mut reader = ShardReader::open(path, shard_rows)?;
+    let mut acc = StreamingIntervalGram::new(reader.rows(), reader.cols());
+    while let Some(shard) = reader.read_shard()? {
+        acc.push_shard(&shard)
+            .map_err(|e| invalid_data(e.to_string()))?;
+    }
+    acc.finish().map_err(|e| invalid_data(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate_uniform, SyntheticConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ivmf_stream_{}_{tag}.txt", std::process::id()))
+    }
+
+    fn sample_matrix(seed: u64, rows: usize, cols: usize) -> IntervalMatrix {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generate_uniform(
+            &SyntheticConfig::paper_default().with_shape(rows, cols),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn write_then_load_round_trips_bit_exactly() {
+        let m = sample_matrix(1, 19, 7);
+        let path = temp_path("round_trip");
+        write_interval_matrix(&path, &m).unwrap();
+        let loaded = load_sharded(&path, 5).unwrap();
+        assert_eq!(loaded.num_shards(), 4);
+        assert_eq!(loaded.to_dense(), m, "text round-trip must be bit-exact");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_reader_streams_in_order_and_rewinds() {
+        let m = sample_matrix(2, 11, 4);
+        let path = temp_path("reader");
+        write_interval_matrix(&path, &m).unwrap();
+        let mut reader = ShardReader::open(&path, 3).unwrap();
+        assert_eq!((reader.rows(), reader.cols()), (11, 4));
+        assert_eq!(reader.shard_rows(), 3);
+        let mut rows = 0;
+        let mut shards = 0;
+        while let Some(shard) = reader.read_shard().unwrap() {
+            rows += shard.rows();
+            shards += 1;
+        }
+        assert_eq!((rows, shards), (11, 4));
+        // Rewind and stream again through the RowShardSource interface.
+        RowShardSource::reset(&mut reader).unwrap();
+        let first = RowShardSource::next_shard(&mut reader).unwrap().unwrap();
+        assert_eq!(first.rows(), 3);
+        assert_eq!(first.get_raw(0, 0), m.get_raw(0, 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_core_gram_matches_in_memory_streamed_gram_bitwise() {
+        let m = sample_matrix(3, 37, 9);
+        let path = temp_path("gram");
+        write_interval_matrix(&path, &m).unwrap();
+        let expected = m.interval_gram_streamed().unwrap();
+        for shard_rows in [1usize, 5, 37] {
+            let gram = stream_interval_gram(&path, shard_rows).unwrap();
+            assert_eq!(
+                gram, expected,
+                "out-of-core gram (shard_rows={shard_rows}) diverged"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_malformed_inputs() {
+        let path = temp_path("malformed");
+        std::fs::write(&path, "not a header\n").unwrap();
+        assert!(ShardReader::open(&path, 4).is_err());
+        std::fs::write(&path, "2 2\n1.0 2.0 3.0 4.0\n").unwrap();
+        let mut reader = ShardReader::open(&path, 4).unwrap();
+        // Second row is missing: the shard read must fail loudly.
+        assert!(reader.read_shard().is_err());
+        let m = sample_matrix(4, 2, 2);
+        write_interval_matrix(&path, &m).unwrap();
+        assert!(ShardReader::open(&path, 0).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

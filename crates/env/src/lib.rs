@@ -3,23 +3,30 @@
 //! One home for every `IVMF_*` environment variable the workspace honours:
 //! the canonical variable names and the (previously per-crate, ad-hoc)
 //! parsing rules. Every consumer — the worker pool in `ivmf-par`, the
-//! interval-product dispatch in `ivmf-interval`, the experiment binaries and
-//! Criterion-style benches in `ivmf-bench` — goes through these helpers, so
-//! a variable is parsed the same way everywhere and the README's environment
-//! table has a single source of truth to point at.
+//! interval-product dispatch in `ivmf-interval`, the shard loaders in
+//! `ivmf-data`, the experiment binaries and Criterion-style benches in
+//! `ivmf-bench` — goes through these helpers, so a variable is parsed the
+//! same way everywhere and the README's environment table has a single
+//! source of truth to point at.
 //!
 //! | variable | consumed by | meaning |
 //! |---|---|---|
 //! | [`THREADS`] | `ivmf-par` | worker count for parallel kernels (default: available parallelism) |
 //! | [`EXACT_INTERVAL`] | `ivmf-interval` | `1`/`true` pins the exact four-product interval operator at every size |
+//! | [`SHARD_ROWS`] | `ivmf-interval`, `ivmf-data` | default rows per shard for row-sharded matrices and chunked loaders |
 //! | [`REPLICATES`] | `ivmf-bench` | seeded replicates the `exp_*` binaries average over (default 5) |
 //! | [`SCALE`] | `ivmf-bench` | size multiplier in `(0, 1]` for the larger data sets |
 //! | [`BENCH_SMOKE`] | `ivmf-bench` | `1`/`true` runs every bench with a single sample (CI bitrot guard) |
 //! | [`BENCH_OUT`] | `linalg_kernels` bench | output path override for `BENCH_linalg.json` |
 //! | [`BENCH_ISVD_OUT`] | `isvd_pipeline` bench | output path override for `BENCH_isvd.json` |
 //!
-//! Unset or unparsable values always fall back to the documented default —
-//! a typo in an environment variable must never abort an experiment sweep.
+//! **Unset** variables always fall back to the documented default. A
+//! variable that is **set but malformed** (`IVMF_THREADS=abc`,
+//! `IVMF_SCALE=-1`) is a configuration error and aborts with a message
+//! naming the variable, the offending value and the expected format —
+//! silently running a sweep with a typo'd configuration is worse than
+//! stopping. The `try_*` variants return the error as a value for callers
+//! that want to handle it themselves.
 //!
 //! ## Example
 //!
@@ -27,16 +34,20 @@
 //! // Unset variables fall back to the supplied default...
 //! std::env::remove_var("IVMF_DOCTEST_ONLY");
 //! assert_eq!(ivmf_env::usize_var("IVMF_DOCTEST_ONLY", 1, || 5), 5);
-//! // ...and so do out-of-range values.
-//! std::env::set_var("IVMF_DOCTEST_ONLY", "0");
-//! assert_eq!(ivmf_env::usize_var("IVMF_DOCTEST_ONLY", 1, || 5), 5);
+//! // ...well-formed values are honoured...
 //! std::env::set_var("IVMF_DOCTEST_ONLY", "3");
 //! assert_eq!(ivmf_env::usize_var("IVMF_DOCTEST_ONLY", 1, || 5), 3);
+//! // ...and malformed values are rejected with a clear error.
+//! std::env::set_var("IVMF_DOCTEST_ONLY", "abc");
+//! let err = ivmf_env::try_usize_var("IVMF_DOCTEST_ONLY", 1).unwrap_err();
+//! assert!(err.to_string().contains("IVMF_DOCTEST_ONLY"));
 //! std::env::remove_var("IVMF_DOCTEST_ONLY");
 //! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+
+use std::fmt;
 
 /// Worker count for the parallel kernels (`ivmf-par`); positive integer.
 pub const THREADS: &str = "IVMF_THREADS";
@@ -44,6 +55,14 @@ pub const THREADS: &str = "IVMF_THREADS";
 /// When truthy, pins the interval matrix product / Gram to the paper's
 /// exact four-product envelope regardless of size (`ivmf-interval`).
 pub const EXACT_INTERVAL: &str = "IVMF_EXACT_INTERVAL";
+
+/// Default number of rows per shard used when splitting a dense matrix
+/// into a [`row-sharded`](https://docs.rs) representation and by the
+/// chunked disk loaders in `ivmf-data`; positive integer. Shard size never
+/// changes results (the streaming accumulators re-align their arithmetic
+/// to fixed global chunk boundaries) — it only trades peak memory against
+/// per-shard overhead.
+pub const SHARD_ROWS: &str = "IVMF_SHARD_ROWS";
 
 /// Number of seeded replicates the `exp_*` binaries average over.
 pub const REPLICATES: &str = "IVMF_REPLICATES";
@@ -60,41 +79,136 @@ pub const BENCH_OUT: &str = "IVMF_BENCH_OUT";
 /// Output path override for the pipeline bench's `BENCH_isvd.json`.
 pub const BENCH_ISVD_OUT: &str = "IVMF_BENCH_ISVD_OUT";
 
-/// Reads a `usize` variable, accepting only values `>= min`; anything else
-/// (unset, unparsable, below the minimum) yields `default()`.
+/// A set-but-malformed `IVMF_*` environment variable.
+///
+/// Produced by the `try_*` parsing helpers; the panicking helpers format
+/// it into their abort message. The display form names the variable, the
+/// offending value and the expected format, so a typo'd configuration is
+/// diagnosable from the error alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvVarError {
+    /// The variable name (e.g. `IVMF_THREADS`).
+    pub name: String,
+    /// The rejected value, verbatim.
+    pub value: String,
+    /// Human-readable description of what would have been accepted.
+    pub expected: String,
+}
+
+impl fmt::Display for EnvVarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: invalid value {:?} (expected {})",
+            self.name, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvVarError {}
+
+/// Reads a `usize` variable: `Ok(None)` when unset, `Ok(Some(v))` for a
+/// well-formed value `>= min`, and [`EnvVarError`] when the variable is set
+/// but unparsable or below the minimum.
+pub fn try_usize_var(name: &str, min: usize) -> Result<Option<usize>, EnvVarError> {
+    let Ok(raw) = std::env::var(name) else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(v) if v >= min => Ok(Some(v)),
+        _ => Err(EnvVarError {
+            name: name.to_string(),
+            value: raw,
+            expected: format!("an integer >= {min}"),
+        }),
+    }
+}
+
+/// Reads a `usize` variable, accepting only values `>= min`. Unset yields
+/// `default()`; a set-but-malformed value **panics** with a message naming
+/// the variable and the expected format (use [`try_usize_var`] to handle
+/// the error as a value).
 pub fn usize_var(name: &str, min: usize, default: impl FnOnce() -> usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&v| v >= min)
-        .unwrap_or_else(default)
+    match try_usize_var(name, min) {
+        Ok(v) => v.unwrap_or_else(default),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Reads an `f64` variable constrained to the half-open interval
-/// `(lo, hi]`; anything else yields `default`.
-pub fn f64_var_in(name: &str, lo: f64, hi: f64, default: f64) -> f64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.trim().parse::<f64>().ok())
-        .filter(|&v| v > lo && v <= hi)
-        .unwrap_or(default)
+/// `(lo, hi]`: `Ok(None)` when unset, the value when well-formed, an
+/// [`EnvVarError`] when set but unparsable or out of range.
+pub fn try_f64_var_in(name: &str, lo: f64, hi: f64) -> Result<Option<f64>, EnvVarError> {
+    let Ok(raw) = std::env::var(name) else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<f64>() {
+        Ok(v) if v > lo && v <= hi => Ok(Some(v)),
+        _ => Err(EnvVarError {
+            name: name.to_string(),
+            value: raw,
+            expected: format!("a number in ({lo}, {hi}]"),
+        }),
+    }
 }
 
-/// True when the variable is set to `1` or (case-insensitively) `true`,
-/// ignoring surrounding whitespace. Every boolean `IVMF_*` switch uses this
-/// rule.
-pub fn flag(name: &str) -> bool {
-    std::env::var(name)
-        .map(|v| {
-            let v = v.trim();
-            v == "1" || v.eq_ignore_ascii_case("true")
+/// Reads an `f64` variable constrained to the half-open interval
+/// `(lo, hi]`. Unset yields `default`; a set-but-malformed or out-of-range
+/// value **panics** with a clear message (use [`try_f64_var_in`] to handle
+/// the error as a value).
+pub fn f64_var_in(name: &str, lo: f64, hi: f64, default: f64) -> f64 {
+    match try_f64_var_in(name, lo, hi) {
+        Ok(v) => v.unwrap_or(default),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Reads a boolean switch: `Ok(Some(true))` for `1`/`true`,
+/// `Ok(Some(false))` for `0`/`false`/the empty string (all
+/// case-insensitive, surrounding whitespace ignored), `Ok(None)` when
+/// unset, and [`EnvVarError`] for anything else (`yes`, `on`, …).
+pub fn try_flag(name: &str) -> Result<Option<bool>, EnvVarError> {
+    let Ok(raw) = std::env::var(name) else {
+        return Ok(None);
+    };
+    let v = raw.trim();
+    if v == "1" || v.eq_ignore_ascii_case("true") {
+        Ok(Some(true))
+    } else if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false") {
+        Ok(Some(false))
+    } else {
+        Err(EnvVarError {
+            name: name.to_string(),
+            value: raw,
+            expected: "1/true or 0/false".to_string(),
         })
-        .unwrap_or(false)
+    }
+}
+
+/// True when the variable is set to `1` or (case-insensitively) `true`.
+/// Unset, `0`, `false` and the empty string are false; any other value
+/// **panics** with a clear message (use [`try_flag`] to handle the error
+/// as a value). Every boolean `IVMF_*` switch uses this rule.
+pub fn flag(name: &str) -> bool {
+    match try_flag(name) {
+        Ok(v) => v.unwrap_or(false),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Reads a string variable verbatim (`None` when unset or non-UTF-8).
 pub fn string_var(name: &str) -> Option<String> {
     std::env::var(name).ok()
+}
+
+/// The configured default shard size: `IVMF_SHARD_ROWS` when set to a
+/// positive integer, `None` when unset (callers pick their own default),
+/// panicking on a malformed value like every other `IVMF_*` knob.
+pub fn shard_rows() -> Option<usize> {
+    match try_usize_var(SHARD_ROWS, 1) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -105,7 +219,7 @@ mod tests {
     // concurrently and the process environment is shared.
 
     #[test]
-    fn usize_var_parses_filters_and_defaults() {
+    fn usize_var_parses_and_defaults_when_unset() {
         const V: &str = "IVMF_TEST_USIZE";
         std::env::remove_var(V);
         assert_eq!(usize_var(V, 1, || 7), 7);
@@ -113,11 +227,33 @@ mod tests {
         assert_eq!(usize_var(V, 1, || 7), 4);
         std::env::set_var(V, " 12 ");
         assert_eq!(usize_var(V, 1, || 7), 12);
-        std::env::set_var(V, "0");
-        assert_eq!(usize_var(V, 1, || 7), 7);
-        std::env::set_var(V, "junk");
-        assert_eq!(usize_var(V, 1, || 7), 7);
         std::env::remove_var(V);
+    }
+
+    #[test]
+    fn usize_var_rejects_malformed_values_with_named_error() {
+        const V: &str = "IVMF_TEST_USIZE_BAD";
+        for bad in ["abc", "0", "-3", "1.5", ""] {
+            std::env::set_var(V, bad);
+            let err = try_usize_var(V, 1).unwrap_err();
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(msg.contains(V), "error must name the variable: {msg}");
+            assert!(
+                msg.contains("integer >= 1"),
+                "error must state the expected format: {msg}"
+            );
+        }
+        std::env::remove_var(V);
+        assert_eq!(try_usize_var(V, 1), Ok(None));
+    }
+
+    #[test]
+    #[should_panic(expected = "IVMF_TEST_USIZE_PANIC: invalid value \"junk\"")]
+    fn usize_var_panics_on_malformed_value() {
+        const V: &str = "IVMF_TEST_USIZE_PANIC";
+        std::env::set_var(V, "junk");
+        let _ = usize_var(V, 1, || 7);
     }
 
     #[test]
@@ -129,17 +265,24 @@ mod tests {
         assert_eq!(f64_var_in(V, 0.0, 1.0, 0.5), 0.25);
         std::env::set_var(V, "1.0");
         assert_eq!(f64_var_in(V, 0.0, 1.0, 0.5), 1.0); // hi is inclusive
-        std::env::set_var(V, "0.0");
-        assert_eq!(f64_var_in(V, 0.0, 1.0, 0.5), 0.5); // lo is exclusive
-        std::env::set_var(V, "1.5");
-        assert_eq!(f64_var_in(V, 0.0, 1.0, 0.5), 0.5);
-        std::env::set_var(V, "NaN");
-        assert_eq!(f64_var_in(V, 0.0, 1.0, 0.5), 0.5);
+        for bad in ["0.0", "1.5", "NaN", "junk"] {
+            std::env::set_var(V, bad);
+            let err = try_f64_var_in(V, 0.0, 1.0).unwrap_err();
+            assert!(err.to_string().contains("(0, 1]"), "{err}");
+        }
         std::env::remove_var(V);
     }
 
     #[test]
-    fn flag_accepts_one_and_true_only() {
+    #[should_panic(expected = "IVMF_TEST_F64_PANIC: invalid value \"-2\"")]
+    fn f64_var_panics_on_out_of_range_value() {
+        const V: &str = "IVMF_TEST_F64_PANIC";
+        std::env::set_var(V, "-2");
+        let _ = f64_var_in(V, 0.0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn flag_accepts_documented_spellings_only() {
         const V: &str = "IVMF_TEST_FLAG";
         std::env::remove_var(V);
         assert!(!flag(V));
@@ -147,11 +290,24 @@ mod tests {
             std::env::set_var(V, truthy);
             assert!(flag(V), "{truthy:?} should be truthy");
         }
-        for falsy in ["0", "yes", "on", ""] {
+        for falsy in ["0", "false", "FALSE", ""] {
             std::env::set_var(V, falsy);
             assert!(!flag(V), "{falsy:?} should be falsy");
         }
+        for bad in ["yes", "on", "2"] {
+            std::env::set_var(V, bad);
+            let err = try_flag(V).unwrap_err();
+            assert!(err.to_string().contains("1/true or 0/false"), "{err}");
+        }
         std::env::remove_var(V);
+    }
+
+    #[test]
+    #[should_panic(expected = "IVMF_TEST_FLAG_PANIC: invalid value \"maybe\"")]
+    fn flag_panics_on_unrecognised_value() {
+        const V: &str = "IVMF_TEST_FLAG_PANIC";
+        std::env::set_var(V, "maybe");
+        let _ = flag(V);
     }
 
     #[test]
@@ -162,5 +318,15 @@ mod tests {
         std::env::set_var(V, "out.json");
         assert_eq!(string_var(V).as_deref(), Some("out.json"));
         std::env::remove_var(V);
+    }
+
+    #[test]
+    fn shard_rows_reads_the_documented_variable() {
+        // This test owns IVMF_SHARD_ROWS within this binary.
+        std::env::remove_var(SHARD_ROWS);
+        assert_eq!(shard_rows(), None);
+        std::env::set_var(SHARD_ROWS, "7");
+        assert_eq!(shard_rows(), Some(7));
+        std::env::remove_var(SHARD_ROWS);
     }
 }

@@ -23,6 +23,9 @@ pub enum IntervalError {
     },
     /// An error bubbled up from the scalar linear-algebra layer.
     Linalg(ivmf_linalg::LinalgError),
+    /// An error reported by an external row-shard source (e.g. a chunked
+    /// disk loader feeding the streaming Gram accumulators).
+    Source(String),
 }
 
 impl fmt::Display for IntervalError {
@@ -38,6 +41,7 @@ impl fmt::Display for IntervalError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             IntervalError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            IntervalError::Source(msg) => write!(f, "row-shard source error: {msg}"),
         }
     }
 }

@@ -52,13 +52,28 @@ mod error;
 mod matrix;
 mod mr;
 mod scalar;
+mod sharded;
 mod vector;
 
 pub use error::IntervalError;
 pub use matrix::IntervalMatrix;
 pub use mr::{exact_interval_forced, MrMatrix, EXACT_INTERVAL_ENV, MR_MIN_WORK};
 pub use scalar::Interval;
+pub use sharded::{
+    configured_shard_rows, use_mr_gram, BoundBlocks, RowShardSource, RowShardedIntervalMatrix,
+    StreamingIntervalGram, DEFAULT_SHARD_ROWS,
+};
 pub use vector::IntervalVector;
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, IntervalError>;
+
+#[cfg(test)]
+pub(crate) mod test_env {
+    /// Serializes the tests that mutate — or assert behaviour that
+    /// depends on the absence of — the process-wide `IVMF_EXACT_INTERVAL`
+    /// variable. The flag is re-read on every dispatch, so a writer test
+    /// racing a reader test in this binary would flip the other's
+    /// interval-operator flavour mid-assertion.
+    pub static EXACT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}

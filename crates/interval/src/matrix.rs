@@ -401,6 +401,25 @@ impl IntervalMatrix {
     }
 }
 
+impl IntervalMatrix {
+    /// Entry-wise interval envelope of two equally-shaped scalar matrices:
+    /// each entry becomes `[min(p, q), max(p, q)]`. This is the assembly
+    /// step of [`IntervalMatrix::matmul_scalar`] /
+    /// [`IntervalMatrix::matmul_scalar_left`], exposed so the streamed
+    /// counterparts in the decomposition pipeline share the exact same
+    /// (bit-for-bit) combination.
+    pub fn envelope_of(p: Matrix, q: Matrix) -> Result<IntervalMatrix> {
+        if p.shape() != q.shape() {
+            return Err(IntervalError::DimensionMismatch {
+                op: "envelope_of",
+                lhs: p.shape(),
+                rhs: q.shape(),
+            });
+        }
+        Ok(envelope_of_two(p, q))
+    }
+}
+
 /// Entry-wise interval envelope of two equally-shaped scalar matrices.
 fn envelope_of_two(p: Matrix, q: Matrix) -> IntervalMatrix {
     let mut lo = p;

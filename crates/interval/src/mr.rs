@@ -339,6 +339,9 @@ mod tests {
 
     #[test]
     fn exact_env_pins_fast_dispatch_to_oracle() {
+        let _guard = crate::test_env::EXACT_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let mut rng = SmallRng::seed_from_u64(7);
         // 24³ below, 64³ above — build one above-threshold product.
         let a = sign_crossing_interval_matrix(&mut rng, 64, 64);

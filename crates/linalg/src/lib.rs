@@ -51,10 +51,15 @@ pub mod norms;
 pub mod pinv;
 pub mod qr;
 pub mod random;
+pub mod streaming;
 pub mod svd;
 
 pub use error::LinalgError;
 pub use matrix::{Matrix, MATMUL_BLOCKED_MIN_WORK, MATMUL_PAR_MIN_WORK};
+pub use streaming::{
+    gram_streamed, matmul_left_streamed, matmul_streamed, CrossGramAccumulator, GramAccumulator,
+    RowBlocks, RowShardedMatrix, STREAM_CHUNK_ROWS,
+};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

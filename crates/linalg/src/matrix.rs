@@ -348,6 +348,15 @@ impl Matrix {
     /// fixed global order, so the result is bitwise identical for every
     /// thread count.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let work = self.rows * self.cols * rhs.cols;
+        self.matmul_impl(rhs, threads_for(work))
+    }
+
+    /// [`Matrix::matmul`] with an explicit worker count (the kernel is
+    /// bitwise deterministic across thread counts, so this only changes
+    /// scheduling). Used by the streaming layer, which parallelizes across
+    /// chunks and therefore runs each chunk product inline.
+    pub(crate) fn matmul_impl(&self, rhs: &Matrix, threads: usize) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
                 op: "matmul",
@@ -361,13 +370,7 @@ impl Matrix {
             return self.matmul_naive(rhs);
         }
         let mut out = Matrix::zeros(n, m);
-        gemm_into(
-            &Plain(self),
-            &Plain(rhs),
-            &mut out,
-            threads_for(work),
-            false,
-        );
+        gemm_into(&Plain(self), &Plain(rhs), &mut out, threads, false);
         Ok(out)
     }
 
@@ -423,6 +426,15 @@ impl Matrix {
     /// (columns of a row-major matrix are contiguous in the transposed
     /// view's rows), and small products run a k-outer saxpy accumulation.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Result<Matrix> {
+        let work = self.cols * self.rows * rhs.cols;
+        self.matmul_tn_impl(rhs, threads_for(work))
+    }
+
+    /// [`Matrix::matmul_tn`] with an explicit worker count (bitwise
+    /// identical for every count); the streaming cross-product accumulator
+    /// uses it to run chunk products inline while parallelizing across
+    /// chunks.
+    pub(crate) fn matmul_tn_impl(&self, rhs: &Matrix, threads: usize) -> Result<Matrix> {
         if self.rows != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
                 op: "matmul_tn",
@@ -447,13 +459,7 @@ impl Matrix {
                 }
             }
         } else {
-            gemm_into(
-                &Trans(self),
-                &Plain(rhs),
-                &mut out,
-                threads_for(work),
-                false,
-            );
+            gemm_into(&Trans(self), &Plain(rhs), &mut out, threads, false);
         }
         Ok(out)
     }
@@ -502,6 +508,14 @@ impl Matrix {
     /// exactly symmetric by construction.
     pub fn gram(&self) -> Matrix {
         let (n, m) = self.shape();
+        self.gram_impl(threads_for(n * m * m / 2))
+    }
+
+    /// [`Matrix::gram`] with an explicit worker count (bitwise identical
+    /// for every count); the streaming Gram accumulator uses it to run
+    /// chunk SYRKs inline while parallelizing across chunks.
+    pub(crate) fn gram_impl(&self, threads: usize) -> Matrix {
+        let (n, m) = self.shape();
         let mut out = Matrix::zeros(m, m);
         let work = n * m * m / 2;
         if work < MATMUL_BLOCKED_MIN_WORK {
@@ -519,13 +533,7 @@ impl Matrix {
                 }
             }
         } else {
-            gemm_into(
-                &Trans(self),
-                &Plain(self),
-                &mut out,
-                threads_for(work),
-                true,
-            );
+            gemm_into(&Trans(self), &Plain(self), &mut out, threads, true);
         }
         mirror_upper(&mut out);
         out
@@ -606,6 +614,25 @@ impl Matrix {
             out.row_mut(i).copy_from_slice(&self.row(i)[..r]);
         }
         out
+    }
+
+    /// Copies the half-open column range `start..end` into a new matrix
+    /// (the column-block counterpart of [`Matrix::take_cols`], used by the
+    /// streaming left-product accumulator to pair lhs column blocks with
+    /// row chunks of the right operand).
+    pub fn col_range(&self, start: usize, end: usize) -> Result<Matrix> {
+        if start > end || end > self.cols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "column range {start}..{end} out of bounds for {} columns",
+                self.cols
+            )));
+        }
+        let width = end - start;
+        let mut out = Matrix::zeros(self.rows, width);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[start..end]);
+        }
+        Ok(out)
     }
 
     /// Keeps the first `r` rows.

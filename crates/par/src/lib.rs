@@ -49,9 +49,11 @@ use std::num::NonZeroUsize;
 use std::ops::Range;
 
 /// Environment variable overriding the worker count used by
-/// [`configured_threads`]. Unset or unparsable values fall back to the
-/// machine's available parallelism; `IVMF_THREADS=1` forces every parallel
-/// kernel to run inline on the calling thread.
+/// [`configured_threads`]. Unset falls back to the machine's available
+/// parallelism; `IVMF_THREADS=1` forces every parallel kernel to run
+/// inline on the calling thread; a malformed value (`IVMF_THREADS=abc`,
+/// `IVMF_THREADS=0`) aborts with a clear error via the shared
+/// [`ivmf_env`] parsing rules.
 ///
 /// Re-exported from [`ivmf_env`], the shared home of every `IVMF_*`
 /// variable.
@@ -59,7 +61,8 @@ pub const THREADS_ENV: &str = ivmf_env::THREADS;
 
 /// The worker count for parallel kernels: `IVMF_THREADS` when set to a
 /// positive integer, otherwise [`std::thread::available_parallelism`]
-/// (1 when even that is unavailable).
+/// (1 when even that is unavailable). Panics with a named error on a
+/// malformed `IVMF_THREADS` value.
 ///
 /// The value is re-read on every call — it is a handful of nanoseconds
 /// against kernels that run for milliseconds, and it keeps tests free to
@@ -141,6 +144,49 @@ where
         }
         f(last.start, rest);
     });
+}
+
+/// Evaluates `f(i)` for every `i in 0..n` across at most `threads` scoped
+/// worker threads, returning the results **in index order**.
+///
+/// This is the task-level companion to [`par_row_panels`]: where that
+/// splits one output buffer, `par_map` schedules independent jobs (shard
+/// Gram contributions, per-chunk products) whose results the caller folds
+/// in a fixed order afterwards — which is what keeps shard- and
+/// chunk-parallel reductions bitwise deterministic: parallelism changes
+/// *when* each job runs, never the fold order.
+///
+/// With `threads <= 1` or `n <= 1` everything runs inline on the calling
+/// thread.
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let ranges = panel_ranges(n, threads);
+    if ranges.len() <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let f = &f;
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| s.spawn(move || r.map(f).collect::<Vec<T>>()))
+            .collect();
+        chunks = handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect();
+    });
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -231,16 +277,31 @@ mod tests {
     }
 
     #[test]
-    fn configured_threads_respects_env() {
+    fn configured_threads_respects_env_and_rejects_malformed_values() {
         // Serial within this test; other tests in this binary do not read
         // the variable.
         std::env::set_var(THREADS_ENV, "3");
         assert_eq!(configured_threads(), 3);
-        std::env::set_var(THREADS_ENV, "0");
-        assert!(configured_threads() >= 1); // invalid -> fallback
-        std::env::set_var(THREADS_ENV, "not a number");
-        assert!(configured_threads() >= 1);
+        // Malformed values abort with a clear, variable-naming error
+        // instead of silently falling back to a default thread count.
+        for bad in ["0", "not a number"] {
+            std::env::set_var(THREADS_ENV, bad);
+            let panic = std::panic::catch_unwind(configured_threads)
+                .expect_err("malformed IVMF_THREADS must be rejected");
+            let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains(THREADS_ENV), "{bad:?} -> {msg}");
+        }
         std::env::remove_var(THREADS_ENV);
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_index_order_for_every_thread_count() {
+        for threads in [1usize, 2, 3, 8, 64] {
+            let out = par_map(13, threads, |i| i * i);
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(par_map(0, 4, |i| i).is_empty());
+        assert_eq!(par_map(1, 4, |i| i + 41), vec![41]);
     }
 }
