@@ -4,7 +4,11 @@
 //! path (`batched_vs_sequential`), the streamed sharded Gram against the
 //! dense path (`sharded_gram`), and the incremental `Pipeline::append_rows`
 //! refresh against a cold recompute (`append_rows`, whose speedup is the
-//! `append_vs_cold_speedup` field of the JSON), plus the `sym_eigen` kernel
+//! `append_vs_cold_speedup` field of the JSON), the sparse CSR Gram's
+//! linear-in-`n` scaling at ~100 stored entries per row (`sparse_scaling`)
+//! and its win over the dense route at ~1% density
+//! (`sparse_vs_dense_gram`, whose ratio is the
+//! `sparse_vs_dense_gram_speedup` field), plus the `sym_eigen` kernel
 //! that backs every eigen-route decomposition. Results go to
 //! `BENCH_isvd.json` at the repository root (override with
 //! `IVMF_BENCH_ISVD_OUT`).
@@ -26,8 +30,10 @@ use criterion::{BenchmarkId, Criterion};
 use ivmf_core::isvd::isvd;
 use ivmf_core::pipeline::{run_all, Pipeline};
 use ivmf_core::{IsvdAlgorithm, IsvdConfig};
-use ivmf_data::synthetic::{generate_uniform, SyntheticConfig};
-use ivmf_interval::RowShardedIntervalMatrix;
+use ivmf_data::synthetic::{generate_power_law, generate_uniform, PowerLawConfig, SyntheticConfig};
+use ivmf_interval::{
+    CsrShardedIntervalMatrix, RowShardedIntervalMatrix, SparseStreamingIntervalGram,
+};
 use ivmf_linalg::eigen_sym::sym_eigen;
 use ivmf_linalg::random::symmetric_matrix;
 use rand::rngs::SmallRng;
@@ -160,6 +166,74 @@ fn bench_append_rows(c: &mut Criterion) {
     group.finish();
 }
 
+fn sparse_interval_gram(m: &CsrShardedIntervalMatrix) {
+    let mut acc = SparseStreamingIntervalGram::new(m.rows(), m.cols());
+    for shard in m.shards() {
+        acc.push_shard(shard).unwrap();
+    }
+    acc.finish().unwrap();
+}
+
+/// Sparse streamed interval Gram at rating-matrix shapes: row count grows
+/// 4x per step at a fixed ~100 stored entries per row, so the per-row work
+/// is constant and the trajectory shows whether the sparse route scales
+/// linearly in `n` (the property that makes million-user matrices
+/// feasible; the equivalent dense Gram would grow with `n·m²`, independent
+/// of sparsity).
+fn bench_sparse_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_scaling");
+    // Each iteration folds n·(nnz/row)² products; cap the sample count so
+    // the tallest size keeps the full bench run laptop-friendly.
+    group.sample_size(if smoke_mode() { 1 } else { 3 });
+    let (sizes, nnz_per_row): (&[usize], usize) = if smoke_mode() {
+        (&[2_000], 20)
+    } else {
+        (&[10_000, 40_000, 160_000], 100)
+    };
+    let cols = 1024;
+    for &n in sizes {
+        let mut rng = SmallRng::seed_from_u64(6 + n as u64);
+        let csr = generate_power_law(
+            &PowerLawConfig::ratings_like(n, cols).with_nnz_per_row(nnz_per_row),
+            &mut rng,
+        );
+        let sharded = CsrShardedIntervalMatrix::from_csr(&csr, 4096).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sharded, |b, s| {
+            b.iter(|| sparse_interval_gram(s))
+        });
+    }
+    group.finish();
+}
+
+/// Sparse against dense interval Gram on the same ~1%-density matrix
+/// (bitwise-identical outputs). The ratio is the
+/// `sparse_vs_dense_gram_speedup` field of the JSON — the sparse route
+/// folds only the stored entries, so at density `d` the ideal speedup is
+/// `1/d` on the multiply count.
+fn bench_sparse_vs_dense_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_vs_dense_gram");
+    group.sample_size(sample_count());
+    let (n, cols, nnz_per_row) = if smoke_mode() {
+        (512, 256, 2)
+    } else {
+        (2048, 512, 5)
+    };
+    let mut rng = SmallRng::seed_from_u64(7);
+    let csr = generate_power_law(
+        &PowerLawConfig::ratings_like(n, cols).with_nnz_per_row(nnz_per_row),
+        &mut rng,
+    );
+    let dense = csr.to_dense();
+    let sharded = CsrShardedIntervalMatrix::from_csr(&csr, 512).unwrap();
+    group.bench_with_input(BenchmarkId::from_parameter("dense"), &dense, |b, m| {
+        b.iter(|| m.interval_gram_streamed().unwrap())
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("sparse"), &sharded, |b, s| {
+        b.iter(|| sparse_interval_gram(s))
+    });
+    group.finish();
+}
+
 fn bench_sym_eigen(c: &mut Criterion) {
     let mut group = c.benchmark_group("sym_eigen");
     group.sample_size(sample_count());
@@ -197,6 +271,14 @@ fn append_speedup(results: &[(String, Duration)]) -> Option<f64> {
     (incremental > 0.0).then(|| cold / incremental)
 }
 
+/// Median-over-median speedup of the sparse interval Gram against the
+/// dense route on the same ~1%-density matrix.
+fn sparse_gram_speedup(results: &[(String, Duration)]) -> Option<f64> {
+    let dense = median_of(results, "sparse_vs_dense_gram/dense")?;
+    let sparse = median_of(results, "sparse_vs_dense_gram/sparse")?;
+    (sparse > 0.0).then(|| dense / sparse)
+}
+
 fn emit_json(results: &[(String, Duration)], baselines: &[(String, u128)]) -> std::io::Result<()> {
     let out_path = std::env::var("IVMF_BENCH_ISVD_OUT").unwrap_or_else(|_| committed_json_path());
     let baseline_of = |name: &str| {
@@ -231,6 +313,11 @@ fn emit_json(results: &[(String, Duration)], baselines: &[(String, u128)]) -> st
     if let Some(speedup) = append_speedup(results) {
         json.push_str(&format!("  \"append_vs_cold_speedup\": {speedup:.3},\n"));
     }
+    if let Some(speedup) = sparse_gram_speedup(results) {
+        json.push_str(&format!(
+            "  \"sparse_vs_dense_gram_speedup\": {speedup:.3},\n"
+        ));
+    }
     json.push_str(&format!(
         "  \"smoke\": {},\n  \"threads\": {}\n}}\n",
         smoke_mode(),
@@ -256,6 +343,8 @@ fn main() {
     bench_batched_vs_sequential(&mut criterion);
     bench_sharded_gram(&mut criterion);
     bench_append_rows(&mut criterion);
+    bench_sparse_scaling(&mut criterion);
+    bench_sparse_vs_dense_gram(&mut criterion);
     bench_sym_eigen(&mut criterion);
 
     let results = criterion::recorded_measurements();
@@ -274,6 +363,9 @@ fn main() {
     }
     if let Some(speedup) = append_speedup(&results) {
         println!("append_rows: {speedup:.2}x incremental vs cold recompute");
+    }
+    if let Some(speedup) = sparse_gram_speedup(&results) {
+        println!("sparse_vs_dense_gram: {speedup:.2}x sparse vs dense at ~1% density");
     }
     if let Err(e) = emit_json(&results, &baselines) {
         eprintln!("failed to write BENCH_isvd.json: {e}");

@@ -77,8 +77,8 @@ pub mod timing;
 pub use error::IvmfError;
 pub use isvd::{IsvdAlgorithm, IsvdConfig, IsvdResult};
 pub use pipeline::{
-    run_all, run_all_batch, run_all_batch_sharded, run_all_sharded, DecompPlan, Pipeline,
-    StageCache, StageEvent, StageId,
+    run_all, run_all_batch, run_all_batch_sharded, run_all_sharded, run_all_sparse, DecompPlan,
+    Pipeline, StageCache, StageEvent, StageId, DEFAULT_SPARSE_THRESHOLD, DENSE_STAGE_MAX_ENTRIES,
 };
 pub use target::{DecompositionTarget, IntervalSvd, RawFactors};
 

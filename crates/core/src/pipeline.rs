@@ -42,6 +42,22 @@
 //! use a shard-layout-blind content id ([`matrix_id`]), so dense and
 //! sharded sessions share entries.
 //!
+//! Sparse CSR inputs extend the same contract to million-user rating
+//! matrices: a session over a [`CsrShardedIntervalMatrix`]
+//! ([`Pipeline::new_sparse`] / [`Pipeline::from_csr_shards`]) or a lazy
+//! [`CsrShardSource`] ([`Pipeline::new_streaming_csr`]) routes every
+//! Gram-route stage through the sparse streaming kernels of
+//! `ivmf_linalg::sparse`, which fold over stored entries only and are
+//! **bitwise identical** to the dense kernels on the same logical matrix,
+//! so ISVD2–4 run out-of-core on inputs whose dense form could never be
+//! materialized. Dense-only stages (ISVD0's midpoint SVD, ISVD1's bound
+//! SVDs) densify sparse inputs only below [`DENSE_STAGE_MAX_ENTRIES`]
+//! and return a clear error above it — never a silent densification.
+//! Dense in-memory inputs whose density is at or below the
+//! `IVMF_SPARSE_THRESHOLD` cutoff (default [`DEFAULT_SPARSE_THRESHOLD`])
+//! take the sparse Gram path automatically; the swap is pure kernel
+//! selection with bitwise-identical results, so cache ids are unaffected.
+//!
 //! On top of this, [`Pipeline::append_rows`] serves growing workloads:
 //! the session retains its Gram accumulator, folds only the appended
 //! shards' contributions (`O(Δn·m²)` instead of `O(n·m²)`), seeds the
@@ -82,10 +98,14 @@ use std::time::{Duration, Instant};
 
 use ivmf_align::{ilsa, Alignment};
 use ivmf_interval::{
-    use_mr_gram, IntervalMatrix, RowShardSource, RowShardedIntervalMatrix, StreamingIntervalGram,
+    use_mr_gram, CsrIntervalShard, CsrShardSource, CsrShardedIntervalMatrix, IntervalMatrix,
+    RowShardSource, RowShardedIntervalMatrix, SparseStreamingIntervalGram, StreamingIntervalGram,
 };
 use ivmf_linalg::svd::{svd_truncated, Svd};
-use ivmf_linalg::{matmul_left_streamed, matmul_streamed, LinalgError, Matrix, RowBlocks};
+use ivmf_linalg::{
+    matmul_left_streamed, matmul_left_streamed_csr, matmul_streamed, matmul_streamed_csr,
+    CsrRowBlocks, CsrShard, LinalgError, Matrix, RowBlocks,
+};
 
 use crate::isvd::{
     bound_eigen, invert_factor, invert_factor_transpose, scale_left_factor, BoundEigen,
@@ -274,10 +294,20 @@ fn fnv1a_u64(hash: &mut u64, value: u64) {
 /// The shard layout never enters the hash, so a sharded matrix has the
 /// same id as its dense concatenation — deliberate, because every stage
 /// output is bitwise shard-layout-invariant.
+///
+/// Sparse (CSR) sessions hash the stored entries instead — per row the
+/// entry count, then `(column, bound)` pairs in column order — under a
+/// sparse domain tag. The stream is equally shard-layout-blind (rows fold
+/// in row order regardless of how they are cut into shards), but it is a
+/// *representation-level* identity: hashing the implicit zeros of a
+/// million-user matrix would cost `O(nm)` and defeat out-of-core
+/// operation, so a sparse session deliberately never shares cache entries
+/// with a dense session over the same logical matrix.
 #[derive(Debug, Clone)]
 struct ContentHash {
     rows: usize,
     cols: usize,
+    sparse: bool,
     h_lo: u64,
     h_hi: u64,
 }
@@ -287,13 +317,22 @@ impl ContentHash {
         ContentHash {
             rows: 0,
             cols,
+            sparse: false,
             h_lo: FNV_OFFSET,
             h_hi: FNV_OFFSET,
         }
     }
 
+    fn new_sparse(cols: usize) -> Self {
+        ContentHash {
+            sparse: true,
+            ..ContentHash::new(cols)
+        }
+    }
+
     /// Folds the next row block (row order across calls).
     fn push(&mut self, shard: &IntervalMatrix) {
+        debug_assert!(!self.sparse, "dense rows pushed into a sparse stream");
         for &x in shard.lo().as_slice() {
             fnv1a_u64(&mut self.h_lo, x.to_bits());
         }
@@ -303,10 +342,35 @@ impl ContentHash {
         self.rows += shard.rows();
     }
 
+    /// Folds the next CSR row shard (row order across calls): per row the
+    /// stored-entry count into both streams, then each `(column, lo-bits)`
+    /// pair into the lower stream and `(column, hi-bits)` into the upper.
+    /// The per-row count delimiter keeps the stream injective over row
+    /// boundaries (without it, moving an entry across adjacent rows could
+    /// collide).
+    fn push_csr(&mut self, shard: &CsrIntervalShard) {
+        debug_assert!(self.sparse, "CSR rows pushed into a dense stream");
+        for i in 0..shard.rows() {
+            let (cols, lo, hi) = shard.row_entries(i);
+            fnv1a_u64(&mut self.h_lo, cols.len() as u64);
+            fnv1a_u64(&mut self.h_hi, cols.len() as u64);
+            for ((&c, &l), &h) in cols.iter().zip(lo).zip(hi) {
+                fnv1a_u64(&mut self.h_lo, c as u64);
+                fnv1a_u64(&mut self.h_lo, l.to_bits());
+                fnv1a_u64(&mut self.h_hi, c as u64);
+                fnv1a_u64(&mut self.h_hi, h.to_bits());
+            }
+        }
+        self.rows += shard.rows();
+    }
+
     fn id(&self) -> u64 {
         let mut h = FNV_OFFSET;
         fnv1a_u64(&mut h, self.rows as u64);
         fnv1a_u64(&mut h, self.cols as u64);
+        if self.sparse {
+            fnv1a_u64(&mut h, 0xc5a5); // domain separator: CSR content stream
+        }
         fnv1a_u64(&mut h, self.h_lo);
         fnv1a_u64(&mut h, self.h_hi);
         h
@@ -328,6 +392,24 @@ impl ContentHash {
 pub fn matrix_id(m: &IntervalMatrix) -> u64 {
     let mut c = ContentHash::new(m.cols());
     c.push(m);
+    c.id()
+}
+
+/// Content identity of a sparse CSR interval matrix: shard-layout-blind
+/// like [`matrix_id`] (two sparse sessions over different shardings of the
+/// same stored entries share cache entries), but hashed over the CSR
+/// streams — per row the entry count, then `(column, bound)` pairs — under
+/// a sparse domain tag, so it is a *representation-level* identity and
+/// never equals the dense [`matrix_id`] of the same logical matrix.
+/// Deliberate: folding the implicit zeros into the dense hash would cost
+/// `O(nm)` per session, defeating out-of-core sparse inputs; a session
+/// fixes its representation up front, so cross-representation sharing has
+/// nothing to serve. Hashing is `O(nnz)`.
+pub fn sparse_matrix_id(m: &CsrShardedIntervalMatrix) -> u64 {
+    let mut c = ContentHash::new_sparse(m.cols());
+    for shard in m.shards() {
+        c.push_csr(shard);
+    }
     c.id()
 }
 
@@ -569,24 +651,48 @@ struct AlignedSolveOut {
 // ---------------------------------------------------------------------------
 
 /// The matrix behind a [`Pipeline`] session: a borrowed dense matrix, a
-/// borrowed or owned set of row-block shards, or a lazy shard source that
-/// materializes one shard at a time (out-of-core inputs).
+/// borrowed or owned set of row-block shards (dense or sparse CSR), or a
+/// lazy shard source that materializes one shard at a time (out-of-core
+/// inputs, again dense or sparse).
 enum PipelineInput<'m> {
     Dense(&'m IntervalMatrix),
     Sharded(&'m RowShardedIntervalMatrix),
     Owned(RowShardedIntervalMatrix),
     Lazy(RefCell<Box<dyn RowShardSource + 'm>>),
+    SparseSharded(&'m CsrShardedIntervalMatrix),
+    SparseOwned(CsrShardedIntervalMatrix),
+    SparseLazy(RefCell<Box<dyn CsrShardSource + 'm>>),
 }
 
 impl PipelineInput<'_> {
     /// The in-memory sharded matrix behind the `Sharded`/`Owned` variants
-    /// (which differ only in ownership), `None` for dense/lazy inputs.
+    /// (which differ only in ownership), `None` for every other input.
     fn as_sharded(&self) -> Option<&RowShardedIntervalMatrix> {
         match self {
             PipelineInput::Sharded(s) => Some(s),
             PipelineInput::Owned(s) => Some(s),
             _ => None,
         }
+    }
+
+    /// The in-memory CSR matrix behind the `SparseSharded`/`SparseOwned`
+    /// variants, `None` for every other input.
+    fn as_csr_sharded(&self) -> Option<&CsrShardedIntervalMatrix> {
+        match self {
+            PipelineInput::SparseSharded(s) => Some(s),
+            PipelineInput::SparseOwned(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True for the CSR-backed variants.
+    fn is_sparse(&self) -> bool {
+        matches!(
+            self,
+            PipelineInput::SparseSharded(_)
+                | PipelineInput::SparseOwned(_)
+                | PipelineInput::SparseLazy(_)
+        )
     }
 }
 
@@ -597,12 +703,23 @@ impl std::fmt::Debug for PipelineInput<'_> {
             PipelineInput::Sharded(_) => "Sharded",
             PipelineInput::Owned(_) => "Owned",
             PipelineInput::Lazy(_) => "Lazy",
+            PipelineInput::SparseSharded(_) => "SparseSharded",
+            PipelineInput::SparseOwned(_) => "SparseOwned",
+            PipelineInput::SparseLazy(_) => "SparseLazy",
         };
         let (rows, cols) = input_shape(self);
-        match self.as_sharded() {
-            Some(s) => write!(f, "{kind}({rows}x{cols}, {} shards)", s.num_shards()),
-            None => write!(f, "{kind}({rows}x{cols})"),
+        if let Some(s) = self.as_sharded() {
+            return write!(f, "{kind}({rows}x{cols}, {} shards)", s.num_shards());
         }
+        if let Some(s) = self.as_csr_sharded() {
+            return write!(
+                f,
+                "{kind}({rows}x{cols}, {} shards, {} nnz)",
+                s.num_shards(),
+                s.nnz()
+            );
+        }
+        write!(f, "{kind}({rows}x{cols})")
     }
 }
 
@@ -610,9 +727,16 @@ fn input_shape(input: &PipelineInput<'_>) -> (usize, usize) {
     if let Some(s) = input.as_sharded() {
         return s.shape();
     }
+    if let Some(s) = input.as_csr_sharded() {
+        return s.shape();
+    }
     match input {
         PipelineInput::Dense(m) => m.shape(),
         PipelineInput::Lazy(src) => {
+            let src = src.borrow();
+            (src.rows(), src.cols())
+        }
+        PipelineInput::SparseLazy(src) => {
             let src = src.borrow();
             (src.rows(), src.cols())
         }
@@ -642,14 +766,96 @@ fn input_for_each_shard(
             }
             Ok(())
         }
+        // Sparse inputs densify one shard at a time — only reachable
+        // through the guarded dense-only paths (`input_mid`/`input_dense`
+        // call `ensure_densifiable` first); the Gram-route stages dispatch
+        // to `input_for_each_csr_shard` instead and never land here.
+        PipelineInput::SparseSharded(_)
+        | PipelineInput::SparseOwned(_)
+        | PipelineInput::SparseLazy(_) => {
+            input_for_each_csr_shard(input, &mut |shard| f(&shard.to_dense()))
+        }
         _ => unreachable!("sharded variants handled above"),
     }
 }
 
+/// One pass over a sparse input's CSR row shards, in row order (a lazy
+/// source is rewound first). Panics on dense inputs — callers dispatch on
+/// [`PipelineInput::is_sparse`] first.
+fn input_for_each_csr_shard(
+    input: &PipelineInput<'_>,
+    f: &mut dyn FnMut(&CsrIntervalShard) -> Result<()>,
+) -> Result<()> {
+    if let Some(s) = input.as_csr_sharded() {
+        for shard in s.shards() {
+            f(shard)?;
+        }
+        return Ok(());
+    }
+    match input {
+        PipelineInput::SparseLazy(src) => {
+            let mut src = src.borrow_mut();
+            src.reset().map_err(IvmfError::from)?;
+            while let Some(shard) = src.next_shard().map_err(IvmfError::from)? {
+                f(&shard)?;
+            }
+            Ok(())
+        }
+        _ => unreachable!("dense inputs never reach the CSR shard walk"),
+    }
+}
+
+/// Ceiling on the dense entry count (`rows × cols`) a dense-only stage may
+/// materialize from a *sparse* session: 2²² entries ≈ 32 MiB per bound
+/// matrix. ISVD0's midpoint SVD and ISVD1's bound SVDs inherently need the
+/// dense matrix; below the ceiling a sparse input densifies (memoized per
+/// session), above it the stage fails with a clear error instead of
+/// silently materializing gigabytes. The Gram-route stages of ISVD2–4 are
+/// unaffected — they stream the CSR shards at any scale.
+pub const DENSE_STAGE_MAX_ENTRIES: usize = 1 << 22;
+
+/// Guard for the dense-only paths: errors when a sparse input is too
+/// large to densify (see [`DENSE_STAGE_MAX_ENTRIES`]). Dense inputs pass
+/// unconditionally — they are already materialized.
+fn ensure_densifiable(input: &PipelineInput<'_>) -> Result<()> {
+    if !input.is_sparse() {
+        return Ok(());
+    }
+    let (rows, cols) = input_shape(input);
+    let entries = rows.saturating_mul(cols);
+    if entries > DENSE_STAGE_MAX_ENTRIES {
+        return Err(IvmfError::InvalidInput(format!(
+            "dense-only stage on a sparse {rows}x{cols} input would materialize {entries} \
+             entries (limit {DENSE_STAGE_MAX_ENTRIES}); use ISVD2-4, which stream sparse \
+             inputs without densification"
+        )));
+    }
+    Ok(())
+}
+
 /// The midpoint matrix, assembled shard by shard (entry-wise, so bitwise
-/// identical to the dense `mid()` for every input kind).
+/// identical to the dense `mid()` for every input kind: a sparse shard's
+/// stored midpoints use the same `0.5 * (lo + hi)` formula, and implicit
+/// `[0, 0]` entries yield the `+0.0` the dense formula produces).
 fn input_mid(input: &PipelineInput<'_>) -> Result<Matrix> {
     let (rows, cols) = input_shape(input);
+    ensure_densifiable(input)?;
+    if input.is_sparse() {
+        let mut data = vec![0.0; rows * cols];
+        let mut base = 0usize;
+        input_for_each_csr_shard(input, &mut |shard| {
+            let mid = shard.mid_shard();
+            for i in 0..mid.rows() {
+                let (cs, vs) = mid.row_entries(i);
+                for (&c, &v) in cs.iter().zip(vs) {
+                    data[(base + i) * cols + c] = v;
+                }
+            }
+            base += shard.rows();
+            Ok(())
+        })?;
+        return Matrix::from_vec(rows, cols, data).map_err(IvmfError::from);
+    }
     let mut data = Vec::with_capacity(rows * cols);
     input_for_each_shard(input, &mut |shard| {
         data.extend_from_slice(shard.mid().as_slice());
@@ -661,7 +867,9 @@ fn input_mid(input: &PipelineInput<'_>) -> Result<Matrix> {
 /// The dense interval matrix, materializing (and memoizing) it for
 /// sharded and lazy inputs. Only the stages that genuinely need the whole
 /// matrix at once — the bound SVDs of ISVD1 and ISVD0's midpoint SVD —
-/// go through this; the Gram-route stages stream.
+/// go through this; the Gram-route stages stream. Sparse inputs densify
+/// only below [`DENSE_STAGE_MAX_ENTRIES`] and error with a pointer to
+/// ISVD2–4 above it.
 fn input_dense<'a>(
     input: &'a PipelineInput<'_>,
     cell: &'a OnceCell<IntervalMatrix>,
@@ -669,6 +877,7 @@ fn input_dense<'a>(
     if let PipelineInput::Dense(m) = input {
         return Ok(m);
     }
+    ensure_densifiable(input)?;
     if cell.get().is_none() {
         let (rows, cols) = input_shape(input);
         let mut lo = Vec::with_capacity(rows * cols);
@@ -718,8 +927,46 @@ impl RowBlocks for BoundStream<'_, '_> {
     }
 }
 
-/// Row-streamed product `bound(M) · rhs` over the input's shards.
+/// One bound (`lo` or `hi`) of a *sparse* input as a CSR row-block stream
+/// for the sparse streaming kernels: the CSR counterpart of
+/// [`BoundStream`], yielding each shard's bound pattern without ever
+/// densifying.
+struct SparseBoundStream<'a, 'm> {
+    input: &'a PipelineInput<'m>,
+    hi: bool,
+}
+
+impl CsrRowBlocks for SparseBoundStream<'_, '_> {
+    fn rows(&self) -> usize {
+        input_shape(self.input).0
+    }
+    fn cols(&self) -> usize {
+        input_shape(self.input).1
+    }
+    fn for_each_csr_block(
+        &self,
+        f: &mut dyn FnMut(&CsrShard) -> ivmf_linalg::Result<()>,
+    ) -> ivmf_linalg::Result<()> {
+        let hi = self.hi;
+        let mut adapted = |shard: &CsrIntervalShard| -> Result<()> {
+            if hi {
+                f(&shard.hi_shard()).map_err(IvmfError::from)
+            } else {
+                f(shard.lo_shard()).map_err(IvmfError::from)
+            }
+        };
+        input_for_each_csr_shard(self.input, &mut adapted)
+            .map_err(|e| LinalgError::InvalidArgument(format!("row-shard stream: {e}")))
+    }
+}
+
+/// Row-streamed product `bound(M) · rhs` over the input's shards. Sparse
+/// inputs route through the CSR streaming kernel — bitwise identical to
+/// the dense kernel on the same logical matrix (see `ivmf_linalg::sparse`).
 fn stream_bound_matmul(input: &PipelineInput<'_>, hi: bool, rhs: &Matrix) -> Result<Matrix> {
+    if input.is_sparse() {
+        return matmul_streamed_csr(&SparseBoundStream { input, hi }, rhs).map_err(IvmfError::from);
+    }
     matmul_streamed(&BoundStream { input, hi }, rhs).map_err(IvmfError::from)
 }
 
@@ -737,9 +984,123 @@ fn stream_matmul_scalar(input: &PipelineInput<'_>, rhs: &Matrix) -> Result<Inter
 /// counterpart of [`IntervalMatrix::matmul_scalar_left`], bitwise
 /// identical for every shard layout.
 fn stream_matmul_scalar_left(lhs: &Matrix, input: &PipelineInput<'_>) -> Result<IntervalMatrix> {
-    let p = matmul_left_streamed(lhs, &BoundStream { input, hi: false })?;
-    let q = matmul_left_streamed(lhs, &BoundStream { input, hi: true })?;
+    let (p, q) = if input.is_sparse() {
+        (
+            matmul_left_streamed_csr(lhs, &SparseBoundStream { input, hi: false })?,
+            matmul_left_streamed_csr(lhs, &SparseBoundStream { input, hi: true })?,
+        )
+    } else {
+        (
+            matmul_left_streamed(lhs, &BoundStream { input, hi: false })?,
+            matmul_left_streamed(lhs, &BoundStream { input, hi: true })?,
+        )
+    };
     IntervalMatrix::envelope_of(p, q).map_err(IvmfError::from)
+}
+
+/// Default density cutoff for auto-selecting the sparse Gram path on
+/// dense in-memory inputs when `IVMF_SPARSE_THRESHOLD` is unset: at or
+/// below 10% stored entries the CSR fold's `O(nnz·m)` beats the dense
+/// fold's `O(n·m²)` comfortably, and the swap is invisible — results are
+/// bitwise identical by the zero-operand argument in
+/// `ivmf_linalg::sparse`.
+pub const DEFAULT_SPARSE_THRESHOLD: f64 = 0.1;
+
+/// Fraction of entries of a dense in-memory input that are stored (an
+/// entry counts when either bound is nonzero — the same predicate
+/// `CsrIntervalShard::from_dense` uses). One `O(nm)` comparison pass,
+/// negligible against the `O(nm²)` Gram it steers.
+fn input_density_scan(input: &PipelineInput<'_>) -> Result<f64> {
+    let (rows, cols) = input_shape(input);
+    let total = rows.saturating_mul(cols);
+    if total == 0 {
+        return Ok(0.0);
+    }
+    let mut nnz = 0usize;
+    input_for_each_shard(input, &mut |shard| {
+        let lo = shard.lo().as_slice();
+        let hi = shard.hi().as_slice();
+        nnz += lo
+            .iter()
+            .zip(hi)
+            .filter(|&(&l, &h)| l != 0.0 || h != 0.0)
+            .count();
+        Ok(())
+    })?;
+    Ok(nnz as f64 / total as f64)
+}
+
+/// Whether the session's Gram fold should run through the sparse CSR
+/// kernels: always for sparse inputs; for dense *in-memory* inputs when
+/// the scanned density is at or below the `IVMF_SPARSE_THRESHOLD` cutoff
+/// (default [`DEFAULT_SPARSE_THRESHOLD`]). Lazy dense sources never
+/// auto-convert — the density scan would cost an extra pass over the
+/// source. The choice is pure kernel selection: results are bitwise
+/// identical either way, which is why it can key off a live environment
+/// read without entering the cache fingerprint.
+fn use_sparse_gram(input: &PipelineInput<'_>) -> Result<bool> {
+    if input.is_sparse() {
+        return Ok(true);
+    }
+    if matches!(input, PipelineInput::Lazy(_)) {
+        return Ok(false);
+    }
+    let threshold = ivmf_env::sparse_threshold().unwrap_or(DEFAULT_SPARSE_THRESHOLD);
+    Ok(input_density_scan(input)? <= threshold)
+}
+
+/// The session's streaming interval-Gram accumulator: the dense
+/// chunk-realigned fold or its sparse CSR counterpart. The two produce
+/// bitwise-identical Grams for the same logical matrix (the sparse kernels
+/// skip only terms the dense fold's zero-operand arithmetic contributes
+/// nothing to), so which one a session holds is pure kernel selection.
+/// Cross-representation pushes convert the incoming shard: a sparse
+/// accumulator CSR-compresses appended dense rows, a dense accumulator
+/// densifies appended CSR rows — both conversions preserve the fold
+/// bit for bit.
+#[derive(Debug, Clone)]
+enum GramAccum {
+    Dense(StreamingIntervalGram),
+    Sparse(SparseStreamingIntervalGram),
+}
+
+impl GramAccum {
+    fn is_mid_rad(&self) -> bool {
+        match self {
+            GramAccum::Dense(acc) => acc.is_mid_rad(),
+            GramAccum::Sparse(acc) => acc.is_mid_rad(),
+        }
+    }
+
+    fn rows_seen(&self) -> usize {
+        match self {
+            GramAccum::Dense(acc) => acc.rows_seen(),
+            GramAccum::Sparse(acc) => acc.rows_seen(),
+        }
+    }
+
+    fn push_dense(&mut self, shard: &IntervalMatrix) -> Result<()> {
+        match self {
+            GramAccum::Dense(acc) => acc.push_shard(shard).map_err(IvmfError::from),
+            GramAccum::Sparse(acc) => acc
+                .push_shard(&CsrIntervalShard::from_dense(shard))
+                .map_err(IvmfError::from),
+        }
+    }
+
+    fn push_csr(&mut self, shard: &CsrIntervalShard) -> Result<()> {
+        match self {
+            GramAccum::Dense(acc) => acc.push_shard(&shard.to_dense()).map_err(IvmfError::from),
+            GramAccum::Sparse(acc) => acc.push_shard(shard).map_err(IvmfError::from),
+        }
+    }
+
+    fn finish(&self) -> Result<IntervalMatrix> {
+        match self {
+            GramAccum::Dense(acc) => acc.finish().map_err(IvmfError::from),
+            GramAccum::Sparse(acc) => acc.finish().map_err(IvmfError::from),
+        }
+    }
 }
 
 /// The retained interval-Gram accumulator of a session: lets
@@ -748,7 +1109,7 @@ fn stream_matmul_scalar_left(lhs: &Matrix, input: &PipelineInput<'_>) -> Result<
 struct GramState {
     /// The matrix id the accumulator's content corresponds to.
     matrix: u64,
-    acc: StreamingIntervalGram,
+    acc: GramAccum,
 }
 
 /// A decomposition session over one interval matrix: executes
@@ -829,14 +1190,63 @@ impl<'m> Pipeline<'m> {
         )
     }
 
+    /// Creates a session over a borrowed sparse CSR row-sharded matrix.
+    /// Every Gram-route stage (ISVD2–4) streams the CSR shards through the
+    /// sparse kernels of `ivmf_linalg::sparse` — **bitwise identical** to a
+    /// dense session over [`CsrShardedIntervalMatrix::to_dense`], at
+    /// `O(nnz)` instead of `O(nm)` per streamed row pass. The dense-only
+    /// stages (ISVD0/ISVD1) densify only below
+    /// [`DENSE_STAGE_MAX_ENTRIES`] and error with a pointer to ISVD2–4
+    /// above it.
+    pub fn new_sparse(m: &'m CsrShardedIntervalMatrix, config: IsvdConfig) -> Result<Self> {
+        Pipeline::from_input(PipelineInput::SparseSharded(m), config, StageCache::new())
+    }
+
+    /// Creates a session that owns its sparse CSR row-sharded matrix — the
+    /// sparse form that accepts [`Pipeline::append_rows_csr`] (and
+    /// [`Pipeline::append_rows`], which CSR-compresses the dense rows)
+    /// without copying the existing shards.
+    pub fn from_csr_shards(m: CsrShardedIntervalMatrix, config: IsvdConfig) -> Result<Self> {
+        Pipeline::from_input(PipelineInput::SparseOwned(m), config, StageCache::new())
+    }
+
+    /// Creates a session over a lazy CSR shard source (e.g. a sparse disk
+    /// loader from `ivmf-data`): the sparse counterpart of
+    /// [`Pipeline::new_streaming`]. ISVD2–4 stream the CSR shards one at a
+    /// time — the resident footprint is one shard plus the `m×m` Gram
+    /// accumulator — so million-row sparse matrices decompose end to end
+    /// out-of-core. Construction makes one streaming pass to fingerprint
+    /// the content.
+    pub fn new_streaming_csr(
+        source: Box<dyn CsrShardSource + 'm>,
+        config: IsvdConfig,
+    ) -> Result<Self> {
+        Pipeline::from_input(
+            PipelineInput::SparseLazy(RefCell::new(source)),
+            config,
+            StageCache::new(),
+        )
+    }
+
     fn from_input(input: PipelineInput<'m>, config: IsvdConfig, cache: StageCache) -> Result<Self> {
         let (_, cols) = input_shape(&input);
         config.validate(input_shape(&input))?;
-        let mut content = ContentHash::new(cols);
-        input_for_each_shard(&input, &mut |shard| {
-            content.push(shard);
-            Ok(())
-        })?;
+        let mut content = if input.is_sparse() {
+            ContentHash::new_sparse(cols)
+        } else {
+            ContentHash::new(cols)
+        };
+        if input.is_sparse() {
+            input_for_each_csr_shard(&input, &mut |shard| {
+                content.push_csr(shard);
+                Ok(())
+            })?;
+        } else {
+            input_for_each_shard(&input, &mut |shard| {
+                content.push(shard);
+                Ok(())
+            })?;
+        }
         let matrix = content.id();
         Ok(Pipeline {
             input,
@@ -896,8 +1306,14 @@ impl<'m> Pipeline<'m> {
     ///
     /// Borrowed dense/sharded inputs are converted to an owned sharded
     /// copy on first append; lazy shard-source sessions reject appends
-    /// (the source owns the data).
+    /// (the source owns the data). On a sparse session the rows are
+    /// CSR-compressed and the append delegates to
+    /// [`Pipeline::append_rows_csr`] — same incremental refresh, same
+    /// bitwise guarantee.
     pub fn append_rows(&mut self, rows: IntervalMatrix) -> Result<()> {
+        if self.input.is_sparse() {
+            return self.append_rows_csr(CsrIntervalShard::from_dense(&rows));
+        }
         let (_, cols) = input_shape(&self.input);
         if rows.rows() == 0 {
             return Err(IvmfError::InvalidInput(
@@ -924,6 +1340,11 @@ impl<'m> Pipeline<'m> {
                         .to_string(),
                 ))
             }
+            PipelineInput::SparseSharded(_)
+            | PipelineInput::SparseOwned(_)
+            | PipelineInput::SparseLazy(_) => {
+                unreachable!("sparse sessions delegate to append_rows_csr above")
+            }
         };
         if let Some(owned) = replacement {
             self.input = PipelineInput::Owned(owned);
@@ -941,7 +1362,7 @@ impl<'m> Pipeline<'m> {
                 if state.matrix == old_id
                     && state.acc.is_mid_rad() == use_mr_gram(new_rows_total, cols) =>
             {
-                state.acc.push_shard(&rows)?;
+                state.acc.push_dense(&rows)?;
                 state.matrix = new_id;
                 let gram = state.acc.finish()?;
                 let key = StageKey {
@@ -960,6 +1381,91 @@ impl<'m> Pipeline<'m> {
         match &mut self.input {
             PipelineInput::Owned(s) => s.append_rows(rows)?,
             _ => unreachable!("input was converted to Owned above"),
+        }
+        self.matrix = new_id;
+        self.dense = OnceCell::new();
+        self.cache.prune_matrix(old_id);
+        Ok(())
+    }
+
+    /// The CSR counterpart of [`Pipeline::append_rows`]: appends a sparse
+    /// row shard to a *sparse* session with the same incremental Gram
+    /// refresh (`O(Δnnz·m)` fold into the retained accumulator, refreshed
+    /// Gram seeded under the extended matrix's id, downstream stages
+    /// invalidated exactly). Results are bitwise identical to a cold
+    /// recompute over the extended matrix.
+    ///
+    /// A borrowed sparse input is converted to an owned copy on first
+    /// append; lazy CSR shard-source sessions reject appends; dense
+    /// sessions reject CSR appends (use [`Pipeline::append_rows`], which
+    /// keeps the session's dense content hash consistent).
+    pub fn append_rows_csr(&mut self, rows: CsrIntervalShard) -> Result<()> {
+        let (_, cols) = input_shape(&self.input);
+        if rows.rows() == 0 {
+            return Err(IvmfError::InvalidInput(
+                "append_rows needs at least one row".to_string(),
+            ));
+        }
+        if rows.cols() != cols {
+            return Err(IvmfError::InvalidInput(format!(
+                "appended rows have {} columns, the matrix has {cols}",
+                rows.cols()
+            )));
+        }
+        // Convert a borrowed sparse input into an owned sharded matrix.
+        let replacement = match &self.input {
+            PipelineInput::SparseOwned(_) => None,
+            PipelineInput::SparseSharded(s) => Some((*s).clone()),
+            PipelineInput::SparseLazy(_) => {
+                return Err(IvmfError::InvalidInput(
+                    "append_rows is not supported on a lazy shard-source session; \
+                     collect the shards into a CsrShardedIntervalMatrix first"
+                        .to_string(),
+                ))
+            }
+            PipelineInput::Dense(_)
+            | PipelineInput::Sharded(_)
+            | PipelineInput::Owned(_)
+            | PipelineInput::Lazy(_) => {
+                return Err(IvmfError::InvalidInput(
+                    "append_rows_csr requires a sparse session; dense sessions append \
+                     dense rows via append_rows"
+                        .to_string(),
+                ))
+            }
+        };
+        if let Some(owned) = replacement {
+            self.input = PipelineInput::SparseOwned(owned);
+        }
+
+        let old_id = self.matrix;
+        self.content.push_csr(&rows);
+        let new_id = self.content.id();
+        let new_rows_total = self.content.rows;
+
+        // Incremental Gram refresh, exactly as in the dense append.
+        match self.gram_state.take() {
+            Some(mut state)
+                if state.matrix == old_id
+                    && state.acc.is_mid_rad() == use_mr_gram(new_rows_total, cols) =>
+            {
+                state.acc.push_csr(&rows)?;
+                state.matrix = new_id;
+                let gram = state.acc.finish()?;
+                let key = StageKey {
+                    matrix: new_id,
+                    fingerprint: stage_fingerprint(StageId::IntervalGram, &self.config),
+                    stage: StageId::IntervalGram,
+                };
+                self.cache.seed(key, Rc::new(gram));
+                self.gram_state = Some(state);
+            }
+            _ => self.gram_state = None,
+        }
+
+        match &mut self.input {
+            PipelineInput::SparseOwned(s) => s.append_rows(rows)?,
+            _ => unreachable!("input was converted to SparseOwned above"),
         }
         self.matrix = new_id;
         self.dense = OnceCell::new();
@@ -1234,10 +1740,20 @@ impl<'m> Pipeline<'m> {
         self.cache.get_or_compute(key, run, |t| {
             timed(&mut t.preprocessing, || {
                 let (rows, cols) = input_shape(input);
-                let mut acc = StreamingIntervalGram::new(rows, cols);
-                input_for_each_shard(input, &mut |shard| {
-                    acc.push_shard(shard).map_err(IvmfError::from)
-                })?;
+                // Sparse inputs always fold through the CSR accumulator;
+                // dense in-memory inputs switch to it below the
+                // `IVMF_SPARSE_THRESHOLD` density cutoff. Both paths are
+                // bitwise identical, so the choice never enters the key.
+                let mut acc = if use_sparse_gram(input)? {
+                    GramAccum::Sparse(SparseStreamingIntervalGram::new(rows, cols))
+                } else {
+                    GramAccum::Dense(StreamingIntervalGram::new(rows, cols))
+                };
+                if input.is_sparse() {
+                    input_for_each_csr_shard(input, &mut |shard| acc.push_csr(shard))?;
+                } else {
+                    input_for_each_shard(input, &mut |shard| acc.push_dense(shard))?;
+                }
                 if acc.rows_seen() != rows {
                     // An under-delivering lazy source would otherwise
                     // yield a silently partial Gram.
@@ -1246,7 +1762,7 @@ impl<'m> Pipeline<'m> {
                         acc.rows_seen()
                     )));
                 }
-                let gram = acc.finish().map_err(IvmfError::from)?;
+                let gram = acc.finish()?;
                 *gram_state = Some(GramState { matrix, acc });
                 Ok::<_, IvmfError>(gram)
             })
@@ -1434,6 +1950,19 @@ pub fn run_all_batch_sharded(
         out.push(results);
     }
     Ok(out)
+}
+
+/// [`run_all`] over a sparse CSR row-sharded matrix: the Gram-route stages
+/// of ISVD2–4 stream the stored entries and are bitwise identical to the
+/// dense driver over [`CsrShardedIntervalMatrix::to_dense`]; ISVD0/ISVD1
+/// densify the input (this driver runs all five algorithms, so the matrix
+/// must be below [`DENSE_STAGE_MAX_ENTRIES`] — for larger inputs run
+/// ISVD2–4 individually through [`Pipeline::new_sparse`]).
+pub fn run_all_sparse(
+    m: &CsrShardedIntervalMatrix,
+    config: &IsvdConfig,
+) -> Result<[IsvdResult; 5]> {
+    Pipeline::new_sparse(m, *config)?.run_all()
 }
 
 /// Single-algorithm entry used by the [`crate::isvd::isvd`] dispatcher and
@@ -1864,6 +2393,206 @@ mod tests {
         // Appends are rejected on lazy sessions.
         assert!(session
             .append_rows(random_interval_matrix(50, 2, 10, 1.0))
+            .is_err());
+    }
+
+    /// A random interval matrix with only every `keep_every`-th entry
+    /// stored (both bounds zeroed elsewhere, so the CSR conversion is
+    /// lossless and the density is `1/keep_every`).
+    fn sparse_test_matrix(
+        seed: u64,
+        rows: usize,
+        cols: usize,
+        keep_every: usize,
+    ) -> IntervalMatrix {
+        let dense = random_interval_matrix(seed, rows, cols, 1.0);
+        let mut lo = Matrix::zeros(rows, cols);
+        let mut hi = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if (i * cols + j) % keep_every == 0 {
+                    lo[(i, j)] = dense.lo()[(i, j)];
+                    hi[(i, j)] = dense.hi()[(i, j)];
+                }
+            }
+        }
+        IntervalMatrix::from_bounds(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn sparse_run_all_is_bitwise_identical_to_dense_for_every_shard_layout() {
+        let m = sparse_test_matrix(51, 40, 17, 3);
+        let config = IsvdConfig::new(5);
+        let dense = run_all(&m, &config).unwrap();
+        let csr = CsrIntervalShard::from_dense(&m);
+        for shard_rows in [1usize, 3, 4, 17, 40] {
+            let sharded = CsrShardedIntervalMatrix::from_csr(&csr, shard_rows).unwrap();
+            let results = run_all_sparse(&sharded, &config).unwrap();
+            assert_results_bitwise(&results, &dense, &format!("sparse shard_rows={shard_rows}"));
+        }
+    }
+
+    #[test]
+    fn sparse_sessions_share_cache_entries_across_shard_layouts() {
+        let m = sparse_test_matrix(58, 33, 11, 3);
+        let csr = CsrIntervalShard::from_dense(&m);
+        let a = CsrShardedIntervalMatrix::from_csr(&csr, 4).unwrap();
+        let b = CsrShardedIntervalMatrix::from_csr(&csr, 9).unwrap();
+        // The sparse id is shard-layout-blind but representation-tagged:
+        // it never equals the dense id of the same logical matrix.
+        assert_eq!(sparse_matrix_id(&a), sparse_matrix_id(&b));
+        assert_ne!(sparse_matrix_id(&a), matrix_id(&m));
+        let mut p = Pipeline::new_sparse(&a, IsvdConfig::new(4)).unwrap();
+        p.run(IsvdAlgorithm::Isvd4).unwrap();
+        let cache = p.into_cache();
+        let mut p2 =
+            Pipeline::from_input(PipelineInput::SparseSharded(&b), IsvdConfig::new(4), cache)
+                .unwrap();
+        let r = p2.run(IsvdAlgorithm::Isvd4).unwrap();
+        assert_eq!(
+            r.timings.cache_misses, 0,
+            "re-sharded sparse session must hit"
+        );
+    }
+
+    #[test]
+    fn dense_sessions_auto_select_the_sparse_gram_below_the_density_cutoff() {
+        // Density 1/20 = 0.05 ≤ the 0.1 default cutoff: the Gram folds
+        // through the CSR accumulator (bitwise-identically, per the
+        // equivalence tests above).
+        let sparse_m = sparse_test_matrix(52, 30, 10, 20);
+        let mut s = Pipeline::new(&sparse_m, IsvdConfig::new(3)).unwrap();
+        s.run(IsvdAlgorithm::Isvd2).unwrap();
+        assert!(
+            matches!(s.gram_state.as_ref().unwrap().acc, GramAccum::Sparse(_)),
+            "5% dense input must take the sparse Gram path"
+        );
+
+        // A fully dense matrix stays on the dense fold — unless the
+        // environment raised the cutoff (the CI sparse pass pins
+        // IVMF_SPARSE_THRESHOLD=1.0 to force the sparse path everywhere).
+        if ivmf_env::sparse_threshold().is_none() {
+            let dense_m = random_interval_matrix(53, 30, 10, 1.0);
+            let mut s = Pipeline::new(&dense_m, IsvdConfig::new(3)).unwrap();
+            s.run(IsvdAlgorithm::Isvd2).unwrap();
+            assert!(
+                matches!(s.gram_state.as_ref().unwrap().acc, GramAccum::Dense(_)),
+                "full-density input must keep the dense Gram path"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_only_stages_error_instead_of_densifying_large_sparse_inputs() {
+        // 3000×2000 = 6M dense entries > DENSE_STAGE_MAX_ENTRIES, but only
+        // one stored entry per row — construction and hashing stay cheap.
+        let rows = 3000usize;
+        let cols = 2000usize;
+        let triplets: Vec<(usize, usize, f64, f64)> =
+            (0..rows).map(|i| (i, (i * 7) % cols, 1.0, 2.0)).collect();
+        let shard = CsrIntervalShard::from_triplets(rows, cols, &triplets).unwrap();
+        let sharded = CsrShardedIntervalMatrix::from_csr(&shard, 512).unwrap();
+        let mut session = Pipeline::new_sparse(&sharded, IsvdConfig::new(2)).unwrap();
+        let err = session.run(IsvdAlgorithm::Isvd0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("dense-only stage"), "unexpected error: {msg}");
+        assert!(msg.contains("ISVD2-4"), "unexpected error: {msg}");
+        assert!(session.run(IsvdAlgorithm::Isvd1).is_err());
+        // The dense escape hatch is guarded identically.
+        assert!(session.matrix().is_err());
+    }
+
+    /// Lazy CSR source over pre-cut shards — what a sparse disk loader
+    /// would do with files.
+    struct VecCsrSource {
+        shards: Vec<CsrIntervalShard>,
+        cursor: usize,
+        rows: usize,
+        cols: usize,
+    }
+
+    impl VecCsrSource {
+        fn new(m: &CsrShardedIntervalMatrix) -> Self {
+            VecCsrSource {
+                rows: m.rows(),
+                cols: m.cols(),
+                shards: m.shards().to_vec(),
+                cursor: 0,
+            }
+        }
+    }
+
+    impl CsrShardSource for VecCsrSource {
+        fn rows(&self) -> usize {
+            self.rows
+        }
+        fn cols(&self) -> usize {
+            self.cols
+        }
+        fn reset(&mut self) -> ivmf_interval::Result<()> {
+            self.cursor = 0;
+            Ok(())
+        }
+        fn next_shard(&mut self) -> ivmf_interval::Result<Option<CsrIntervalShard>> {
+            let shard = self.shards.get(self.cursor).cloned();
+            self.cursor += 1;
+            Ok(shard)
+        }
+    }
+
+    #[test]
+    fn lazy_csr_sources_match_dense_bitwise_and_reject_appends() {
+        let m = sparse_test_matrix(54, 36, 12, 4);
+        let config = IsvdConfig::new(4);
+        let dense = run_all(&m, &config).unwrap();
+        let sharded =
+            CsrShardedIntervalMatrix::from_csr(&CsrIntervalShard::from_dense(&m), 5).unwrap();
+        let mut session =
+            Pipeline::new_streaming_csr(Box::new(VecCsrSource::new(&sharded)), config).unwrap();
+        let streamed = session.run_all().unwrap();
+        assert_results_bitwise(&streamed, &dense, "sparse lazy vs dense");
+        assert!(session
+            .append_rows(random_interval_matrix(55, 2, 12, 1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn sparse_append_rows_matches_cold_recompute_bitwise_and_reuses_the_gram() {
+        let base = sparse_test_matrix(56, 20, 9, 3);
+        let extra = sparse_test_matrix(57, 6, 9, 2);
+        let config = IsvdConfig::new(3);
+        let mut session = Pipeline::from_csr_shards(
+            CsrShardedIntervalMatrix::from_csr(&CsrIntervalShard::from_dense(&base), 7).unwrap(),
+            config,
+        )
+        .unwrap();
+        session.run_all().unwrap();
+        session
+            .append_rows_csr(CsrIntervalShard::from_dense(&extra))
+            .unwrap();
+        let incremental = session.run_all().unwrap();
+
+        // Cold: the dense pipeline over the concatenation.
+        let mut combined = RowShardedIntervalMatrix::from_shards(vec![base]).unwrap();
+        combined.append_rows(extra).unwrap();
+        let cold = run_all(&combined.to_dense(), &config).unwrap();
+        assert_results_bitwise(&incremental, &cold, "sparse append vs cold dense");
+
+        // The post-append Gram is served from the seeded cache entry.
+        let gram_event = incremental[2]
+            .stages
+            .iter()
+            .find(|e| e.stage == StageId::IntervalGram)
+            .unwrap();
+        assert!(
+            gram_event.cache_hit,
+            "appended sparse Gram must be served from the seeded entry"
+        );
+        // Dense sessions reject CSR appends.
+        let dense_m = random_interval_matrix(59, 8, 9, 1.0);
+        let mut dense_session = Pipeline::new(&dense_m, config).unwrap();
+        assert!(dense_session
+            .append_rows_csr(CsrIntervalShard::from_triplets(2, 9, &[(0, 1, 1.0, 2.0)]).unwrap())
             .is_err());
     }
 }

@@ -17,17 +17,28 @@
 //!
 //! Modules:
 //!
-//! * [`synthetic`] — uniform interval matrices (Table 1 parameters).
+//! * [`synthetic`] — uniform interval matrices (Table 1 parameters), plus
+//!   the CSR-native power-law (Zipf) generator
+//!   [`synthetic::generate_power_law`] for rating-matrix-shaped sparse
+//!   workloads at million-row scale.
 //! * [`anonymize`] — generalization-based anonymized matrices (L1–L4
 //!   levels, high/medium/low privacy mixtures).
 //! * [`faces`] — ORL-like face corpus and the neighbourhood-std interval
 //!   construction of supplementary F.1.
 //! * [`ratings`] — MovieLens-like and Ciao/Epinions-like rating data plus
-//!   the interval constructions of supplementary F.2.
+//!   the interval constructions of supplementary F.2. The collaborative
+//!   filtering matrices assemble **directly into CSR** from the rating
+//!   triple stream ([`ratings::cf_interval_csr`],
+//!   [`ratings::cf_scalar_csr`]) — no dense `users × items` buffer is
+//!   ever materialized; the dense-returning functions are thin
+//!   `to_dense()` wrappers for small fixtures.
 //! * [`split`] — train/test splitting helpers.
 //! * [`stream`] — chunked disk loaders for row-sharded interval matrices
 //!   (write, shard-by-shard reads honouring `IVMF_SHARD_ROWS`, and a
-//!   one-pass out-of-core interval Gram).
+//!   one-pass out-of-core interval Gram), with sparse CSR twins
+//!   ([`stream::CsrShardWriter`], [`stream::CsrShardReader`],
+//!   [`stream::stream_csr_interval_gram`]) that store and stream only the
+//!   nonzero entries.
 //!
 //! ## Example
 //!

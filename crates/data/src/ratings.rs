@@ -19,8 +19,8 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use ivmf_interval::IntervalMatrix;
-use ivmf_linalg::{norms, Matrix};
+use ivmf_interval::{CsrIntervalShard, CsrShardedIntervalMatrix, IntervalMatrix};
+use ivmf_linalg::{norms, CsrShard, Matrix};
 
 /// One observed rating.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -203,6 +203,20 @@ pub fn cf_interval_matrix(
     dataset: &RatingDataset,
     alpha: f64,
 ) -> (IntervalMatrix, Vec<(usize, usize)>) {
+    let (csr, observed) = cf_interval_csr(dataset, alpha);
+    (csr.to_dense(), observed)
+}
+
+/// The CSR-native form of [`cf_interval_matrix`]: the interval bounds are
+/// computed per observed rating (identical arithmetic, identical bits) and
+/// assembled **directly into CSR from the rating triple stream** — no
+/// dense `users × items` buffer is ever materialized, so million-user
+/// rating matrices build in `O(ratings)` memory. [`cf_interval_matrix`] is
+/// now a thin `to_dense()` wrapper over this for small fixtures.
+pub fn cf_interval_csr(
+    dataset: &RatingDataset,
+    alpha: f64,
+) -> (CsrIntervalShard, Vec<(usize, usize)>) {
     let mut by_user: Vec<Vec<f64>> = vec![Vec::new(); dataset.n_users];
     let mut by_item: Vec<Vec<f64>> = vec![Vec::new(); dataset.n_items];
     for r in &dataset.ratings {
@@ -210,8 +224,7 @@ pub fn cf_interval_matrix(
         by_item[r.item].push(r.value);
     }
 
-    let mut lo = Matrix::zeros(dataset.n_users, dataset.n_items);
-    let mut hi = Matrix::zeros(dataset.n_users, dataset.n_items);
+    let mut triplets = Vec::with_capacity(dataset.ratings.len());
     let mut observed = Vec::with_capacity(dataset.ratings.len());
     let mut pool = Vec::new();
     for r in &dataset.ratings {
@@ -219,26 +232,46 @@ pub fn cf_interval_matrix(
         pool.extend_from_slice(&by_user[r.user]);
         pool.extend_from_slice(&by_item[r.item]);
         let delta = alpha * norms::std_dev(&pool);
-        lo[(r.user, r.item)] = (r.value - delta).max(0.0);
-        hi[(r.user, r.item)] = r.value + delta;
+        triplets.push((r.user, r.item, (r.value - delta).max(0.0), r.value + delta));
         observed.push((r.user, r.item));
     }
-    (
-        IntervalMatrix::from_bounds(lo, hi).expect("bounds share a shape"),
-        observed,
-    )
+    let csr = CsrIntervalShard::from_triplets(dataset.n_users, dataset.n_items, &triplets)
+        .expect("rating datasets hold unique in-range (user, item) pairs");
+    (csr, observed)
+}
+
+/// [`cf_interval_csr`] cut into row shards of at most `shard_rows` rows —
+/// ready for `ivmf_core::Pipeline::new_sparse` / `run_all_sparse`.
+pub fn cf_interval_csr_sharded(
+    dataset: &RatingDataset,
+    alpha: f64,
+    shard_rows: usize,
+) -> (CsrShardedIntervalMatrix, Vec<(usize, usize)>) {
+    let (csr, observed) = cf_interval_csr(dataset, alpha);
+    let sharded = CsrShardedIntervalMatrix::from_csr(&csr, shard_rows.max(1))
+        .expect("CSR built from a rating dataset is structurally valid");
+    (sharded, observed)
 }
 
 /// Builds the scalar user × item rating matrix (zero = unobserved) together
 /// with the observed coordinates — the input of plain PMF.
 pub fn cf_scalar_matrix(dataset: &RatingDataset) -> (Matrix, Vec<(usize, usize)>) {
-    let mut m = Matrix::zeros(dataset.n_users, dataset.n_items);
+    let (csr, observed) = cf_scalar_csr(dataset);
+    (csr.to_dense(), observed)
+}
+
+/// The CSR-native form of [`cf_scalar_matrix`]: the scalar rating matrix
+/// assembled directly from the triple stream with no dense intermediate.
+pub fn cf_scalar_csr(dataset: &RatingDataset) -> (CsrShard, Vec<(usize, usize)>) {
+    let mut triplets = Vec::with_capacity(dataset.ratings.len());
     let mut observed = Vec::with_capacity(dataset.ratings.len());
     for r in &dataset.ratings {
-        m[(r.user, r.item)] = r.value;
+        triplets.push((r.user, r.item, r.value));
         observed.push((r.user, r.item));
     }
-    (m, observed)
+    let csr = CsrShard::from_triplets(dataset.n_users, dataset.n_items, &triplets)
+        .expect("rating datasets hold unique in-range (user, item) pairs");
+    (csr, observed)
 }
 
 /// Configuration of the Ciao/Epinions-like user × category range generator.
@@ -425,6 +458,73 @@ mod tests {
         for r in d.ratings.iter().take(100) {
             assert_eq!(m[(r.user, r.item)], r.value);
         }
+    }
+
+    #[test]
+    fn cf_interval_csr_is_bitwise_identical_to_a_dense_rebuild() {
+        let d = small_dataset(8);
+        let (csr, observed) = cf_interval_csr(&d, 0.5);
+        assert_eq!(csr.nnz(), d.len());
+        assert_eq!(observed.len(), d.len());
+
+        // Rebuild the dense matrix the way the pre-CSR implementation did
+        // (direct dense fill) and demand bitwise agreement.
+        let mut by_user: Vec<Vec<f64>> = vec![Vec::new(); d.n_users];
+        let mut by_item: Vec<Vec<f64>> = vec![Vec::new(); d.n_items];
+        for r in &d.ratings {
+            by_user[r.user].push(r.value);
+            by_item[r.item].push(r.value);
+        }
+        let mut lo = Matrix::zeros(d.n_users, d.n_items);
+        let mut hi = Matrix::zeros(d.n_users, d.n_items);
+        let mut pool = Vec::new();
+        for r in &d.ratings {
+            pool.clear();
+            pool.extend_from_slice(&by_user[r.user]);
+            pool.extend_from_slice(&by_item[r.item]);
+            let delta = 0.5 * norms::std_dev(&pool);
+            lo[(r.user, r.item)] = (r.value - delta).max(0.0);
+            hi[(r.user, r.item)] = r.value + delta;
+        }
+
+        let dense = csr.to_dense();
+        assert_eq!(lo.as_slice(), dense.lo().as_slice());
+        assert_eq!(hi.as_slice(), dense.hi().as_slice());
+
+        // The public wrapper is that same CSR densified.
+        let (wrapped, wrapped_observed) = cf_interval_matrix(&d, 0.5);
+        assert_eq!(wrapped.lo().as_slice(), dense.lo().as_slice());
+        assert_eq!(wrapped.hi().as_slice(), dense.hi().as_slice());
+        assert_eq!(wrapped_observed, observed);
+    }
+
+    #[test]
+    fn cf_scalar_csr_matches_the_dense_wrapper_bitwise() {
+        let d = small_dataset(9);
+        let (csr, observed) = cf_scalar_csr(&d);
+        assert_eq!(csr.nnz(), d.len());
+        let mut direct = Matrix::zeros(d.n_users, d.n_items);
+        for r in &d.ratings {
+            direct[(r.user, r.item)] = r.value;
+        }
+        assert_eq!(direct.as_slice(), csr.to_dense().as_slice());
+        let (wrapped, wrapped_observed) = cf_scalar_matrix(&d);
+        assert_eq!(wrapped.as_slice(), direct.as_slice());
+        assert_eq!(wrapped_observed, observed);
+    }
+
+    #[test]
+    fn sharded_cf_csr_matches_the_single_shard_build() {
+        let d = small_dataset(10);
+        let (whole, observed) = cf_interval_csr(&d, 0.75);
+        let (sharded, sharded_observed) = cf_interval_csr_sharded(&d, 0.75, 37);
+        assert_eq!(sharded_observed, observed);
+        assert_eq!(sharded.nnz(), whole.nnz());
+        assert!(sharded.num_shards() > 1);
+        let a = whole.to_dense();
+        let b = sharded.to_dense();
+        assert_eq!(a.lo().as_slice(), b.lo().as_slice());
+        assert_eq!(a.hi().as_slice(), b.hi().as_slice());
     }
 
     #[test]

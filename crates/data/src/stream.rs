@@ -20,21 +20,46 @@
 //!   identical to the in-memory streamed Gram (and to the dense fast path
 //!   for matrices within one accumulation chunk).
 //!
-//! ## File format
+//! Sparse matrices get a CSR twin of each piece: [`CsrShardWriter`] /
+//! [`write_csr_matrix`] write a per-row sparse text format that stores only
+//! the nonzero entries, [`CsrShardReader`] streams it back as
+//! [`CsrIntervalShard`]s (implementing [`CsrShardSource`], so it plugs into
+//! `ivmf_core::Pipeline::new_streaming_csr`), [`load_csr_sharded`]
+//! materializes the file as a [`CsrShardedIntervalMatrix`], and
+//! [`stream_csr_interval_gram`] runs the one-pass out-of-core sparse Gram
+//! in `O(shard nnz + m²)` memory — bitwise identical to the dense route.
+//!
+//! ## File formats
+//!
+//! Dense:
 //!
 //! ```text
 //! <rows> <cols>
 //! lo(0,0) hi(0,0) lo(0,1) hi(0,1) …   # one line per row, interleaved bounds
 //! …
 //! ```
+//!
+//! Sparse CSR (the leading `csr` token distinguishes the headers; `<k>` is
+//! the number of stored entries of the row, followed by `k` column/bound
+//! triples in ascending column order):
+//!
+//! ```text
+//! csr <rows> <cols>
+//! <k> col lo hi col lo hi …            # one line per row, stored entries only
+//! …
+//! ```
+//!
+//! Both formats print values with shortest round-trip `f64` formatting, so
+//! loading reproduces every bit.
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use ivmf_interval::{
-    configured_shard_rows, IntervalError, IntervalMatrix, RowShardSource, RowShardedIntervalMatrix,
-    StreamingIntervalGram,
+    configured_shard_rows, CsrIntervalShard, CsrShardSource, CsrShardedIntervalMatrix,
+    IntervalError, IntervalMatrix, RowShardSource, RowShardedIntervalMatrix,
+    SparseStreamingIntervalGram, StreamingIntervalGram,
 };
 use ivmf_linalg::Matrix;
 
@@ -231,6 +256,277 @@ pub fn stream_interval_gram(
     acc.finish().map_err(|e| invalid_data(e.to_string()))
 }
 
+/// Incremental writer of the sparse CSR text format: create it with the
+/// final row/column counts, push row blocks as they are generated (e.g.
+/// one [`crate::synthetic::generate_power_law`] block at a time), and
+/// [`finish`](CsrShardWriter::finish) once every row has been written.
+/// Peak memory is one block — the file is produced without ever holding
+/// the full matrix.
+#[derive(Debug)]
+pub struct CsrShardWriter {
+    w: BufWriter<File>,
+    rows: usize,
+    cols: usize,
+    rows_written: usize,
+}
+
+impl CsrShardWriter {
+    /// Creates `path` and writes the `csr <rows> <cols>` header.
+    pub fn create(path: impl AsRef<Path>, rows: usize, cols: usize) -> io::Result<Self> {
+        let mut w = BufWriter::new(File::create(path)?);
+        writeln!(w, "csr {rows} {cols}")?;
+        Ok(CsrShardWriter {
+            w,
+            rows,
+            cols,
+            rows_written: 0,
+        })
+    }
+
+    /// Rows written so far.
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+
+    /// Appends the rows of `shard` to the file (row order across calls).
+    pub fn push_shard(&mut self, shard: &CsrIntervalShard) -> io::Result<()> {
+        if shard.cols() != self.cols {
+            return Err(invalid_data(format!(
+                "shard has {} columns, file declares {}",
+                shard.cols(),
+                self.cols
+            )));
+        }
+        if self.rows_written + shard.rows() > self.rows {
+            return Err(invalid_data(format!(
+                "shard of {} rows overflows the declared {} rows ({} already written)",
+                shard.rows(),
+                self.rows,
+                self.rows_written
+            )));
+        }
+        let mut line = String::new();
+        for i in 0..shard.rows() {
+            let (cols, lo, hi) = shard.row_entries(i);
+            line.clear();
+            line.push_str(&format!("{}", cols.len()));
+            for ((&c, &l), &h) in cols.iter().zip(lo).zip(hi) {
+                line.push_str(&format!(" {c} {l:?} {h:?}"));
+            }
+            writeln!(self.w, "{line}")?;
+        }
+        self.rows_written += shard.rows();
+        Ok(())
+    }
+
+    /// Flushes and validates that exactly the declared number of rows was
+    /// written.
+    pub fn finish(mut self) -> io::Result<()> {
+        if self.rows_written != self.rows {
+            return Err(invalid_data(format!(
+                "file declares {} rows but {} were written",
+                self.rows, self.rows_written
+            )));
+        }
+        self.w.flush()
+    }
+}
+
+/// Writes a CSR interval shard to `path` in the sparse text format in one
+/// call. Values use shortest round-trip formatting, so a subsequent load
+/// is bit-exact.
+pub fn write_csr_matrix(path: impl AsRef<Path>, m: &CsrIntervalShard) -> io::Result<()> {
+    let mut w = CsrShardWriter::create(path, m.rows(), m.cols())?;
+    w.push_shard(m)?;
+    w.finish()
+}
+
+/// Reads a sparse CSR interval matrix file shard by shard, holding one
+/// shard's stored entries in memory at a time. See the
+/// [module docs](self) for the format.
+#[derive(Debug)]
+pub struct CsrShardReader {
+    path: PathBuf,
+    reader: BufReader<File>,
+    data_start: u64,
+    rows: usize,
+    cols: usize,
+    shard_rows: usize,
+    next_row: usize,
+}
+
+impl CsrShardReader {
+    /// Opens `path`, reading the `csr <rows> <cols>` header; shards will
+    /// have at most `shard_rows` rows (the last one takes the remainder).
+    pub fn open(path: impl AsRef<Path>, shard_rows: usize) -> io::Result<Self> {
+        if shard_rows == 0 {
+            return Err(invalid_data("shard_rows must be at least 1".to_string()));
+        }
+        let path = path.as_ref().to_path_buf();
+        let mut reader = BufReader::new(File::open(&path)?);
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let mut it = header.split_whitespace();
+        if it.next() != Some("csr") {
+            return Err(invalid_data(format!(
+                "{}: not a CSR file (header must start with 'csr')",
+                path.display()
+            )));
+        }
+        let rows: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| invalid_data(format!("{}: malformed header", path.display())))?;
+        let cols: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| invalid_data(format!("{}: malformed header", path.display())))?;
+        let data_start = reader.stream_position()?;
+        Ok(CsrShardReader {
+            path,
+            reader,
+            data_start,
+            rows,
+            cols,
+            shard_rows,
+            next_row: 0,
+        })
+    }
+
+    /// [`CsrShardReader::open`] with the configured default shard size
+    /// (`IVMF_SHARD_ROWS`, or [`ivmf_interval::DEFAULT_SHARD_ROWS`]).
+    pub fn open_env(path: impl AsRef<Path>) -> io::Result<Self> {
+        CsrShardReader::open(path, configured_shard_rows())
+    }
+
+    /// Total number of rows in the file.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns per row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Configured maximum rows per shard.
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Rewinds to the first shard.
+    pub fn rewind(&mut self) -> io::Result<()> {
+        self.reader.seek(SeekFrom::Start(self.data_start))?;
+        self.next_row = 0;
+        Ok(())
+    }
+
+    /// Reads the next shard, or `None` after the last row.
+    pub fn read_shard(&mut self) -> io::Result<Option<CsrIntervalShard>> {
+        if self.next_row >= self.rows {
+            return Ok(None);
+        }
+        let take = self.shard_rows.min(self.rows - self.next_row);
+        let mut row_ptr = Vec::with_capacity(take + 1);
+        let mut col_idx = Vec::new();
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        row_ptr.push(0);
+        let mut line = String::new();
+        for r in 0..take {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(invalid_data(format!(
+                    "{}: unexpected end of file at row {}",
+                    self.path.display(),
+                    self.next_row + r
+                )));
+            }
+            let mut tokens = line.split_whitespace();
+            let k: usize = tokens.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                invalid_data(format!(
+                    "{}: malformed entry count at row {}",
+                    self.path.display(),
+                    self.next_row + r
+                ))
+            })?;
+            for e in 0..k {
+                let c = tokens.next().and_then(|t| t.parse::<usize>().ok());
+                let l = tokens.next().and_then(|t| t.parse::<f64>().ok());
+                let h = tokens.next().and_then(|t| t.parse::<f64>().ok());
+                match (c, l, h) {
+                    (Some(c), Some(l), Some(h)) => {
+                        col_idx.push(c);
+                        lo.push(l);
+                        hi.push(h);
+                    }
+                    _ => {
+                        return Err(invalid_data(format!(
+                            "{}: malformed entry {e} at row {}",
+                            self.path.display(),
+                            self.next_row + r
+                        )))
+                    }
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        self.next_row += take;
+        let shard = CsrIntervalShard::new(take, self.cols, row_ptr, col_idx, lo, hi)
+            .map_err(|e| invalid_data(e.to_string()))?;
+        Ok(Some(shard))
+    }
+}
+
+impl CsrShardSource for CsrShardReader {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn reset(&mut self) -> ivmf_interval::Result<()> {
+        self.rewind()
+            .map_err(|e| IntervalError::Source(e.to_string()))
+    }
+    fn next_shard(&mut self) -> ivmf_interval::Result<Option<CsrIntervalShard>> {
+        self.read_shard()
+            .map_err(|e| IntervalError::Source(e.to_string()))
+    }
+}
+
+/// Loads the whole CSR file as an in-memory sparse sharded matrix (shards
+/// of `shard_rows` rows).
+pub fn load_csr_sharded(
+    path: impl AsRef<Path>,
+    shard_rows: usize,
+) -> io::Result<CsrShardedIntervalMatrix> {
+    let mut reader = CsrShardReader::open(path, shard_rows)?;
+    let mut shards = Vec::new();
+    while let Some(shard) = reader.read_shard()? {
+        shards.push(shard);
+    }
+    CsrShardedIntervalMatrix::from_shards(shards).map_err(|e| invalid_data(e.to_string()))
+}
+
+/// One-pass out-of-core **sparse** interval Gram of the CSR file at
+/// `path`: each shard's stored entries are loaded, folded into the sparse
+/// streaming accumulator and dropped, so peak memory is one shard's
+/// nonzeros plus the `m×m` accumulators — independent of the row count.
+/// Bitwise identical to the dense Gram of the densified matrix.
+pub fn stream_csr_interval_gram(
+    path: impl AsRef<Path>,
+    shard_rows: usize,
+) -> io::Result<IntervalMatrix> {
+    let mut reader = CsrShardReader::open(path, shard_rows)?;
+    let mut acc = SparseStreamingIntervalGram::new(reader.rows(), reader.cols());
+    while let Some(shard) = reader.read_shard()? {
+        acc.push_shard(&shard)
+            .map_err(|e| invalid_data(e.to_string()))?;
+    }
+    acc.finish().map_err(|e| invalid_data(e.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +593,117 @@ mod tests {
                 "out-of-core gram (shard_rows={shard_rows}) diverged"
             );
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn sample_csr(seed: u64, rows: usize, cols: usize, nnz_per_row: usize) -> CsrIntervalShard {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        crate::synthetic::generate_power_law(
+            &crate::synthetic::PowerLawConfig::ratings_like(rows, cols)
+                .with_nnz_per_row(nnz_per_row),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn csr_write_then_load_round_trips_bit_exactly() {
+        let m = sample_csr(11, 23, 40, 6);
+        let path = temp_path("csr_round_trip");
+        write_csr_matrix(&path, &m).unwrap();
+        let loaded = load_csr_sharded(&path, 5).unwrap();
+        assert_eq!(loaded.num_shards(), 5);
+        assert_eq!(loaded.nnz(), m.nnz());
+        assert_eq!(
+            loaded.to_dense(),
+            m.to_dense(),
+            "CSR text round-trip must be bit-exact"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_writer_streams_blocks_without_holding_the_matrix() {
+        let whole = sample_csr(12, 30, 25, 4);
+        let blocks = ivmf_interval::CsrShardedIntervalMatrix::from_csr(&whole, 7).unwrap();
+        let path = temp_path("csr_blocks");
+        let mut w = CsrShardWriter::create(&path, whole.rows(), whole.cols()).unwrap();
+        for shard in blocks.shards() {
+            w.push_shard(shard).unwrap();
+        }
+        assert_eq!(w.rows_written(), 30);
+        w.finish().unwrap();
+        let loaded = load_csr_sharded(&path, 30).unwrap();
+        assert_eq!(loaded.to_dense(), whole.to_dense());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_reader_streams_in_order_and_rewinds() {
+        let m = sample_csr(13, 11, 14, 3);
+        let path = temp_path("csr_reader");
+        write_csr_matrix(&path, &m).unwrap();
+        let mut reader = CsrShardReader::open(&path, 3).unwrap();
+        assert_eq!((reader.rows(), reader.cols()), (11, 14));
+        assert_eq!(reader.shard_rows(), 3);
+        let mut rows = 0;
+        let mut shards = 0;
+        while let Some(shard) = reader.read_shard().unwrap() {
+            rows += shard.rows();
+            shards += 1;
+        }
+        assert_eq!((rows, shards), (11, 4));
+        // Rewind and stream again through the CsrShardSource interface.
+        CsrShardSource::reset(&mut reader).unwrap();
+        let first = CsrShardSource::next_shard(&mut reader).unwrap().unwrap();
+        assert_eq!(first.rows(), 3);
+        assert_eq!(first.row_entries(0), m.row_entries(0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_core_sparse_gram_matches_the_dense_route_bitwise() {
+        let m = sample_csr(14, 37, 9, 4);
+        let path = temp_path("csr_gram");
+        write_csr_matrix(&path, &m).unwrap();
+        let expected = m.to_dense().interval_gram_streamed().unwrap();
+        for shard_rows in [1usize, 5, 37] {
+            let gram = stream_csr_interval_gram(&path, shard_rows).unwrap();
+            assert_eq!(
+                gram, expected,
+                "out-of-core sparse gram (shard_rows={shard_rows}) diverged"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_formats_are_mutually_exclusive_and_validated() {
+        let path = temp_path("csr_malformed");
+        // A dense file is rejected by the CSR reader and vice versa.
+        let dense = sample_matrix(15, 3, 3);
+        write_interval_matrix(&path, &dense).unwrap();
+        assert!(CsrShardReader::open(&path, 4).is_err());
+        let m = sample_csr(15, 3, 3, 2);
+        write_csr_matrix(&path, &m).unwrap();
+        assert!(ShardReader::open(&path, 4).is_err());
+        // Truncated CSR payload fails loudly.
+        std::fs::write(&path, "csr 2 3\n1 0 1.0 2.0\n").unwrap();
+        let mut reader = CsrShardReader::open(&path, 4).unwrap();
+        assert!(reader.read_shard().is_err());
+        // Declared entry count beyond the line's tokens fails loudly.
+        std::fs::write(&path, "csr 1 3\n2 0 1.0 2.0\n").unwrap();
+        let mut reader = CsrShardReader::open(&path, 4).unwrap();
+        assert!(reader.read_shard().is_err());
+        // Writer validates shape and row accounting.
+        let w = CsrShardWriter::create(&path, 5, 3).unwrap();
+        assert!(w.finish().is_err());
+        let mut w = CsrShardWriter::create(&path, 2, 3).unwrap();
+        assert!(w.push_shard(&sample_csr(16, 2, 4, 2)).is_err());
+        assert!(w.push_shard(&sample_csr(16, 3, 3, 2)).is_err());
+        assert!(CsrShardWriter::create(&path, 0, 3)
+            .unwrap()
+            .finish()
+            .is_ok());
         std::fs::remove_file(&path).ok();
     }
 

@@ -14,6 +14,7 @@
 //! | [`THREADS`] | `ivmf-par` | worker count for parallel kernels (default: available parallelism) |
 //! | [`EXACT_INTERVAL`] | `ivmf-interval` | `1`/`true` pins the exact four-product interval operator at every size |
 //! | [`SHARD_ROWS`] | `ivmf-interval`, `ivmf-data` | default rows per shard for row-sharded matrices and chunked loaders |
+//! | [`SPARSE_THRESHOLD`] | `ivmf-core` | density cutoff in `(0, 1]` at or below which dense in-memory pipeline inputs take the sparse CSR Gram path (bitwise-identical results either way) |
 //! | [`REPLICATES`] | `ivmf-bench` | seeded replicates the `exp_*` binaries average over (default 5) |
 //! | [`SCALE`] | `ivmf-bench` | size multiplier in `(0, 1]` for the larger data sets |
 //! | [`BENCH_SMOKE`] | `ivmf-bench` | `1`/`true` runs every bench with a single sample (CI bitrot guard) |
@@ -63,6 +64,14 @@ pub const EXACT_INTERVAL: &str = "IVMF_EXACT_INTERVAL";
 /// to fixed global chunk boundaries) — it only trades peak memory against
 /// per-shard overhead.
 pub const SHARD_ROWS: &str = "IVMF_SHARD_ROWS";
+
+/// Density cutoff in `(0, 1]` for auto-selecting the sparse CSR Gram path
+/// on dense in-memory pipeline inputs (`ivmf-core`): inputs whose fraction
+/// of non-`[0, 0]` entries is at or below the cutoff stream their Gram
+/// matrix over stored entries only. Never changes results — the sparse
+/// kernels are bitwise identical to the dense ones — only which kernel
+/// runs.
+pub const SPARSE_THRESHOLD: &str = "IVMF_SPARSE_THRESHOLD";
 
 /// Number of seeded replicates the `exp_*` binaries average over.
 pub const REPLICATES: &str = "IVMF_REPLICATES";
@@ -211,6 +220,24 @@ pub fn shard_rows() -> Option<usize> {
     }
 }
 
+/// The configured sparse-Gram density cutoff: `IVMF_SPARSE_THRESHOLD` when
+/// set to a number in `(0, 1]`, `None` when unset (callers pick their own
+/// default), panicking on a malformed or out-of-range value like every
+/// other `IVMF_*` knob. See [`try_sparse_threshold`] for the non-panicking
+/// form.
+pub fn sparse_threshold() -> Option<f64> {
+    match try_sparse_threshold() {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`sparse_threshold`] returning the validation error as a value instead
+/// of panicking.
+pub fn try_sparse_threshold() -> Result<Option<f64>, EnvVarError> {
+    try_f64_var_in(SPARSE_THRESHOLD, 0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,5 +355,23 @@ mod tests {
         std::env::set_var(SHARD_ROWS, "7");
         assert_eq!(shard_rows(), Some(7));
         std::env::remove_var(SHARD_ROWS);
+    }
+
+    #[test]
+    fn sparse_threshold_reads_the_documented_variable() {
+        // This test owns IVMF_SPARSE_THRESHOLD within this binary.
+        std::env::remove_var(SPARSE_THRESHOLD);
+        assert_eq!(sparse_threshold(), None);
+        std::env::set_var(SPARSE_THRESHOLD, "0.05");
+        assert_eq!(sparse_threshold(), Some(0.05));
+        std::env::set_var(SPARSE_THRESHOLD, "1.0");
+        assert_eq!(sparse_threshold(), Some(1.0)); // hi is inclusive
+        for bad in ["0", "1.5", "-0.1", "junk"] {
+            std::env::set_var(SPARSE_THRESHOLD, bad);
+            let err = try_sparse_threshold().unwrap_err();
+            assert!(err.to_string().contains(SPARSE_THRESHOLD), "{err}");
+            assert!(err.to_string().contains("(0, 1]"), "{err}");
+        }
+        std::env::remove_var(SPARSE_THRESHOLD);
     }
 }

@@ -53,6 +53,7 @@ mod matrix;
 mod mr;
 mod scalar;
 mod sharded;
+mod sparse;
 mod vector;
 
 pub use error::IntervalError;
@@ -62,6 +63,10 @@ pub use scalar::Interval;
 pub use sharded::{
     configured_shard_rows, use_mr_gram, BoundBlocks, RowShardSource, RowShardedIntervalMatrix,
     StreamingIntervalGram, DEFAULT_SHARD_ROWS,
+};
+pub use sparse::{
+    CsrIntervalShard, CsrShardSource, CsrShardedIntervalMatrix, SparseBoundBlocks,
+    SparseStreamingIntervalGram,
 };
 pub use vector::IntervalVector;
 

@@ -119,9 +119,11 @@ impl Src for Trans<'_> {
 
 /// Fused multiply-add when the target has FMA, plain `mul`+`add` otherwise
 /// (an unconditional `f64::mul_add` would fall back to a libm call and lose
-/// an order of magnitude on non-FMA builds).
+/// an order of magnitude on non-FMA builds). Shared with the sparse CSR
+/// kernels, which must reproduce the packed kernel's per-term arithmetic
+/// bit for bit.
 #[inline(always)]
-fn fmadd(a: f64, b: f64, acc: f64) -> f64 {
+pub(crate) fn fmadd(a: f64, b: f64, acc: f64) -> f64 {
     #[cfg(target_feature = "fma")]
     {
         a.mul_add(b, acc)

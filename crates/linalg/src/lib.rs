@@ -51,11 +51,16 @@ pub mod norms;
 pub mod pinv;
 pub mod qr;
 pub mod random;
+pub mod sparse;
 pub mod streaming;
 pub mod svd;
 
 pub use error::LinalgError;
 pub use matrix::{Matrix, MATMUL_BLOCKED_MIN_WORK, MATMUL_PAR_MIN_WORK};
+pub use sparse::{
+    gram_streamed_csr, matmul_left_streamed_csr, matmul_streamed_csr, CsrRowBlocks, CsrShard,
+    CsrShardedMatrix, SparseCrossGramAccumulator, SparseGramAccumulator,
+};
 pub use streaming::{
     gram_streamed, matmul_left_streamed, matmul_streamed, CrossGramAccumulator, GramAccumulator,
     RowBlocks, RowShardedMatrix, STREAM_CHUNK_ROWS,

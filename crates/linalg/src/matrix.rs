@@ -36,7 +36,7 @@ pub const MATMUL_PAR_MIN_WORK: usize = 64 * 64 * 64;
 
 /// Worker count for a product of `work` scalar multiplications: 1 below
 /// [`MATMUL_PAR_MIN_WORK`], the `IVMF_THREADS` pool size at or above it.
-fn threads_for(work: usize) -> usize {
+pub(crate) fn threads_for(work: usize) -> usize {
     if work >= MATMUL_PAR_MIN_WORK {
         ivmf_par::configured_threads()
     } else {

@@ -212,7 +212,7 @@ fn add_assign(acc: &mut Matrix, rhs: &Matrix) {
 /// [`ivmf_par::par_map`] several chunks at a time to schedule. Purely a
 /// memory/scheduling knob: chunk boundaries and fold order (and therefore
 /// every bit of the results) are unaffected.
-const PAR_FOLD_CHUNKS: usize = 8;
+pub(crate) const PAR_FOLD_CHUNKS: usize = 8;
 
 /// Row buffer that re-aligns arbitrary incoming blocks to the fixed global
 /// chunk grid: rows accumulate in order, full [`STREAM_CHUNK_ROWS`]-row
