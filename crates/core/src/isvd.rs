@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use ivmf_align::Matcher;
 use ivmf_interval::IntervalMatrix;
 use ivmf_linalg::cond::{is_well_conditioned, DEFAULT_CONDITION_THRESHOLD};
-use ivmf_linalg::eigen_sym::sym_eigen;
+use ivmf_linalg::eigen_topk::sym_eigen_topk;
 use ivmf_linalg::lu::invert;
 use ivmf_linalg::pinv::{pinv, PAPER_SINGULAR_VALUE_CUTOFF};
 use ivmf_linalg::Matrix;
@@ -211,14 +211,20 @@ pub(crate) struct BoundEigen {
 
 /// Eigendecomposes a bound of the (symmetric) Gram matrix and keeps the
 /// top-`r` eigenpairs, converting eigenvalues to singular values.
+///
+/// Only the leading `r` pairs are ever consumed, so this routes through
+/// the certified top-k eigensolver ([`sym_eigen_topk`]): `IVMF_TOPK_EIGEN`
+/// selects the kernel (`auto`/`full`/`forced`) and every accepted pair is
+/// certified to the oracle residual tolerance with automatic fallback to
+/// the full `tred2`/`tql2` solve — which is why the pipeline's stage-cache
+/// keys may ignore the kernel choice (see `pipeline::stage_fingerprint`).
 pub(crate) fn bound_eigen(gram_bound: &Matrix, r: usize) -> Result<BoundEigen> {
-    let eig = sym_eigen(gram_bound)?;
-    let v = eig.eigenvectors.take_cols(r);
-    let sigma = eig.eigenvalues[..r.min(eig.eigenvalues.len())]
-        .iter()
-        .map(|&l| l.max(0.0).sqrt())
-        .collect();
-    Ok(BoundEigen { v, sigma })
+    let eig = sym_eigen_topk(gram_bound, r)?;
+    let sigma = eig.eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).collect();
+    Ok(BoundEigen {
+        v: eig.eigenvectors,
+        sigma,
+    })
 }
 
 /// Recovers a left factor `U = M V Σ⁻¹`, zeroing columns whose singular

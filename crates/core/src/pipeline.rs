@@ -29,6 +29,17 @@
 //! [`StageTimings::cache_misses`] and per-stage in
 //! [`IsvdResult::stages`].
 //!
+//! ## Truncating eigendecompositions
+//!
+//! The spectral stages only ever consume the leading `rank` pairs, so
+//! MidpointSvd / BoundSvd (via `svd_truncated`) and BoundEigenLo/Hi (via
+//! `bound_eigen`) route through the certified top-k eigensolver
+//! (`ivmf_linalg::sym_eigen_topk`). The `IVMF_TOPK_EIGEN` mode
+//! (`auto`/`full`/`forced`) is a kernel choice, not an arithmetic one:
+//! every accepted answer is certified to the oracle residual tolerance
+//! with automatic fallback to the full solve, which is why the mode stays
+//! out of the stage-cache keys (see [`stage_fingerprint`]).
+//!
 //! ## Row-sharded and streaming inputs
 //!
 //! A session's matrix can be supplied dense, as an in-memory
@@ -444,6 +455,17 @@ pub fn config_fingerprint(config: &IsvdConfig) -> u64 {
 /// The practical payoff is rank sweeps: the `O(nm²)` Gram stage is keyed
 /// without the rank, so evaluating several ranks on one matrix over one
 /// cache computes it once.
+///
+/// The `IVMF_TOPK_EIGEN` eigensolver mode is deliberately **not** part of
+/// any fingerprint, unlike the interval-operator flavour: the flavour
+/// changes stage arithmetic (two enclosures of different widths), while
+/// the eigensolver mode only picks the kernel — every answer the top-k
+/// path serves is certified to the oracle residual tolerance
+/// (`ivmf_linalg::DEFAULT_TOPK_TOL`, with automatic fallback to the dense
+/// solve), so a cached entry computed under one mode is a valid answer
+/// under every other. A mid-session mode flip may therefore serve entries
+/// computed under the previous mode — both sides of that trade are
+/// certified.
 pub fn stage_fingerprint(stage: StageId, config: &IsvdConfig) -> u64 {
     let (rank, matcher, thresholds, flavour) = match stage {
         StageId::Midpoint => (false, false, false, false),

@@ -15,6 +15,7 @@
 //! | [`EXACT_INTERVAL`] | `ivmf-interval` | `1`/`true` pins the exact four-product interval operator at every size |
 //! | [`SHARD_ROWS`] | `ivmf-interval`, `ivmf-data` | default rows per shard for row-sharded matrices and chunked loaders |
 //! | [`SPARSE_THRESHOLD`] | `ivmf-core` | density cutoff in `(0, 1]` at or below which dense in-memory pipeline inputs take the sparse CSR Gram path (bitwise-identical results either way) |
+//! | [`TOPK_EIGEN`] | `ivmf-linalg` | `auto` (default) / `full` / `forced` — whether truncating eigendecompositions use the certified top-k Lanczos solver, the full `tred2`/`tql2` oracle, or the Lanczos path regardless of the profitability heuristic |
 //! | [`REPLICATES`] | `ivmf-bench` | seeded replicates the `exp_*` binaries average over (default 5) |
 //! | [`SCALE`] | `ivmf-bench` | size multiplier in `(0, 1]` for the larger data sets |
 //! | [`BENCH_SMOKE`] | `ivmf-bench` | `1`/`true` runs every bench with a single sample (CI bitrot guard) |
@@ -72,6 +73,15 @@ pub const SHARD_ROWS: &str = "IVMF_SHARD_ROWS";
 /// kernels are bitwise identical to the dense ones — only which kernel
 /// runs.
 pub const SPARSE_THRESHOLD: &str = "IVMF_SPARSE_THRESHOLD";
+
+/// Eigensolver selection for truncating consumers (`ivmf-linalg`):
+/// `auto` (default) lets the profitability heuristic pick between the
+/// certified top-k Lanczos solver and the full `tred2`/`tql2` oracle,
+/// `full` pins the oracle everywhere, `forced` always attempts the Lanczos
+/// path (still falling back to the oracle when certification fails). Every
+/// accepted answer is certified against the same residual tolerance, so
+/// the knob never changes results beyond that tolerance.
+pub const TOPK_EIGEN: &str = "IVMF_TOPK_EIGEN";
 
 /// Number of seeded replicates the `exp_*` binaries average over.
 pub const REPLICATES: &str = "IVMF_REPLICATES";
@@ -238,6 +248,56 @@ pub fn try_sparse_threshold() -> Result<Option<f64>, EnvVarError> {
     try_f64_var_in(SPARSE_THRESHOLD, 0.0, 1.0)
 }
 
+/// How truncating eigendecompositions pick their solver; parsed from
+/// [`TOPK_EIGEN`] by [`topk_eigen_mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopkEigenMode {
+    /// Profitability heuristic decides between the top-k Lanczos solver
+    /// and the full oracle per call (the default).
+    Auto,
+    /// Always use the full `tred2`/`tql2` oracle.
+    Full,
+    /// Always attempt the Lanczos path, skipping the profitability
+    /// heuristic (certification failures still fall back to the oracle).
+    Forced,
+}
+
+/// The configured eigensolver mode: `IVMF_TOPK_EIGEN` parsed
+/// case-insensitively as `auto`/`full`/`forced`, defaulting to
+/// [`TopkEigenMode::Auto`] when unset and panicking on any other value
+/// like every other `IVMF_*` knob. See [`try_topk_eigen_mode`] for the
+/// non-panicking form.
+pub fn topk_eigen_mode() -> TopkEigenMode {
+    match try_topk_eigen_mode() {
+        Ok(v) => v.unwrap_or(TopkEigenMode::Auto),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`topk_eigen_mode`] returning the validation error as a value instead
+/// of panicking: `Ok(None)` when unset, the parsed mode when well-formed,
+/// and [`EnvVarError`] for anything other than `auto`/`full`/`forced`
+/// (case-insensitive, surrounding whitespace ignored).
+pub fn try_topk_eigen_mode() -> Result<Option<TopkEigenMode>, EnvVarError> {
+    let Ok(raw) = std::env::var(TOPK_EIGEN) else {
+        return Ok(None);
+    };
+    let v = raw.trim();
+    if v.eq_ignore_ascii_case("auto") {
+        Ok(Some(TopkEigenMode::Auto))
+    } else if v.eq_ignore_ascii_case("full") {
+        Ok(Some(TopkEigenMode::Full))
+    } else if v.eq_ignore_ascii_case("forced") {
+        Ok(Some(TopkEigenMode::Forced))
+    } else {
+        Err(EnvVarError {
+            name: TOPK_EIGEN.to_string(),
+            value: raw,
+            expected: "auto, full or forced".to_string(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +415,39 @@ mod tests {
         std::env::set_var(SHARD_ROWS, "7");
         assert_eq!(shard_rows(), Some(7));
         std::env::remove_var(SHARD_ROWS);
+    }
+
+    #[test]
+    fn topk_eigen_mode_parses_and_defaults_when_unset() {
+        // This test owns IVMF_TOPK_EIGEN within this binary.
+        std::env::remove_var(TOPK_EIGEN);
+        assert_eq!(topk_eigen_mode(), TopkEigenMode::Auto);
+        assert_eq!(try_topk_eigen_mode(), Ok(None));
+        for (raw, mode) in [
+            ("auto", TopkEigenMode::Auto),
+            ("full", TopkEigenMode::Full),
+            ("forced", TopkEigenMode::Forced),
+            ("FULL", TopkEigenMode::Full),
+            (" Forced ", TopkEigenMode::Forced),
+        ] {
+            std::env::set_var(TOPK_EIGEN, raw);
+            assert_eq!(topk_eigen_mode(), mode, "{raw:?}");
+        }
+        for bad in ["", "topk", "force", "1", "true"] {
+            std::env::set_var(TOPK_EIGEN, bad);
+            let err = try_topk_eigen_mode().unwrap_err();
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(TOPK_EIGEN),
+                "error must name the variable: {msg}"
+            );
+            assert!(
+                msg.contains("auto, full or forced"),
+                "error must state the expected format: {msg}"
+            );
+        }
+        std::env::remove_var(TOPK_EIGEN);
     }
 
     #[test]

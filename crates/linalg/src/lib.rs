@@ -10,6 +10,10 @@
 //! * matrix multiplication, transposition and norms,
 //! * a symmetric eigensolver ([`eigen_sym::sym_eigen`], Householder
 //!   tridiagonalization followed by the implicit QL algorithm with shifts),
+//! * a certified top-k eigensolver ([`eigen_topk::sym_eigen_topk`],
+//!   Lanczos with full reorthogonalization, per-pair residual
+//!   certification against the dense oracle's tolerance and automatic
+//!   fallback; `IVMF_TOPK_EIGEN` selects `auto`/`full`/`forced`),
 //! * a full singular value decomposition ([`svd::svd`], Golub–Kahan–Reinsch),
 //! * LU factorization with partial pivoting ([`lu`]) for solving and
 //!   inversion,
@@ -43,6 +47,7 @@
 
 pub mod cond;
 pub mod eigen_sym;
+pub mod eigen_topk;
 mod error;
 mod kernel;
 pub mod lu;
@@ -55,6 +60,10 @@ pub mod sparse;
 pub mod streaming;
 pub mod svd;
 
+pub use eigen_topk::{
+    canonicalize_column_signs, sym_eigen_topk, sym_eigen_topk_report, sym_eigen_topk_with,
+    topk_profitable, TopkOptions, TopkReport, DEFAULT_TOPK_TOL,
+};
 pub use error::LinalgError;
 pub use matrix::{Matrix, MATMUL_BLOCKED_MIN_WORK, MATMUL_PAR_MIN_WORK};
 pub use sparse::{

@@ -577,6 +577,13 @@ impl Matrix {
     }
 
     /// Matrix-vector product `self * v`.
+    ///
+    /// Each row reduces through `dot_unrolled`: single-threaded with a
+    /// fixed summation order, so the result is bitwise reproducible
+    /// across runs and thread counts. Rows are walked in pairs
+    /// (`dot2_unrolled`) so each load of `v` feeds two rows — a
+    /// throughput detail that leaves every row's summation order (and so
+    /// the result) unchanged.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if v.len() != self.cols {
             return Err(LinalgError::DimensionMismatch {
@@ -585,9 +592,18 @@ impl Matrix {
                 rhs: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
-            .collect())
+        let mut out = Vec::with_capacity(self.rows);
+        let mut i = 0;
+        while i + 1 < self.rows {
+            let (s0, s1) = dot2_unrolled(self.row(i), self.row(i + 1), v);
+            out.push(s0);
+            out.push(s1);
+            i += 2;
+        }
+        if i < self.rows {
+            out.push(dot_unrolled(self.row(i), v));
+        }
+        Ok(out)
     }
 
     /// Frobenius norm `sqrt(Σ aᵢⱼ²)`.
@@ -742,6 +758,66 @@ impl Matrix {
         }
         Ok(diff.frobenius_norm() / denom)
     }
+}
+
+/// Serial dot product with a fixed 8-lane unrolled summation order.
+///
+/// The eight independent accumulators break the additive dependency chain
+/// that keeps a strictly sequential `Σ aᵢ·bᵢ` reduction scalar, letting the
+/// compiler vectorize the loop — while the order in which partial sums are
+/// combined stays fixed, so the result is bitwise reproducible across runs
+/// and thread counts (it is still a *different* fixed order than the
+/// sequential reduction, like every kernel-level accumulator split).
+pub(crate) fn dot_unrolled(a: &[f64], b: &[f64]) -> f64 {
+    const LANES: usize = 8;
+    let n = a.len().min(b.len());
+    let split = n - n % LANES;
+    let mut acc = [0.0_f64; LANES];
+    for (ca, cb) in a[..split]
+        .chunks_exact(LANES)
+        .zip(b[..split].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (&x, &y) in a[split..n].iter().zip(&b[split..n]) {
+        s += x * y;
+    }
+    s
+}
+
+/// Two [`dot_unrolled`] products against a shared right-hand side,
+/// interleaved so each load of `b` feeds both rows. The per-row summation
+/// order is exactly [`dot_unrolled`]'s, so each result is bitwise identical
+/// to the single-row call — this is a throughput optimization for
+/// row-blocked matrix–vector products, not a different reduction.
+pub(crate) fn dot2_unrolled(a0: &[f64], a1: &[f64], b: &[f64]) -> (f64, f64) {
+    const LANES: usize = 8;
+    let n = a0.len().min(a1.len()).min(b.len());
+    let split = n - n % LANES;
+    let mut acc0 = [0.0_f64; LANES];
+    let mut acc1 = [0.0_f64; LANES];
+    for ((c0, c1), cb) in a0[..split]
+        .chunks_exact(LANES)
+        .zip(a1[..split].chunks_exact(LANES))
+        .zip(b[..split].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            acc0[l] += c0[l] * cb[l];
+            acc1[l] += c1[l] * cb[l];
+        }
+    }
+    let mut s0 =
+        ((acc0[0] + acc0[1]) + (acc0[2] + acc0[3])) + ((acc0[4] + acc0[5]) + (acc0[6] + acc0[7]));
+    let mut s1 =
+        ((acc1[0] + acc1[1]) + (acc1[2] + acc1[3])) + ((acc1[4] + acc1[5]) + (acc1[6] + acc1[7]));
+    for ((&x0, &x1), &y) in a0[split..n].iter().zip(&a1[split..n]).zip(&b[split..n]) {
+        s0 += x0 * y;
+        s1 += x1 * y;
+    }
+    (s0, s1)
 }
 
 impl Index<(usize, usize)> for Matrix {

@@ -23,6 +23,7 @@
 //! rank or multiply by the corresponding zero singular value.
 
 use crate::eigen_sym::sym_eigen;
+use crate::eigen_topk::sym_eigen_topk;
 use crate::{LinalgError, Matrix, Result};
 
 /// Result of a singular value decomposition `M ≈ U Σ Vᵀ`.
@@ -117,13 +118,52 @@ pub fn svd(m: &Matrix) -> Result<Svd> {
 /// Computes the rank-`r` truncated SVD of `m`.
 ///
 /// `r` is clamped to `min(rows, cols)`; `r == 0` is rejected.
+///
+/// Unlike [`svd`], the truncated form never needs the trailing spectrum,
+/// so the smaller Gram matrix goes through the certified top-k eigensolver
+/// ([`sym_eigen_topk`]): `IVMF_TOPK_EIGEN` picks the kernel
+/// (`auto`/`full`/`forced`) and every accepted eigenpair — hence every
+/// singular triplet — is certified to the oracle tolerance
+/// ([`crate::eigen_topk::DEFAULT_TOPK_TOL`]) with automatic fallback to
+/// the dense solver. Right-factor column signs are canonicalized by that
+/// path, so truncated decompositions from different kernels agree up to
+/// the certified tolerance rather than up to sign.
 pub fn svd_truncated(m: &Matrix, r: usize) -> Result<Svd> {
     if r == 0 {
         return Err(LinalgError::InvalidArgument(
             "target rank must be at least 1".to_string(),
         ));
     }
-    Ok(svd(m)?.truncate(r))
+    if m.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let (n, c) = m.shape();
+    let k = r.min(n.min(c));
+    if c <= n {
+        // Top-k of the c x c Gram matrix MᵀM gives V and Σ.
+        let eig = sym_eigen_topk(&m.gram(), k)?;
+        let singular_values: Vec<f64> =
+            eig.eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let v = eig.eigenvectors;
+        let u = recover_other_factor(m, &v, &singular_values);
+        Ok(Svd {
+            u,
+            singular_values,
+            v,
+        })
+    } else {
+        // Top-k of the n x n Gram matrix MMᵀ gives U and Σ.
+        let eig = sym_eigen_topk(&m.outer_gram(), k)?;
+        let singular_values: Vec<f64> =
+            eig.eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let u = eig.eigenvectors;
+        let v = recover_other_factor(&m.transpose(), &u, &singular_values);
+        Ok(Svd {
+            u,
+            singular_values,
+            v,
+        })
+    }
 }
 
 /// Given `m` (n x c) and the right factor `v` (c x k) together with the
