@@ -4,7 +4,10 @@
 //! path (`batched_vs_sequential`), the streamed sharded Gram against the
 //! dense path (`sharded_gram`), and the incremental `Pipeline::append_rows`
 //! refresh against a cold recompute (`append_rows`, whose speedup is the
-//! `append_vs_cold_speedup` field of the JSON), the sparse CSR Gram's
+//! `append_vs_cold_speedup` field of the JSON), a warm restart from an
+//! on-disk checkpoint against the cold five-algorithm run
+//! (`snapshot_restore`, whose ratio is the
+//! `snapshot_restore_vs_cold_speedup` field), the sparse CSR Gram's
 //! linear-in-`n` scaling at ~100 stored entries per row (`sparse_scaling`)
 //! and its win over the dense route at ~1% density
 //! (`sparse_vs_dense_gram`, whose ratio is the
@@ -172,6 +175,59 @@ fn bench_append_rows(c: &mut Criterion) {
         },
     );
     group.finish();
+}
+
+/// Warm restart from an on-disk snapshot against a cold recompute: the
+/// crash-recovery serving scenario. The cold path builds a fresh session
+/// and runs all five algorithms from scratch; the restored path builds an
+/// equally fresh session, loads the checkpoint written by a previous
+/// "process" (`Pipeline::restore_from`, every entry hash-validated) and
+/// then runs all five algorithms as pure cache hits — bitwise identical
+/// outputs, asserted by the snapshot-recovery suite. The ratio becomes
+/// the `snapshot_restore_vs_cold_speedup` JSON field.
+fn bench_snapshot_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_restore");
+    group.sample_size(sample_count());
+    let config = SyntheticConfig::paper_default().with_shape(480, 250);
+    let rank = config.default_rank();
+    let mut rng = SmallRng::seed_from_u64(10);
+    let m = generate_uniform(&config, &mut rng);
+    let sharded = RowShardedIntervalMatrix::from_dense(&m, 30).unwrap();
+    let isvd_config = IsvdConfig::new(rank);
+
+    // The checkpoint a killed process would have left behind.
+    let snap_path =
+        std::env::temp_dir().join(format!("ivmf_bench_snapshot_{}.snap", std::process::id()));
+    {
+        let mut warmed = Pipeline::from_shards(sharded.clone(), isvd_config).unwrap();
+        warmed.run_all().unwrap();
+        warmed.snapshot_to(&snap_path).unwrap();
+    }
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cold"),
+        &sharded,
+        |b, sharded| {
+            b.iter(|| {
+                let mut session = Pipeline::from_shards((*sharded).clone(), isvd_config).unwrap();
+                session.run_all().unwrap()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("restored"),
+        &(&sharded, &snap_path),
+        |b, (sharded, snap_path)| {
+            b.iter(|| {
+                let mut session = Pipeline::from_shards((*sharded).clone(), isvd_config).unwrap();
+                let report = session.restore_from(snap_path).unwrap();
+                assert!(report.checksum_ok && report.restored > 0);
+                session.run_all().unwrap()
+            })
+        },
+    );
+    group.finish();
+    std::fs::remove_file(&snap_path).ok();
 }
 
 fn sparse_interval_gram(m: &CsrShardedIntervalMatrix) {
@@ -354,6 +410,14 @@ fn append_speedup(results: &[(String, Duration)]) -> Option<f64> {
     (incremental > 0.0).then(|| cold / incremental)
 }
 
+/// Median-over-median speedup of a warm restart (snapshot restore + all
+/// five algorithms as cache hits) against the cold five-algorithm run.
+fn snapshot_restore_speedup(results: &[(String, Duration)]) -> Option<f64> {
+    let cold = median_of(results, "snapshot_restore/cold")?;
+    let restored = median_of(results, "snapshot_restore/restored")?;
+    (restored > 0.0).then(|| cold / restored)
+}
+
 /// Median-over-median speedup of the sparse interval Gram against the
 /// dense route on the same ~1%-density matrix.
 fn sparse_gram_speedup(results: &[(String, Duration)]) -> Option<f64> {
@@ -408,6 +472,11 @@ fn emit_json(
     if let Some(speedup) = append_speedup(results) {
         json.push_str(&format!("  \"append_vs_cold_speedup\": {speedup:.3},\n"));
     }
+    if let Some(speedup) = snapshot_restore_speedup(results) {
+        json.push_str(&format!(
+            "  \"snapshot_restore_vs_cold_speedup\": {speedup:.3},\n"
+        ));
+    }
     if let Some(speedup) = sparse_gram_speedup(results) {
         json.push_str(&format!(
             "  \"sparse_vs_dense_gram_speedup\": {speedup:.3},\n"
@@ -434,7 +503,9 @@ fn emit_json(
         smoke_mode(),
         ivmf_par::configured_threads()
     ));
-    std::fs::write(&out_path, json)?;
+    // Atomic commit: a benchmark run killed mid-write must never leave a
+    // torn half-report where the committed baselines used to be.
+    ivmf_data::atomic::atomic_write_bytes(&out_path, json)?;
     eprintln!("wrote ISVD pipeline benchmark results to {out_path}");
     Ok(())
 }
@@ -446,6 +517,11 @@ fn main() {
     if std::env::var(ivmf_par::THREADS_ENV).is_err() {
         std::env::set_var(ivmf_par::THREADS_ENV, "1");
     }
+    // Cold measurements must stay cold: the auto-snapshot knob would
+    // otherwise warm every "fresh" session from the previous iteration's
+    // save-on-drop. The snapshot_restore group measures restores
+    // explicitly through its own checkpoint file.
+    std::env::remove_var(ivmf_env::SNAPSHOT_DIR);
     // Read the committed medians *before* running (and overwriting them).
     let baselines = read_bench_medians(&committed_json_path());
 
@@ -454,6 +530,7 @@ fn main() {
     bench_batched_vs_sequential(&mut criterion);
     bench_sharded_gram(&mut criterion);
     bench_append_rows(&mut criterion);
+    bench_snapshot_restore(&mut criterion);
     bench_sparse_scaling(&mut criterion);
     bench_sparse_vs_dense_gram(&mut criterion);
     bench_sym_eigen(&mut criterion);
@@ -475,6 +552,9 @@ fn main() {
     }
     if let Some(speedup) = append_speedup(&results) {
         println!("append_rows: {speedup:.2}x incremental vs cold recompute");
+    }
+    if let Some(speedup) = snapshot_restore_speedup(&results) {
+        println!("snapshot_restore: {speedup:.2}x warm restart vs cold recompute");
     }
     if let Some(speedup) = sparse_gram_speedup(&results) {
         println!("sparse_vs_dense_gram: {speedup:.2}x sparse vs dense at ~1% density");

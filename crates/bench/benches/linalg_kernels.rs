@@ -172,7 +172,9 @@ fn emit_json(results: &[(String, Duration)]) -> std::io::Result<()> {
         smoke_mode(),
         ivmf_par::configured_threads()
     ));
-    std::fs::write(&out_path, json)?;
+    // Atomic commit: a benchmark run killed mid-write must never leave a
+    // torn half-report where the committed baselines used to be.
+    ivmf_data::atomic::atomic_write_bytes(&out_path, json)?;
     eprintln!("wrote kernel benchmark results to {out_path}");
     Ok(())
 }

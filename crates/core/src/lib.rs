@@ -25,6 +25,12 @@
 //! * **Decomposition accuracy** (Definition 5): relative Frobenius errors of
 //!   the reconstructed bound matrices combined by harmonic mean
 //!   ([`accuracy::reconstruction_accuracy`]).
+//! * **Crash-safe warm restarts** ([`snapshot`]): versioned, checksummed
+//!   on-disk snapshots of the stage cache and the retained streaming Gram
+//!   accumulator, written atomically and validated entry-by-entry on load
+//!   — set `IVMF_SNAPSHOT_DIR` for automatic save-on-drop /
+//!   restore-on-construct, or drive [`Pipeline::snapshot_to`] /
+//!   [`Pipeline::restore_from`] explicitly.
 //! * **NMF and I-NMF** baselines ([`nmf`]), used by the face-analysis
 //!   experiments.
 //! * **PMF, I-PMF and the proposed AI-PMF** ([`pmf`]), used by the
@@ -71,6 +77,7 @@ pub mod pipeline;
 pub mod pmf;
 mod renorm;
 pub mod sigma_inverse;
+pub mod snapshot;
 mod target;
 pub mod timing;
 
@@ -80,6 +87,7 @@ pub use pipeline::{
     run_all, run_all_batch, run_all_batch_sharded, run_all_sharded, run_all_sparse, DecompPlan,
     Pipeline, StageCache, StageEvent, StageId, DEFAULT_SPARSE_THRESHOLD, DENSE_STAGE_MAX_ENTRIES,
 };
+pub use snapshot::RestoreReport;
 pub use target::{DecompositionTarget, IntervalSvd, RawFactors};
 
 /// Convenience result alias used throughout the crate.

@@ -514,10 +514,10 @@ fn stage_mask_fingerprint(
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct StageKey {
-    matrix: u64,
-    fingerprint: u64,
-    stage: StageId,
+pub(crate) struct StageKey {
+    pub(crate) matrix: u64,
+    pub(crate) fingerprint: u64,
+    pub(crate) stage: StageId,
 }
 
 // ---------------------------------------------------------------------------
@@ -581,12 +581,19 @@ impl StageCache {
     }
 
     /// Inserts a stage output computed outside the normal miss path (the
-    /// incremental Gram refresh of [`Pipeline::append_rows`]). Seeding
-    /// moves no hit/miss counter: the subsequent lookup that consumes the
-    /// entry reports a hit, which is exactly the accounting signal "this
-    /// run did not recompute the stage".
-    fn seed<T: Any>(&mut self, key: StageKey, value: Rc<T>) {
+    /// incremental Gram refresh of [`Pipeline::append_rows`], or a
+    /// validated snapshot entry restored by
+    /// [`Pipeline::restore_from`]). Seeding moves no hit/miss counter: the
+    /// subsequent lookup that consumes the entry reports a hit, which is
+    /// exactly the accounting signal "this run did not recompute the
+    /// stage".
+    pub(crate) fn seed<T: Any>(&mut self, key: StageKey, value: Rc<T>) {
         self.entries.insert(key, value as Rc<dyn Any>);
+    }
+
+    /// Read access to the raw entry map for the snapshot writer.
+    pub(crate) fn entries(&self) -> &HashMap<StageKey, Rc<dyn Any>> {
+        &self.entries
     }
 
     /// Drops every entry keyed to the given matrix id. Used by
@@ -661,11 +668,11 @@ pub struct BoundSvds {
 /// the aligned minimum-side right factor and singular values, the
 /// interval-algebra left factor, and the scalar core inverse ISVD4 reuses.
 #[derive(Debug, Clone)]
-struct AlignedSolveOut {
-    v_lo: Matrix,
-    sigma_lo: Vec<f64>,
-    u: IntervalMatrix,
-    sigma_inv: Matrix,
+pub(crate) struct AlignedSolveOut {
+    pub(crate) v_lo: Matrix,
+    pub(crate) sigma_lo: Vec<f64>,
+    pub(crate) u: IntervalMatrix,
+    pub(crate) sigma_inv: Matrix,
 }
 
 // ---------------------------------------------------------------------------
@@ -1081,20 +1088,20 @@ fn use_sparse_gram(input: &PipelineInput<'_>) -> Result<bool> {
 /// densifies appended CSR rows — both conversions preserve the fold
 /// bit for bit.
 #[derive(Debug, Clone)]
-enum GramAccum {
+pub(crate) enum GramAccum {
     Dense(StreamingIntervalGram),
     Sparse(SparseStreamingIntervalGram),
 }
 
 impl GramAccum {
-    fn is_mid_rad(&self) -> bool {
+    pub(crate) fn is_mid_rad(&self) -> bool {
         match self {
             GramAccum::Dense(acc) => acc.is_mid_rad(),
             GramAccum::Sparse(acc) => acc.is_mid_rad(),
         }
     }
 
-    fn rows_seen(&self) -> usize {
+    pub(crate) fn rows_seen(&self) -> usize {
         match self {
             GramAccum::Dense(acc) => acc.rows_seen(),
             GramAccum::Sparse(acc) => acc.rows_seen(),
@@ -1128,10 +1135,10 @@ impl GramAccum {
 /// The retained interval-Gram accumulator of a session: lets
 /// [`Pipeline::append_rows`] fold only the new shards' contributions.
 #[derive(Debug, Clone)]
-struct GramState {
+pub(crate) struct GramState {
     /// The matrix id the accumulator's content corresponds to.
-    matrix: u64,
-    acc: GramAccum,
+    pub(crate) matrix: u64,
+    pub(crate) acc: GramAccum,
 }
 
 /// A decomposition session over one interval matrix: executes
@@ -1156,10 +1163,10 @@ pub struct Pipeline<'m> {
     input: PipelineInput<'m>,
     config: IsvdConfig,
     content: ContentHash,
-    matrix: u64,
-    cache: StageCache,
+    pub(crate) matrix: u64,
+    pub(crate) cache: StageCache,
     dense: OnceCell<IntervalMatrix>,
-    gram_state: Option<GramState>,
+    pub(crate) gram_state: Option<GramState>,
 }
 
 impl<'m> Pipeline<'m> {
@@ -1270,7 +1277,7 @@ impl<'m> Pipeline<'m> {
             })?;
         }
         let matrix = content.id();
-        Ok(Pipeline {
+        let mut pipeline = Pipeline {
             input,
             config,
             content,
@@ -1278,7 +1285,13 @@ impl<'m> Pipeline<'m> {
             cache,
             dense: OnceCell::new(),
             gram_state: None,
-        })
+        };
+        // Warm restart: with `IVMF_SNAPSHOT_DIR` set, a snapshot saved by
+        // an earlier session over the same matrix seeds the cache (every
+        // entry validated — see `crate::snapshot`); without it this is a
+        // no-op.
+        pipeline.auto_restore();
+        Ok(pipeline)
     }
 
     /// `(rows, cols)` of the session's (virtual) input matrix.
@@ -1303,9 +1316,19 @@ impl<'m> Pipeline<'m> {
         &self.cache
     }
 
-    /// Consumes the session, returning the cache for reuse.
-    pub fn into_cache(self) -> StageCache {
-        self.cache
+    /// Content identity of the session's matrix ([`matrix_id`] /
+    /// [`sparse_matrix_id`], extended by appends) — the id snapshot files
+    /// are named by and validated against.
+    pub fn content_id(&self) -> u64 {
+        self.matrix
+    }
+
+    /// Consumes the session, returning the cache for reuse. The carried
+    /// state leaves with the cache, so the session's drop does not write
+    /// an automatic snapshot (the next session owns the cache now).
+    pub fn into_cache(mut self) -> StageCache {
+        self.gram_state = None;
+        std::mem::take(&mut self.cache)
     }
 
     /// Appends a block of new rows to the session's matrix, updating the
@@ -2027,6 +2050,9 @@ mod tests {
 
     #[test]
     fn executed_stages_match_the_published_plan() {
+        // Exact hit/miss accounting: the auto-snapshot knob (owned by
+        // the snapshot-recovery integration suite) must not seed entries.
+        std::env::remove_var(ivmf_env::SNAPSHOT_DIR);
         let m = random_interval_matrix(11, 10, 7, 1.0);
         for alg in IsvdAlgorithm::all() {
             let mut p = Pipeline::new(&m, IsvdConfig::new(4)).unwrap();
@@ -2048,6 +2074,9 @@ mod tests {
 
     #[test]
     fn second_run_is_served_entirely_from_cache() {
+        // Exact hit/miss accounting: the auto-snapshot knob (owned by
+        // the snapshot-recovery integration suite) must not seed entries.
+        std::env::remove_var(ivmf_env::SNAPSHOT_DIR);
         let m = random_interval_matrix(12, 9, 6, 1.0);
         let mut p = Pipeline::new(&m, IsvdConfig::new(3)).unwrap();
         let first = p.run(IsvdAlgorithm::Isvd4).unwrap();
@@ -2134,6 +2163,9 @@ mod tests {
 
     #[test]
     fn cache_reuse_across_sessions_and_invalidated_by_fingerprint() {
+        // Exact hit/miss accounting: the auto-snapshot knob (owned by
+        // the snapshot-recovery integration suite) must not seed entries.
+        std::env::remove_var(ivmf_env::SNAPSHOT_DIR);
         let m = random_interval_matrix(15, 10, 6, 1.0);
         let mut p = Pipeline::new(&m, IsvdConfig::new(4)).unwrap();
         p.run(IsvdAlgorithm::Isvd2).unwrap();
@@ -2170,6 +2202,9 @@ mod tests {
 
     #[test]
     fn run_all_shares_gram_and_eigens_exactly_once() {
+        // Exact hit/miss accounting: the auto-snapshot knob (owned by
+        // the snapshot-recovery integration suite) must not seed entries.
+        std::env::remove_var(ivmf_env::SNAPSHOT_DIR);
         let m = random_interval_matrix(16, 12, 8, 1.5);
         let mut p = Pipeline::new(&m, IsvdConfig::new(5)).unwrap();
         let results = p.run_all().unwrap();
@@ -2214,6 +2249,9 @@ mod tests {
 
     #[test]
     fn stage_accessors_share_with_isvd1_runs() {
+        // Exact hit/miss accounting: the auto-snapshot knob (owned by
+        // the snapshot-recovery integration suite) must not seed entries.
+        std::env::remove_var(ivmf_env::SNAPSHOT_DIR);
         let m = random_interval_matrix(30, 10, 7, 1.0);
         let mut p = Pipeline::new(&m, IsvdConfig::new(4)).unwrap();
         let svds = p.bound_svds().unwrap();
@@ -2264,6 +2302,9 @@ mod tests {
 
     #[test]
     fn sharded_and_dense_sessions_share_cache_entries() {
+        // Exact hit/miss accounting: the auto-snapshot knob (owned by
+        // the snapshot-recovery integration suite) must not seed entries.
+        std::env::remove_var(ivmf_env::SNAPSHOT_DIR);
         // The content id ignores shard layout, so a sharded session over
         // one cache re-serves the dense session's stage outputs.
         let m = random_interval_matrix(41, 14, 9, 1.0);

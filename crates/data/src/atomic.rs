@@ -1,0 +1,138 @@
+//! Crash-safe atomic file writes.
+//!
+//! Every committed on-disk artifact in this workspace — interval matrix
+//! files, CSR shard files, pipeline snapshots, the accumulated
+//! `BENCH_*.json` baselines — goes through [`atomic_write`]: the payload
+//! is written to a uniquely-named temporary file in the **same
+//! directory** as the destination, flushed and fsync'd, and only then
+//! renamed over the destination (a single atomic operation on POSIX
+//! filesystems), after which the directory entry itself is fsync'd. A
+//! crash at any point therefore leaves either the old committed file or
+//! the new one — never a torn half-write — and a stray `.tmp` from a
+//! killed process can never be mistaken for a committed artifact.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process counter distinguishing concurrent temp files aimed at the
+/// same destination (two pipelines snapshotting the same matrix id, a
+/// bench re-run racing a previous one).
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The temporary sibling a write-in-progress for `path` uses: same
+/// directory (so the final rename never crosses a filesystem), dotted
+/// name, process id and a per-process counter for uniqueness.
+pub(crate) fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    let unique = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    path.with_file_name(format!(".{file_name}.tmp.{}.{unique}", std::process::id()))
+}
+
+/// Writes a file atomically: `fill` produces the contents into a
+/// buffered writer aimed at a temporary sibling of `path`; on success
+/// the temp file is fsync'd and renamed over `path`, and the parent
+/// directory is fsync'd. On any error — including an error returned by
+/// `fill` itself — the temp file is removed and `path` is left exactly
+/// as it was, so a half-produced payload can never replace a committed
+/// file.
+pub fn atomic_write(
+    path: impl AsRef<Path>,
+    fill: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = temp_sibling(path);
+    let result = (|| {
+        let file = File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        fill(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        persist_temp(&tmp, path)
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Commits an already-fsync'd temp file: renames it over `dst` and
+/// fsyncs the parent directory so the new directory entry survives a
+/// crash (best-effort on platforms where directories cannot be opened).
+pub(crate) fn persist_temp(tmp: &Path, dst: &Path) -> io::Result<()> {
+    fs::rename(tmp, dst)?;
+    if let Some(parent) = dst.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
+    Ok(())
+}
+
+/// [`atomic_write`] for a ready-made byte payload — the crash-safe
+/// drop-in for `std::fs::write`.
+pub fn atomic_write_bytes(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> io::Result<()> {
+    atomic_write(path, |w| w.write_all(bytes.as_ref()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_target(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ivmf_atomic_{}_{tag}.txt", std::process::id()))
+    }
+
+    #[test]
+    fn atomic_write_commits_the_full_payload() {
+        let path = temp_target("commit");
+        atomic_write_bytes(&path, "first\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first\n");
+        atomic_write_bytes(&path, "second\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second\n");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_fill_preserves_the_committed_file_and_leaves_no_temp() {
+        let path = temp_target("preserve");
+        atomic_write_bytes(&path, "committed\n").unwrap();
+        let err = atomic_write(&path, |w| {
+            w.write_all(b"partial garbage")?;
+            Err(io::Error::other("simulated crash mid-write"))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("simulated crash"));
+        // The committed payload is untouched...
+        assert_eq!(fs::read_to_string(&path).unwrap(), "committed\n");
+        // ...and no temp sibling survives.
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+        let stray: Vec<_> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&stem) && n.contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_path_use_distinct_temps() {
+        let path = temp_target("concurrent");
+        let a = temp_sibling(&path);
+        let b = temp_sibling(&path);
+        assert_ne!(a, b);
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,261 @@
+//! Deterministic fault injection for crash-safety tests.
+//!
+//! The snapshot and stream layers promise graceful recovery from torn
+//! writes, truncation and bit rot. Promises need adversaries:
+//! [`FaultyWriter`] and [`FaultyReader`] wrap any `Write`/`Read` and
+//! inject exactly one scheduled fault at a deterministic byte offset —
+//! an I/O error (the process was killed / the disk went away), a silent
+//! truncation (buffered bytes lost to a power cut that the writer never
+//! saw fail), or a single flipped bit (media corruption past the
+//! checksum's write time). Tests drive the real serialization code
+//! through these wrappers and assert the recovery policy instead of
+//! hand-crafting corrupt files.
+
+use std::io::{self, Read, Write};
+
+/// What happens when the stream crosses the scheduled byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Return an I/O error at the offset (a kill or device error the
+    /// caller observes).
+    Fail,
+    /// Silently discard everything from the offset on while reporting
+    /// success (writer), or report end-of-stream (reader) — the torn
+    /// write nobody noticed.
+    Truncate,
+    /// Flip the given bit (0–7) of the byte at the offset and continue.
+    FlipBit(u8),
+}
+
+/// One scheduled fault: `kind` triggers once the stream position reaches
+/// byte `at` (0-based).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSchedule {
+    /// Byte offset at which the fault triggers.
+    pub at: u64,
+    /// The fault injected there.
+    pub kind: FaultKind,
+}
+
+impl FaultSchedule {
+    /// An I/O error once `at` bytes have passed.
+    pub fn fail_at(at: u64) -> Self {
+        FaultSchedule {
+            at,
+            kind: FaultKind::Fail,
+        }
+    }
+
+    /// Silent loss of every byte from offset `at` on.
+    pub fn truncate_at(at: u64) -> Self {
+        FaultSchedule {
+            at,
+            kind: FaultKind::Truncate,
+        }
+    }
+
+    /// Bit `bit` of the byte at offset `at` flipped in place.
+    pub fn flip_bit(at: u64, bit: u8) -> Self {
+        FaultSchedule {
+            at,
+            kind: FaultKind::FlipBit(bit % 8),
+        }
+    }
+}
+
+fn injected_error() -> io::Error {
+    io::Error::other("injected fault: simulated I/O failure")
+}
+
+/// A `Write` wrapper injecting one scheduled fault at a deterministic
+/// byte offset. See the [module docs](self).
+#[derive(Debug)]
+pub struct FaultyWriter<W: Write> {
+    inner: W,
+    schedule: FaultSchedule,
+    written: u64,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner` with the given schedule.
+    pub fn new(inner: W, schedule: FaultSchedule) -> Self {
+        FaultyWriter {
+            inner,
+            schedule,
+            written: 0,
+        }
+    }
+
+    /// Total bytes the caller has successfully written (including bytes
+    /// a `Truncate` fault silently discarded).
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let at = self.schedule.at;
+        match self.schedule.kind {
+            FaultKind::Fail => {
+                if self.written >= at {
+                    return Err(injected_error());
+                }
+                // Let the healthy prefix through, then fail on the next
+                // call — mirrors a partial write followed by an error.
+                let healthy = ((at - self.written) as usize).min(buf.len());
+                let n = self.inner.write(&buf[..healthy])?;
+                self.written += n as u64;
+                Ok(n)
+            }
+            FaultKind::Truncate => {
+                let healthy = if self.written >= at {
+                    0
+                } else {
+                    ((at - self.written) as usize).min(buf.len())
+                };
+                if healthy > 0 {
+                    self.inner.write_all(&buf[..healthy])?;
+                }
+                // Everything past the offset vanishes, yet the caller
+                // sees success — the lying-buffer scenario.
+                self.written += buf.len() as u64;
+                Ok(buf.len())
+            }
+            FaultKind::FlipBit(bit) => {
+                let start = self.written;
+                let end = start + buf.len() as u64;
+                if at >= start && at < end {
+                    let mut copy = buf.to_vec();
+                    copy[(at - start) as usize] ^= 1 << bit;
+                    self.inner.write_all(&copy)?;
+                } else {
+                    self.inner.write_all(buf)?;
+                }
+                self.written = end;
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A `Read` wrapper injecting one scheduled fault at a deterministic
+/// byte offset. See the [module docs](self).
+#[derive(Debug)]
+pub struct FaultyReader<R: Read> {
+    inner: R,
+    schedule: FaultSchedule,
+    read: u64,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner` with the given schedule.
+    pub fn new(inner: R, schedule: FaultSchedule) -> Self {
+        FaultyReader {
+            inner,
+            schedule,
+            read: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let at = self.schedule.at;
+        match self.schedule.kind {
+            FaultKind::Fail => {
+                if self.read >= at {
+                    return Err(injected_error());
+                }
+                let healthy = ((at - self.read) as usize).min(buf.len());
+                let n = self.inner.read(&mut buf[..healthy])?;
+                self.read += n as u64;
+                Ok(n)
+            }
+            FaultKind::Truncate => {
+                if self.read >= at {
+                    return Ok(0); // premature, silent end-of-stream
+                }
+                let healthy = ((at - self.read) as usize).min(buf.len());
+                let n = self.inner.read(&mut buf[..healthy])?;
+                self.read += n as u64;
+                Ok(n)
+            }
+            FaultKind::FlipBit(bit) => {
+                let n = self.inner.read(buf)?;
+                let start = self.read;
+                let end = start + n as u64;
+                if at >= start && at < end {
+                    buf[(at - start) as usize] ^= 1 << bit;
+                }
+                self.read = end;
+                Ok(n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn failing_writer_errors_exactly_at_the_scheduled_offset() {
+        let mut w = FaultyWriter::new(Vec::new(), FaultSchedule::fail_at(5));
+        assert_eq!(w.write(b"abc").unwrap(), 3);
+        assert_eq!(w.write(b"defg").unwrap(), 2); // partial up to the fault
+        assert!(w.write(b"hi").is_err());
+        assert_eq!(w.into_inner(), b"abcde");
+    }
+
+    #[test]
+    fn truncating_writer_lies_about_success() {
+        let mut w = FaultyWriter::new(Vec::new(), FaultSchedule::truncate_at(4));
+        w.write_all(b"abcdef").unwrap(); // reports success...
+        assert_eq!(w.bytes_written(), 6);
+        assert_eq!(w.into_inner(), b"abcd"); // ...but dropped the tail
+    }
+
+    #[test]
+    fn bit_flipping_writer_corrupts_one_bit_and_continues() {
+        let mut w = FaultyWriter::new(Vec::new(), FaultSchedule::flip_bit(2, 0));
+        w.write_all(b"aaaa").unwrap();
+        assert_eq!(w.into_inner(), b"aa\x60a"); // 'a' = 0x61, bit 0 flipped
+    }
+
+    #[test]
+    fn faulty_reader_mirrors_the_writer_faults() {
+        let data = b"hello world".to_vec();
+        // Fail.
+        let mut r = FaultyReader::new(&data[..], FaultSchedule::fail_at(5));
+        let mut buf = String::new();
+        assert!(r.read_to_string(&mut buf).is_err());
+        // Truncate: clean EOF at the offset.
+        let mut r = BufReader::new(FaultyReader::new(&data[..], FaultSchedule::truncate_at(5)));
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line, "hello");
+        // Flip a bit.
+        let mut r = FaultyReader::new(&data[..], FaultSchedule::flip_bit(0, 1));
+        let mut all = Vec::new();
+        r.read_to_end(&mut all).unwrap();
+        assert_eq!(all[0], b'h' ^ 2);
+        assert_eq!(&all[1..], &data[1..]);
+    }
+}

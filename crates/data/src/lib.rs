@@ -39,6 +39,12 @@
 //!   ([`stream::CsrShardWriter`], [`stream::CsrShardReader`],
 //!   [`stream::stream_csr_interval_gram`]) that store and stream only the
 //!   nonzero entries.
+//! * [`atomic`] — crash-safe write-to-temp-then-rename file commits used
+//!   by every on-disk artifact (matrix files, shards, snapshots, bench
+//!   baselines).
+//! * [`fault`] — deterministic fault-injection `Read`/`Write` wrappers
+//!   (fail / truncate / bit-flip at a scheduled byte offset) backing the
+//!   crash-recovery test suites.
 //!
 //! ## Example
 //!
@@ -67,7 +73,9 @@
 #![deny(unsafe_code)]
 
 pub mod anonymize;
+pub mod atomic;
 pub mod faces;
+pub mod fault;
 pub mod ratings;
 pub mod split;
 pub mod stream;

@@ -51,8 +51,25 @@
 //!
 //! Both formats print values with shortest round-trip `f64` formatting, so
 //! loading reproduces every bit.
+//!
+//! ## Crash safety and error reporting
+//!
+//! Writers never leave a torn committed file: [`write_interval_matrix`]
+//! and [`write_csr_matrix`] go through [`crate::atomic::atomic_write`],
+//! and [`CsrShardWriter`] streams into a temporary sibling that only
+//! [`finish`](CsrShardWriter::finish) (flush + fsync + rename) promotes
+//! to the destination path — a writer dropped mid-stream removes its
+//! temp and leaves any previously committed file untouched.
+//!
+//! Readers treat the file as untrusted input: every malformed header,
+//! dimension overflow, out-of-range entry count or column, premature end
+//! of file and trailing token is rejected with a typed [`StreamError`]
+//! carried inside the returned `io::Error` (downcast via
+//! [`StreamError::from_io`]), and allocations are bounded before the
+//! header's claims are trusted.
 
-use std::fs::File;
+use std::fmt;
+use std::fs::{self, File};
 use std::io::{self, BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
@@ -67,25 +84,221 @@ fn invalid_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// Elements pre-allocated per vector before the file proves it is large
+/// enough — a corrupted header declaring billions of rows must not be
+/// able to reserve gigabytes up front.
+const PREALLOC_CAP: usize = 1 << 20;
+
+/// Typed parse/validation errors raised by the stream readers.
+///
+/// Each variant names the file and (where applicable) the 0-based data
+/// row that failed, so corruption reports point at the exact line. The
+/// readers return these wrapped in an `io::Error` (kind
+/// `UnexpectedEof` for [`StreamError::UnexpectedEof`], `InvalidData`
+/// otherwise); recover the typed value with [`StreamError::from_io`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The first line is not a valid `<rows> <cols>` (dense) or
+    /// `csr <rows> <cols>` (sparse) header.
+    MalformedHeader {
+        /// File whose header failed to parse.
+        path: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The declared `rows × cols` element count overflows `usize`.
+    DimensionOverflow {
+        /// File whose header overflowed.
+        path: String,
+        /// Declared row count.
+        rows: usize,
+        /// Declared column count.
+        cols: usize,
+    },
+    /// The file ended before the declared number of rows was read.
+    UnexpectedEof {
+        /// File that ended early.
+        path: String,
+        /// 0-based row at which data ran out.
+        row: usize,
+    },
+    /// A data line has a missing or unparseable value.
+    MalformedEntry {
+        /// File containing the bad line.
+        path: String,
+        /// 0-based row of the bad line.
+        row: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A CSR row declares more stored entries than the matrix has
+    /// columns.
+    EntryCountOutOfRange {
+        /// File containing the bad line.
+        path: String,
+        /// 0-based row of the bad line.
+        row: usize,
+        /// Declared stored-entry count.
+        count: usize,
+        /// Declared matrix width.
+        cols: usize,
+    },
+    /// A CSR entry names a column at or beyond the declared width.
+    ColumnOutOfRange {
+        /// File containing the bad line.
+        path: String,
+        /// 0-based row of the bad line.
+        row: usize,
+        /// Offending column index.
+        column: usize,
+        /// Declared matrix width.
+        cols: usize,
+    },
+    /// A line carries tokens past the declared entries.
+    TrailingData {
+        /// File containing the bad line.
+        path: String,
+        /// 0-based row of the bad line (`usize::MAX` for the header).
+        row: usize,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::MalformedHeader { path, detail } => {
+                write!(f, "{path}: malformed header: {detail}")
+            }
+            StreamError::DimensionOverflow { path, rows, cols } => {
+                write!(f, "{path}: {rows} x {cols} elements overflow usize")
+            }
+            StreamError::UnexpectedEof { path, row } => {
+                write!(f, "{path}: unexpected end of file at row {row}")
+            }
+            StreamError::MalformedEntry { path, row, detail } => {
+                write!(f, "{path}: row {row}: {detail}")
+            }
+            StreamError::EntryCountOutOfRange {
+                path,
+                row,
+                count,
+                cols,
+            } => write!(
+                f,
+                "{path}: row {row}: {count} stored entries exceed the {cols} declared columns"
+            ),
+            StreamError::ColumnOutOfRange {
+                path,
+                row,
+                column,
+                cols,
+            } => write!(
+                f,
+                "{path}: row {row}: column {column} out of range for width {cols}"
+            ),
+            StreamError::TrailingData { path, row } => {
+                if *row == usize::MAX {
+                    write!(f, "{path}: trailing tokens after the header")
+                } else {
+                    write!(
+                        f,
+                        "{path}: row {row}: trailing tokens after the declared entries"
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl StreamError {
+    /// Wraps the error in an `io::Error` with the matching kind.
+    fn into_io(self) -> io::Error {
+        let kind = match self {
+            StreamError::UnexpectedEof { .. } => io::ErrorKind::UnexpectedEof,
+            _ => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, self)
+    }
+
+    /// Recovers the typed error carried by an `io::Error` returned from
+    /// this module's readers, if any.
+    pub fn from_io(err: &io::Error) -> Option<&StreamError> {
+        err.get_ref().and_then(|e| e.downcast_ref::<StreamError>())
+    }
+}
+
+/// Parses and validates a `<rows> <cols>` header (with optional leading
+/// `tag`), rejecting missing/unparseable fields, trailing tokens and
+/// element counts that overflow `usize` (each cell stores two `f64`
+/// bounds, hence the factor of 2).
+fn parse_header(path: &Path, header: &str, tag: Option<&str>) -> io::Result<(usize, usize)> {
+    let display = path.display().to_string();
+    let malformed = |detail: &str| {
+        StreamError::MalformedHeader {
+            path: display.clone(),
+            detail: detail.to_string(),
+        }
+        .into_io()
+    };
+    let mut it = header.split_whitespace();
+    if let Some(tag) = tag {
+        if it.next() != Some(tag) {
+            return Err(malformed(&format!("expected leading '{tag}' token")));
+        }
+    }
+    let rows: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| malformed("missing or unparseable row count"))?;
+    let cols: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| malformed("missing or unparseable column count"))?;
+    if it.next().is_some() {
+        return Err(StreamError::TrailingData {
+            path: display,
+            row: usize::MAX,
+        }
+        .into_io());
+    }
+    if rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(2))
+        .is_none()
+    {
+        return Err(StreamError::DimensionOverflow {
+            path: display,
+            rows,
+            cols,
+        }
+        .into_io());
+    }
+    Ok((rows, cols))
+}
+
 /// Writes an interval matrix to `path` in the module's line-per-row text
 /// format. Values use shortest round-trip formatting, so a subsequent load
-/// is bit-exact.
+/// is bit-exact. The write is atomic ([`crate::atomic::atomic_write`]): a
+/// crash mid-write leaves any previously committed file untouched.
 pub fn write_interval_matrix(path: impl AsRef<Path>, m: &IntervalMatrix) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    let (rows, cols) = m.shape();
-    writeln!(w, "{rows} {cols}")?;
-    for i in 0..rows {
-        let mut line = String::new();
-        for j in 0..cols {
-            if j > 0 {
-                line.push(' ');
+    crate::atomic::atomic_write(path, |w| {
+        let (rows, cols) = m.shape();
+        writeln!(w, "{rows} {cols}")?;
+        for i in 0..rows {
+            let mut line = String::new();
+            for j in 0..cols {
+                if j > 0 {
+                    line.push(' ');
+                }
+                let (lo, hi) = m.get_raw(i, j);
+                line.push_str(&format!("{lo:?} {hi:?}"));
             }
-            let (lo, hi) = m.get_raw(i, j);
-            line.push_str(&format!("{lo:?} {hi:?}"));
+            writeln!(w, "{line}")?;
         }
-        writeln!(w, "{line}")?;
-    }
-    w.flush()
+        Ok(())
+    })
 }
 
 /// Reads an interval matrix file shard by shard, holding one shard in
@@ -112,15 +325,7 @@ impl ShardReader {
         let mut reader = BufReader::new(File::open(&path)?);
         let mut header = String::new();
         reader.read_line(&mut header)?;
-        let mut it = header.split_whitespace();
-        let rows: usize = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| invalid_data(format!("{}: malformed header", path.display())))?;
-        let cols: usize = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| invalid_data(format!("{}: malformed header", path.display())))?;
+        let (rows, cols) = parse_header(&path, &header, None)?;
         let data_start = reader.stream_position()?;
         Ok(ShardReader {
             path,
@@ -168,17 +373,21 @@ impl ShardReader {
             return Ok(None);
         }
         let take = self.shard_rows.min(self.rows - self.next_row);
-        let mut lo = Vec::with_capacity(take * self.cols);
-        let mut hi = Vec::with_capacity(take * self.cols);
+        // Bounded pre-allocation: the header's claims are untrusted
+        // until the data backs them up.
+        let prealloc = (take * self.cols).min(PREALLOC_CAP);
+        let mut lo = Vec::with_capacity(prealloc);
+        let mut hi = Vec::with_capacity(prealloc);
         let mut line = String::new();
         for r in 0..take {
+            let row = self.next_row + r;
             line.clear();
             if self.reader.read_line(&mut line)? == 0 {
-                return Err(invalid_data(format!(
-                    "{}: unexpected end of file at row {}",
-                    self.path.display(),
-                    self.next_row + r
-                )));
+                return Err(StreamError::UnexpectedEof {
+                    path: self.path.display().to_string(),
+                    row,
+                }
+                .into_io());
             }
             let mut values = line.split_whitespace().map(|t| t.parse::<f64>());
             for c in 0..self.cols {
@@ -188,13 +397,21 @@ impl ShardReader {
                         hi.push(h);
                     }
                     _ => {
-                        return Err(invalid_data(format!(
-                            "{}: malformed entry at row {}, column {c}",
-                            self.path.display(),
-                            self.next_row + r
-                        )))
+                        return Err(StreamError::MalformedEntry {
+                            path: self.path.display().to_string(),
+                            row,
+                            detail: format!("missing or unparseable bounds at column {c}"),
+                        }
+                        .into_io())
                     }
                 }
+            }
+            if values.next().is_some() {
+                return Err(StreamError::TrailingData {
+                    path: self.path.display().to_string(),
+                    row,
+                }
+                .into_io());
             }
         }
         self.next_row += take;
@@ -262,21 +479,39 @@ pub fn stream_interval_gram(
 /// [`finish`](CsrShardWriter::finish) once every row has been written.
 /// Peak memory is one block — the file is produced without ever holding
 /// the full matrix.
+///
+/// The writer is crash-safe: rows stream into a temporary sibling of the
+/// destination, and only `finish` (which flushes, fsyncs and renames)
+/// makes the file visible at `path`. A writer dropped before `finish` —
+/// including by a panic or an early return after an I/O error — removes
+/// its temp file and leaves any previously committed file untouched.
 #[derive(Debug)]
 pub struct CsrShardWriter {
-    w: BufWriter<File>,
+    w: Option<BufWriter<File>>,
+    path: PathBuf,
+    tmp: PathBuf,
     rows: usize,
     cols: usize,
     rows_written: usize,
 }
 
 impl CsrShardWriter {
-    /// Creates `path` and writes the `csr <rows> <cols>` header.
+    /// Opens a temporary sibling of `path` and writes the
+    /// `csr <rows> <cols>` header; `path` itself is only created by
+    /// [`finish`](CsrShardWriter::finish).
     pub fn create(path: impl AsRef<Path>, rows: usize, cols: usize) -> io::Result<Self> {
-        let mut w = BufWriter::new(File::create(path)?);
-        writeln!(w, "csr {rows} {cols}")?;
+        let path = path.as_ref().to_path_buf();
+        let tmp = crate::atomic::temp_sibling(&path);
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        if let Err(e) = writeln!(w, "csr {rows} {cols}") {
+            drop(w);
+            fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
         Ok(CsrShardWriter {
-            w,
+            w: Some(w),
+            path,
+            tmp,
             rows,
             cols,
             rows_written: 0,
@@ -286,6 +521,10 @@ impl CsrShardWriter {
     /// Rows written so far.
     pub fn rows_written(&self) -> usize {
         self.rows_written
+    }
+
+    fn writer(&mut self) -> &mut BufWriter<File> {
+        self.w.as_mut().expect("writer is only taken by finish")
     }
 
     /// Appends the rows of `shard` to the file (row order across calls).
@@ -313,28 +552,49 @@ impl CsrShardWriter {
             for ((&c, &l), &h) in cols.iter().zip(lo).zip(hi) {
                 line.push_str(&format!(" {c} {l:?} {h:?}"));
             }
-            writeln!(self.w, "{line}")?;
+            writeln!(self.writer(), "{line}")?;
         }
         self.rows_written += shard.rows();
         Ok(())
     }
 
-    /// Flushes and validates that exactly the declared number of rows was
-    /// written.
+    /// Validates that exactly the declared number of rows was written,
+    /// then commits the file: flush, fsync, rename over `path`. On any
+    /// error the temp file is removed and `path` is left as it was.
     pub fn finish(mut self) -> io::Result<()> {
         if self.rows_written != self.rows {
+            // Drop removes the temp file.
             return Err(invalid_data(format!(
                 "file declares {} rows but {} were written",
                 self.rows, self.rows_written
             )));
         }
-        self.w.flush()
+        let mut w = self.w.take().expect("finish consumes the writer");
+        let flushed = w.flush().and_then(|()| w.get_ref().sync_all());
+        drop(w);
+        let result = flushed.and_then(|()| crate::atomic::persist_temp(&self.tmp, &self.path));
+        if result.is_err() {
+            fs::remove_file(&self.tmp).ok();
+        }
+        result
+    }
+}
+
+impl Drop for CsrShardWriter {
+    fn drop(&mut self) {
+        // An unfinished writer (crash, error path, forgotten finish)
+        // must not leave its temp file behind.
+        if let Some(w) = self.w.take() {
+            drop(w);
+            fs::remove_file(&self.tmp).ok();
+        }
     }
 }
 
 /// Writes a CSR interval shard to `path` in the sparse text format in one
 /// call. Values use shortest round-trip formatting, so a subsequent load
-/// is bit-exact.
+/// is bit-exact. The write inherits [`CsrShardWriter`]'s crash safety:
+/// the file only appears at `path` complete, fsync'd and renamed.
 pub fn write_csr_matrix(path: impl AsRef<Path>, m: &CsrIntervalShard) -> io::Result<()> {
     let mut w = CsrShardWriter::create(path, m.rows(), m.cols())?;
     w.push_shard(m)?;
@@ -366,21 +626,7 @@ impl CsrShardReader {
         let mut reader = BufReader::new(File::open(&path)?);
         let mut header = String::new();
         reader.read_line(&mut header)?;
-        let mut it = header.split_whitespace();
-        if it.next() != Some("csr") {
-            return Err(invalid_data(format!(
-                "{}: not a CSR file (header must start with 'csr')",
-                path.display()
-            )));
-        }
-        let rows: usize = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| invalid_data(format!("{}: malformed header", path.display())))?;
-        let cols: usize = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| invalid_data(format!("{}: malformed header", path.display())))?;
+        let (rows, cols) = parse_header(&path, &header, Some("csr"))?;
         let data_start = reader.stream_position()?;
         Ok(CsrShardReader {
             path,
@@ -427,47 +673,75 @@ impl CsrShardReader {
             return Ok(None);
         }
         let take = self.shard_rows.min(self.rows - self.next_row);
-        let mut row_ptr = Vec::with_capacity(take + 1);
+        let mut row_ptr = Vec::with_capacity((take + 1).min(PREALLOC_CAP));
         let mut col_idx = Vec::new();
         let mut lo = Vec::new();
         let mut hi = Vec::new();
         row_ptr.push(0);
         let mut line = String::new();
         for r in 0..take {
+            let row = self.next_row + r;
             line.clear();
             if self.reader.read_line(&mut line)? == 0 {
-                return Err(invalid_data(format!(
-                    "{}: unexpected end of file at row {}",
-                    self.path.display(),
-                    self.next_row + r
-                )));
+                return Err(StreamError::UnexpectedEof {
+                    path: self.path.display().to_string(),
+                    row,
+                }
+                .into_io());
             }
             let mut tokens = line.split_whitespace();
             let k: usize = tokens.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
-                invalid_data(format!(
-                    "{}: malformed entry count at row {}",
-                    self.path.display(),
-                    self.next_row + r
-                ))
+                StreamError::MalformedEntry {
+                    path: self.path.display().to_string(),
+                    row,
+                    detail: "missing or unparseable stored-entry count".to_string(),
+                }
+                .into_io()
             })?;
+            if k > self.cols {
+                return Err(StreamError::EntryCountOutOfRange {
+                    path: self.path.display().to_string(),
+                    row,
+                    count: k,
+                    cols: self.cols,
+                }
+                .into_io());
+            }
             for e in 0..k {
                 let c = tokens.next().and_then(|t| t.parse::<usize>().ok());
                 let l = tokens.next().and_then(|t| t.parse::<f64>().ok());
                 let h = tokens.next().and_then(|t| t.parse::<f64>().ok());
                 match (c, l, h) {
                     (Some(c), Some(l), Some(h)) => {
+                        if c >= self.cols {
+                            return Err(StreamError::ColumnOutOfRange {
+                                path: self.path.display().to_string(),
+                                row,
+                                column: c,
+                                cols: self.cols,
+                            }
+                            .into_io());
+                        }
                         col_idx.push(c);
                         lo.push(l);
                         hi.push(h);
                     }
                     _ => {
-                        return Err(invalid_data(format!(
-                            "{}: malformed entry {e} at row {}",
-                            self.path.display(),
-                            self.next_row + r
-                        )))
+                        return Err(StreamError::MalformedEntry {
+                            path: self.path.display().to_string(),
+                            row,
+                            detail: format!("missing or unparseable entry {e}"),
+                        }
+                        .into_io())
                     }
                 }
+            }
+            if tokens.next().is_some() {
+                return Err(StreamError::TrailingData {
+                    path: self.path.display().to_string(),
+                    row,
+                }
+                .into_io());
             }
             row_ptr.push(col_idx.len());
         }
@@ -704,6 +978,165 @@ mod tests {
             .unwrap()
             .finish()
             .is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn typed(err: &io::Error) -> &StreamError {
+        StreamError::from_io(err).expect("reader errors must carry a typed StreamError")
+    }
+
+    #[test]
+    fn dense_reader_errors_are_typed_and_named() {
+        let path = temp_path("typed_dense");
+        // Malformed header: unparseable row count.
+        std::fs::write(&path, "banana 2\n").unwrap();
+        assert!(matches!(
+            typed(&ShardReader::open(&path, 4).unwrap_err()),
+            StreamError::MalformedHeader { .. }
+        ));
+        // Trailing tokens after the header.
+        std::fs::write(&path, "2 2 surprise\n").unwrap();
+        assert!(matches!(
+            typed(&ShardReader::open(&path, 4).unwrap_err()),
+            StreamError::TrailingData {
+                row: usize::MAX,
+                ..
+            }
+        ));
+        // Element count overflowing usize is rejected before any read.
+        std::fs::write(&path, format!("{} 3\n", usize::MAX / 2)).unwrap();
+        assert!(matches!(
+            typed(&ShardReader::open(&path, 4).unwrap_err()),
+            StreamError::DimensionOverflow { cols: 3, .. }
+        ));
+        // Unexpected EOF carries the failing row and the EOF io kind.
+        std::fs::write(&path, "2 2\n1.0 2.0 3.0 4.0\n").unwrap();
+        let err = ShardReader::open(&path, 4)
+            .unwrap()
+            .read_shard()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(matches!(
+            typed(&err),
+            StreamError::UnexpectedEof { row: 1, .. }
+        ));
+        // Unparseable value.
+        std::fs::write(&path, "1 2\n1.0 oops 3.0 4.0\n").unwrap();
+        let err = ShardReader::open(&path, 4)
+            .unwrap()
+            .read_shard()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(
+            typed(&err),
+            StreamError::MalformedEntry { row: 0, .. }
+        ));
+        // Trailing tokens after the declared bounds.
+        std::fs::write(&path, "1 1\n1.0 2.0 3.0\n").unwrap();
+        let err = ShardReader::open(&path, 4)
+            .unwrap()
+            .read_shard()
+            .unwrap_err();
+        assert!(matches!(
+            typed(&err),
+            StreamError::TrailingData { row: 0, .. }
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_reader_errors_are_typed_and_named() {
+        let path = temp_path("typed_csr");
+        // Entry count beyond the declared width.
+        std::fs::write(
+            &path,
+            "csr 1 3\n4 0 1.0 2.0 1 1.0 2.0 2 1.0 2.0 2 1.0 2.0\n",
+        )
+        .unwrap();
+        let err = CsrShardReader::open(&path, 4)
+            .unwrap()
+            .read_shard()
+            .unwrap_err();
+        assert!(matches!(
+            typed(&err),
+            StreamError::EntryCountOutOfRange {
+                row: 0,
+                count: 4,
+                cols: 3,
+                ..
+            }
+        ));
+        // Column index beyond the declared width.
+        std::fs::write(&path, "csr 1 3\n1 7 1.0 2.0\n").unwrap();
+        let err = CsrShardReader::open(&path, 4)
+            .unwrap()
+            .read_shard()
+            .unwrap_err();
+        assert!(matches!(
+            typed(&err),
+            StreamError::ColumnOutOfRange {
+                row: 0,
+                column: 7,
+                cols: 3,
+                ..
+            }
+        ));
+        // Trailing tokens after the declared entries.
+        std::fs::write(&path, "csr 1 3\n1 0 1.0 2.0 extra\n").unwrap();
+        let err = CsrShardReader::open(&path, 4)
+            .unwrap()
+            .read_shard()
+            .unwrap_err();
+        assert!(matches!(
+            typed(&err),
+            StreamError::TrailingData { row: 0, .. }
+        ));
+        // Dimension overflow applies to the CSR header too.
+        std::fs::write(&path, format!("csr {} {}\n", usize::MAX / 2, 4)).unwrap();
+        assert!(matches!(
+            typed(&CsrShardReader::open(&path, 4).unwrap_err()),
+            StreamError::DimensionOverflow { .. }
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csr_writer_is_crash_safe_until_finish() {
+        let committed = sample_csr(21, 4, 6, 2);
+        let path = temp_path("csr_crash_safe");
+        write_csr_matrix(&path, &committed).unwrap();
+        let dir = path.parent().unwrap().to_path_buf();
+        let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+        let temps = |tag: &str| -> Vec<String> {
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|n| n.contains(&stem) && n.contains(".tmp."))
+                .inspect(|n| println!("{tag}: stray temp {n}"))
+                .collect()
+        };
+        // A writer abandoned mid-stream (simulated kill between write and
+        // rename) leaves the committed file intact and no temp behind.
+        {
+            let mut w = CsrShardWriter::create(&path, 8, 6).unwrap();
+            w.push_shard(&sample_csr(22, 3, 6, 2)).unwrap();
+            // dropped unfinished here
+        }
+        assert!(temps("after drop").is_empty());
+        let loaded = load_csr_sharded(&path, 8).unwrap();
+        assert_eq!(loaded.to_dense(), committed.to_dense());
+        // A finish that fails row validation also cleans up and keeps
+        // the committed file.
+        assert!(CsrShardWriter::create(&path, 8, 6)
+            .unwrap()
+            .finish()
+            .is_err());
+        assert!(temps("after failed finish").is_empty());
+        assert_eq!(
+            load_csr_sharded(&path, 8).unwrap().to_dense(),
+            committed.to_dense()
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -16,6 +16,7 @@
 //! | [`SHARD_ROWS`] | `ivmf-interval`, `ivmf-data` | default rows per shard for row-sharded matrices and chunked loaders |
 //! | [`SPARSE_THRESHOLD`] | `ivmf-core` | density cutoff in `(0, 1]` at or below which dense in-memory pipeline inputs take the sparse CSR Gram path (bitwise-identical results either way) |
 //! | [`TOPK_EIGEN`] | `ivmf-linalg` | `auto` (default) / `full` / `forced` — whether truncating eigendecompositions use the certified top-k Lanczos solver, the full `tred2`/`tql2` oracle, or the Lanczos path regardless of the profitability heuristic |
+//! | [`SNAPSHOT_DIR`] | `ivmf-core` | directory for automatic crash-safe pipeline snapshots: load-on-construct, save-on-drop (unset: snapshots only on explicit `snapshot_to`/`restore_from`) |
 //! | [`REPLICATES`] | `ivmf-bench` | seeded replicates the `exp_*` binaries average over (default 5) |
 //! | [`SCALE`] | `ivmf-bench` | size multiplier in `(0, 1]` for the larger data sets |
 //! | [`BENCH_SMOKE`] | `ivmf-bench` | `1`/`true` runs every bench with a single sample (CI bitrot guard) |
@@ -82,6 +83,13 @@ pub const SPARSE_THRESHOLD: &str = "IVMF_SPARSE_THRESHOLD";
 /// accepted answer is certified against the same residual tolerance, so
 /// the knob never changes results beyond that tolerance.
 pub const TOPK_EIGEN: &str = "IVMF_TOPK_EIGEN";
+
+/// Directory for automatic crash-safe pipeline snapshots (`ivmf-core`):
+/// when set, every `Pipeline` tries to restore a snapshot of its stage
+/// cache and retained Gram accumulators from this directory on
+/// construction and writes one atomically on drop. Unset disables the
+/// automatic path; explicit `snapshot_to`/`restore_from` always work.
+pub const SNAPSHOT_DIR: &str = "IVMF_SNAPSHOT_DIR";
 
 /// Number of seeded replicates the `exp_*` binaries average over.
 pub const REPLICATES: &str = "IVMF_REPLICATES";
@@ -246,6 +254,21 @@ pub fn sparse_threshold() -> Option<f64> {
 /// of panicking.
 pub fn try_sparse_threshold() -> Result<Option<f64>, EnvVarError> {
     try_f64_var_in(SPARSE_THRESHOLD, 0.0, 1.0)
+}
+
+/// The configured snapshot directory: `IVMF_SNAPSHOT_DIR` when set and
+/// non-empty (whitespace-only values count as unset — an empty directory
+/// name is always a misconfiguration, never a useful path), `None`
+/// otherwise. The directory is created on first use by the snapshot
+/// writer, not here.
+pub fn snapshot_dir() -> Option<std::path::PathBuf> {
+    let raw = string_var(SNAPSHOT_DIR)?;
+    let v = raw.trim();
+    if v.is_empty() {
+        None
+    } else {
+        Some(std::path::PathBuf::from(v))
+    }
 }
 
 /// How truncating eigendecompositions pick their solver; parsed from
@@ -448,6 +471,23 @@ mod tests {
             );
         }
         std::env::remove_var(TOPK_EIGEN);
+    }
+
+    #[test]
+    fn snapshot_dir_reads_the_documented_variable() {
+        // This test owns IVMF_SNAPSHOT_DIR within this binary.
+        std::env::remove_var(SNAPSHOT_DIR);
+        assert_eq!(snapshot_dir(), None);
+        std::env::set_var(SNAPSHOT_DIR, "/tmp/ivmf-snaps");
+        assert_eq!(
+            snapshot_dir(),
+            Some(std::path::PathBuf::from("/tmp/ivmf-snaps"))
+        );
+        for blank in ["", "   "] {
+            std::env::set_var(SNAPSHOT_DIR, blank);
+            assert_eq!(snapshot_dir(), None, "{blank:?} should read as unset");
+        }
+        std::env::remove_var(SNAPSHOT_DIR);
     }
 
     #[test]

@@ -438,6 +438,120 @@ impl StreamingIntervalGram {
             }
         }
     }
+
+    /// Serializes the complete accumulator state — flavour plus every
+    /// inner scalar accumulator — as bit-exact state text. The midpoint–
+    /// radius flavour **must** persist its inner accumulators rather than
+    /// any finished interval result: the mid/sum conversion is not
+    /// bit-exactly invertible, so only the raw pending buffers let a
+    /// restored accumulator continue the fold bitwise.
+    pub fn write_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let tag = self.is_mid_rad() as u8;
+        writeln!(w, "intervalgram {} {} {}", self.cols, self.rows_seen, tag)?;
+        match &self.flavour {
+            Flavour::Exact { lo, hi, cross } => {
+                lo.write_state(w)?;
+                hi.write_state(w)?;
+                cross.write_state(w)
+            }
+            Flavour::MidRad { mid, sum } => {
+                mid.write_state(w)?;
+                sum.write_state(w)
+            }
+        }
+    }
+
+    /// Restores an accumulator written by
+    /// [`StreamingIntervalGram::write_state`], revalidating that every
+    /// inner accumulator agrees with the header on shape and row count
+    /// (so a spliced or corrupted state errors instead of producing an
+    /// inconsistent fold).
+    pub fn read_state(r: &mut dyn std::io::BufRead) -> std::io::Result<Self> {
+        let (cols, rows_seen, mid_rad) = read_interval_gram_header(r, "intervalgram")?;
+        let flavour = if mid_rad {
+            let mid = GramAccumulator::read_state(r)?;
+            let sum = GramAccumulator::read_state(r)?;
+            check_inner(
+                &[mid.cols(), sum.cols()],
+                cols,
+                &[mid.rows_seen(), sum.rows_seen()],
+                rows_seen,
+            )?;
+            Flavour::MidRad { mid, sum }
+        } else {
+            let lo = GramAccumulator::read_state(r)?;
+            let hi = GramAccumulator::read_state(r)?;
+            let cross = CrossGramAccumulator::read_state(r)?;
+            check_inner(
+                &[lo.cols(), hi.cols(), cross.a_cols(), cross.b_cols()],
+                cols,
+                &[lo.rows_seen(), hi.rows_seen(), cross.rows_seen()],
+                rows_seen,
+            )?;
+            Flavour::Exact { lo, hi, cross }
+        };
+        Ok(StreamingIntervalGram {
+            cols,
+            rows_seen,
+            flavour,
+        })
+    }
+}
+
+/// Parses the `<tag> <cols> <rows_seen> <flavour>` header shared by the
+/// dense and sparse interval-Gram accumulator states.
+pub(crate) fn read_interval_gram_header(
+    r: &mut dyn std::io::BufRead,
+    tag: &str,
+) -> std::io::Result<(usize, usize, bool)> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "unexpected end of stream while reading state",
+        ));
+    }
+    let mut t = line.split_ascii_whitespace();
+    if t.next() != Some(tag) {
+        return Err(bad(format!("expected {tag:?} state header, got {line:?}")));
+    }
+    let mut field = || -> std::io::Result<usize> {
+        t.next()
+            .ok_or_else(|| bad("truncated state header".to_string()))?
+            .parse()
+            .map_err(|_| bad("malformed state header field".to_string()))
+    };
+    let (cols, rows_seen, flavour) = (field()?, field()?, field()?);
+    if t.next().is_some() {
+        return Err(bad("trailing tokens in state header".to_string()));
+    }
+    if cols == 0 {
+        return Err(bad(
+            "interval accumulator state has zero columns".to_string()
+        ));
+    }
+    if flavour > 1 {
+        return Err(bad(format!("unknown flavour tag {flavour}")));
+    }
+    Ok((cols, rows_seen, flavour == 1))
+}
+
+/// Checks every inner accumulator's column and row count against the
+/// outer header.
+pub(crate) fn check_inner(
+    inner_cols: &[usize],
+    cols: usize,
+    inner_rows: &[usize],
+    rows_seen: usize,
+) -> std::io::Result<()> {
+    if inner_cols.iter().any(|&c| c != cols) || inner_rows.iter().any(|&n| n != rows_seen) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "inner accumulator state disagrees with the interval-Gram header",
+        ));
+    }
+    Ok(())
 }
 
 impl IntervalMatrix {
@@ -615,5 +729,56 @@ mod tests {
         assert_eq!(lo, *m.lo());
         let hi = ivmf_linalg::matmul_streamed(&sharded.hi_blocks(), &rhs).unwrap();
         assert_eq!(hi, *m.hi());
+    }
+
+    #[test]
+    fn interval_gram_state_round_trips_bitwise_in_both_flavours() {
+        // Small total rows → exact flavour; a wide/tall total → mid-rad.
+        // Either way, restoring mid-stream and continuing must be bitwise
+        // the uninterrupted accumulator (the snapshot layer's contract).
+        for (total, cols, label) in [(40usize, 6usize, "exact"), (600, 40, "midrad")] {
+            let head = random_interval(21, total - 10, cols);
+            let tail = random_interval(22, 10, cols);
+            let mut acc = StreamingIntervalGram::new(total, cols);
+            acc.push_shard(&head).unwrap();
+            let mut buf = Vec::new();
+            acc.write_state(&mut buf).unwrap();
+            let mut restored =
+                StreamingIntervalGram::read_state(&mut std::io::BufReader::new(&buf[..])).unwrap();
+            assert_eq!(restored.is_mid_rad(), acc.is_mid_rad(), "{label}");
+            assert_eq!(restored.rows_seen(), acc.rows_seen(), "{label}");
+            acc.push_shard(&tail).unwrap();
+            restored.push_shard(&tail).unwrap();
+            assert_bitwise(
+                &restored.finish().unwrap(),
+                &acc.finish().unwrap(),
+                &format!("continued interval gram ({label})"),
+            );
+        }
+    }
+
+    #[test]
+    fn interval_gram_read_state_rejects_corrupted_text() {
+        let m = random_interval(23, 50, 5);
+        let mut acc = StreamingIntervalGram::new(50, 5);
+        acc.push_shard(&m).unwrap();
+        let mut buf = Vec::new();
+        acc.write_state(&mut buf).unwrap();
+        let corrupt = |b: &[u8]| {
+            StreamingIntervalGram::read_state(&mut std::io::BufReader::new(b)).unwrap_err()
+        };
+        corrupt(&buf[..buf.len() / 2]); // truncation
+        let mut spam = buf.clone();
+        spam[.."intervalgram".len()].copy_from_slice(b"intervalspam");
+        corrupt(&spam); // tag
+        let header_len = buf.iter().position(|&b| b == b'\n').unwrap();
+        assert_eq!(&buf[..header_len], b"intervalgram 5 50 0");
+        let mut flavour = buf.clone();
+        flavour[header_len - 1] = b'2';
+        corrupt(&flavour); // unknown flavour
+                           // Header/inner disagreement: bump the outer row count.
+        let mut bumped = buf.clone();
+        bumped[..header_len].copy_from_slice(b"intervalgram 5 51 0");
+        corrupt(&bumped);
     }
 }

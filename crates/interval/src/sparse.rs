@@ -601,6 +601,66 @@ impl SparseStreamingIntervalGram {
             }
         }
     }
+
+    /// Serializes the complete accumulator state as bit-exact state
+    /// text; the sparse counterpart of
+    /// [`StreamingIntervalGram::write_state`](crate::StreamingIntervalGram::write_state)
+    /// (the same reasoning applies: only the raw inner accumulators let
+    /// a restore continue the fold bitwise).
+    pub fn write_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let tag = self.is_mid_rad() as u8;
+        writeln!(
+            w,
+            "sparseintervalgram {} {} {}",
+            self.cols, self.rows_seen, tag
+        )?;
+        match &self.flavour {
+            SparseFlavour::Exact { lo, hi, cross } => {
+                lo.write_state(w)?;
+                hi.write_state(w)?;
+                cross.write_state(w)
+            }
+            SparseFlavour::MidRad { mid, sum } => {
+                mid.write_state(w)?;
+                sum.write_state(w)
+            }
+        }
+    }
+
+    /// Restores an accumulator written by
+    /// [`SparseStreamingIntervalGram::write_state`], revalidating every
+    /// inner accumulator against the header.
+    pub fn read_state(r: &mut dyn std::io::BufRead) -> std::io::Result<Self> {
+        let (cols, rows_seen, mid_rad) =
+            crate::sharded::read_interval_gram_header(r, "sparseintervalgram")?;
+        let flavour = if mid_rad {
+            let mid = SparseGramAccumulator::read_state(r)?;
+            let sum = SparseGramAccumulator::read_state(r)?;
+            crate::sharded::check_inner(
+                &[mid.cols(), sum.cols()],
+                cols,
+                &[mid.rows_seen(), sum.rows_seen()],
+                rows_seen,
+            )?;
+            SparseFlavour::MidRad { mid, sum }
+        } else {
+            let lo = SparseGramAccumulator::read_state(r)?;
+            let hi = SparseGramAccumulator::read_state(r)?;
+            let cross = Box::new(SparseCrossGramAccumulator::read_state(r)?);
+            crate::sharded::check_inner(
+                &[lo.cols(), hi.cols(), cross.a_cols(), cross.b_cols()],
+                cols,
+                &[lo.rows_seen(), hi.rows_seen(), cross.rows_seen()],
+                rows_seen,
+            )?;
+            SparseFlavour::Exact { lo, hi, cross }
+        };
+        Ok(SparseStreamingIntervalGram {
+            cols,
+            rows_seen,
+            flavour,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -846,5 +906,41 @@ mod tests {
             &dense_acc.finish().unwrap(),
             "single-entry gram",
         );
+    }
+
+    #[test]
+    fn sparse_interval_gram_state_round_trips_bitwise() {
+        // Exact-flavour small case and mid-rad large case, restored
+        // mid-stream and continued — bitwise the uninterrupted fold.
+        for (total, cols, label) in [(40usize, 6usize, "exact"), (600, 40, "midrad")] {
+            let head = random_sparse_interval(51, total - 10, cols, 3);
+            let tail = random_sparse_interval(52, 10, cols, 3);
+            let (head_csr, tail_csr) = (
+                CsrIntervalShard::from_dense(&head),
+                CsrIntervalShard::from_dense(&tail),
+            );
+            let mut acc = SparseStreamingIntervalGram::new(total, cols);
+            acc.push_shard(&head_csr).unwrap();
+            let mut buf = Vec::new();
+            acc.write_state(&mut buf).unwrap();
+            let mut restored =
+                SparseStreamingIntervalGram::read_state(&mut std::io::BufReader::new(&buf[..]))
+                    .unwrap();
+            assert_eq!(restored.is_mid_rad(), acc.is_mid_rad(), "{label}");
+            acc.push_shard(&tail_csr).unwrap();
+            restored.push_shard(&tail_csr).unwrap();
+            assert_bitwise(
+                &restored.finish().unwrap(),
+                &acc.finish().unwrap(),
+                &format!("continued sparse interval gram ({label})"),
+            );
+            // Corruption: dense and sparse states are not interchangeable.
+            let mut spliced = b"intervalgram".to_vec();
+            spliced.extend_from_slice(&buf["sparseintervalgram".len()..]);
+            assert!(
+                StreamingIntervalGram::read_state(&mut std::io::BufReader::new(&spliced[..]))
+                    .is_err()
+            );
+        }
     }
 }

@@ -57,6 +57,7 @@ pub mod pinv;
 pub mod qr;
 pub mod random;
 pub mod sparse;
+pub mod state_text;
 pub mod streaming;
 pub mod svd;
 

@@ -43,8 +43,13 @@
 
 use crate::kernel::{fmadd, mirror_upper, KC};
 use crate::matrix::threads_for;
-use crate::streaming::PAR_FOLD_CHUNKS;
+use crate::state_text::{
+    bad_state, checked_len, parse_usize_line, read_f64_run, read_line, write_f64_run,
+    write_usize_line,
+};
+use crate::streaming::{parse_state_header, validate_fold_header, PAR_FOLD_CHUNKS};
 use crate::{LinalgError, Matrix, Result, RowBlocks, MATMUL_BLOCKED_MIN_WORK, STREAM_CHUNK_ROWS};
+use std::io;
 
 /// One row block of a sparse matrix in compressed-sparse-row (CSR) form.
 ///
@@ -855,6 +860,41 @@ impl PendingCsrRows {
         }
         Some(self.slice(0, self.rows()))
     }
+
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Writes the three CSR payload lines (offsets, columns, values); the
+    /// row and entry counts live in the caller's header line.
+    fn write_state(&self, w: &mut dyn io::Write) -> io::Result<()> {
+        write_usize_line(w, &self.row_ptr)?;
+        write_usize_line(w, &self.col_idx)?;
+        write_f64_run(w, &self.values)
+    }
+
+    /// Reads the payload lines back for declared `rows`/`nnz`, running the
+    /// full CSR structure validation of [`CsrShard::new`] so corrupted
+    /// offsets or out-of-range columns surface as errors, never as a
+    /// buffer that later panics mid-fold.
+    fn read_state(
+        r: &mut dyn io::BufRead,
+        cols: usize,
+        rows: usize,
+        nnz: usize,
+    ) -> io::Result<Self> {
+        let row_ptr = parse_usize_line(&read_line(r)?, rows + 1)?;
+        let col_idx = parse_usize_line(&read_line(r)?, nnz)?;
+        let values = read_f64_run(r, nnz)?;
+        let shard = CsrShard::new(rows, cols, row_ptr, col_idx, values)
+            .map_err(|e| bad_state(e.to_string()))?;
+        Ok(PendingCsrRows {
+            cols,
+            row_ptr: shard.row_ptr,
+            col_idx: shard.col_idx,
+            values: shard.values,
+        })
+    }
 }
 
 /// Entry-wise in-place sum (shapes already validated by callers).
@@ -959,6 +999,50 @@ impl SparseGramAccumulator {
         mirror_upper(&mut acc);
         acc
     }
+
+    /// Serializes the complete accumulator state (CSR pending buffer,
+    /// upper-triangular partial fold, row count) as bit-exact state text;
+    /// the sparse counterpart of
+    /// [`GramAccumulator::write_state`](crate::GramAccumulator::write_state).
+    pub fn write_state(&self, w: &mut dyn io::Write) -> io::Result<()> {
+        writeln!(
+            w,
+            "sparsegram {} {} {} {} {}",
+            self.pending.cols,
+            self.rows_seen,
+            self.pending.rows(),
+            self.pending.nnz(),
+            self.acc.is_some() as u8
+        )?;
+        self.pending.write_state(w)?;
+        if let Some(a) = &self.acc {
+            write_f64_run(w, a.as_slice())?;
+        }
+        Ok(())
+    }
+
+    /// Restores an accumulator written by
+    /// [`SparseGramAccumulator::write_state`], revalidating every
+    /// structural invariant.
+    pub fn read_state(r: &mut dyn io::BufRead) -> io::Result<Self> {
+        let header = read_line(r)?;
+        let head = parse_state_header(&header, "sparsegram", 5)?;
+        let (cols, rows_seen, pending_rows, nnz, has_acc) =
+            (head[0], head[1], head[2], head[3], head[4]);
+        validate_fold_header(cols, rows_seen, pending_rows, has_acc)?;
+        let pending = PendingCsrRows::read_state(r, cols, pending_rows, nnz)?;
+        let acc = if has_acc == 1 {
+            let vals = read_f64_run(r, checked_len(cols, cols)?)?;
+            Some(Matrix::from_vec(cols, cols, vals).map_err(|e| bad_state(e.to_string()))?)
+        } else {
+            None
+        };
+        Ok(SparseGramAccumulator {
+            pending,
+            acc,
+            rows_seen,
+        })
+    }
 }
 
 /// Streaming accumulator for the cross product `AᵀB` over a pair of CSR
@@ -988,6 +1072,16 @@ impl SparseCrossGramAccumulator {
     /// Total rows folded or buffered so far.
     pub fn rows_seen(&self) -> usize {
         self.rows_seen
+    }
+
+    /// Column count of the first stream (rows of the `AᵀB` output).
+    pub fn a_cols(&self) -> usize {
+        self.pending_a.cols
+    }
+
+    /// Column count of the second stream (columns of the `AᵀB` output).
+    pub fn b_cols(&self) -> usize {
+        self.pending_b.cols
     }
 
     /// Feeds the next CSR row block of each stream; the blocks must cover
@@ -1046,6 +1140,59 @@ impl SparseCrossGramAccumulator {
             }
         }
         Ok(acc.unwrap_or_else(|| Matrix::zeros(self.pending_a.cols, self.pending_b.cols)))
+    }
+
+    /// Serializes the complete accumulator state as bit-exact state text;
+    /// the sparse counterpart of
+    /// [`CrossGramAccumulator::write_state`](crate::CrossGramAccumulator::write_state).
+    pub fn write_state(&self, w: &mut dyn io::Write) -> io::Result<()> {
+        writeln!(
+            w,
+            "sparsecrossgram {} {} {} {} {} {} {}",
+            self.pending_a.cols,
+            self.pending_b.cols,
+            self.rows_seen,
+            self.pending_a.rows(),
+            self.pending_a.nnz(),
+            self.pending_b.nnz(),
+            self.acc.is_some() as u8
+        )?;
+        self.pending_a.write_state(w)?;
+        self.pending_b.write_state(w)?;
+        if let Some(a) = &self.acc {
+            write_f64_run(w, a.as_slice())?;
+        }
+        Ok(())
+    }
+
+    /// Restores an accumulator written by
+    /// [`SparseCrossGramAccumulator::write_state`], revalidating every
+    /// structural invariant (one pending row count covers both lockstep
+    /// buffers).
+    pub fn read_state(r: &mut dyn io::BufRead) -> io::Result<Self> {
+        let header = read_line(r)?;
+        let head = parse_state_header(&header, "sparsecrossgram", 7)?;
+        let (a_cols, b_cols, rows_seen, pending_rows, a_nnz, b_nnz, has_acc) = (
+            head[0], head[1], head[2], head[3], head[4], head[5], head[6],
+        );
+        validate_fold_header(a_cols, rows_seen, pending_rows, has_acc)?;
+        if b_cols == 0 {
+            return Err(bad_state("accumulator state has zero columns"));
+        }
+        let pending_a = PendingCsrRows::read_state(r, a_cols, pending_rows, a_nnz)?;
+        let pending_b = PendingCsrRows::read_state(r, b_cols, pending_rows, b_nnz)?;
+        let acc = if has_acc == 1 {
+            let vals = read_f64_run(r, checked_len(a_cols, b_cols)?)?;
+            Some(Matrix::from_vec(a_cols, b_cols, vals).map_err(|e| bad_state(e.to_string()))?)
+        } else {
+            None
+        };
+        Ok(SparseCrossGramAccumulator {
+            pending_a,
+            pending_b,
+            acc,
+            rows_seen,
+        })
     }
 }
 
@@ -1348,6 +1495,88 @@ mod tests {
         assert!(acc
             .push_block(&CsrShard::from_dense(&Matrix::zeros(2, 5)))
             .is_err());
+    }
+
+    #[test]
+    fn sparse_accumulator_state_round_trips_bitwise() {
+        // Mid-stream state (folded chunks + CSR pending tail) must
+        // restore to an accumulator whose continued fold is bitwise the
+        // uninterrupted run — for both the Gram and the cross variant.
+        let head = lcg_sparse(STREAM_CHUNK_ROWS + 50, 13, 4, 81);
+        let tail = lcg_sparse(70, 13, 4, 82);
+        let mut acc = SparseGramAccumulator::new(13);
+        acc.push_block(&CsrShard::from_dense(&head)).unwrap();
+        let mut buf = Vec::new();
+        acc.write_state(&mut buf).unwrap();
+        let mut restored =
+            SparseGramAccumulator::read_state(&mut std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(restored.rows_seen(), acc.rows_seen());
+        acc.push_block(&CsrShard::from_dense(&tail)).unwrap();
+        restored.push_block(&CsrShard::from_dense(&tail)).unwrap();
+        assert_bitwise(&restored.finish(), &acc.finish(), "continued sparse gram");
+
+        let b_head = lcg_sparse(STREAM_CHUNK_ROWS + 50, 9, 3, 83);
+        let b_tail = lcg_sparse(70, 9, 3, 84);
+        let mut cross = SparseCrossGramAccumulator::new(13, 9);
+        cross
+            .push_blocks(&CsrShard::from_dense(&head), &CsrShard::from_dense(&b_head))
+            .unwrap();
+        let mut buf = Vec::new();
+        cross.write_state(&mut buf).unwrap();
+        let mut restored =
+            SparseCrossGramAccumulator::read_state(&mut std::io::BufReader::new(&buf[..])).unwrap();
+        cross
+            .push_blocks(&CsrShard::from_dense(&tail), &CsrShard::from_dense(&b_tail))
+            .unwrap();
+        restored
+            .push_blocks(&CsrShard::from_dense(&tail), &CsrShard::from_dense(&b_tail))
+            .unwrap();
+        assert_bitwise(
+            &restored.finish().unwrap(),
+            &cross.finish().unwrap(),
+            "continued sparse cross",
+        );
+    }
+
+    #[test]
+    fn sparse_read_state_rejects_corrupted_text() {
+        let mut acc = SparseGramAccumulator::new(5);
+        acc.push_block(&CsrShard::from_dense(&lcg_sparse(
+            STREAM_CHUNK_ROWS + 9,
+            5,
+            2,
+            85,
+        )))
+        .unwrap();
+        let mut buf = Vec::new();
+        acc.write_state(&mut buf).unwrap();
+        let corrupt = |b: &[u8]| {
+            SparseGramAccumulator::read_state(&mut std::io::BufReader::new(b)).unwrap_err()
+        };
+        corrupt(&buf[..buf.len() / 3]); // truncation
+        let mut wrong_tag = b"gram".to_vec();
+        wrong_tag.extend_from_slice(&buf["sparsegram".len()..]);
+        corrupt(&wrong_tag);
+        // A column index pushed out of range corrupts the CSR structure.
+        // Lines 0..=2 (header, row offsets, column indices) are still
+        // text; only the value runs after them are binary.
+        let nl: Vec<usize> = buf
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b == b'\n')
+            .map(|(i, _)| i)
+            .take(3)
+            .collect();
+        let col_line = std::str::from_utf8(&buf[nl[1] + 1..nl[2]]).unwrap();
+        let bumped = col_line
+            .split_ascii_whitespace()
+            .map(|_| "9")
+            .collect::<Vec<_>>()
+            .join(" ");
+        let mut bad_cols = buf[..nl[1] + 1].to_vec();
+        bad_cols.extend_from_slice(bumped.as_bytes());
+        bad_cols.extend_from_slice(&buf[nl[2]..]);
+        corrupt(&bad_cols);
     }
 
     #[test]

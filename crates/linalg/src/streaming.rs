@@ -35,7 +35,11 @@
 //! bitwise with the one-shot kernels ([`Matrix::gram`], [`Matrix::matmul`])
 //! on the same data.
 
+use crate::state_text::{
+    bad_state, checked_len, parse_usize_line, read_f64_run, read_line, write_f64_run,
+};
 use crate::{LinalgError, Matrix, Result};
+use std::io;
 
 /// Number of rows per internal accumulation chunk. Part of the arithmetic
 /// contract (chunk boundaries determine rounding order), so it is a fixed
@@ -385,6 +389,100 @@ impl GramAccumulator {
         }
         acc.unwrap_or_else(|| Matrix::zeros(self.pending.cols, self.pending.cols))
     }
+
+    /// Serializes the complete accumulator state — pending row buffer,
+    /// partial fold and row count — as bit-exact state text (see
+    /// [`crate::state_text`]). [`GramAccumulator::read_state`] restores an
+    /// accumulator that continues the fold with exactly the operation
+    /// sequence (and therefore exactly the bits) of the original.
+    pub fn write_state(&self, w: &mut dyn io::Write) -> io::Result<()> {
+        writeln!(
+            w,
+            "gram {} {} {} {}",
+            self.pending.cols,
+            self.rows_seen,
+            self.pending.rows,
+            self.acc.is_some() as u8
+        )?;
+        write_f64_run(w, &self.pending.data)?;
+        if let Some(a) = &self.acc {
+            write_f64_run(w, a.as_slice())?;
+        }
+        Ok(())
+    }
+
+    /// Restores an accumulator written by [`GramAccumulator::write_state`].
+    /// Every structural invariant is revalidated — a corrupted or
+    /// truncated stream yields an error, never a panic or a silently
+    /// inconsistent accumulator.
+    pub fn read_state(r: &mut dyn io::BufRead) -> io::Result<Self> {
+        let header = read_line(r)?;
+        let head = parse_state_header(&header, "gram", 4)?;
+        let (cols, rows_seen, pending_rows, has_acc) = (head[0], head[1], head[2], head[3]);
+        validate_fold_header(cols, rows_seen, pending_rows, has_acc)?;
+        let data = read_f64_run(r, checked_len(pending_rows, cols)?)?;
+        let acc = if has_acc == 1 {
+            let vals = read_f64_run(r, checked_len(cols, cols)?)?;
+            Some(Matrix::from_vec(cols, cols, vals).map_err(|e| bad_state(e.to_string()))?)
+        } else {
+            None
+        };
+        Ok(GramAccumulator {
+            pending: PendingRows {
+                cols,
+                rows: pending_rows,
+                data,
+            },
+            acc,
+            rows_seen,
+        })
+    }
+}
+
+/// Parses a state header line: the expected tag followed by exactly
+/// `fields` integers.
+pub(crate) fn parse_state_header(line: &str, tag: &str, fields: usize) -> io::Result<Vec<usize>> {
+    let rest = line
+        .strip_prefix(tag)
+        .filter(|r| r.starts_with(' '))
+        .ok_or_else(|| bad_state(format!("expected {tag:?} state header, got {line:?}")))?;
+    parse_usize_line(rest, fields)
+}
+
+/// Shared invariants of every chunk-realigned fold header: a non-empty
+/// column count, a pending tail strictly below one chunk, folded rows on
+/// a chunk boundary, and a partial fold present exactly when at least one
+/// chunk has folded. Violations mean the state did not come from a
+/// healthy accumulator.
+pub(crate) fn validate_fold_header(
+    cols: usize,
+    rows_seen: usize,
+    pending_rows: usize,
+    has_acc: usize,
+) -> io::Result<()> {
+    if cols == 0 {
+        return Err(bad_state("accumulator state has zero columns"));
+    }
+    if has_acc > 1 {
+        return Err(bad_state(format!("malformed acc flag {has_acc}")));
+    }
+    if pending_rows >= STREAM_CHUNK_ROWS || pending_rows > rows_seen {
+        return Err(bad_state(format!(
+            "pending tail of {pending_rows} rows is inconsistent with {rows_seen} rows seen"
+        )));
+    }
+    let folded = rows_seen - pending_rows;
+    if folded % STREAM_CHUNK_ROWS != 0 {
+        return Err(bad_state(format!(
+            "folded row count {folded} is not on a {STREAM_CHUNK_ROWS}-row chunk boundary"
+        )));
+    }
+    if (has_acc == 1) != (folded > 0) {
+        return Err(bad_state(format!(
+            "acc flag {has_acc} contradicts {folded} folded rows"
+        )));
+    }
+    Ok(())
 }
 
 /// Streaming accumulator for the cross product `AᵀB` over a pair of
@@ -413,6 +511,16 @@ impl CrossGramAccumulator {
     /// Total rows folded or buffered so far.
     pub fn rows_seen(&self) -> usize {
         self.rows_seen
+    }
+
+    /// Column count of the first stream (rows of the `AᵀB` output).
+    pub fn a_cols(&self) -> usize {
+        self.pending_a.cols
+    }
+
+    /// Column count of the second stream (columns of the `AᵀB` output).
+    pub fn b_cols(&self) -> usize {
+        self.pending_b.cols
     }
 
     /// Feeds the next row block of each stream; the blocks must cover the
@@ -487,6 +595,64 @@ impl CrossGramAccumulator {
             }
         }
         Ok(acc.unwrap_or_else(|| Matrix::zeros(self.pending_a.cols, self.pending_b.cols)))
+    }
+
+    /// Serializes the complete accumulator state (both pending buffers,
+    /// the partial fold and the row count) as bit-exact state text; the
+    /// counterpart of [`GramAccumulator::write_state`].
+    pub fn write_state(&self, w: &mut dyn io::Write) -> io::Result<()> {
+        writeln!(
+            w,
+            "crossgram {} {} {} {} {}",
+            self.pending_a.cols,
+            self.pending_b.cols,
+            self.rows_seen,
+            self.pending_a.rows,
+            self.acc.is_some() as u8
+        )?;
+        write_f64_run(w, &self.pending_a.data)?;
+        write_f64_run(w, &self.pending_b.data)?;
+        if let Some(a) = &self.acc {
+            write_f64_run(w, a.as_slice())?;
+        }
+        Ok(())
+    }
+
+    /// Restores an accumulator written by
+    /// [`CrossGramAccumulator::write_state`], revalidating every
+    /// structural invariant (the two streams advance in lockstep, so one
+    /// pending row count covers both buffers).
+    pub fn read_state(r: &mut dyn io::BufRead) -> io::Result<Self> {
+        let header = read_line(r)?;
+        let head = parse_state_header(&header, "crossgram", 5)?;
+        let (a_cols, b_cols, rows_seen, pending_rows, has_acc) =
+            (head[0], head[1], head[2], head[3], head[4]);
+        validate_fold_header(a_cols, rows_seen, pending_rows, has_acc)?;
+        if b_cols == 0 {
+            return Err(bad_state("accumulator state has zero columns"));
+        }
+        let data_a = read_f64_run(r, checked_len(pending_rows, a_cols)?)?;
+        let data_b = read_f64_run(r, checked_len(pending_rows, b_cols)?)?;
+        let acc = if has_acc == 1 {
+            let vals = read_f64_run(r, checked_len(a_cols, b_cols)?)?;
+            Some(Matrix::from_vec(a_cols, b_cols, vals).map_err(|e| bad_state(e.to_string()))?)
+        } else {
+            None
+        };
+        Ok(CrossGramAccumulator {
+            pending_a: PendingRows {
+                cols: a_cols,
+                rows: pending_rows,
+                data: data_a,
+            },
+            pending_b: PendingRows {
+                cols: b_cols,
+                rows: pending_rows,
+                data: data_b,
+            },
+            acc,
+            rows_seen,
+        })
     }
 }
 
@@ -942,6 +1108,84 @@ mod tests {
         assert!(err.to_string().contains("declared"), "{err}");
         assert!(matmul_left_streamed(&Matrix::zeros(2, 10), &ShortSource).is_err());
         assert!(gram_streamed(&ShortSource).is_err());
+    }
+
+    #[test]
+    fn gram_accumulator_state_round_trips_bitwise() {
+        // Mid-stream state (a folded chunk plus a pending tail) must
+        // survive serialization such that continuing the fold from the
+        // restored accumulator is bitwise the uninterrupted run.
+        let head = lcg_matrix(STREAM_CHUNK_ROWS + 45, 11, 71);
+        let tail = lcg_matrix(60, 11, 72);
+        let mut acc = GramAccumulator::new(11);
+        acc.push_block(&head).unwrap();
+        let mut buf = Vec::new();
+        acc.write_state(&mut buf).unwrap();
+        let mut restored =
+            GramAccumulator::read_state(&mut std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(restored.rows_seen(), acc.rows_seen());
+        assert_bitwise(&restored.finish(), &acc.finish(), "restored finish");
+        acc.push_block(&tail).unwrap();
+        restored.push_block(&tail).unwrap();
+        assert_bitwise(&restored.finish(), &acc.finish(), "continued fold");
+        // Empty accumulators round-trip too.
+        let empty = GramAccumulator::new(4);
+        let mut buf = Vec::new();
+        empty.write_state(&mut buf).unwrap();
+        let restored = GramAccumulator::read_state(&mut std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(restored.rows_seen(), 0);
+        assert_bitwise(&restored.finish(), &empty.finish(), "empty");
+    }
+
+    #[test]
+    fn cross_gram_accumulator_state_round_trips_bitwise() {
+        let n = STREAM_CHUNK_ROWS + 30;
+        let a = lcg_matrix(n, 7, 73);
+        let b = lcg_matrix(n, 5, 74);
+        let mut acc = CrossGramAccumulator::new(7, 5);
+        acc.push_blocks(&a, &b).unwrap();
+        let mut buf = Vec::new();
+        acc.write_state(&mut buf).unwrap();
+        let mut restored =
+            CrossGramAccumulator::read_state(&mut std::io::BufReader::new(&buf[..])).unwrap();
+        let (ta, tb) = (lcg_matrix(40, 7, 75), lcg_matrix(40, 5, 76));
+        acc.push_blocks(&ta, &tb).unwrap();
+        restored.push_blocks(&ta, &tb).unwrap();
+        assert_bitwise(
+            &restored.finish().unwrap(),
+            &acc.finish().unwrap(),
+            "continued cross fold",
+        );
+    }
+
+    #[test]
+    fn accumulator_read_state_rejects_corrupted_text() {
+        let mut acc = GramAccumulator::new(3);
+        acc.push_block(&lcg_matrix(STREAM_CHUNK_ROWS + 2, 3, 77))
+            .unwrap();
+        let mut buf = Vec::new();
+        acc.write_state(&mut buf).unwrap();
+        let corrupt =
+            |b: &[u8]| GramAccumulator::read_state(&mut std::io::BufReader::new(b)).unwrap_err();
+        // Truncation mid-payload.
+        assert!(matches!(
+            corrupt(&buf[..buf.len() / 2]).kind(),
+            std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+        ));
+        // Wrong tag.
+        let mut spam = buf.clone();
+        spam[..4].copy_from_slice(b"spam");
+        corrupt(&spam);
+        // Pending tail at or above a chunk (never a rest state).
+        corrupt(format!("gram 3 {STREAM_CHUNK_ROWS} {STREAM_CHUNK_ROWS} 0\n\n").as_bytes());
+        // Folded rows off the chunk grid.
+        corrupt(b"gram 3 100 0 1\n\n");
+        // Acc flag contradicting the folded row count.
+        corrupt(b"gram 3 0 0 1\n\n");
+        // Clobbered terminator after the final binary payload run.
+        let mut noterm = buf.clone();
+        *noterm.last_mut().unwrap() = b'x';
+        corrupt(&noterm);
     }
 
     proptest::proptest! {

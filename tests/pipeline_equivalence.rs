@@ -96,6 +96,8 @@ fn run_all_batch_matches_standalone_across_matrices() {
 
 #[test]
 fn batched_run_computes_gram_and_bound_eigens_at_most_once() {
+    // Exact hit/miss accounting: keep the auto-snapshot knob out.
+    std::env::remove_var(ivmf_env::SNAPSHOT_DIR);
     let m = random_interval_matrix(700, 12, 8, 1.0);
     let results = run_all(&m, &IsvdConfig::new(4)).expect("batched run");
     for stage in [
@@ -116,6 +118,8 @@ fn batched_run_computes_gram_and_bound_eigens_at_most_once() {
 
 #[test]
 fn second_algorithm_sharing_the_gram_reports_a_hit() {
+    // Exact hit/miss accounting: keep the auto-snapshot knob out.
+    std::env::remove_var(ivmf_env::SNAPSHOT_DIR);
     let m = random_interval_matrix(701, 10, 6, 1.0);
     let mut pipeline = Pipeline::new(&m, IsvdConfig::new(4)).expect("pipeline");
 
@@ -142,6 +146,8 @@ fn second_algorithm_sharing_the_gram_reports_a_hit() {
 
 #[test]
 fn changed_config_fingerprint_reports_a_miss() {
+    // Exact hit/miss accounting: keep the auto-snapshot knob out.
+    std::env::remove_var(ivmf_env::SNAPSHOT_DIR);
     let m = random_interval_matrix(702, 10, 6, 1.0);
     let mut pipeline = Pipeline::new(&m, IsvdConfig::new(4)).expect("pipeline");
     pipeline.run(IsvdAlgorithm::Isvd2).expect("warm the cache");
@@ -183,6 +189,8 @@ fn changed_config_fingerprint_reports_a_miss() {
 
 #[test]
 fn mixed_targets_share_stages_within_one_session() {
+    // Exact hit/miss accounting: keep the auto-snapshot knob out.
+    std::env::remove_var(ivmf_env::SNAPSHOT_DIR);
     // Stage outputs are target-independent: running the same algorithm
     // under a different target must be a full cache hit, and the produced
     // factors must still match the standalone path bitwise.
