@@ -1078,6 +1078,55 @@ fn use_sparse_gram(input: &PipelineInput<'_>) -> Result<bool> {
     Ok(input_density_scan(input)? <= threshold)
 }
 
+/// Attempts the distributed interval-Gram fold (`IVMF_WORKERS` > 1): the
+/// input's shards stream through the `ivmf-distrib` coordinator, whose
+/// merge-group-aligned unit merge is bitwise identical to the local
+/// fold. Returns `None` when distribution is off, not worth it (at most
+/// one work unit), or fails to start — the caller then folds locally.
+/// Worker-level faults never surface here; the coordinator reassigns
+/// internally.
+fn maybe_distributed_gram(
+    input: &PipelineInput<'_>,
+    rows: usize,
+    cols: usize,
+    sparse: bool,
+) -> Option<GramAccum> {
+    if ivmf_env::workers() < 2 || rows <= ivmf_distrib::DISTRIB_MIN_ROWS {
+        return None;
+    }
+    let spec = ivmf_distrib::GramSpec {
+        cols,
+        // Replicate the whole-stream flavour decision the local
+        // accumulators would make, so workers fold the same arithmetic.
+        mid_rad: use_mr_gram(rows, cols),
+        sparse,
+    };
+    let attempt = || -> Result<GramAccum> {
+        let to_ivmf = |e: ivmf_distrib::DistribError| {
+            IvmfError::InvalidInput(format!("distributed Gram: {e}"))
+        };
+        let mut coord = ivmf_distrib::coordinator_from_env(spec).map_err(to_ivmf)?;
+        if input.is_sparse() {
+            input_for_each_csr_shard(input, &mut |shard| coord.push_csr(shard).map_err(to_ivmf))?;
+        } else {
+            input_for_each_shard(input, &mut |shard| coord.push_dense(shard).map_err(to_ivmf))?;
+        }
+        Ok(match coord.finish().map_err(to_ivmf)? {
+            ivmf_distrib::GramPartial::Dense(acc) => GramAccum::Dense(acc),
+            ivmf_distrib::GramPartial::Sparse(acc) => GramAccum::Sparse(acc),
+        })
+    };
+    match attempt() {
+        Ok(acc) => Some(acc),
+        Err(e) => {
+            // Shard-source errors land here too; the local fold will
+            // re-raise them with the authoritative error path.
+            eprintln!("warning: distributed Gram unavailable ({e}); folding locally");
+            None
+        }
+    }
+}
+
 /// The session's streaming interval-Gram accumulator: the dense
 /// chunk-realigned fold or its sparse CSR counterpart. The two produce
 /// bitwise-identical Grams for the same logical matrix (the sparse kernels
@@ -1789,16 +1838,28 @@ impl<'m> Pipeline<'m> {
                 // dense in-memory inputs switch to it below the
                 // `IVMF_SPARSE_THRESHOLD` density cutoff. Both paths are
                 // bitwise identical, so the choice never enters the key.
-                let mut acc = if use_sparse_gram(input)? {
-                    GramAccum::Sparse(SparseStreamingIntervalGram::new(rows, cols))
-                } else {
-                    GramAccum::Dense(StreamingIntervalGram::new(rows, cols))
+                let sparse = use_sparse_gram(input)?;
+                // With `IVMF_WORKERS` > 1 the fold fans out to the
+                // distributed coordinator — also bitwise identical (the
+                // merge-group-aligned unit merge of `ivmf-distrib`), so
+                // the worker count stays out of the key too. Any
+                // coordination failure falls back to the local fold.
+                let acc = match maybe_distributed_gram(input, rows, cols, sparse) {
+                    Some(acc) => acc,
+                    None => {
+                        let mut acc = if sparse {
+                            GramAccum::Sparse(SparseStreamingIntervalGram::new(rows, cols))
+                        } else {
+                            GramAccum::Dense(StreamingIntervalGram::new(rows, cols))
+                        };
+                        if input.is_sparse() {
+                            input_for_each_csr_shard(input, &mut |shard| acc.push_csr(shard))?;
+                        } else {
+                            input_for_each_shard(input, &mut |shard| acc.push_dense(shard))?;
+                        }
+                        acc
+                    }
                 };
-                if input.is_sparse() {
-                    input_for_each_csr_shard(input, &mut |shard| acc.push_csr(shard))?;
-                } else {
-                    input_for_each_shard(input, &mut |shard| acc.push_dense(shard))?;
-                }
                 if acc.rows_seen() != rows {
                     // An under-delivering lazy source would otherwise
                     // yield a silently partial Gram.

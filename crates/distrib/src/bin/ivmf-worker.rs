@@ -1,0 +1,35 @@
+//! The worker process for the distributed Gram coordinator
+//! (`IVMF_WORKER_SPAWN=1`): connects to the coordinator's loopback
+//! address (argv\[1\]) and serves `JOB` frames until `SHUTDOWN`.
+
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(addr) = std::env::args().nth(1) else {
+        eprintln!("usage: ivmf-worker <coordinator-address>");
+        return ExitCode::FAILURE;
+    };
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ivmf-worker: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ivmf-worker: cannot clone connection: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match ivmf_distrib::serve_connection(reader, stream) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ivmf-worker: connection failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

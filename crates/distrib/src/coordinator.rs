@@ -1,0 +1,700 @@
+//! The coordinator: cuts the global row stream into merge-group-aligned
+//! work units, fans them out to workers over localhost TCP, and merges
+//! the returned partial accumulators — in unit order — into a master
+//! accumulator bitwise identical to the single-process fold.
+//!
+//! # Fault and exactly-once policy
+//!
+//! Every dispatched unit is retained by the coordinator until a valid
+//! `PARTIAL` for it has been merged (or buffered for merge). A worker
+//! death — connection error, end-of-stream, truncated frame, checksum
+//! mismatch, undecodable state — requeues that worker's retained units
+//! onto the dispatch queue for the survivors. A unit that fails
+//! [`MAX_ATTEMPTS`] times, or outlives the last worker, is computed
+//! locally through the identical fold ([`GramPartial::compute`]), so the
+//! result never depends on which path completed it. Duplicate partials
+//! (a worker declared dead after its reply was already accepted, or a
+//! reassigned unit completing twice) are dropped by id: a unit's
+//! contribution enters the master accumulator exactly once.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ivmf_interval::{CsrIntervalShard, IntervalMatrix, Result as IntervalResult};
+use ivmf_linalg::streaming::GROUP_ROWS;
+use ivmf_linalg::Matrix;
+
+use crate::error::DistribError;
+use crate::partial::GramPartial;
+use crate::protocol::{
+    decode_partial, encode_job, read_frame, write_frame, UnitPiece, WorkUnit, FRAME_JOB,
+    FRAME_PARTIAL, FRAME_SHUTDOWN,
+};
+use crate::worker::serve_connection;
+
+/// Most units a single worker holds at once: one computing, one queued
+/// behind it so the socket stays fed.
+const MAX_IN_FLIGHT: usize = 2;
+
+/// Dispatch attempts before a unit is computed locally instead of
+/// reassigned again.
+const MAX_ATTEMPTS: u32 = 2;
+
+/// How long the coordinator waits for *any* worker event before
+/// declaring the whole pool wedged and finishing locally. Generous next
+/// to a unit's compute time (milliseconds to a few seconds), tight
+/// enough that a hung worker cannot hang the pipeline.
+const STALL_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How long worker launch may take before `new` gives up.
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Environment variable overriding where the `ivmf-worker` binary is
+/// found for [`WorkerMode::Processes`] (default: next to the current
+/// executable, then one directory up — which covers Cargo's
+/// `target/<profile>/deps/` test binaries).
+pub const WORKER_BIN_ENV: &str = "IVMF_WORKER_BIN";
+
+/// The shape of one distributed Gram computation, fixed up front by the
+/// coordinator from whole-stream facts the workers cannot derive
+/// locally.
+#[derive(Debug, Clone, Copy)]
+pub struct GramSpec {
+    /// Number of columns of the input (and of the resulting Gram).
+    pub cols: usize,
+    /// Whether the fold uses the mid/rad flavour (the
+    /// `use_mr_gram(total_rows, cols)` decision).
+    pub mid_rad: bool,
+    /// Whether the fold uses the sparse CSR accumulator.
+    pub sparse: bool,
+}
+
+/// How the coordinator obtains its workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerMode {
+    /// In-process threads, each speaking the full TCP protocol over a
+    /// loopback connection. The default: no binary discovery, identical
+    /// wire behavior to separate processes.
+    Threads,
+    /// Spawned `ivmf-worker` child processes (`IVMF_WORKER_SPAWN=1`).
+    Processes,
+    /// The caller connects workers itself (tests interpose fault
+    /// injection this way): construct, read [`GramCoordinator::addr`],
+    /// connect, then call [`GramCoordinator::accept_workers`].
+    External,
+}
+
+enum Event {
+    Partial { unit: usize, state: Vec<u8> },
+    Dead { worker: usize },
+}
+
+enum Runner {
+    Thread(JoinHandle<()>),
+    Process(Child),
+}
+
+struct WorkerHandle {
+    writer: Option<TcpStream>,
+    alive: bool,
+    in_flight: Vec<usize>,
+    reader: Option<JoinHandle<()>>,
+    runner: Option<Runner>,
+}
+
+/// Cuts an incoming stream of row blocks into [`WorkUnit`]s of at most
+/// [`GROUP_ROWS`] rows, each starting on a global `GROUP_ROWS` boundary.
+///
+/// This is the alignment that makes the distributed merge exact: a unit
+/// is one whole merge group of the single-process fold (the final unit
+/// may be a partial group), so a worker's sealed accumulator is bitwise
+/// the group partial the single process would have sealed at the same
+/// boundary, and `absorb_unit` folds them into the master in the same
+/// left-to-right order.
+struct UnitCutter {
+    spec: GramSpec,
+    pending: Vec<UnitPiece>,
+    pending_rows: usize,
+    next_id: usize,
+}
+
+impl UnitCutter {
+    fn new(spec: GramSpec) -> UnitCutter {
+        UnitCutter {
+            spec,
+            pending: Vec::new(),
+            pending_rows: 0,
+            next_id: 0,
+        }
+    }
+
+    fn push_dense(&mut self, shard: &IntervalMatrix) -> IntervalResult<Vec<WorkUnit>> {
+        let cols = shard.cols();
+        self.cut(shard.rows(), &mut |start, end| {
+            let rows = end - start;
+            let lo = Matrix::from_vec(
+                rows,
+                cols,
+                shard.lo().as_slice()[start * cols..end * cols].to_vec(),
+            )?;
+            let hi = Matrix::from_vec(
+                rows,
+                cols,
+                shard.hi().as_slice()[start * cols..end * cols].to_vec(),
+            )?;
+            Ok(UnitPiece::Dense(IntervalMatrix::from_bounds(lo, hi)?))
+        })
+    }
+
+    fn push_csr(&mut self, shard: &CsrIntervalShard) -> IntervalResult<Vec<WorkUnit>> {
+        self.cut(shard.rows(), &mut |start, end| {
+            Ok(UnitPiece::Csr(shard.row_slice(start, end)?))
+        })
+    }
+
+    fn cut(
+        &mut self,
+        rows: usize,
+        slice: &mut dyn FnMut(usize, usize) -> IntervalResult<UnitPiece>,
+    ) -> IntervalResult<Vec<WorkUnit>> {
+        let mut sealed = Vec::new();
+        let mut start = 0;
+        while start < rows {
+            let room = GROUP_ROWS - self.pending_rows;
+            let take = room.min(rows - start);
+            self.pending.push(slice(start, start + take)?);
+            self.pending_rows += take;
+            start += take;
+            if self.pending_rows == GROUP_ROWS {
+                sealed.push(self.seal());
+            }
+        }
+        Ok(sealed)
+    }
+
+    fn seal(&mut self) -> WorkUnit {
+        let unit = WorkUnit {
+            id: self.next_id,
+            mid_rad: self.spec.mid_rad,
+            sparse: self.spec.sparse,
+            cols: self.spec.cols,
+            pieces: std::mem::take(&mut self.pending),
+        };
+        self.next_id += 1;
+        self.pending_rows = 0;
+        unit
+    }
+
+    fn flush(&mut self) -> Option<WorkUnit> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.seal())
+        }
+    }
+}
+
+/// The coordinator of one distributed Gram computation.
+///
+/// Push the input's row blocks in global row order
+/// ([`GramCoordinator::push_dense`] / [`GramCoordinator::push_csr`] — the
+/// same shard walk the single-process fold makes), then call
+/// [`GramCoordinator::finish`] for the merged master accumulator. Memory
+/// stays bounded: at most `workers × 2` units are materialized at once,
+/// and a returned partial is one accumulator state (`O(cols²)`),
+/// independent of the unit's row count.
+pub struct GramCoordinator {
+    spec: GramSpec,
+    cutter: UnitCutter,
+    workers: Vec<WorkerHandle>,
+    events_rx: mpsc::Receiver<Event>,
+    events_tx: mpsc::Sender<Event>,
+    listener: Option<TcpListener>,
+    addr: SocketAddr,
+    queue: VecDeque<WorkUnit>,
+    retained: HashMap<usize, WorkUnit>,
+    attempts: HashMap<usize, u32>,
+    buffer: BTreeMap<usize, GramPartial>,
+    master: GramPartial,
+    next_to_merge: usize,
+    units_cut: usize,
+}
+
+impl GramCoordinator {
+    /// Binds the loopback listener and launches `workers` workers
+    /// according to `mode` (for [`WorkerMode::External`] nothing is
+    /// launched — connect to [`GramCoordinator::addr`] and call
+    /// [`GramCoordinator::accept_workers`]).
+    pub fn new(spec: GramSpec, workers: usize, mode: WorkerMode) -> Result<Self, DistribError> {
+        if workers == 0 && mode != WorkerMode::External {
+            return Err(DistribError::Spawn("worker count must be >= 1".into()));
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let (events_tx, events_rx) = mpsc::channel();
+        let mut coord = GramCoordinator {
+            master: GramPartial::empty(spec.cols, spec.mid_rad, spec.sparse),
+            cutter: UnitCutter::new(spec),
+            spec,
+            workers: Vec::new(),
+            events_rx,
+            events_tx,
+            listener: Some(listener),
+            addr,
+            queue: VecDeque::new(),
+            retained: HashMap::new(),
+            attempts: HashMap::new(),
+            buffer: BTreeMap::new(),
+            next_to_merge: 0,
+            units_cut: 0,
+        };
+        match mode {
+            WorkerMode::External => {}
+            WorkerMode::Threads => {
+                let mut runners = Vec::new();
+                for _ in 0..workers {
+                    let addr = coord.addr;
+                    runners.push(Runner::Thread(std::thread::spawn(move || {
+                        let _ = run_thread_worker(addr);
+                    })));
+                }
+                coord.accept_launched(runners)?;
+            }
+            WorkerMode::Processes => {
+                let bin = worker_binary()?;
+                let mut runners = Vec::new();
+                for _ in 0..workers {
+                    match Command::new(&bin)
+                        .arg(coord.addr.to_string())
+                        .stdin(Stdio::null())
+                        .spawn()
+                    {
+                        Ok(child) => runners.push(Runner::Process(child)),
+                        Err(e) => {
+                            kill_runners(&mut runners);
+                            return Err(DistribError::Spawn(format!(
+                                "failed to spawn {}: {e}",
+                                bin.display()
+                            )));
+                        }
+                    }
+                }
+                coord.accept_launched(runners)?;
+            }
+        }
+        Ok(coord)
+    }
+
+    /// The loopback address workers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accepts `n` externally launched worker connections
+    /// ([`WorkerMode::External`] only).
+    pub fn accept_workers(&mut self, n: usize) -> Result<(), DistribError> {
+        for _ in 0..n {
+            let stream = self.accept_one()?;
+            self.register_worker(stream, None);
+        }
+        Ok(())
+    }
+
+    fn accept_launched(&mut self, runners: Vec<Runner>) -> Result<(), DistribError> {
+        let mut runners: Vec<Option<Runner>> = runners.into_iter().map(Some).collect();
+        for i in 0..runners.len() {
+            match self.accept_one() {
+                Ok(stream) => self.register_worker(stream, runners[i].take()),
+                Err(e) => {
+                    let mut rest: Vec<Runner> =
+                        runners.iter_mut().filter_map(Option::take).collect();
+                    kill_runners(&mut rest);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn accept_one(&mut self) -> Result<TcpStream, DistribError> {
+        let listener = self
+            .listener
+            .as_ref()
+            .expect("listener lives until the coordinator is finished");
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + ACCEPT_TIMEOUT;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true)?;
+                    listener.set_nonblocking(false)?;
+                    return Ok(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(DistribError::Spawn(
+                            "timed out waiting for a worker to connect".into(),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn register_worker(&mut self, stream: TcpStream, runner: Option<Runner>) {
+        let idx = self.workers.len();
+        let tx = self.events_tx.clone();
+        let read_half = stream.try_clone().ok();
+        let reader = read_half
+            .map(|read_half| std::thread::spawn(move || read_partials(idx, read_half, tx)));
+        self.workers.push(WorkerHandle {
+            alive: reader.is_some(),
+            writer: Some(stream),
+            in_flight: Vec::new(),
+            reader,
+            runner,
+        });
+    }
+
+    /// Feeds one dense row block, in global row order. Completed units
+    /// are dispatched before this returns; it blocks only while every
+    /// worker's in-flight window is full.
+    pub fn push_dense(&mut self, shard: &IntervalMatrix) -> Result<(), DistribError> {
+        let units = self.cutter.push_dense(shard)?;
+        self.submit(units)
+    }
+
+    /// Feeds one sparse CSR row block, in global row order.
+    pub fn push_csr(&mut self, shard: &CsrIntervalShard) -> Result<(), DistribError> {
+        let units = self.cutter.push_csr(shard)?;
+        self.submit(units)
+    }
+
+    /// Total rows accepted so far (sealed or still pending in the
+    /// cutter) — merged rows, buffered rows, outstanding units, and the
+    /// uncut tail.
+    pub fn rows_pushed(&self) -> usize {
+        let merged = self.master.rows_seen();
+        let buffered: usize = self.buffer.values().map(GramPartial::rows_seen).sum();
+        let outstanding: usize = self.retained.values().map(WorkUnit::rows).sum::<usize>()
+            + self.queue.iter().map(WorkUnit::rows).sum::<usize>();
+        merged + buffered + outstanding + self.cutter.pending_rows
+    }
+
+    /// Seals the final (possibly partial) unit, waits for every partial,
+    /// shuts the workers down, and returns the master accumulator —
+    /// bitwise identical to the single-process fold over the same rows.
+    pub fn finish(mut self) -> Result<GramPartial, DistribError> {
+        if let Some(unit) = self.cutter.flush() {
+            self.units_cut += 1;
+            self.queue.push_back(unit);
+        }
+        self.drive(true)?;
+        for handle in &mut self.workers {
+            if let Some(w) = handle.writer.as_mut() {
+                let _ = write_frame(w, FRAME_SHUTDOWN, &[]).and_then(|()| w.flush());
+            }
+        }
+        for handle in &mut self.workers {
+            if let Some(w) = handle.writer.take() {
+                let _ = w.shutdown(Shutdown::Both);
+            }
+            if let Some(j) = handle.reader.take() {
+                let _ = j.join();
+            }
+            match handle.runner.take() {
+                Some(Runner::Thread(j)) => {
+                    let _ = j.join();
+                }
+                Some(Runner::Process(mut child)) => {
+                    let _ = child.wait();
+                }
+                None => {}
+            }
+        }
+        let mut master = GramPartial::empty(self.spec.cols, self.spec.mid_rad, self.spec.sparse);
+        std::mem::swap(&mut master, &mut self.master);
+        Ok(master)
+    }
+
+    fn submit(&mut self, units: Vec<WorkUnit>) -> Result<(), DistribError> {
+        for unit in units {
+            self.units_cut += 1;
+            self.queue.push_back(unit);
+        }
+        self.drive(false)
+    }
+
+    /// The scheduling loop. With `until_done = false` it returns once the
+    /// dispatch queue is empty (units may still be in flight); with
+    /// `until_done = true` it returns once every cut unit has been merged.
+    fn drive(&mut self, until_done: bool) -> Result<(), DistribError> {
+        loop {
+            while let Ok(ev) = self.events_rx.try_recv() {
+                self.handle_event(ev)?;
+            }
+            self.dispatch_ready()?;
+            let done = if until_done {
+                self.next_to_merge == self.units_cut
+            } else {
+                self.queue.is_empty()
+            };
+            if done {
+                return Ok(());
+            }
+            if self.workers.iter().any(|h| h.alive) {
+                match self.events_rx.recv_timeout(STALL_TIMEOUT) {
+                    Ok(ev) => self.handle_event(ev)?,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // The pool is wedged (a worker accepted a unit and
+                        // never answered). Declare everyone dead; the loop
+                        // falls through to local completion.
+                        for i in 0..self.workers.len() {
+                            self.kill_worker(i)?;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        unreachable!("the coordinator holds a sender")
+                    }
+                }
+            } else {
+                // No workers left: complete everything still queued
+                // through the identical local fold.
+                while let Some(unit) = self.queue.pop_front() {
+                    self.retained.remove(&unit.id);
+                    self.complete_locally(unit)?;
+                }
+            }
+        }
+    }
+
+    fn dispatch_ready(&mut self) -> Result<(), DistribError> {
+        while !self.queue.is_empty() {
+            let Some(w) = self
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.alive && h.in_flight.len() < MAX_IN_FLIGHT)
+                .min_by_key(|(_, h)| h.in_flight.len())
+                .map(|(i, _)| i)
+            else {
+                return Ok(());
+            };
+            let unit = self.queue.pop_front().expect("queue checked non-empty");
+            let id = unit.id;
+            let payload = encode_job(&unit)?;
+            self.retained.insert(id, unit);
+            self.workers[w].in_flight.push(id);
+            let sent = {
+                let writer = self.workers[w]
+                    .writer
+                    .as_mut()
+                    .expect("alive workers keep their writer");
+                write_frame(writer, FRAME_JOB, &payload).and_then(|()| writer.flush())
+            };
+            if sent.is_err() {
+                // The worker died under us; kill_worker requeues the unit
+                // we just recorded as in flight (and everything else it
+                // held).
+                self.kill_worker(w)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_event(&mut self, ev: Event) -> Result<(), DistribError> {
+        match ev {
+            Event::Partial { unit, state } => {
+                if !self.retained.contains_key(&unit) {
+                    // Already merged via another worker or the local
+                    // fallback — exactly-once: drop the duplicate.
+                    self.clear_in_flight(unit);
+                    return Ok(());
+                }
+                let parsed = GramPartial::read_state(self.spec.sparse, &mut &state[..])
+                    .ok()
+                    .filter(|p| p.cols() == self.spec.cols && p.is_mid_rad() == self.spec.mid_rad);
+                match parsed {
+                    Some(partial) => {
+                        self.clear_in_flight(unit);
+                        self.retained.remove(&unit);
+                        self.attempts.remove(&unit);
+                        self.buffer.insert(unit, partial);
+                        self.drain_merge()?;
+                    }
+                    None => {
+                        // The frame checksum passed but the state is not a
+                        // valid accumulator for this spec: treat the
+                        // sender as faulty. Its units (including this one)
+                        // are requeued.
+                        if let Some(w) = self.worker_holding(unit) {
+                            self.kill_worker(w)?;
+                        }
+                    }
+                }
+            }
+            Event::Dead { worker } => self.kill_worker(worker)?,
+        }
+        Ok(())
+    }
+
+    fn worker_holding(&self, unit: usize) -> Option<usize> {
+        self.workers
+            .iter()
+            .position(|h| h.in_flight.contains(&unit))
+    }
+
+    fn clear_in_flight(&mut self, unit: usize) {
+        for h in &mut self.workers {
+            h.in_flight.retain(|&u| u != unit);
+        }
+    }
+
+    fn kill_worker(&mut self, w: usize) -> Result<(), DistribError> {
+        if !self.workers[w].alive {
+            return Ok(());
+        }
+        self.workers[w].alive = false;
+        if let Some(writer) = self.workers[w].writer.take() {
+            let _ = writer.shutdown(Shutdown::Both);
+        }
+        let held = std::mem::take(&mut self.workers[w].in_flight);
+        for unit in held {
+            let Some(retained) = self.retained.remove(&unit) else {
+                continue; // already merged
+            };
+            let tries = self.attempts.entry(unit).or_insert(0);
+            *tries += 1;
+            if *tries >= MAX_ATTEMPTS {
+                self.complete_locally(retained)?;
+            } else {
+                self.queue.push_front(retained);
+            }
+        }
+        Ok(())
+    }
+
+    fn complete_locally(&mut self, unit: WorkUnit) -> Result<(), DistribError> {
+        let id = unit.id;
+        let partial = GramPartial::compute(&unit)?;
+        self.attempts.remove(&id);
+        self.buffer.insert(id, partial);
+        self.drain_merge()
+    }
+
+    fn drain_merge(&mut self) -> Result<(), DistribError> {
+        while let Some(partial) = self.buffer.remove(&self.next_to_merge) {
+            self.master.absorb(partial)?;
+            self.next_to_merge += 1;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for GramCoordinator {
+    fn drop(&mut self) {
+        // An abandoned coordinator must not leak child processes or leave
+        // worker threads blocked on reads: closing the sockets unwinds
+        // everyone.
+        for handle in &mut self.workers {
+            if let Some(w) = handle.writer.take() {
+                let _ = w.shutdown(Shutdown::Both);
+            }
+            if let Some(Runner::Process(mut child)) = handle.runner.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// One in-process worker: connect and serve until shutdown.
+fn run_thread_worker(addr: SocketAddr) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let reader = stream.try_clone()?;
+    serve_connection(reader, stream)
+}
+
+/// The coordinator-side reader loop for one worker connection: partials
+/// are forwarded to the scheduler, and *any* end of the stream — error,
+/// truncation, or a clean close — reports the worker dead. A worker that
+/// hangs up mid-session holds units that must be reassigned promptly; a
+/// close after shutdown produces a `Dead` event nobody reads, which is
+/// harmless.
+fn read_partials(worker: usize, stream: TcpStream, tx: mpsc::Sender<Event>) {
+    let mut r = std::io::BufReader::new(stream);
+    loop {
+        match read_frame(&mut r) {
+            Ok(None) => {
+                let _ = tx.send(Event::Dead { worker });
+                return;
+            }
+            Ok(Some((FRAME_PARTIAL, payload))) => match decode_partial(&payload) {
+                Ok((unit, state)) => {
+                    let state = state.to_vec();
+                    if tx.send(Event::Partial { unit, state }).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    let _ = tx.send(Event::Dead { worker });
+                    return;
+                }
+            },
+            Ok(Some(_)) | Err(_) => {
+                let _ = tx.send(Event::Dead { worker });
+                return;
+            }
+        }
+    }
+}
+
+fn kill_runners(runners: &mut Vec<Runner>) {
+    for runner in runners.drain(..) {
+        if let Runner::Process(mut child) = runner {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Finds the `ivmf-worker` binary for [`WorkerMode::Processes`]:
+/// [`WORKER_BIN_ENV`] wins, else the current executable's directory and
+/// its parent are searched.
+fn worker_binary() -> Result<PathBuf, DistribError> {
+    if let Ok(p) = std::env::var(WORKER_BIN_ENV) {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Ok(p);
+        }
+        return Err(DistribError::Spawn(format!(
+            "{WORKER_BIN_ENV} points at {}, which does not exist",
+            p.display()
+        )));
+    }
+    let exe = std::env::current_exe().map_err(DistribError::Io)?;
+    let name = format!("ivmf-worker{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent();
+    for _ in 0..2 {
+        if let Some(d) = dir {
+            let candidate = d.join(&name);
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+            dir = d.parent();
+        }
+    }
+    Err(DistribError::Spawn(format!(
+        "ivmf-worker binary not found next to {} (set {WORKER_BIN_ENV} to override)",
+        exe.display()
+    )))
+}

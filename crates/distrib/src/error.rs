@@ -1,0 +1,54 @@
+use std::fmt;
+use std::io;
+
+use ivmf_interval::IntervalError;
+
+/// Errors produced by the distributed Gram layer.
+///
+/// Worker-level faults (a dead connection, a corrupt frame) never reach
+/// this type — the coordinator absorbs them by reassigning the unit.
+/// What surfaces here is unrecoverable coordination failure: the
+/// listener cannot bind, workers cannot be launched, or a merge hits an
+/// interval-algebra error.
+#[derive(Debug)]
+pub enum DistribError {
+    /// An I/O error outside any single worker's fault domain.
+    Io(io::Error),
+    /// An error from the interval accumulators during merge or local
+    /// fallback.
+    Interval(IntervalError),
+    /// Worker processes could not be launched.
+    Spawn(String),
+}
+
+impl fmt::Display for DistribError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistribError::Io(e) => write!(f, "distributed Gram I/O error: {e}"),
+            DistribError::Interval(e) => write!(f, "distributed Gram merge error: {e}"),
+            DistribError::Spawn(msg) => write!(f, "worker launch failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DistribError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistribError::Io(e) => Some(e),
+            DistribError::Interval(e) => Some(e),
+            DistribError::Spawn(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DistribError {
+    fn from(e: io::Error) -> Self {
+        DistribError::Io(e)
+    }
+}
+
+impl From<IntervalError> for DistribError {
+    fn from(e: IntervalError) -> Self {
+        DistribError::Interval(e)
+    }
+}

@@ -1,0 +1,72 @@
+//! # ivmf-distrib — multi-process distributed interval Gram
+//!
+//! A coordinator/worker fan-out for the streaming interval-Gram fold,
+//! std-only (loopback TCP, no external dependencies), whose merged
+//! result is **bitwise identical** to the single-process fold.
+//!
+//! ## Why the merge is exact
+//!
+//! The streaming accumulators fold fixed 128-row chunks
+//! (`STREAM_CHUNK_ROWS`) and seal every 64 chunks into a merge group
+//! (`GROUP_ROWS` = 8192 rows), folding sealed groups left-to-right into
+//! a master sum. Floating-point addition is not associative, so a
+//! distributed merge is exact only if it reproduces *that* association
+//! order. The coordinator therefore cuts the global row stream into
+//! work units on `GROUP_ROWS` boundaries: each unit is exactly one
+//! merge group of the single-process fold (the last may be partial). A
+//! worker folds its unit from a fresh accumulator — producing bitwise
+//! the group partial the single process seals at the same boundary,
+//! because chunk contents, chunk order, and group seal points all
+//! coincide — and the coordinator absorbs the returned partials
+//! strictly in unit order. The master's group-by-group fold order is
+//! then identical to the single process's, regardless of worker count,
+//! scheduling, or which worker computed what.
+//!
+//! ## Wire format and failure policy
+//!
+//! Messages are length-delimited checksummed frames
+//! (see [`protocol`]); partial accumulators travel as their snapshot
+//! `write_state` bytes, so wire bit-exactness is inherited rather than
+//! re-implemented. Any fault on a connection — death, truncation, a
+//! flipped bit caught by the FNV-1a checksum — marks that worker dead
+//! and requeues its units to the survivors (or the local fold when none
+//! remain), with exactly-once merge accounting by unit id. A corrupt
+//! frame is never merged: the checksum turns it into a reassignment.
+//!
+//! The pipeline enables this layer when `IVMF_WORKERS` > 1 (see
+//! `ivmf-core`); `IVMF_WORKER_SPAWN=1` switches the workers from
+//! in-process threads to spawned `ivmf-worker` child processes. Neither
+//! variable enters stage-cache fingerprints: the cached bytes are
+//! identical for every worker count.
+
+mod coordinator;
+mod error;
+mod partial;
+pub mod protocol;
+mod worker;
+
+pub use coordinator::{GramCoordinator, GramSpec, WorkerMode, WORKER_BIN_ENV};
+pub use error::DistribError;
+pub use partial::GramPartial;
+pub use protocol::{UnitPiece, WorkUnit};
+pub use worker::serve_connection;
+
+use ivmf_linalg::streaming::GROUP_ROWS;
+
+/// Minimum total rows for which distributing the fold can pay off: below
+/// one merge group there is a single work unit and the fan-out is pure
+/// overhead. Callers gate on `rows > DISTRIB_MIN_ROWS`.
+pub const DISTRIB_MIN_ROWS: usize = GROUP_ROWS;
+
+/// Builds a coordinator from the environment's execution-strategy
+/// variables: `IVMF_WORKERS` workers, threads unless
+/// `IVMF_WORKER_SPAWN` asks for child processes.
+pub fn coordinator_from_env(spec: GramSpec) -> Result<GramCoordinator, DistribError> {
+    let workers = ivmf_env::workers();
+    let mode = if ivmf_env::worker_spawn() {
+        WorkerMode::Processes
+    } else {
+        WorkerMode::Threads
+    };
+    GramCoordinator::new(spec, workers, mode)
+}

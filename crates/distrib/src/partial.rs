@@ -1,0 +1,132 @@
+//! The per-unit partial accumulator: what a worker computes and what the
+//! coordinator merges.
+
+use std::io::{self, BufRead, Write};
+
+use ivmf_interval::{
+    CsrIntervalShard, IntervalMatrix, Result as IntervalResult, SparseStreamingIntervalGram,
+    StreamingIntervalGram,
+};
+
+use crate::protocol::{UnitPiece, WorkUnit};
+
+/// A streaming interval-Gram accumulator in either kernel
+/// representation — the same pair the pipeline's Gram stage dispatches
+/// between. Workers fold their unit's rows into one of these; the
+/// coordinator merges them (in unit order) with `absorb_unit`, which
+/// reproduces the single-process fold bit for bit.
+#[derive(Debug, Clone)]
+pub enum GramPartial {
+    /// The dense chunk-realigned accumulator.
+    Dense(StreamingIntervalGram),
+    /// The sparse CSR counterpart.
+    Sparse(SparseStreamingIntervalGram),
+}
+
+impl GramPartial {
+    /// An empty accumulator with the given kernel representation and
+    /// interval flavour. Workers must *replicate* the coordinator's
+    /// whole-stream flavour decision rather than re-derive it from the
+    /// unit's local row count — `use_mr_gram` depends on total rows the
+    /// worker never sees.
+    pub fn empty(cols: usize, mid_rad: bool, sparse: bool) -> GramPartial {
+        if sparse {
+            GramPartial::Sparse(SparseStreamingIntervalGram::with_flavour(cols, mid_rad))
+        } else {
+            GramPartial::Dense(StreamingIntervalGram::with_flavour(cols, mid_rad))
+        }
+    }
+
+    /// Folds one row block. Cross-representation pushes convert the
+    /// piece exactly as the pipeline's accumulator does (both
+    /// conversions preserve the fold bit for bit).
+    pub fn push_piece(&mut self, piece: &UnitPiece) -> IntervalResult<()> {
+        match (self, piece) {
+            (GramPartial::Dense(acc), UnitPiece::Dense(m)) => acc.push_shard(m),
+            (GramPartial::Dense(acc), UnitPiece::Csr(s)) => acc.push_shard(&s.to_dense()),
+            (GramPartial::Sparse(acc), UnitPiece::Dense(m)) => {
+                acc.push_shard(&CsrIntervalShard::from_dense(m))
+            }
+            (GramPartial::Sparse(acc), UnitPiece::Csr(s)) => acc.push_shard(s),
+        }
+    }
+
+    /// Computes a unit's partial from scratch — the worker's entire job,
+    /// also used verbatim by the coordinator's local-fallback path so a
+    /// locally completed unit is bitwise the same as a remote one.
+    pub fn compute(unit: &WorkUnit) -> IntervalResult<GramPartial> {
+        let mut acc = GramPartial::empty(unit.cols, unit.mid_rad, unit.sparse);
+        for piece in &unit.pieces {
+            acc.push_piece(piece)?;
+        }
+        Ok(acc)
+    }
+
+    /// Merges a following unit's accumulator into this one. Both sides'
+    /// preconditions (`absorb_unit` on the inner accumulators) enforce
+    /// the merge-group alignment that makes the merged state bitwise
+    /// identical to the single-process fold.
+    pub fn absorb(&mut self, other: GramPartial) -> IntervalResult<()> {
+        match (self, other) {
+            (GramPartial::Dense(a), GramPartial::Dense(b)) => a.absorb_unit(b),
+            (GramPartial::Sparse(a), GramPartial::Sparse(b)) => a.absorb_unit(b),
+            _ => Err(ivmf_interval::IntervalError::Source(
+                "absorb kernel mismatch: the unit was folded through a different Gram \
+                 representation"
+                    .into(),
+            )),
+        }
+    }
+
+    /// Total rows folded so far.
+    pub fn rows_seen(&self) -> usize {
+        match self {
+            GramPartial::Dense(acc) => acc.rows_seen(),
+            GramPartial::Sparse(acc) => acc.rows_seen(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            GramPartial::Dense(acc) => acc.cols(),
+            GramPartial::Sparse(acc) => acc.cols(),
+        }
+    }
+
+    /// Whether the accumulator folds through the mid/rad flavour.
+    pub fn is_mid_rad(&self) -> bool {
+        match self {
+            GramPartial::Dense(acc) => acc.is_mid_rad(),
+            GramPartial::Sparse(acc) => acc.is_mid_rad(),
+        }
+    }
+
+    /// The finished interval Gram.
+    pub fn finish(&self) -> IntervalResult<IntervalMatrix> {
+        match self {
+            GramPartial::Dense(acc) => acc.finish(),
+            GramPartial::Sparse(acc) => acc.finish(),
+        }
+    }
+
+    /// Serializes the accumulator state (the same bit-exact format the
+    /// snapshot layer persists).
+    pub fn write_state(&self, w: &mut dyn Write) -> io::Result<()> {
+        match self {
+            GramPartial::Dense(acc) => acc.write_state(w),
+            GramPartial::Sparse(acc) => acc.write_state(w),
+        }
+    }
+
+    /// Deserializes a state written by [`GramPartial::write_state`]. The
+    /// caller supplies the expected representation — the wire's framing
+    /// already names it, and a mismatching state header is an error.
+    pub fn read_state(sparse: bool, r: &mut dyn BufRead) -> io::Result<GramPartial> {
+        if sparse {
+            SparseStreamingIntervalGram::read_state(r).map(GramPartial::Sparse)
+        } else {
+            StreamingIntervalGram::read_state(r).map(GramPartial::Dense)
+        }
+    }
+}

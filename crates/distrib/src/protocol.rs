@@ -1,0 +1,485 @@
+//! The length-delimited binary wire protocol between the Gram
+//! coordinator and its workers.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! [kind: u8] [payload_len: u64 LE] [payload bytes] [fnv1a64(payload): u64 LE]
+//! ```
+//!
+//! The trailing checksum is a word-parallel FNV-1a variant over the
+//! payload (see [`fnv1a64`]), so a bit flipped in
+//! transit (or by a faulty worker) surfaces as a hard
+//! [`std::io::ErrorKind::InvalidData`] error at the receiver instead of a
+//! silently wrong merge; a truncated frame surfaces as `UnexpectedEof`.
+//! Both are treated by the coordinator as the death of the peer that sent
+//! the frame — the shard is reassigned, never merged from a suspect
+//! partial.
+//!
+//! Payloads reuse the bit-exact text/binary primitives of
+//! [`ivmf_linalg::state_text`]: greppable one-line headers, bulk `f64`
+//! payloads as raw little-endian runs. A `PARTIAL` payload embeds the
+//! accumulator's own `write_state` bytes verbatim, so the wire format
+//! inherits the snapshot format's bit-exactness guarantees for free.
+
+use std::io::{self, BufRead, Read, Write};
+
+use ivmf_interval::{CsrIntervalShard, IntervalMatrix};
+use ivmf_linalg::state_text::{bad_state, checked_len, read_f64_run, read_line, write_f64_run};
+use ivmf_linalg::Matrix;
+
+/// Frame kind: a work unit travelling coordinator → worker.
+pub const FRAME_JOB: u8 = 1;
+/// Frame kind: a serialized partial accumulator travelling worker →
+/// coordinator.
+pub const FRAME_PARTIAL: u8 = 2;
+/// Frame kind: orderly end of the session (empty payload).
+pub const FRAME_SHUTDOWN: u8 = 3;
+
+/// Ceiling on a declared payload length: a corrupted length field must
+/// not trigger a multi-gigabyte allocation before the checksum gets a
+/// chance to reject the frame.
+pub const MAX_FRAME_LEN: u64 = 1 << 31;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// How many independent FNV-1a chains [`fnv1a64`] runs. Plain byte-wise
+/// FNV-1a is a single xor→multiply dependency chain — one multiply
+/// *latency* per byte, ~0.7 GB/s — and frames here carry tens of
+/// megabytes, so at that speed the checksum would cost a third of the
+/// Gram arithmetic it protects. Eight chains, each folding a whole
+/// little-endian `u64` per xor→multiply step, cut the multiply count 8×
+/// and let the CPU overlap what remains (~5.7 GB/s measured).
+const FNV_LANES: usize = 8;
+
+/// Word-parallel FNV-1a over a byte slice: the input is consumed 64
+/// bytes per round, word `j` of each round feeding lane `j` with one
+/// `lane = (lane ^ word) * FNV_PRIME` step (the FNV-1a construction
+/// applied to 64-bit units); trailing bytes feed lane 0 byte-wise, and
+/// the eight lane digests plus the total length are folded with a final
+/// canonical byte-wise FNV-1a pass. Any flipped bit perturbs its lane
+/// and every subsequent multiply, and the length term keeps shifted or
+/// truncated payloads from colliding trivially. Dependency-free like the
+/// stage cache's fingerprint hash, but fast enough to disappear next to
+/// the Gram arithmetic even on multi-megabyte frames. This is an
+/// integrity check against line noise and faulty peers, not a
+/// cryptographic MAC — same contract as plain FNV.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut lanes = [FNV_OFFSET; FNV_LANES];
+    let mut rounds = bytes.chunks_exact(8 * FNV_LANES);
+    for round in &mut rounds {
+        for (lane, word) in lanes.iter_mut().zip(round.chunks_exact(8)) {
+            *lane ^= u64::from_le_bytes(word.try_into().expect("exact word"));
+            *lane = lane.wrapping_mul(FNV_PRIME);
+        }
+    }
+    for &b in rounds.remainder() {
+        lanes[0] ^= u64::from(b);
+        lanes[0] = lanes[0].wrapping_mul(FNV_PRIME);
+    }
+    let mut h = FNV_OFFSET;
+    for word in lanes.iter().chain(std::iter::once(&(bytes.len() as u64))) {
+        for &b in &word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Writes one checksummed frame. The caller flushes.
+pub fn write_frame(w: &mut dyn Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&[kind])?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&fnv1a64(payload).to_le_bytes())
+}
+
+/// Reads one frame, validating the declared length and the checksum.
+/// Returns `None` on a clean end-of-stream at a frame boundary (the peer
+/// closed the connection between frames); any mid-frame truncation is an
+/// `UnexpectedEof` error and any checksum mismatch is `InvalidData`.
+pub fn read_frame(r: &mut dyn Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut kind = [0u8; 1];
+    // Distinguish "no more frames" from "frame cut short": end-of-stream
+    // before the first byte is a clean close.
+    if r.read(&mut kind)? == 0 {
+        return Ok(None);
+    }
+    let mut len_bytes = [0u8; 8];
+    r.read_exact(&mut len_bytes)?;
+    let len = u64::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(bad_state(format!(
+            "frame declares a {len}-byte payload (limit {MAX_FRAME_LEN})"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut sum_bytes = [0u8; 8];
+    r.read_exact(&mut sum_bytes)?;
+    let declared = u64::from_le_bytes(sum_bytes);
+    let actual = fnv1a64(&payload);
+    if declared != actual {
+        return Err(bad_state(format!(
+            "frame checksum mismatch: declared {declared:#018x}, computed {actual:#018x}"
+        )));
+    }
+    Ok(Some((kind[0], payload)))
+}
+
+/// One row block of a work unit: the same dense / sparse-CSR shard kinds
+/// the pipeline's Gram stage folds, preserved through the wire bit for
+/// bit.
+#[derive(Debug, Clone)]
+pub enum UnitPiece {
+    /// A dense interval row block.
+    Dense(IntervalMatrix),
+    /// A sparse CSR interval row block.
+    Csr(CsrIntervalShard),
+}
+
+impl UnitPiece {
+    /// Number of rows in the piece.
+    pub fn rows(&self) -> usize {
+        match self {
+            UnitPiece::Dense(m) => m.rows(),
+            UnitPiece::Csr(s) => s.rows(),
+        }
+    }
+}
+
+/// One work unit: a `unit_id`-stamped run of consecutive global rows,
+/// cut on merge-group boundaries so the coordinator can absorb the
+/// worker's partial with `absorb_unit` (see the crate docs for the
+/// alignment argument).
+#[derive(Debug, Clone)]
+pub struct WorkUnit {
+    /// Zero-based position of the unit in the global row order — the
+    /// coordinator merges partials strictly in this order.
+    pub id: usize,
+    /// Whether the worker should fold through the mid/rad (`true`) or
+    /// exact lo/hi/cross (`false`) flavour — replicating the
+    /// coordinator's whole-stream dispatch decision.
+    pub mid_rad: bool,
+    /// Whether the worker's accumulator is the sparse CSR one.
+    pub sparse: bool,
+    /// Number of columns (identical for every piece).
+    pub cols: usize,
+    /// The unit's row blocks, in row order.
+    pub pieces: Vec<UnitPiece>,
+}
+
+impl WorkUnit {
+    /// Total number of rows across the unit's pieces.
+    pub fn rows(&self) -> usize {
+        self.pieces.iter().map(UnitPiece::rows).sum()
+    }
+}
+
+/// Writes a run of `usize` values as little-endian `u64`s terminated by
+/// one `\n` — the integer twin of
+/// [`write_f64_run`](ivmf_linalg::state_text::write_f64_run), for the
+/// CSR index payloads that would be needlessly slow as text.
+fn write_usize_run(w: &mut dyn Write, vals: &[usize]) -> io::Result<()> {
+    let mut bytes = vec![0u8; vals.len().saturating_mul(8)];
+    for (dst, &v) in bytes.chunks_exact_mut(8).zip(vals) {
+        dst.copy_from_slice(&(v as u64).to_le_bytes());
+    }
+    w.write_all(&bytes)?;
+    w.write_all(b"\n")
+}
+
+/// Reads a run written by [`write_usize_run`], requiring exactly
+/// `expected` values plus the terminator.
+fn read_usize_run(r: &mut dyn BufRead, expected: usize) -> io::Result<Vec<usize>> {
+    let nbytes = checked_len(expected, 8)?;
+    let mut raw = vec![0u8; nbytes];
+    r.read_exact(&mut raw)?;
+    let mut out = Vec::with_capacity(expected);
+    for c in raw.chunks_exact(8) {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(c);
+        let v = u64::from_le_bytes(b);
+        out.push(usize::try_from(v).map_err(|_| bad_state("usize value overflows"))?);
+    }
+    let mut sep = [0u8; 1];
+    r.read_exact(&mut sep)?;
+    if sep[0] != b'\n' {
+        return Err(bad_state("missing terminator after binary usize run"));
+    }
+    Ok(out)
+}
+
+/// Encodes a work unit as a `JOB` payload.
+pub fn encode_job(unit: &WorkUnit) -> io::Result<Vec<u8>> {
+    // Reserve the full payload up front — these buffers run to tens of
+    // megabytes, where doubling growth would memcpy the whole prefix
+    // several times over.
+    let estimate: usize = unit
+        .pieces
+        .iter()
+        .map(|p| match p {
+            UnitPiece::Dense(m) => 16 * m.rows().saturating_mul(m.cols()) + 64,
+            UnitPiece::Csr(s) => 24 * s.nnz() + 8 * s.rows() + 80,
+        })
+        .sum::<usize>()
+        + 64;
+    let mut buf = Vec::with_capacity(estimate.min(MAX_FRAME_LEN as usize));
+    writeln!(
+        buf,
+        "job {} {} {} {} {}",
+        unit.id,
+        unit.cols,
+        unit.mid_rad as u8,
+        unit.sparse as u8,
+        unit.pieces.len()
+    )?;
+    for piece in &unit.pieces {
+        match piece {
+            UnitPiece::Dense(m) => {
+                writeln!(buf, "piece dense {}", m.rows())?;
+                write_f64_run(&mut buf, m.lo().as_slice())?;
+                write_f64_run(&mut buf, m.hi().as_slice())?;
+            }
+            UnitPiece::Csr(s) => {
+                writeln!(buf, "piece csr {} {}", s.rows(), s.nnz())?;
+                write_usize_run(&mut buf, s.lo_shard().row_ptr())?;
+                write_usize_run(&mut buf, s.lo_shard().col_idx())?;
+                write_f64_run(&mut buf, s.lo_shard().values())?;
+                let mut hi = Vec::with_capacity(s.nnz());
+                for i in 0..s.rows() {
+                    let (_, _, h) = s.row_entries(i);
+                    hi.extend_from_slice(h);
+                }
+                write_f64_run(&mut buf, &hi)?;
+            }
+        }
+    }
+    Ok(buf)
+}
+
+/// Decodes a `JOB` payload. Every structural rule the constructors
+/// enforce is re-checked on this side, so a malformed unit is an error,
+/// never a panic.
+pub fn decode_job(payload: &[u8]) -> io::Result<WorkUnit> {
+    let mut r: &[u8] = payload;
+    let header = read_line(&mut r)?;
+    let toks: Vec<&str> = header.split_ascii_whitespace().collect();
+    if toks.len() != 6 || toks[0] != "job" {
+        return Err(bad_state(format!("malformed job header {header:?}")));
+    }
+    let parse = |tok: &str| -> io::Result<usize> {
+        tok.parse()
+            .map_err(|_| bad_state(format!("malformed job header field {tok:?}")))
+    };
+    let id = parse(toks[1])?;
+    let cols = parse(toks[2])?;
+    let mid_rad = parse_flag(toks[3])?;
+    let sparse = parse_flag(toks[4])?;
+    let n_pieces = parse(toks[5])?;
+    let mut pieces = Vec::with_capacity(n_pieces.min(1 << 16));
+    for _ in 0..n_pieces {
+        let line = read_line(&mut r)?;
+        let ptoks: Vec<&str> = line.split_ascii_whitespace().collect();
+        match ptoks.as_slice() {
+            ["piece", "dense", rows_tok] => {
+                let rows = parse(rows_tok)?;
+                let n = checked_len(rows, cols)?;
+                let lo = Matrix::from_vec(rows, cols, read_f64_run(&mut r, n)?)
+                    .map_err(|e| bad_state(e.to_string()))?;
+                let hi = Matrix::from_vec(rows, cols, read_f64_run(&mut r, n)?)
+                    .map_err(|e| bad_state(e.to_string()))?;
+                let m =
+                    IntervalMatrix::from_bounds(lo, hi).map_err(|e| bad_state(e.to_string()))?;
+                pieces.push(UnitPiece::Dense(m));
+            }
+            ["piece", "csr", rows_tok, nnz_tok] => {
+                let rows = parse(rows_tok)?;
+                let nnz = parse(nnz_tok)?;
+                let row_ptr = read_usize_run(&mut r, rows + 1)?;
+                let col_idx = read_usize_run(&mut r, nnz)?;
+                let lo = read_f64_run(&mut r, nnz)?;
+                let hi = read_f64_run(&mut r, nnz)?;
+                let shard = CsrIntervalShard::new(rows, cols, row_ptr, col_idx, lo, hi)
+                    .map_err(|e| bad_state(e.to_string()))?;
+                pieces.push(UnitPiece::Csr(shard));
+            }
+            _ => return Err(bad_state(format!("malformed piece header {line:?}"))),
+        }
+    }
+    if !r.is_empty() {
+        return Err(bad_state("trailing bytes after the last job piece"));
+    }
+    Ok(WorkUnit {
+        id,
+        mid_rad,
+        sparse,
+        cols,
+        pieces,
+    })
+}
+
+fn parse_flag(tok: &str) -> io::Result<bool> {
+    match tok {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(bad_state(format!("malformed flag {tok:?}"))),
+    }
+}
+
+/// Encodes a `PARTIAL` payload: the unit id plus the accumulator's own
+/// `write_state` bytes, appended verbatim by the caller.
+pub fn encode_partial_header(unit_id: usize) -> Vec<u8> {
+    format!("partial {unit_id}\n").into_bytes()
+}
+
+/// Splits a `PARTIAL` payload into `(unit_id, accumulator state bytes)`.
+pub fn decode_partial(payload: &[u8]) -> io::Result<(usize, &[u8])> {
+    let mut r: &[u8] = payload;
+    let header = read_line(&mut r)?;
+    let toks: Vec<&str> = header.split_ascii_whitespace().collect();
+    if toks.len() != 2 || toks[0] != "partial" {
+        return Err(bad_state(format!("malformed partial header {header:?}")));
+    }
+    let unit_id = toks[1]
+        .parse()
+        .map_err(|_| bad_state(format!("malformed partial unit id {:?}", toks[1])))?;
+    Ok((unit_id, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_piece(rows: usize, cols: usize, seed: u64) -> IntervalMatrix {
+        let mut s = seed;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let lo: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+        let hi: Vec<f64> = lo.iter().map(|v| v + 0.25).collect();
+        IntervalMatrix::from_bounds(
+            Matrix::from_vec(rows, cols, lo).unwrap(),
+            Matrix::from_vec(rows, cols, hi).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn csr_piece(rows: usize, cols: usize, seed: u64) -> CsrIntervalShard {
+        let mut s = seed;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s
+        };
+        let mut entries = Vec::new();
+        for i in 0..rows {
+            for _ in 0..3 {
+                let c = (next() as usize) % cols;
+                let lo = ((next() >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                if !entries.iter().any(|&(r, cc, _, _)| r == i && cc == c) {
+                    entries.push((i, c, lo, lo + 0.125));
+                }
+            }
+        }
+        CsrIntervalShard::from_triplets(rows, cols, &entries).unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_corruption() {
+        let payload = b"hello frames".to_vec();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FRAME_JOB, &payload).unwrap();
+        let (kind, back) = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(kind, FRAME_JOB);
+        assert_eq!(back, payload);
+
+        // Clean end-of-stream at a frame boundary is None, not an error.
+        assert!(read_frame(&mut &buf[..0]).unwrap().is_none());
+
+        // Truncation mid-frame is UnexpectedEof.
+        let err = read_frame(&mut &buf[..buf.len() - 3]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // A flipped payload bit is InvalidData via the checksum.
+        let mut flipped = buf.clone();
+        flipped[10] ^= 0x40;
+        let err = read_frame(&mut &flipped[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A corrupted length field cannot trigger a huge allocation.
+        let mut huge = buf.clone();
+        huge[1..9].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn job_payload_round_trips_dense_and_csr_pieces_bit_for_bit() {
+        let unit = WorkUnit {
+            id: 7,
+            mid_rad: true,
+            sparse: false,
+            cols: 5,
+            pieces: vec![
+                UnitPiece::Dense(dense_piece(4, 5, 1)),
+                UnitPiece::Csr(csr_piece(6, 5, 2)),
+                UnitPiece::Dense(dense_piece(3, 5, 3)),
+            ],
+        };
+        let payload = encode_job(&unit).unwrap();
+        let back = decode_job(&payload).unwrap();
+        assert_eq!(back.id, 7);
+        assert!(back.mid_rad);
+        assert!(!back.sparse);
+        assert_eq!(back.cols, 5);
+        assert_eq!(back.pieces.len(), 3);
+        for (a, b) in unit.pieces.iter().zip(&back.pieces) {
+            match (a, b) {
+                (UnitPiece::Dense(x), UnitPiece::Dense(y)) => {
+                    assert_eq!(x.lo().as_slice(), y.lo().as_slice());
+                    assert_eq!(x.hi().as_slice(), y.hi().as_slice());
+                }
+                (UnitPiece::Csr(x), UnitPiece::Csr(y)) => assert_eq!(x, y),
+                _ => panic!("piece kind changed in transit"),
+            }
+        }
+    }
+
+    #[test]
+    fn job_decoder_rejects_malformed_payloads() {
+        assert!(decode_job(b"nonsense\n").is_err());
+        assert!(decode_job(b"job 1 5 2 0 0\n").is_err()); // bad flag
+        assert!(decode_job(b"job 1 5 1 0 1\npiece weird 3\n").is_err());
+        // Declared piece missing its payload → UnexpectedEof.
+        let err = decode_job(b"job 1 5 1 0 1\npiece dense 3\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Trailing junk after the declared pieces is rejected.
+        let unit = WorkUnit {
+            id: 0,
+            mid_rad: false,
+            sparse: false,
+            cols: 2,
+            pieces: vec![UnitPiece::Dense(dense_piece(2, 2, 9))],
+        };
+        let mut payload = encode_job(&unit).unwrap();
+        payload.extend_from_slice(b"junk");
+        assert!(decode_job(&payload).is_err());
+    }
+
+    #[test]
+    fn partial_payload_round_trips() {
+        let mut payload = encode_partial_header(42);
+        payload.extend_from_slice(b"intervalgram state bytes");
+        let (id, state) = decode_partial(&payload).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(state, b"intervalgram state bytes");
+        assert!(decode_partial(b"partial notanumber\n").is_err());
+        assert!(decode_partial(b"other 3\n").is_err());
+    }
+}

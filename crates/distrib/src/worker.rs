@@ -1,0 +1,50 @@
+//! The worker side of the protocol: a loop that folds `JOB` frames into
+//! per-unit partial accumulators and streams each back as a `PARTIAL`.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+
+use ivmf_linalg::state_text::bad_state;
+
+use crate::partial::GramPartial;
+use crate::protocol::{
+    decode_job, encode_partial_header, read_frame, write_frame, FRAME_JOB, FRAME_PARTIAL,
+    FRAME_SHUTDOWN,
+};
+
+/// Serves one coordinator connection until `SHUTDOWN` or end-of-stream.
+///
+/// Generic over the transport so tests can interpose
+/// `ivmf_data::fault::{FaultyReader, FaultyWriter}` between the worker
+/// and its socket; production callers pass the two halves of a
+/// `TcpStream`. Any error — a malformed frame, a checksum mismatch, an
+/// accumulator failure — propagates out and drops the connection, which
+/// the coordinator observes as this worker's death and answers by
+/// reassigning the units it held. A worker never replies with a guess.
+pub fn serve_connection<R: Read, W: Write>(reader: R, writer: W) -> io::Result<()> {
+    let mut r = BufReader::new(reader);
+    let mut w = BufWriter::new(writer);
+    loop {
+        let (kind, payload) = match read_frame(&mut r)? {
+            None => return Ok(()),
+            Some(frame) => frame,
+        };
+        match kind {
+            FRAME_SHUTDOWN => return Ok(()),
+            FRAME_JOB => {
+                let unit = decode_job(&payload)?;
+                let partial = GramPartial::compute(&unit).map_err(|e| bad_state(e.to_string()))?;
+                let mut reply = encode_partial_header(unit.id);
+                // A sealed partial's state is dominated by the m×m
+                // accumulator matrices; reserving up front avoids
+                // doubling-growth memcpys across a multi-megabyte reply.
+                reply.reserve(32 * partial.cols().saturating_mul(partial.cols()) + 256);
+                partial.write_state(&mut reply)?;
+                write_frame(&mut w, FRAME_PARTIAL, &reply)?;
+                w.flush()?;
+            }
+            other => {
+                return Err(bad_state(format!("unexpected frame kind {other}")));
+            }
+        }
+    }
+}

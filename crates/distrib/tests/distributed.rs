@@ -1,0 +1,362 @@
+//! Determinism and fault-injection suite for the distributed Gram
+//! coordinator: every test asserts the merged master accumulator is
+//! **bitwise identical** to the single-process fold over the same rows —
+//! including under worker death, truncated frames, and flipped bits.
+
+use std::net::TcpStream;
+use std::thread;
+
+use ivmf_data::fault::{FaultSchedule, FaultyReader, FaultyWriter};
+use ivmf_distrib::protocol::{read_frame, FRAME_JOB};
+use ivmf_distrib::{serve_connection, GramCoordinator, GramPartial, GramSpec, WorkerMode};
+use ivmf_interval::{CsrIntervalShard, IntervalMatrix};
+use ivmf_linalg::streaming::GROUP_ROWS;
+use ivmf_linalg::Matrix;
+
+fn lcg(seed: &mut u64) -> f64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+fn dense_rows(rows: usize, cols: usize, seed: &mut u64) -> IntervalMatrix {
+    let lo: Vec<f64> = (0..rows * cols).map(|_| lcg(seed)).collect();
+    let hi: Vec<f64> = lo.iter().map(|v| v + 0.5 * lcg(seed).abs()).collect();
+    IntervalMatrix::from_bounds(
+        Matrix::from_vec(rows, cols, lo).unwrap(),
+        Matrix::from_vec(rows, cols, hi).unwrap(),
+    )
+    .unwrap()
+}
+
+fn csr_rows(rows: usize, cols: usize, seed: &mut u64) -> CsrIntervalShard {
+    let mut entries = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            // ~40% density, deterministic pattern.
+            if lcg(seed) > 0.2 {
+                let lo = lcg(seed);
+                entries.push((i, j, lo, lo + 0.25 * lcg(seed).abs()));
+            }
+        }
+    }
+    CsrIntervalShard::from_triplets(rows, cols, &entries).unwrap()
+}
+
+/// Cuts `rows` into an adversarial shard layout: sizes that straddle
+/// chunk and group boundaries in awkward ways.
+fn shard_sizes(rows: usize) -> Vec<usize> {
+    let pattern = [997, GROUP_ROWS - 1, 129, GROUP_ROWS + 127, 1, 4096];
+    let mut sizes = Vec::new();
+    let mut left = rows;
+    let mut i = 0;
+    while left > 0 {
+        let take = pattern[i % pattern.len()].min(left);
+        sizes.push(take);
+        left -= take;
+        i += 1;
+    }
+    sizes
+}
+
+fn state_bytes(p: &GramPartial) -> Vec<u8> {
+    let mut buf = Vec::new();
+    p.write_state(&mut buf).unwrap();
+    buf
+}
+
+/// The single-process reference fold over the given dense shards.
+fn reference_dense(spec: GramSpec, shards: &[IntervalMatrix]) -> GramPartial {
+    let mut acc = GramPartial::empty(spec.cols, spec.mid_rad, spec.sparse);
+    for s in shards {
+        match &mut acc {
+            GramPartial::Dense(a) => a.push_shard(s).unwrap(),
+            GramPartial::Sparse(a) => a.push_shard(&CsrIntervalShard::from_dense(s)).unwrap(),
+        }
+    }
+    acc
+}
+
+fn reference_csr(spec: GramSpec, shards: &[CsrIntervalShard]) -> GramPartial {
+    let mut acc = GramPartial::empty(spec.cols, spec.mid_rad, spec.sparse);
+    for s in shards {
+        match &mut acc {
+            GramPartial::Dense(a) => a.push_shard(&s.to_dense()).unwrap(),
+            GramPartial::Sparse(a) => a.push_shard(s).unwrap(),
+        }
+    }
+    acc
+}
+
+fn assert_bitwise_equal(master: &GramPartial, reference: &GramPartial) {
+    assert_eq!(
+        state_bytes(master),
+        state_bytes(reference),
+        "merged accumulator state diverged from the single-process fold"
+    );
+    let (a, b) = (master.finish().unwrap(), reference.finish().unwrap());
+    assert_eq!(
+        a.lo()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        b.lo()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(
+        a.hi()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        b.hi()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn run_dense(spec: GramSpec, shards: &[IntervalMatrix], workers: usize) -> GramPartial {
+    let mut coord = GramCoordinator::new(spec, workers, WorkerMode::Threads).unwrap();
+    for s in shards {
+        coord.push_dense(s).unwrap();
+    }
+    coord.finish().unwrap()
+}
+
+fn run_csr(spec: GramSpec, shards: &[CsrIntervalShard], workers: usize) -> GramPartial {
+    let mut coord = GramCoordinator::new(spec, workers, WorkerMode::Threads).unwrap();
+    for s in shards {
+        coord.push_csr(s).unwrap();
+    }
+    coord.finish().unwrap()
+}
+
+#[test]
+fn thread_workers_match_the_single_process_fold_bitwise_dense() {
+    let cols = 7;
+    let rows = 2 * GROUP_ROWS + 3 * 128 + 41;
+    for mid_rad in [true, false] {
+        let spec = GramSpec {
+            cols,
+            mid_rad,
+            sparse: false,
+        };
+        let mut seed = 0x5eed ^ mid_rad as u64;
+        let shards: Vec<IntervalMatrix> = shard_sizes(rows)
+            .into_iter()
+            .map(|n| dense_rows(n, cols, &mut seed))
+            .collect();
+        let reference = reference_dense(spec, &shards);
+        assert_eq!(reference.rows_seen(), rows);
+        for workers in [1, 3] {
+            let master = run_dense(spec, &shards, workers);
+            assert_eq!(master.rows_seen(), rows);
+            assert_bitwise_equal(&master, &reference);
+        }
+    }
+}
+
+#[test]
+fn thread_workers_match_the_single_process_fold_bitwise_sparse() {
+    let cols = 6;
+    let rows = GROUP_ROWS + 5 * 128 + 391;
+    for mid_rad in [true, false] {
+        let spec = GramSpec {
+            cols,
+            mid_rad,
+            sparse: true,
+        };
+        let mut seed = 0xabcd ^ mid_rad as u64;
+        let shards: Vec<CsrIntervalShard> = shard_sizes(rows)
+            .into_iter()
+            .map(|n| csr_rows(n, cols, &mut seed))
+            .collect();
+        let reference = reference_csr(spec, &shards);
+        for workers in [1, 4] {
+            let master = run_csr(spec, &shards, workers);
+            assert_bitwise_equal(&master, &reference);
+        }
+    }
+}
+
+#[test]
+fn cross_representation_pieces_fold_identically() {
+    // A sparse-kernel accumulator fed dense shards (and vice versa)
+    // through the coordinator must still match the local cross-fold.
+    let cols = 5;
+    let rows = GROUP_ROWS + 200;
+    let mut seed = 77;
+    let shards: Vec<IntervalMatrix> = shard_sizes(rows)
+        .into_iter()
+        .map(|n| dense_rows(n, cols, &mut seed))
+        .collect();
+    let spec = GramSpec {
+        cols,
+        mid_rad: true,
+        sparse: true, // sparse kernel over dense pushes
+    };
+    let reference = reference_dense(spec, &shards);
+    let master = run_dense(spec, &shards, 2);
+    assert_bitwise_equal(&master, &reference);
+}
+
+#[test]
+fn spawned_process_workers_match_the_single_process_fold() {
+    // Cargo exposes the crate's own binaries to its integration tests.
+    std::env::set_var(
+        ivmf_distrib::WORKER_BIN_ENV,
+        env!("CARGO_BIN_EXE_ivmf-worker"),
+    );
+    let cols = 5;
+    let rows = GROUP_ROWS + 777;
+    let spec = GramSpec {
+        cols,
+        mid_rad: true,
+        sparse: true,
+    };
+    let mut seed = 31;
+    let shards: Vec<CsrIntervalShard> = shard_sizes(rows)
+        .into_iter()
+        .map(|n| csr_rows(n, cols, &mut seed))
+        .collect();
+    let reference = reference_csr(spec, &shards);
+    let mut coord = GramCoordinator::new(spec, 2, WorkerMode::Processes).unwrap();
+    for s in &shards {
+        coord.push_csr(s).unwrap();
+    }
+    let master = coord.finish().unwrap();
+    assert_bitwise_equal(&master, &reference);
+}
+
+/// Runs a dense workload through one healthy worker plus one sabotaged
+/// worker (built by `faulty`), asserting the merge still comes out
+/// bitwise identical to the single-process fold.
+fn run_with_faulty_worker(
+    faulty: impl FnOnce(TcpStream) + Send + 'static,
+) -> (GramPartial, GramPartial) {
+    let cols = 4;
+    let rows = 3 * GROUP_ROWS + 65;
+    let spec = GramSpec {
+        cols,
+        mid_rad: true,
+        sparse: false,
+    };
+    let mut seed = 1234;
+    let shards: Vec<IntervalMatrix> = shard_sizes(rows)
+        .into_iter()
+        .map(|n| dense_rows(n, cols, &mut seed))
+        .collect();
+    let reference = reference_dense(spec, &shards);
+
+    let mut coord = GramCoordinator::new(spec, 0, WorkerMode::External).unwrap();
+    let addr = coord.addr();
+    let sab = thread::spawn(move || {
+        let stream = TcpStream::connect(addr).unwrap();
+        faulty(stream);
+    });
+    let healthy = thread::spawn(move || {
+        let stream = TcpStream::connect(addr).unwrap();
+        let reader = stream.try_clone().unwrap();
+        let _ = serve_connection(reader, stream);
+    });
+    coord.accept_workers(2).unwrap();
+    for s in &shards {
+        coord.push_dense(s).unwrap();
+    }
+    let master = coord.finish().unwrap();
+    let _ = sab.join();
+    let _ = healthy.join();
+    (master, reference)
+}
+
+#[test]
+fn a_worker_killed_mid_stream_is_reassigned_not_lost() {
+    // The saboteur accepts a job and dies without replying.
+    let (master, reference) = run_with_faulty_worker(|stream| {
+        let mut r = std::io::BufReader::new(stream);
+        let frame = read_frame(&mut r).unwrap();
+        assert!(matches!(frame, Some((FRAME_JOB, _))));
+        // Dropping the stream here is the kill.
+    });
+    assert_bitwise_equal(&master, &reference);
+}
+
+#[test]
+fn a_truncated_partial_frame_causes_reassignment_never_a_wrong_merge() {
+    // The saboteur starts answering but its connection fails 64 bytes
+    // into the reply — the coordinator sees a frame cut short.
+    let (master, reference) = run_with_faulty_worker(|stream| {
+        let reader = stream.try_clone().unwrap();
+        let writer = FaultyWriter::new(stream, FaultSchedule::fail_at(64));
+        let _ = serve_connection(reader, writer);
+    });
+    assert_bitwise_equal(&master, &reference);
+}
+
+#[test]
+fn a_bit_flipped_partial_frame_is_rejected_by_the_checksum() {
+    // One bit of the reply stream is flipped in transit; the FNV-1a
+    // frame checksum must catch it and the unit must be recomputed —
+    // a silently wrong merge is the one unacceptable outcome.
+    let (master, reference) = run_with_faulty_worker(|stream| {
+        let reader = stream.try_clone().unwrap();
+        let writer = FaultyWriter::new(stream, FaultSchedule::flip_bit(200, 5));
+        let _ = serve_connection(reader, writer);
+    });
+    assert_bitwise_equal(&master, &reference);
+}
+
+#[test]
+fn a_worker_whose_reads_fail_mid_job_is_reassigned() {
+    // The fault sits on the worker's receive path: it dies while still
+    // reading the job payload.
+    let (master, reference) = run_with_faulty_worker(|stream| {
+        let reader = FaultyReader::new(stream.try_clone().unwrap(), FaultSchedule::fail_at(128));
+        let _ = serve_connection(reader, stream);
+    });
+    assert_bitwise_equal(&master, &reference);
+}
+
+#[test]
+fn losing_every_worker_falls_back_to_the_local_fold() {
+    let cols = 3;
+    let rows = 2 * GROUP_ROWS + 17;
+    let spec = GramSpec {
+        cols,
+        mid_rad: false,
+        sparse: false,
+    };
+    let mut seed = 99;
+    let shards: Vec<IntervalMatrix> = shard_sizes(rows)
+        .into_iter()
+        .map(|n| dense_rows(n, cols, &mut seed))
+        .collect();
+    let reference = reference_dense(spec, &shards);
+
+    let mut coord = GramCoordinator::new(spec, 0, WorkerMode::External).unwrap();
+    let addr = coord.addr();
+    let mut saboteurs = Vec::new();
+    for _ in 0..2 {
+        saboteurs.push(thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut r = std::io::BufReader::new(stream);
+            let _ = read_frame(&mut r); // take one job, then die
+        }));
+    }
+    coord.accept_workers(2).unwrap();
+    for s in &shards {
+        coord.push_dense(s).unwrap();
+    }
+    let master = coord.finish().unwrap();
+    for s in saboteurs {
+        let _ = s.join();
+    }
+    assert_bitwise_equal(&master, &reference);
+}

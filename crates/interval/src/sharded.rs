@@ -359,6 +359,32 @@ impl StreamingIntervalGram {
         }
     }
 
+    /// An empty accumulator with the flavour forced explicitly instead of
+    /// derived from the total row count. Distributed workers use this to
+    /// replicate the coordinator's dispatch decision exactly: the
+    /// coordinator picks the flavour from the *whole* stream's shape, and
+    /// a worker seeing only its ≤ one-group unit must not re-derive it
+    /// from the unit's (smaller) row count.
+    pub fn with_flavour(cols: usize, mid_rad: bool) -> Self {
+        let flavour = if mid_rad {
+            Flavour::MidRad {
+                mid: GramAccumulator::new(cols),
+                sum: GramAccumulator::new(cols),
+            }
+        } else {
+            Flavour::Exact {
+                lo: GramAccumulator::new(cols),
+                hi: GramAccumulator::new(cols),
+                cross: CrossGramAccumulator::new(cols, cols),
+            }
+        };
+        StreamingIntervalGram {
+            cols,
+            rows_seen: 0,
+            flavour,
+        }
+    }
+
     /// True when this accumulator runs the midpoint–radius enclosure
     /// (false: the exact four-product envelope).
     pub fn is_mid_rad(&self) -> bool {
@@ -437,6 +463,54 @@ impl StreamingIntervalGram {
                 IntervalMatrix::from_bounds(glo, ghi)
             }
         }
+    }
+
+    /// Absorbs the state of an accumulator that folded the next
+    /// ≤ [`ivmf_linalg::streaming::GROUP_ROWS`]-row work unit of the same interval
+    /// stream, delegating to the inner scalar accumulators'
+    /// [`GramAccumulator::absorb_unit`] (so the merged state is bitwise
+    /// the single-process state). The flavours must match — a unit folded
+    /// under the wrong flavour holds incompatible partials.
+    pub fn absorb_unit(&mut self, other: StreamingIntervalGram) -> Result<()> {
+        if other.cols != self.cols {
+            return Err(IntervalError::DimensionMismatch {
+                op: "absorb_unit",
+                lhs: (self.rows_seen, self.cols),
+                rhs: (other.rows_seen, other.cols),
+            });
+        }
+        let unit_rows = other.rows_seen;
+        match (&mut self.flavour, other.flavour) {
+            (
+                Flavour::Exact { lo, hi, cross },
+                Flavour::Exact {
+                    lo: olo,
+                    hi: ohi,
+                    cross: ocross,
+                },
+            ) => {
+                lo.absorb_unit(olo)?;
+                hi.absorb_unit(ohi)?;
+                cross.absorb_unit(ocross)?;
+            }
+            (
+                Flavour::MidRad { mid, sum },
+                Flavour::MidRad {
+                    mid: omid,
+                    sum: osum,
+                },
+            ) => {
+                mid.absorb_unit(omid)?;
+                sum.absorb_unit(osum)?;
+            }
+            _ => {
+                return Err(IntervalError::Source(
+                    "absorb_unit flavour mismatch: the unit was folded under a different interval-Gram flavour".to_string(),
+                ));
+            }
+        }
+        self.rows_seen += unit_rows;
+        Ok(())
     }
 
     /// Serializes the complete accumulator state — flavour plus every

@@ -524,6 +524,31 @@ impl SparseStreamingIntervalGram {
         }
     }
 
+    /// An empty accumulator with the flavour forced explicitly — the
+    /// sparse counterpart of
+    /// [`StreamingIntervalGram::with_flavour`](crate::StreamingIntervalGram::with_flavour):
+    /// a distributed worker replicates the coordinator's whole-stream
+    /// dispatch decision instead of re-deriving it from its unit's rows.
+    pub fn with_flavour(cols: usize, mid_rad: bool) -> Self {
+        let flavour = if mid_rad {
+            SparseFlavour::MidRad {
+                mid: SparseGramAccumulator::new(cols),
+                sum: SparseGramAccumulator::new(cols),
+            }
+        } else {
+            SparseFlavour::Exact {
+                lo: SparseGramAccumulator::new(cols),
+                hi: SparseGramAccumulator::new(cols),
+                cross: Box::new(SparseCrossGramAccumulator::new(cols, cols)),
+            }
+        };
+        SparseStreamingIntervalGram {
+            cols,
+            rows_seen: 0,
+            flavour,
+        }
+    }
+
     /// True when this accumulator runs the midpoint–radius enclosure
     /// (false: the exact four-product envelope).
     pub fn is_mid_rad(&self) -> bool {
@@ -600,6 +625,53 @@ impl SparseStreamingIntervalGram {
                 IntervalMatrix::from_bounds(glo, ghi)
             }
         }
+    }
+
+    /// Absorbs the state of an accumulator that folded the next
+    /// ≤ [`ivmf_linalg::streaming::GROUP_ROWS`]-row work unit of the same stream —
+    /// the sparse counterpart of
+    /// [`StreamingIntervalGram::absorb_unit`](crate::StreamingIntervalGram::absorb_unit),
+    /// with the same flavour-match requirement and bitwise contract.
+    pub fn absorb_unit(&mut self, other: SparseStreamingIntervalGram) -> Result<()> {
+        if other.cols != self.cols {
+            return Err(IntervalError::DimensionMismatch {
+                op: "absorb_unit",
+                lhs: (self.rows_seen, self.cols),
+                rhs: (other.rows_seen, other.cols),
+            });
+        }
+        let unit_rows = other.rows_seen;
+        match (&mut self.flavour, other.flavour) {
+            (
+                SparseFlavour::Exact { lo, hi, cross },
+                SparseFlavour::Exact {
+                    lo: olo,
+                    hi: ohi,
+                    cross: ocross,
+                },
+            ) => {
+                lo.absorb_unit(olo)?;
+                hi.absorb_unit(ohi)?;
+                cross.absorb_unit(*ocross)?;
+            }
+            (
+                SparseFlavour::MidRad { mid, sum },
+                SparseFlavour::MidRad {
+                    mid: omid,
+                    sum: osum,
+                },
+            ) => {
+                mid.absorb_unit(omid)?;
+                sum.absorb_unit(osum)?;
+            }
+            _ => {
+                return Err(IntervalError::Source(
+                    "absorb_unit flavour mismatch: the unit was folded under a different interval-Gram flavour".to_string(),
+                ));
+            }
+        }
+        self.rows_seen += unit_rows;
+        Ok(())
     }
 
     /// Serializes the complete accumulator state as bit-exact state

@@ -47,7 +47,9 @@ use crate::state_text::{
     bad_state, checked_len, parse_usize_line, read_f64_run, read_line, write_f64_run,
     write_usize_line,
 };
-use crate::streaming::{parse_state_header, validate_fold_header, PAR_FOLD_CHUNKS};
+use crate::streaming::{
+    parse_state_header, validate_fold_header, GROUP_ROWS, MERGE_GROUP_CHUNKS, PAR_FOLD_CHUNKS,
+};
 use crate::{LinalgError, Matrix, Result, RowBlocks, MATMUL_BLOCKED_MIN_WORK, STREAM_CHUNK_ROWS};
 use std::io;
 
@@ -555,6 +557,21 @@ impl RowBlocks for CsrShardedMatrix {
 fn csr_gram_chunk_upper(chunk: &CsrShard) -> Matrix {
     let m = chunk.cols;
     let mut out = Matrix::zeros(m, m);
+    csr_gram_chunk_upper_into(chunk, &mut out);
+    out
+}
+
+/// [`csr_gram_chunk_upper`] into a caller-owned `m×m` scratch whose upper
+/// triangle (diagonal included) is zero on entry; the strict lower
+/// triangle is never touched. Reusing one scratch across the chunks of a
+/// drain avoids an `m×m` allocation (and its page faults — 8 MiB per
+/// chunk at `m = 1024`) on every one of the thousands of chunks a
+/// large-scale stream folds; re-zeroing only the upper triangle between
+/// chunks is bitwise invisible because the kernel reads and writes that
+/// triangle alone.
+fn csr_gram_chunk_upper_into(chunk: &CsrShard, out: &mut Matrix) {
+    let m = chunk.cols;
+    debug_assert_eq!(out.shape(), (m, m));
     let work = chunk.rows * m * m / 2;
     let fused = work >= MATMUL_BLOCKED_MIN_WORK;
     let threads = threads_for(work);
@@ -565,7 +582,17 @@ fn csr_gram_chunk_upper(chunk: &CsrShard) -> Matrix {
             csr_gram_panel(chunk, first_row, panel, m, |a, b, acc| acc + a * b);
         }
     });
-    out
+}
+
+/// Zeros the upper triangle (diagonal included), resetting a scratch for
+/// [`csr_gram_chunk_upper_into`].
+fn zero_upper(mat: &mut Matrix) {
+    let m = mat.cols();
+    for i in 0..m {
+        for v in &mut mat.as_mut_slice()[i * m + i..(i + 1) * m] {
+            *v = 0.0;
+        }
+    }
 }
 
 /// In-place sum of the upper triangles (diagonal included); the strict
@@ -915,10 +942,19 @@ fn add_assign(acc: &mut Matrix, rhs: &Matrix) {
 /// chunk kernel (row panels of the `m×m` output), which keeps peak memory
 /// at one `m×m` partial regardless of `IVMF_THREADS`. Fold order is chunk
 /// order either way, so the results agree bit for bit.
+/// The two-level fold mirrors the dense accumulator exactly: chunk
+/// partials fold into a `group` partial, sealed into the master `acc`
+/// every [`MERGE_GROUP_CHUNKS`] chunks, and
+/// [`SparseGramAccumulator::absorb_unit`] merges a worker's
+/// ≤ [`GROUP_ROWS`]-row unit with the identical bitwise contract (see the
+/// [`streaming`](crate::streaming) module docs).
 #[derive(Debug, Clone)]
 pub struct SparseGramAccumulator {
     pending: PendingCsrRows,
+    /// Master fold: sum of sealed merge groups, upper triangles only.
     acc: Option<Matrix>,
+    /// The open (unsealed) group partial, upper triangle only.
+    group: Option<Matrix>,
     rows_seen: usize,
 }
 
@@ -928,6 +964,7 @@ impl SparseGramAccumulator {
         SparseGramAccumulator {
             pending: PendingCsrRows::new(cols),
             acc: None,
+            group: None,
             rows_seen: 0,
         }
     }
@@ -968,36 +1005,109 @@ impl SparseGramAccumulator {
 
     fn drain_full_chunks(&mut self) {
         let full = self.pending.full_chunks();
+        if full == 0 {
+            return;
+        }
+        // `drain_chunks` runs only below, so the difference still counts
+        // the chunks folded *before* this call — the global chunk index
+        // the group-boundary check needs.
+        let mut folded = (self.rows_seen - self.pending.rows()) / STREAM_CHUNK_ROWS;
+        let m = self.pending.cols;
+        let mut scratch = Matrix::zeros(m, m);
         for i in 0..full {
-            let g = csr_gram_chunk_upper(&self.pending.chunk(i));
-            self.fold(g);
+            csr_gram_chunk_upper_into(&self.pending.chunk(i), &mut scratch);
+            self.fold(&scratch, &mut folded);
+            if i + 1 < full {
+                zero_upper(&mut scratch);
+            }
         }
         self.pending.drain_chunks(full);
     }
 
-    // The running accumulator holds upper triangles only (see
-    // [`csr_gram_chunk_upper`]); `finish` mirrors once at the end.
-    fn fold(&mut self, g: Matrix) {
-        match &mut self.acc {
-            None => self.acc = Some(g),
-            Some(a) => add_assign_upper(a, &g),
+    // The running partials hold upper triangles only (see
+    // [`csr_gram_chunk_upper`]); `finish` mirrors once at the end. Folds
+    // the chunk into the group partial, sealing the group into the master
+    // at every [`MERGE_GROUP_CHUNKS`] boundary.
+    fn fold(&mut self, g: &Matrix, folded_chunks: &mut usize) {
+        match &mut self.group {
+            None => self.group = Some(g.clone()),
+            Some(a) => add_assign_upper(a, g),
+        }
+        *folded_chunks += 1;
+        if *folded_chunks % MERGE_GROUP_CHUNKS == 0 {
+            self.seal_group();
+        }
+    }
+
+    /// Moves the completed group partial into the master fold.
+    fn seal_group(&mut self) {
+        if let Some(g) = self.group.take() {
+            match &mut self.acc {
+                None => self.acc = Some(g),
+                Some(a) => add_assign_upper(a, &g),
+            }
         }
     }
 
     /// The Gram matrix of every row seen so far (non-consuming, like the
-    /// dense accumulator).
+    /// dense accumulator; same `master ⊕ (group ⊕ tail)` order).
     pub fn finish(&self) -> Matrix {
-        let mut acc = self.acc.clone();
+        let mut tail = self.group.clone();
         if let Some(rem) = self.pending.remainder() {
             let g = csr_gram_chunk_upper(&rem);
+            match &mut tail {
+                None => tail = Some(g),
+                Some(t) => add_assign_upper(t, &g),
+            }
+        }
+        let mut acc = self.acc.clone();
+        if let Some(t) = tail {
             match &mut acc {
-                None => acc = Some(g),
-                Some(a) => add_assign_upper(a, &g),
+                None => acc = Some(t),
+                Some(a) => add_assign_upper(a, &t),
             }
         }
         let mut acc = acc.unwrap_or_else(|| Matrix::zeros(self.pending.cols, self.pending.cols));
         mirror_upper(&mut acc);
         acc
+    }
+
+    /// Absorbs the state of an accumulator that folded the next
+    /// ≤ [`GROUP_ROWS`]-row work unit of the same stream — the sparse
+    /// counterpart of
+    /// [`GramAccumulator::absorb_unit`](crate::GramAccumulator::absorb_unit),
+    /// with identical preconditions and the identical bitwise contract.
+    pub fn absorb_unit(&mut self, other: SparseGramAccumulator) -> Result<()> {
+        if other.pending.cols != self.pending.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "absorb_unit",
+                lhs: (self.rows_seen, self.pending.cols),
+                rhs: (other.rows_seen, other.pending.cols),
+            });
+        }
+        if self.pending.rows() != 0 || self.group.is_some() || self.rows_seen % GROUP_ROWS != 0 {
+            return Err(LinalgError::InvalidArgument(
+                "absorb_unit target must sit on a merge-group boundary".to_string(),
+            ));
+        }
+        if other.rows_seen > GROUP_ROWS {
+            return Err(LinalgError::InvalidArgument(format!(
+                "absorbed unit spans {} rows, more than one {GROUP_ROWS}-row merge group",
+                other.rows_seen
+            )));
+        }
+        // A ≤ GROUP_ROWS unit has at most one completed group (its `acc`),
+        // which is exactly the next group of the combined stream.
+        if let Some(g) = other.acc {
+            match &mut self.acc {
+                None => self.acc = Some(g),
+                Some(a) => add_assign_upper(a, &g),
+            }
+        }
+        self.group = other.group;
+        self.pending = other.pending;
+        self.rows_seen += other.rows_seen;
+        Ok(())
     }
 
     /// Serializes the complete accumulator state (CSR pending buffer,
@@ -1007,16 +1117,20 @@ impl SparseGramAccumulator {
     pub fn write_state(&self, w: &mut dyn io::Write) -> io::Result<()> {
         writeln!(
             w,
-            "sparsegram {} {} {} {} {}",
+            "sparsegram {} {} {} {} {} {}",
             self.pending.cols,
             self.rows_seen,
             self.pending.rows(),
             self.pending.nnz(),
-            self.acc.is_some() as u8
+            self.acc.is_some() as u8,
+            self.group.is_some() as u8
         )?;
         self.pending.write_state(w)?;
         if let Some(a) = &self.acc {
             write_f64_run(w, a.as_slice())?;
+        }
+        if let Some(g) = &self.group {
+            write_f64_run(w, g.as_slice())?;
         }
         Ok(())
     }
@@ -1026,20 +1140,29 @@ impl SparseGramAccumulator {
     /// structural invariant.
     pub fn read_state(r: &mut dyn io::BufRead) -> io::Result<Self> {
         let header = read_line(r)?;
-        let head = parse_state_header(&header, "sparsegram", 5)?;
-        let (cols, rows_seen, pending_rows, nnz, has_acc) =
-            (head[0], head[1], head[2], head[3], head[4]);
-        validate_fold_header(cols, rows_seen, pending_rows, has_acc)?;
+        let head = parse_state_header(&header, "sparsegram", 6)?;
+        let (cols, rows_seen, pending_rows, nnz, has_acc, has_group) =
+            (head[0], head[1], head[2], head[3], head[4], head[5]);
+        validate_fold_header(cols, rows_seen, pending_rows, has_acc, has_group)?;
         let pending = PendingCsrRows::read_state(r, cols, pending_rows, nnz)?;
-        let acc = if has_acc == 1 {
+        let mut read_square = || -> io::Result<Matrix> {
             let vals = read_f64_run(r, checked_len(cols, cols)?)?;
-            Some(Matrix::from_vec(cols, cols, vals).map_err(|e| bad_state(e.to_string()))?)
+            Matrix::from_vec(cols, cols, vals).map_err(|e| bad_state(e.to_string()))
+        };
+        let acc = if has_acc == 1 {
+            Some(read_square()?)
+        } else {
+            None
+        };
+        let group = if has_group == 1 {
+            Some(read_square()?)
         } else {
             None
         };
         Ok(SparseGramAccumulator {
             pending,
             acc,
+            group,
             rows_seen,
         })
     }
@@ -1054,7 +1177,10 @@ impl SparseGramAccumulator {
 pub struct SparseCrossGramAccumulator {
     pending_a: PendingCsrRows,
     pending_b: PendingCsrRows,
+    /// Master fold: sum of sealed merge groups (full matrices).
     acc: Option<Matrix>,
+    /// The open (unsealed) group partial.
+    group: Option<Matrix>,
     rows_seen: usize,
 }
 
@@ -1065,6 +1191,7 @@ impl SparseCrossGramAccumulator {
             pending_a: PendingCsrRows::new(a_cols),
             pending_b: PendingCsrRows::new(b_cols),
             acc: None,
+            group: None,
             rows_seen: 0,
         }
     }
@@ -1112,34 +1239,95 @@ impl SparseCrossGramAccumulator {
 
     fn drain_full_chunks(&mut self) -> Result<()> {
         let full = self.pending_a.full_chunks();
+        let mut folded = (self.rows_seen - self.pending_a.rows()) / STREAM_CHUNK_ROWS;
         for i in 0..full {
             let p = csr_cross_chunk(&self.pending_a.chunk(i), &self.pending_b.chunk(i))?;
-            self.fold(p);
+            self.fold(p, &mut folded);
         }
         self.pending_a.drain_chunks(full);
         self.pending_b.drain_chunks(full);
         Ok(())
     }
 
-    fn fold(&mut self, p: Matrix) {
-        match &mut self.acc {
-            None => self.acc = Some(p),
+    /// Chunk-into-group fold with group sealing, exactly as in
+    /// [`SparseGramAccumulator::fold`].
+    fn fold(&mut self, p: Matrix, folded_chunks: &mut usize) {
+        match &mut self.group {
+            None => self.group = Some(p),
             Some(a) => add_assign(a, &p),
+        }
+        *folded_chunks += 1;
+        if *folded_chunks % MERGE_GROUP_CHUNKS == 0 {
+            self.seal_group();
+        }
+    }
+
+    fn seal_group(&mut self) {
+        if let Some(g) = self.group.take() {
+            match &mut self.acc {
+                None => self.acc = Some(g),
+                Some(a) => add_assign(a, &g),
+            }
         }
     }
 
     /// The cross product `AᵀB` of every row pair seen so far
-    /// (non-consuming).
+    /// (non-consuming; same `master ⊕ (group ⊕ tail)` order).
     pub fn finish(&self) -> Result<Matrix> {
-        let mut acc = self.acc.clone();
+        let mut tail = self.group.clone();
         if let (Some(ra), Some(rb)) = (self.pending_a.remainder(), self.pending_b.remainder()) {
             let p = csr_cross_chunk(&ra, &rb)?;
+            match &mut tail {
+                None => tail = Some(p),
+                Some(t) => add_assign(t, &p),
+            }
+        }
+        let mut acc = self.acc.clone();
+        if let Some(t) = tail {
             match &mut acc {
-                None => acc = Some(p),
-                Some(a) => add_assign(a, &p),
+                None => acc = Some(t),
+                Some(a) => add_assign(a, &t),
             }
         }
         Ok(acc.unwrap_or_else(|| Matrix::zeros(self.pending_a.cols, self.pending_b.cols)))
+    }
+
+    /// Absorbs the state of an accumulator that folded the next
+    /// ≤ [`GROUP_ROWS`]-row work unit of the same stream pair — identical
+    /// preconditions and bitwise contract as
+    /// [`SparseGramAccumulator::absorb_unit`].
+    pub fn absorb_unit(&mut self, other: SparseCrossGramAccumulator) -> Result<()> {
+        if other.pending_a.cols != self.pending_a.cols
+            || other.pending_b.cols != self.pending_b.cols
+        {
+            return Err(LinalgError::DimensionMismatch {
+                op: "absorb_unit",
+                lhs: (self.pending_a.cols, self.pending_b.cols),
+                rhs: (other.pending_a.cols, other.pending_b.cols),
+            });
+        }
+        if self.pending_a.rows() != 0 || self.group.is_some() || self.rows_seen % GROUP_ROWS != 0 {
+            return Err(LinalgError::InvalidArgument(
+                "absorb_unit target must sit on a merge-group boundary".to_string(),
+            ));
+        }
+        if other.rows_seen > GROUP_ROWS {
+            return Err(LinalgError::InvalidArgument(format!(
+                "absorbed unit spans {} rows, more than one {GROUP_ROWS}-row merge group",
+                other.rows_seen
+            )));
+        }
+        if let Some(g) = other.acc {
+            match &mut self.acc {
+                None => self.acc = Some(g),
+                Some(a) => add_assign(a, &g),
+            }
+        }
+        self.group = other.group;
+        self.pending_a = other.pending_a;
+        self.pending_b = other.pending_b;
+        self.rows_seen += other.rows_seen;
+        Ok(())
     }
 
     /// Serializes the complete accumulator state as bit-exact state text;
@@ -1148,19 +1336,23 @@ impl SparseCrossGramAccumulator {
     pub fn write_state(&self, w: &mut dyn io::Write) -> io::Result<()> {
         writeln!(
             w,
-            "sparsecrossgram {} {} {} {} {} {} {}",
+            "sparsecrossgram {} {} {} {} {} {} {} {}",
             self.pending_a.cols,
             self.pending_b.cols,
             self.rows_seen,
             self.pending_a.rows(),
             self.pending_a.nnz(),
             self.pending_b.nnz(),
-            self.acc.is_some() as u8
+            self.acc.is_some() as u8,
+            self.group.is_some() as u8
         )?;
         self.pending_a.write_state(w)?;
         self.pending_b.write_state(w)?;
         if let Some(a) = &self.acc {
             write_f64_run(w, a.as_slice())?;
+        }
+        if let Some(g) = &self.group {
+            write_f64_run(w, g.as_slice())?;
         }
         Ok(())
     }
@@ -1171,19 +1363,27 @@ impl SparseCrossGramAccumulator {
     /// buffers).
     pub fn read_state(r: &mut dyn io::BufRead) -> io::Result<Self> {
         let header = read_line(r)?;
-        let head = parse_state_header(&header, "sparsecrossgram", 7)?;
-        let (a_cols, b_cols, rows_seen, pending_rows, a_nnz, b_nnz, has_acc) = (
-            head[0], head[1], head[2], head[3], head[4], head[5], head[6],
+        let head = parse_state_header(&header, "sparsecrossgram", 8)?;
+        let (a_cols, b_cols, rows_seen, pending_rows, a_nnz, b_nnz, has_acc, has_group) = (
+            head[0], head[1], head[2], head[3], head[4], head[5], head[6], head[7],
         );
-        validate_fold_header(a_cols, rows_seen, pending_rows, has_acc)?;
+        validate_fold_header(a_cols, rows_seen, pending_rows, has_acc, has_group)?;
         if b_cols == 0 {
             return Err(bad_state("accumulator state has zero columns"));
         }
         let pending_a = PendingCsrRows::read_state(r, a_cols, pending_rows, a_nnz)?;
         let pending_b = PendingCsrRows::read_state(r, b_cols, pending_rows, b_nnz)?;
-        let acc = if has_acc == 1 {
+        let mut read_cross = || -> io::Result<Matrix> {
             let vals = read_f64_run(r, checked_len(a_cols, b_cols)?)?;
-            Some(Matrix::from_vec(a_cols, b_cols, vals).map_err(|e| bad_state(e.to_string()))?)
+            Matrix::from_vec(a_cols, b_cols, vals).map_err(|e| bad_state(e.to_string()))
+        };
+        let acc = if has_acc == 1 {
+            Some(read_cross()?)
+        } else {
+            None
+        };
+        let group = if has_group == 1 {
+            Some(read_cross()?)
         } else {
             None
         };
@@ -1191,6 +1391,7 @@ impl SparseCrossGramAccumulator {
             pending_a,
             pending_b,
             acc,
+            group,
             rows_seen,
         })
     }
@@ -1607,6 +1808,116 @@ mod tests {
                 &CsrShard::from_dense(&lcg_sparse(3, 13, 2, 1)),
                 &CsrShard::from_dense(&lcg_sparse(4, 9, 2, 2)),
             )
+            .is_err());
+    }
+
+    #[test]
+    fn sparse_two_level_fold_stays_bitwise_equal_to_dense_past_a_group() {
+        // Crosses two group-seal boundaries; every layout (and the dense
+        // accumulator, which seals at the same global chunk indices) must
+        // agree bit for bit.
+        let n = 2 * GROUP_ROWS + 3 * STREAM_CHUNK_ROWS + 41;
+        let dense = lcg_sparse(n, 11, 3, 101);
+        let reference = gram_streamed(&dense).unwrap();
+        for shard_rows in [GROUP_ROWS - 1, GROUP_ROWS + 129, 997] {
+            let sparse = CsrShardedMatrix::from_dense(&dense, shard_rows).unwrap();
+            assert_bitwise(
+                &gram_streamed_csr(&sparse).unwrap(),
+                &reference,
+                &format!("two-level sparse gram shard_rows={shard_rows}"),
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_absorb_unit_reproduces_the_single_accumulator_bits() {
+        let n = 2 * GROUP_ROWS + 205;
+        let dense = lcg_sparse(n, 7, 3, 103);
+        let csr = CsrShard::from_dense(&dense);
+        let mut single = SparseGramAccumulator::new(7);
+        single.push_block(&csr).unwrap();
+
+        let mut merged = SparseGramAccumulator::new(7);
+        let mut start = 0;
+        while start < n {
+            let end = (start + GROUP_ROWS).min(n);
+            let mut worker = SparseGramAccumulator::new(7);
+            worker
+                .push_block(&csr.row_slice(start, end).unwrap())
+                .unwrap();
+            merged.absorb_unit(worker).unwrap();
+            start = end;
+        }
+        assert_eq!(merged.rows_seen(), single.rows_seen());
+        assert_bitwise(
+            &merged.finish(),
+            &single.finish(),
+            "sparse merged vs single",
+        );
+        // Continuing the fold after the merge stays bitwise identical,
+        // and the serialized states agree byte for byte.
+        let extra = CsrShard::from_dense(&lcg_sparse(300, 7, 3, 104));
+        merged.push_block(&extra).unwrap();
+        single.push_block(&extra).unwrap();
+        assert_bitwise(&merged.finish(), &single.finish(), "sparse continued");
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        merged.write_state(&mut a).unwrap();
+        single.write_state(&mut b).unwrap();
+        assert_eq!(a, b, "serialized sparse states must agree");
+
+        // Preconditions: off-boundary target, oversized unit, col
+        // mismatch.
+        let mut off = SparseGramAccumulator::new(7);
+        off.push_block(&CsrShard::from_dense(&lcg_sparse(10, 7, 2, 105)))
+            .unwrap();
+        assert!(off.absorb_unit(SparseGramAccumulator::new(7)).is_err());
+        let mut big = SparseGramAccumulator::new(7);
+        big.push_block(&CsrShard::from_dense(&lcg_sparse(
+            GROUP_ROWS + 1,
+            7,
+            1,
+            106,
+        )))
+        .unwrap();
+        assert!(SparseGramAccumulator::new(7).absorb_unit(big).is_err());
+        assert!(SparseGramAccumulator::new(7)
+            .absorb_unit(SparseGramAccumulator::new(8))
+            .is_err());
+    }
+
+    #[test]
+    fn sparse_cross_absorb_unit_reproduces_the_single_accumulator_bits() {
+        let n = GROUP_ROWS + 391;
+        let a = CsrShard::from_dense(&lcg_sparse(n, 6, 2, 107));
+        let b = CsrShard::from_dense(&lcg_sparse(n, 3, 2, 108));
+        let mut single = SparseCrossGramAccumulator::new(6, 3);
+        single.push_blocks(&a, &b).unwrap();
+
+        let mut merged = SparseCrossGramAccumulator::new(6, 3);
+        let mut start = 0;
+        while start < n {
+            let end = (start + GROUP_ROWS).min(n);
+            let mut worker = SparseCrossGramAccumulator::new(6, 3);
+            worker
+                .push_blocks(
+                    &a.row_slice(start, end).unwrap(),
+                    &b.row_slice(start, end).unwrap(),
+                )
+                .unwrap();
+            merged.absorb_unit(worker).unwrap();
+            start = end;
+        }
+        assert_bitwise(
+            &merged.finish().unwrap(),
+            &single.finish().unwrap(),
+            "sparse cross merged vs single",
+        );
+        let (mut x, mut y) = (Vec::new(), Vec::new());
+        merged.write_state(&mut x).unwrap();
+        single.write_state(&mut y).unwrap();
+        assert_eq!(x, y, "serialized sparse cross states must agree");
+        assert!(SparseCrossGramAccumulator::new(6, 3)
+            .absorb_unit(SparseCrossGramAccumulator::new(6, 4))
             .is_err());
     }
 

@@ -131,15 +131,17 @@ pub fn parse_usize_line(line: &str, expected: usize) -> io::Result<Vec<usize>> {
 /// at matrix sizes); bit-exactness is structural, since
 /// [`f64::to_bits`] round-trips every pattern including NaN payloads.
 pub fn write_f64_run(w: &mut dyn Write, vals: &[f64]) -> io::Result<()> {
-    let mut bytes = Vec::with_capacity(vals.len().saturating_mul(8).min(8 * PREALLOC_CAP));
-    for v in vals {
-        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
-        if bytes.len() >= 8 * PREALLOC_CAP {
-            w.write_all(&bytes)?;
-            bytes.clear();
+    // Convert block-wise into a fixed staging buffer: the inner loop is a
+    // plain 8-byte store per value (no per-value capacity bookkeeping),
+    // and the staging cost stays bounded regardless of the run length.
+    let mut bytes = vec![0u8; vals.len().min(PREALLOC_CAP) * 8];
+    for block in vals.chunks(PREALLOC_CAP.max(1)) {
+        let staged = &mut bytes[..block.len() * 8];
+        for (dst, v) in staged.chunks_exact_mut(8).zip(block) {
+            dst.copy_from_slice(&v.to_bits().to_le_bytes());
         }
+        w.write_all(staged)?;
     }
-    w.write_all(&bytes)?;
     w.write_all(b"\n")
 }
 

@@ -34,6 +34,25 @@
 //! chunk containing the whole matrix, so the streamed results coincide
 //! bitwise with the one-shot kernels ([`Matrix::gram`], [`Matrix::matmul`])
 //! on the same data.
+//!
+//! ## Two-level fold and distributed merge
+//!
+//! The Gram accumulators fold at **two levels**: chunk results fold
+//! left-to-right into a *group* partial, and at every
+//! [`MERGE_GROUP_CHUNKS`]-chunk boundary (= [`GROUP_ROWS`] rows) the group
+//! folds into the *master* partial. [`GramAccumulator::finish`] combines
+//! `master ⊕ (group ⊕ tail)` in that fixed order. For sources within one
+//! group the two levels degenerate to the single flat fold, so results are
+//! unchanged there; beyond one group the fold order is still a fixed
+//! function of the global row index alone — every bitwise guarantee above
+//! is preserved.
+//!
+//! The payoff is [`GramAccumulator::absorb_unit`]: a *unit* — the rows of
+//! exactly one group (the final unit may be shorter) — can be folded by a
+//! separate accumulator (another thread, another process, another machine)
+//! and absorbed back in unit order, reproducing the single-accumulator
+//! state **bit for bit**. The `ivmf-distrib` coordinator/worker fan-out is
+//! built on this merge.
 
 use crate::state_text::{
     bad_state, checked_len, parse_usize_line, read_f64_run, read_line, write_f64_run,
@@ -46,6 +65,17 @@ use std::io;
 /// constant rather than an environment knob — shard sizes and thread
 /// counts are free to vary precisely because this is not.
 pub const STREAM_CHUNK_ROWS: usize = 128;
+
+/// Number of chunks per merge group: chunk partials fold into a group
+/// partial, which folds into the master partial at every group boundary
+/// (see the [module docs](self)). Like [`STREAM_CHUNK_ROWS`] this is part
+/// of the arithmetic contract — group boundaries determine rounding order
+/// — so it is a fixed constant, never a knob.
+pub const MERGE_GROUP_CHUNKS: usize = 64;
+
+/// Rows per merge group (`MERGE_GROUP_CHUNKS × STREAM_CHUNK_ROWS`): the
+/// work-unit granularity of the distributed Gram fan-out.
+pub const GROUP_ROWS: usize = MERGE_GROUP_CHUNKS * STREAM_CHUNK_ROWS;
 
 /// A matrix presented as an ordered sequence of row blocks.
 ///
@@ -295,7 +325,10 @@ impl PendingRows {
 #[derive(Debug, Clone)]
 pub struct GramAccumulator {
     pending: PendingRows,
+    /// Master partial: fold of the completed merge groups, in order.
     acc: Option<Matrix>,
+    /// Group partial: fold of the chunks since the last group boundary.
+    group: Option<Matrix>,
     rows_seen: usize,
 }
 
@@ -305,6 +338,7 @@ impl GramAccumulator {
         GramAccumulator {
             pending: PendingRows::new(cols),
             acc: None,
+            group: None,
             rows_seen: 0,
         }
     }
@@ -348,10 +382,14 @@ impl GramAccumulator {
 
     fn drain_full_chunks(&mut self) {
         let full = self.pending.full_chunks();
+        // `drain_chunks` runs only below, so the difference still counts
+        // the chunks folded *before* this call — the global chunk index
+        // the group-boundary check needs.
+        let mut folded = (self.rows_seen - self.pending.rows) / STREAM_CHUNK_ROWS;
         if full == 1 {
             // A lone chunk parallelizes inside the SYRK kernel.
             let g = self.pending.chunk(0).gram();
-            self.fold(g);
+            self.fold(g, &mut folded);
         } else if full > 1 {
             // Several chunks: schedule them as jobs across the pool, each
             // running its kernel inline. Identical results either way —
@@ -362,32 +400,98 @@ impl GramAccumulator {
                 pending.chunk(i).gram_impl(1)
             });
             for g in grams {
-                self.fold(g);
+                self.fold(g, &mut folded);
             }
         }
         self.pending.drain_chunks(full);
     }
 
-    fn fold(&mut self, g: Matrix) {
-        match &mut self.acc {
-            None => self.acc = Some(g),
+    /// Folds one chunk result into the group partial, sealing the group
+    /// into the master at every [`MERGE_GROUP_CHUNKS`] boundary.
+    fn fold(&mut self, g: Matrix, folded_chunks: &mut usize) {
+        match &mut self.group {
+            None => self.group = Some(g),
             Some(a) => add_assign(a, &g),
+        }
+        *folded_chunks += 1;
+        if *folded_chunks % MERGE_GROUP_CHUNKS == 0 {
+            self.seal_group();
+        }
+    }
+
+    /// Moves the completed group partial into the master fold.
+    fn seal_group(&mut self) {
+        if let Some(g) = self.group.take() {
+            match &mut self.acc {
+                None => self.acc = Some(g),
+                Some(a) => add_assign(a, &g),
+            }
         }
     }
 
     /// The Gram matrix of every row seen so far. Non-consuming: the
     /// buffered tail is folded into a copy, so the accumulator keeps
-    /// accepting blocks afterwards.
+    /// accepting blocks afterwards. Combination order is fixed:
+    /// `master ⊕ (group ⊕ tail)`.
     pub fn finish(&self) -> Matrix {
-        let mut acc = self.acc.clone();
+        let mut tail = self.group.clone();
         if let Some(rem) = self.pending.remainder() {
             let g = rem.gram();
+            match &mut tail {
+                None => tail = Some(g),
+                Some(t) => add_assign(t, &g),
+            }
+        }
+        let mut acc = self.acc.clone();
+        if let Some(t) = tail {
             match &mut acc {
-                None => acc = Some(g),
-                Some(a) => add_assign(a, &g),
+                None => acc = Some(t),
+                Some(a) => add_assign(a, &t),
             }
         }
         acc.unwrap_or_else(|| Matrix::zeros(self.pending.cols, self.pending.cols))
+    }
+
+    /// Absorbs the state of an accumulator that folded the *next* work
+    /// unit of the same stream — at most [`GROUP_ROWS`] rows, starting at
+    /// this accumulator's current row — reproducing bit for bit the state
+    /// this accumulator would hold had it folded those rows itself (the
+    /// distributed-merge contract; see the [module docs](self)).
+    ///
+    /// Requires `self` to sit exactly on a group boundary (no pending
+    /// tail, no open group) and `other` to span at most one group, so only
+    /// the final unit of a stream may be partial.
+    pub fn absorb_unit(&mut self, other: GramAccumulator) -> Result<()> {
+        if other.pending.cols != self.pending.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "absorb_unit",
+                lhs: (self.rows_seen, self.pending.cols),
+                rhs: (other.rows_seen, other.pending.cols),
+            });
+        }
+        if self.pending.rows != 0 || self.group.is_some() || self.rows_seen % GROUP_ROWS != 0 {
+            return Err(LinalgError::InvalidArgument(
+                "absorb_unit target must sit on a merge-group boundary".to_string(),
+            ));
+        }
+        if other.rows_seen > GROUP_ROWS {
+            return Err(LinalgError::InvalidArgument(format!(
+                "absorbed unit spans {} rows, more than one {GROUP_ROWS}-row merge group",
+                other.rows_seen
+            )));
+        }
+        // A ≤ GROUP_ROWS unit has at most one completed group (its `acc`),
+        // which is exactly the next group of the combined stream.
+        if let Some(g) = other.acc {
+            match &mut self.acc {
+                None => self.acc = Some(g),
+                Some(a) => add_assign(a, &g),
+            }
+        }
+        self.group = other.group;
+        self.pending = other.pending;
+        self.rows_seen += other.rows_seen;
+        Ok(())
     }
 
     /// Serializes the complete accumulator state — pending row buffer,
@@ -398,15 +502,19 @@ impl GramAccumulator {
     pub fn write_state(&self, w: &mut dyn io::Write) -> io::Result<()> {
         writeln!(
             w,
-            "gram {} {} {} {}",
+            "gram {} {} {} {} {}",
             self.pending.cols,
             self.rows_seen,
             self.pending.rows,
-            self.acc.is_some() as u8
+            self.acc.is_some() as u8,
+            self.group.is_some() as u8
         )?;
         write_f64_run(w, &self.pending.data)?;
         if let Some(a) = &self.acc {
             write_f64_run(w, a.as_slice())?;
+        }
+        if let Some(g) = &self.group {
+            write_f64_run(w, g.as_slice())?;
         }
         Ok(())
     }
@@ -417,11 +525,18 @@ impl GramAccumulator {
     /// inconsistent accumulator.
     pub fn read_state(r: &mut dyn io::BufRead) -> io::Result<Self> {
         let header = read_line(r)?;
-        let head = parse_state_header(&header, "gram", 4)?;
-        let (cols, rows_seen, pending_rows, has_acc) = (head[0], head[1], head[2], head[3]);
-        validate_fold_header(cols, rows_seen, pending_rows, has_acc)?;
+        let head = parse_state_header(&header, "gram", 5)?;
+        let (cols, rows_seen, pending_rows, has_acc, has_group) =
+            (head[0], head[1], head[2], head[3], head[4]);
+        validate_fold_header(cols, rows_seen, pending_rows, has_acc, has_group)?;
         let data = read_f64_run(r, checked_len(pending_rows, cols)?)?;
         let acc = if has_acc == 1 {
+            let vals = read_f64_run(r, checked_len(cols, cols)?)?;
+            Some(Matrix::from_vec(cols, cols, vals).map_err(|e| bad_state(e.to_string()))?)
+        } else {
+            None
+        };
+        let group = if has_group == 1 {
             let vals = read_f64_run(r, checked_len(cols, cols)?)?;
             Some(Matrix::from_vec(cols, cols, vals).map_err(|e| bad_state(e.to_string()))?)
         } else {
@@ -434,6 +549,7 @@ impl GramAccumulator {
                 data,
             },
             acc,
+            group,
             rows_seen,
         })
     }
@@ -451,20 +567,25 @@ pub(crate) fn parse_state_header(line: &str, tag: &str, fields: usize) -> io::Re
 
 /// Shared invariants of every chunk-realigned fold header: a non-empty
 /// column count, a pending tail strictly below one chunk, folded rows on
-/// a chunk boundary, and a partial fold present exactly when at least one
-/// chunk has folded. Violations mean the state did not come from a
-/// healthy accumulator.
+/// a chunk boundary, a master partial present exactly when at least one
+/// merge group has completed, and a group partial present exactly when
+/// the folded chunk count sits off a group boundary. Violations mean the
+/// state did not come from a healthy accumulator.
 pub(crate) fn validate_fold_header(
     cols: usize,
     rows_seen: usize,
     pending_rows: usize,
     has_acc: usize,
+    has_group: usize,
 ) -> io::Result<()> {
     if cols == 0 {
         return Err(bad_state("accumulator state has zero columns"));
     }
     if has_acc > 1 {
         return Err(bad_state(format!("malformed acc flag {has_acc}")));
+    }
+    if has_group > 1 {
+        return Err(bad_state(format!("malformed group flag {has_group}")));
     }
     if pending_rows >= STREAM_CHUNK_ROWS || pending_rows > rows_seen {
         return Err(bad_state(format!(
@@ -477,9 +598,15 @@ pub(crate) fn validate_fold_header(
             "folded row count {folded} is not on a {STREAM_CHUNK_ROWS}-row chunk boundary"
         )));
     }
-    if (has_acc == 1) != (folded > 0) {
+    let chunks = folded / STREAM_CHUNK_ROWS;
+    if (has_acc == 1) != (chunks / MERGE_GROUP_CHUNKS > 0) {
         return Err(bad_state(format!(
             "acc flag {has_acc} contradicts {folded} folded rows"
+        )));
+    }
+    if (has_group == 1) != (chunks % MERGE_GROUP_CHUNKS > 0) {
+        return Err(bad_state(format!(
+            "group flag {has_group} contradicts {folded} folded rows"
         )));
     }
     Ok(())
@@ -493,7 +620,10 @@ pub(crate) fn validate_fold_header(
 pub struct CrossGramAccumulator {
     pending_a: PendingRows,
     pending_b: PendingRows,
+    /// Master partial: fold of the completed merge groups, in order.
     acc: Option<Matrix>,
+    /// Group partial: fold of the chunks since the last group boundary.
+    group: Option<Matrix>,
     rows_seen: usize,
 }
 
@@ -504,6 +634,7 @@ impl CrossGramAccumulator {
             pending_a: PendingRows::new(a_cols),
             pending_b: PendingRows::new(b_cols),
             acc: None,
+            group: None,
             rows_seen: 0,
         }
     }
@@ -556,19 +687,20 @@ impl CrossGramAccumulator {
 
     fn drain_full_chunks(&mut self) -> Result<()> {
         let full = self.pending_a.full_chunks();
+        let mut folded = (self.rows_seen - self.pending_a.rows) / STREAM_CHUNK_ROWS;
         if full == 1 {
             let p = self
                 .pending_a
                 .chunk(0)
                 .matmul_tn(&self.pending_b.chunk(0))?;
-            self.fold(p);
+            self.fold(p, &mut folded);
         } else if full > 1 {
             let (pa, pb) = (&self.pending_a, &self.pending_b);
             let products = ivmf_par::par_map(full, ivmf_par::configured_threads(), |i| {
                 pa.chunk(i).matmul_tn_impl(&pb.chunk(i), 1)
             });
             for p in products {
-                self.fold(p?);
+                self.fold(p?, &mut folded);
             }
         }
         self.pending_a.drain_chunks(full);
@@ -576,25 +708,86 @@ impl CrossGramAccumulator {
         Ok(())
     }
 
-    fn fold(&mut self, p: Matrix) {
-        match &mut self.acc {
-            None => self.acc = Some(p),
+    /// Chunk-into-group fold with group sealing, exactly as in
+    /// [`GramAccumulator::fold`].
+    fn fold(&mut self, p: Matrix, folded_chunks: &mut usize) {
+        match &mut self.group {
+            None => self.group = Some(p),
             Some(a) => add_assign(a, &p),
+        }
+        *folded_chunks += 1;
+        if *folded_chunks % MERGE_GROUP_CHUNKS == 0 {
+            self.seal_group();
+        }
+    }
+
+    fn seal_group(&mut self) {
+        if let Some(g) = self.group.take() {
+            match &mut self.acc {
+                None => self.acc = Some(g),
+                Some(a) => add_assign(a, &g),
+            }
         }
     }
 
     /// The cross product `AᵀB` of every row pair seen so far
-    /// (non-consuming, like [`GramAccumulator::finish`]).
+    /// (non-consuming, like [`GramAccumulator::finish`]; same
+    /// `master ⊕ (group ⊕ tail)` order).
     pub fn finish(&self) -> Result<Matrix> {
-        let mut acc = self.acc.clone();
+        let mut tail = self.group.clone();
         if let (Some(ra), Some(rb)) = (self.pending_a.remainder(), self.pending_b.remainder()) {
             let p = ra.matmul_tn(&rb)?;
+            match &mut tail {
+                None => tail = Some(p),
+                Some(t) => add_assign(t, &p),
+            }
+        }
+        let mut acc = self.acc.clone();
+        if let Some(t) = tail {
             match &mut acc {
-                None => acc = Some(p),
-                Some(a) => add_assign(a, &p),
+                None => acc = Some(t),
+                Some(a) => add_assign(a, &t),
             }
         }
         Ok(acc.unwrap_or_else(|| Matrix::zeros(self.pending_a.cols, self.pending_b.cols)))
+    }
+
+    /// Absorbs the state of an accumulator that folded the next
+    /// ≤ [`GROUP_ROWS`]-row work unit of the same stream pair — the
+    /// distributed-merge counterpart of [`GramAccumulator::absorb_unit`],
+    /// with identical preconditions and the identical bitwise contract.
+    pub fn absorb_unit(&mut self, other: CrossGramAccumulator) -> Result<()> {
+        if other.pending_a.cols != self.pending_a.cols
+            || other.pending_b.cols != self.pending_b.cols
+        {
+            return Err(LinalgError::DimensionMismatch {
+                op: "absorb_unit",
+                lhs: (self.pending_a.cols, self.pending_b.cols),
+                rhs: (other.pending_a.cols, other.pending_b.cols),
+            });
+        }
+        if self.pending_a.rows != 0 || self.group.is_some() || self.rows_seen % GROUP_ROWS != 0 {
+            return Err(LinalgError::InvalidArgument(
+                "absorb_unit target must sit on a merge-group boundary".to_string(),
+            ));
+        }
+        if other.rows_seen > GROUP_ROWS {
+            return Err(LinalgError::InvalidArgument(format!(
+                "absorbed unit spans {} rows, more than one {GROUP_ROWS}-row merge group",
+                other.rows_seen
+            )));
+        }
+        if let Some(g) = other.acc {
+            match &mut self.acc {
+                None => self.acc = Some(g),
+                Some(a) => add_assign(a, &g),
+            }
+        }
+        self.group = other.group;
+        self.pending_a = other.pending_a;
+        self.pending_b = other.pending_b;
+        self.rows_seen += other.rows_seen;
+        Ok(())
     }
 
     /// Serializes the complete accumulator state (both pending buffers,
@@ -603,17 +796,21 @@ impl CrossGramAccumulator {
     pub fn write_state(&self, w: &mut dyn io::Write) -> io::Result<()> {
         writeln!(
             w,
-            "crossgram {} {} {} {} {}",
+            "crossgram {} {} {} {} {} {}",
             self.pending_a.cols,
             self.pending_b.cols,
             self.rows_seen,
             self.pending_a.rows,
-            self.acc.is_some() as u8
+            self.acc.is_some() as u8,
+            self.group.is_some() as u8
         )?;
         write_f64_run(w, &self.pending_a.data)?;
         write_f64_run(w, &self.pending_b.data)?;
         if let Some(a) = &self.acc {
             write_f64_run(w, a.as_slice())?;
+        }
+        if let Some(g) = &self.group {
+            write_f64_run(w, g.as_slice())?;
         }
         Ok(())
     }
@@ -624,16 +821,22 @@ impl CrossGramAccumulator {
     /// pending row count covers both buffers).
     pub fn read_state(r: &mut dyn io::BufRead) -> io::Result<Self> {
         let header = read_line(r)?;
-        let head = parse_state_header(&header, "crossgram", 5)?;
-        let (a_cols, b_cols, rows_seen, pending_rows, has_acc) =
-            (head[0], head[1], head[2], head[3], head[4]);
-        validate_fold_header(a_cols, rows_seen, pending_rows, has_acc)?;
+        let head = parse_state_header(&header, "crossgram", 6)?;
+        let (a_cols, b_cols, rows_seen, pending_rows, has_acc, has_group) =
+            (head[0], head[1], head[2], head[3], head[4], head[5]);
+        validate_fold_header(a_cols, rows_seen, pending_rows, has_acc, has_group)?;
         if b_cols == 0 {
             return Err(bad_state("accumulator state has zero columns"));
         }
         let data_a = read_f64_run(r, checked_len(pending_rows, a_cols)?)?;
         let data_b = read_f64_run(r, checked_len(pending_rows, b_cols)?)?;
         let acc = if has_acc == 1 {
+            let vals = read_f64_run(r, checked_len(a_cols, b_cols)?)?;
+            Some(Matrix::from_vec(a_cols, b_cols, vals).map_err(|e| bad_state(e.to_string()))?)
+        } else {
+            None
+        };
+        let group = if has_group == 1 {
             let vals = read_f64_run(r, checked_len(a_cols, b_cols)?)?;
             Some(Matrix::from_vec(a_cols, b_cols, vals).map_err(|e| bad_state(e.to_string()))?)
         } else {
@@ -651,6 +854,7 @@ impl CrossGramAccumulator {
                 data: data_b,
             },
             acc,
+            group,
             rows_seen,
         })
     }
@@ -1061,6 +1265,113 @@ mod tests {
         );
     }
 
+    #[test]
+    fn two_level_fold_is_layout_and_increment_invariant_past_a_group() {
+        // Inputs spanning several merge groups exercise the group→master
+        // seal; layout and incremental invariance must survive it.
+        let n = 2 * GROUP_ROWS + 3 * STREAM_CHUNK_ROWS + 41;
+        let m = lcg_matrix(n, 4, 91);
+        let reference = gram_streamed(&m).unwrap();
+        for shard_rows in [GROUP_ROWS - 1, GROUP_ROWS, GROUP_ROWS + 129, 997] {
+            let sharded = RowShardedMatrix::from_matrix(&m, shard_rows).unwrap();
+            assert_bitwise(
+                &gram_streamed(&sharded).unwrap(),
+                &reference,
+                &format!("group-spanning gram shard_rows={shard_rows}"),
+            );
+        }
+        // Incremental continuation across a group boundary.
+        let mut acc = GramAccumulator::new(4);
+        let head_rows = GROUP_ROWS + 77;
+        let head = Matrix::from_vec(head_rows, 4, m.as_slice()[..head_rows * 4].to_vec()).unwrap();
+        let tail =
+            Matrix::from_vec(n - head_rows, 4, m.as_slice()[head_rows * 4..].to_vec()).unwrap();
+        acc.push_block(&head).unwrap();
+        let _ = acc.finish();
+        acc.push_block(&tail).unwrap();
+        assert_bitwise(&acc.finish(), &reference, "incremental across a group");
+    }
+
+    #[test]
+    fn absorb_unit_reproduces_the_single_accumulator_bits() {
+        // Cut a multi-group stream into GROUP_ROWS units, fold each in its
+        // own accumulator (the worker side), absorb in unit order (the
+        // coordinator side): state and finish must equal one accumulator
+        // that saw everything — including after continued pushes.
+        let n = 3 * GROUP_ROWS + 205;
+        let m = lcg_matrix(n, 5, 92);
+        let mut single = GramAccumulator::new(5);
+        single.push_block(&m).unwrap();
+
+        let mut merged = GramAccumulator::new(5);
+        let mut start = 0;
+        while start < n {
+            let end = (start + GROUP_ROWS).min(n);
+            let unit = Matrix::from_vec(end - start, 5, m.as_slice()[start * 5..end * 5].to_vec())
+                .unwrap();
+            let mut worker = GramAccumulator::new(5);
+            worker.push_block(&unit).unwrap();
+            merged.absorb_unit(worker).unwrap();
+            start = end;
+        }
+        assert_eq!(merged.rows_seen(), single.rows_seen());
+        assert_bitwise(&merged.finish(), &single.finish(), "merged vs single");
+        // The merged *state* is the single-process state: continuing the
+        // fold stays bitwise identical.
+        let extra = lcg_matrix(300, 5, 93);
+        merged.push_block(&extra).unwrap();
+        single.push_block(&extra).unwrap();
+        assert_bitwise(&merged.finish(), &single.finish(), "continued after merge");
+        // Serialized states agree byte for byte.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        merged.write_state(&mut a).unwrap();
+        single.write_state(&mut b).unwrap();
+        assert_eq!(a, b, "serialized states must agree");
+
+        // Preconditions: target off a group boundary, oversized unit,
+        // column mismatch.
+        let mut off = GramAccumulator::new(5);
+        off.push_block(&lcg_matrix(10, 5, 94)).unwrap();
+        assert!(off.absorb_unit(GramAccumulator::new(5)).is_err());
+        let mut big = GramAccumulator::new(5);
+        big.push_block(&lcg_matrix(GROUP_ROWS + 1, 5, 95)).unwrap();
+        assert!(GramAccumulator::new(5).absorb_unit(big).is_err());
+        assert!(GramAccumulator::new(5)
+            .absorb_unit(GramAccumulator::new(6))
+            .is_err());
+    }
+
+    #[test]
+    fn cross_absorb_unit_reproduces_the_single_accumulator_bits() {
+        let n = GROUP_ROWS + 391;
+        let a = lcg_matrix(n, 6, 96);
+        let b = lcg_matrix(n, 3, 97);
+        let mut single = CrossGramAccumulator::new(6, 3);
+        single.push_blocks(&a, &b).unwrap();
+        let mut merged = CrossGramAccumulator::new(6, 3);
+        let mut start = 0;
+        while start < n {
+            let end = (start + GROUP_ROWS).min(n);
+            let ua = Matrix::from_vec(end - start, 6, a.as_slice()[start * 6..end * 6].to_vec())
+                .unwrap();
+            let ub = Matrix::from_vec(end - start, 3, b.as_slice()[start * 3..end * 3].to_vec())
+                .unwrap();
+            let mut worker = CrossGramAccumulator::new(6, 3);
+            worker.push_blocks(&ua, &ub).unwrap();
+            merged.absorb_unit(worker).unwrap();
+            start = end;
+        }
+        assert_bitwise(
+            &merged.finish().unwrap(),
+            &single.finish().unwrap(),
+            "cross merged vs single",
+        );
+        let (mut x, mut y) = (Vec::new(), Vec::new());
+        merged.write_state(&mut x).unwrap();
+        single.write_state(&mut y).unwrap();
+        assert_eq!(x, y, "serialized cross states must agree");
+    }
+
     /// A source whose blocks contradict its declared shape (a buggy
     /// third-party loader): the streamed kernels must reject it instead
     /// of panicking mid-stream.
@@ -1177,11 +1488,17 @@ mod tests {
         spam[..4].copy_from_slice(b"spam");
         corrupt(&spam);
         // Pending tail at or above a chunk (never a rest state).
-        corrupt(format!("gram 3 {STREAM_CHUNK_ROWS} {STREAM_CHUNK_ROWS} 0\n\n").as_bytes());
+        corrupt(format!("gram 3 {STREAM_CHUNK_ROWS} {STREAM_CHUNK_ROWS} 0 0\n\n").as_bytes());
         // Folded rows off the chunk grid.
-        corrupt(b"gram 3 100 0 1\n\n");
-        // Acc flag contradicting the folded row count.
-        corrupt(b"gram 3 0 0 1\n\n");
+        corrupt(b"gram 3 100 0 0 1\n\n");
+        // Acc flag contradicting the folded row count (no completed merge
+        // group below GROUP_ROWS folded rows).
+        corrupt(b"gram 3 0 0 1 0\n\n");
+        corrupt(format!("gram 3 {STREAM_CHUNK_ROWS} 0 1 1\n\n").as_bytes());
+        // Group flag contradicting the folded chunk count: one folded
+        // chunk must leave an open group, a whole group must not.
+        corrupt(format!("gram 3 {STREAM_CHUNK_ROWS} 0 0 0\n\n").as_bytes());
+        corrupt(format!("gram 3 {GROUP_ROWS} 0 1 1\n\n").as_bytes());
         // Clobbered terminator after the final binary payload run.
         let mut noterm = buf.clone();
         *noterm.last_mut().unwrap() = b'x';

@@ -1,0 +1,102 @@
+//! Acceptance suite for the distributed Gram fan-out at the pipeline
+//! level: with `IVMF_WORKERS` > 1 the interval-Gram stage streams its
+//! shards through the `ivmf-distrib` coordinator, and all five ISVD
+//! algorithms must come out **bitwise identical** to the single-process
+//! run — across dense and sparse routes and adversarial shard layouts.
+//!
+//! Everything lives in one `#[test]` because it mutates the process-wide
+//! `IVMF_WORKERS` variable: the harness runs test functions concurrently
+//! in one process, so the mutation must not straddle functions.
+
+use ivmf_core::pipeline::run_all;
+use ivmf_core::{run_all_sharded, run_all_sparse, IsvdAlgorithm, IsvdConfig, IsvdResult};
+use ivmf_data::synthetic::{generate_power_law, generate_uniform, PowerLawConfig, SyntheticConfig};
+use ivmf_interval::{CsrShardedIntervalMatrix, IntervalMatrix, RowShardedIntervalMatrix};
+use ivmf_linalg::streaming::GROUP_ROWS;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn assert_results_bitwise(a: &[IsvdResult; 5], b: &[IsvdResult; 5], context: &str) {
+    for ((ra, rb), alg) in a.iter().zip(b.iter()).zip(IsvdAlgorithm::all()) {
+        assert!(
+            !ra.factors.u.has_non_finite() && !ra.factors.v.has_non_finite(),
+            "{context}: {alg} produced non-finite factors"
+        );
+        assert_eq!(ra.factors.u, rb.factors.u, "{context}: {alg} U differs");
+        assert_eq!(ra.factors.v, rb.factors.v, "{context}: {alg} V differs");
+        assert_eq!(
+            ra.factors.sigma, rb.factors.sigma,
+            "{context}: {alg} core differs"
+        );
+    }
+}
+
+#[test]
+fn n_workers_match_one_process_bitwise_for_all_algorithms_and_routes() {
+    // Tall enough that the coordinator cuts more than one work unit
+    // (distribution gates on rows > GROUP_ROWS), small enough in columns
+    // that ISVD0/1's dense stages stay fast.
+    let rows = GROUP_ROWS + 700;
+    let config = IsvdConfig::new(4);
+
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let dense: IntervalMatrix = generate_uniform(
+        &SyntheticConfig::paper_default().with_shape(rows, 10),
+        &mut rng,
+    );
+    let mut rng = SmallRng::seed_from_u64(2025);
+    let csr = generate_power_law(
+        &PowerLawConfig::ratings_like(rows, 12).with_nnz_per_row(4),
+        &mut rng,
+    );
+
+    // Honour a pre-existing value (the CI env passes export
+    // IVMF_WORKERS=3 for the whole suite) and restore it afterwards.
+    let prev = std::env::var(ivmf_env::WORKERS).ok();
+
+    // Baselines: explicitly single-process.
+    std::env::set_var(ivmf_env::WORKERS, "1");
+    let dense_baseline = run_all(&dense, &config).unwrap();
+    let sparse_baseline = {
+        let sharded = CsrShardedIntervalMatrix::from_csr(&csr, rows).unwrap();
+        run_all_sparse(&sharded, &config).unwrap()
+    };
+
+    for workers in ["2", "3"] {
+        std::env::set_var(ivmf_env::WORKERS, workers);
+
+        // Dense route, shard layouts chosen to straddle chunk and
+        // merge-group boundaries inside the coordinator's unit cutter.
+        let distributed = run_all(&dense, &config).unwrap();
+        assert_results_bitwise(
+            &distributed,
+            &dense_baseline,
+            &format!("{workers} workers dense"),
+        );
+        for shard_rows in [997, GROUP_ROWS - 1, GROUP_ROWS + 127] {
+            let sharded = RowShardedIntervalMatrix::from_dense(&dense, shard_rows).unwrap();
+            let results = run_all_sharded(&sharded, &config).unwrap();
+            assert_results_bitwise(
+                &results,
+                &dense_baseline,
+                &format!("{workers} workers dense shard_rows={shard_rows}"),
+            );
+        }
+
+        // Sparse CSR route, same adversarial layouts.
+        for shard_rows in [997, GROUP_ROWS + 127, rows] {
+            let sharded = CsrShardedIntervalMatrix::from_csr(&csr, shard_rows).unwrap();
+            let results = run_all_sparse(&sharded, &config).unwrap();
+            assert_results_bitwise(
+                &results,
+                &sparse_baseline,
+                &format!("{workers} workers sparse shard_rows={shard_rows}"),
+            );
+        }
+    }
+
+    match prev {
+        Some(v) => std::env::set_var(ivmf_env::WORKERS, v),
+        None => std::env::remove_var(ivmf_env::WORKERS),
+    }
+}
