@@ -108,9 +108,11 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use ivmf_align::{ilsa, Alignment};
+use ivmf_data::prefetch::{PrefetchCsrSource, PrefetchSource};
 use ivmf_interval::{
-    use_mr_gram, CsrIntervalShard, CsrShardSource, CsrShardedIntervalMatrix, IntervalMatrix,
-    RowShardSource, RowShardedIntervalMatrix, SparseStreamingIntervalGram, StreamingIntervalGram,
+    recycle_csr_interval_shard, recycle_interval_matrix, use_mr_gram, CsrIntervalShard,
+    CsrShardSource, CsrShardedIntervalMatrix, IntervalMatrix, RowShardSource,
+    RowShardedIntervalMatrix, SparseStreamingIntervalGram, StreamingIntervalGram,
 };
 use ivmf_linalg::svd::{svd_truncated, Svd};
 use ivmf_linalg::{
@@ -792,6 +794,9 @@ fn input_for_each_shard(
             src.reset().map_err(IvmfError::from)?;
             while let Some(shard) = src.next_shard().map_err(IvmfError::from)? {
                 f(&shard)?;
+                // Freshly decoded shards ride pooled buffers; hand them
+                // back so the next decode reuses them.
+                recycle_interval_matrix(shard);
             }
             Ok(())
         }
@@ -827,6 +832,7 @@ fn input_for_each_csr_shard(
             src.reset().map_err(IvmfError::from)?;
             while let Some(shard) = src.next_shard().map_err(IvmfError::from)? {
                 f(&shard)?;
+                recycle_csr_interval_shard(shard);
             }
             Ok(())
         }
@@ -1268,6 +1274,18 @@ impl<'m> Pipeline<'m> {
         )
     }
 
+    /// [`Pipeline::new_streaming`] for a `Send` shard source: wraps it in
+    /// an [`ivmf_data::prefetch::PrefetchSource`] (depth from
+    /// `IVMF_PREFETCH`), so a background thread decodes shard *i+1* while
+    /// the Gram stages fold shard *i*. Delivery stays strictly in order —
+    /// every result is bitwise identical to the unprefetched session.
+    pub fn new_streaming_send(
+        source: Box<dyn RowShardSource + Send>,
+        config: IsvdConfig,
+    ) -> Result<Self> {
+        Pipeline::new_streaming(Box::new(PrefetchSource::from_env(source)), config)
+    }
+
     /// Creates a session over a borrowed sparse CSR row-sharded matrix.
     /// Every Gram-route stage (ISVD2–4) streams the CSR shards through the
     /// sparse kernels of `ivmf_linalg::sparse` — **bitwise identical** to a
@@ -1304,6 +1322,18 @@ impl<'m> Pipeline<'m> {
             config,
             StageCache::new(),
         )
+    }
+
+    /// [`Pipeline::new_streaming_csr`] for a `Send` shard source: the CSR
+    /// twin of [`Pipeline::new_streaming_send`], overlapping disk decode
+    /// with the sparse Gram fold via
+    /// [`ivmf_data::prefetch::PrefetchCsrSource`] at the `IVMF_PREFETCH`
+    /// depth. Bitwise identical to the unprefetched session.
+    pub fn new_streaming_csr_send(
+        source: Box<dyn CsrShardSource + Send>,
+        config: IsvdConfig,
+    ) -> Result<Self> {
+        Pipeline::new_streaming_csr(Box::new(PrefetchCsrSource::from_env(source)), config)
     }
 
     fn from_input(input: PipelineInput<'m>, config: IsvdConfig, cache: StageCache) -> Result<Self> {

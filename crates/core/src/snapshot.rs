@@ -18,7 +18,7 @@
 //! records self-delimiting:
 //!
 //! ```text
-//! ivmf snapshot v1
+//! ivmf snapshot v2
 //! matrix <content-id:016x>
 //! entry <stage> <fingerprint:016x> <nbytes> <payload-hash:016x>
 //! <payload: exactly nbytes bytes, little-endian u64/f64-bits fields>
@@ -85,7 +85,7 @@ use crate::pipeline::{
 
 /// First line of every snapshot this version of the crate writes. A
 /// different line (future format bump, corruption) restores nothing.
-const VERSION_LINE: &str = "ivmf snapshot v1";
+const VERSION_LINE: &str = "ivmf snapshot v2";
 
 /// Outcome of a snapshot restore: how much state survived validation.
 ///
@@ -111,34 +111,16 @@ pub struct RestoreReport {
 // Hashing.
 // ---------------------------------------------------------------------------
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
 /// The payload and whole-file content hash of the snapshot format
-/// (hex-printed with 16 digits): FNV-1a folded a 64-bit word at a time
-/// (little-endian, zero-padded tail, length mixed in last so the padding
-/// cannot alias). Word-at-a-time keeps validation far cheaper than the
-/// recomputation a restore replaces, and the xor-multiply step is
-/// bijective in the accumulated state, so any single corrupted bit —
-/// anywhere in the input — always changes the digest.
+/// (hex-printed with 16 digits): the workspace's shared word-parallel
+/// FNV-1a from [`ivmf_data::fnv`] — the same digest the binary shard
+/// records and the distrib wire frames carry, so snapshot validation
+/// keeps the one hashing implementation and its throughput. Swapping the
+/// earlier word-at-a-time variant for the shared one changed every
+/// digest, hence the `v2` version line: `v1` snapshots restore nothing
+/// (a clean cold start) instead of tripping checksum salvage.
 fn fnv1a_bytes(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    let mut chunks = bytes.chunks_exact(8);
-    for c in &mut chunks {
-        let mut w = [0u8; 8];
-        w.copy_from_slice(c);
-        h ^= u64::from_le_bytes(w);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    let rem = chunks.remainder();
-    if !rem.is_empty() {
-        let mut w = [0u8; 8];
-        w[..rem.len()].copy_from_slice(rem);
-        h ^= u64::from_le_bytes(w);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h ^= bytes.len() as u64;
-    h.wrapping_mul(FNV_PRIME)
+    ivmf_data::fnv::fnv1a64(bytes)
 }
 
 fn stage_from_name(name: &str) -> Option<StageId> {

@@ -39,12 +39,24 @@
 //!   ([`stream::CsrShardWriter`], [`stream::CsrShardReader`],
 //!   [`stream::stream_csr_interval_gram`]) that store and stream only the
 //!   nonzero entries.
+//! * [`binfmt`] — the bit-exact binary shard container ("ivmf shards
+//!   v1"): length-prefixed, FNV-checksummed records holding raw
+//!   little-endian `f64`/`usize` runs, shared by the binary shard
+//!   writers/readers in [`stream`] and the distrib wire protocol's job
+//!   pieces.
+//! * [`prefetch`] — a double-buffered background-thread shard reader
+//!   ([`prefetch::PrefetchSource`], [`prefetch::PrefetchCsrSource`],
+//!   depth from `IVMF_PREFETCH`) that overlaps decode of shard *i+1*
+//!   with the Gram fold of shard *i* while preserving strict in-order
+//!   delivery, so results stay bitwise identical.
 //! * [`atomic`] — crash-safe write-to-temp-then-rename file commits used
 //!   by every on-disk artifact (matrix files, shards, snapshots, bench
 //!   baselines).
 //! * [`fault`] — deterministic fault-injection `Read`/`Write` wrappers
 //!   (fail / truncate / bit-flip at a scheduled byte offset) backing the
 //!   crash-recovery test suites.
+//! * [`fnv`] — the workspace's single word-parallel FNV-1a implementation
+//!   (record checksums, frame checksums, snapshot digests).
 //!
 //! ## Example
 //!
@@ -74,8 +86,11 @@
 
 pub mod anonymize;
 pub mod atomic;
+pub mod binfmt;
 pub mod faces;
 pub mod fault;
+pub mod fnv;
+pub mod prefetch;
 pub mod ratings;
 pub mod split;
 pub mod stream;

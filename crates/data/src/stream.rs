@@ -52,6 +52,27 @@
 //! Both formats print values with shortest round-trip `f64` formatting, so
 //! loading reproduces every bit.
 //!
+//! ## Binary containers
+//!
+//! Decimal parsing dominates out-of-core ingest, so every writer also
+//! speaks the binary container of [`crate::binfmt`] ("ivmf shards v1"):
+//! `IVMF_SHARD_FORMAT=binary` (or an explicit
+//! [`ShardWriter::create_with_format`] /
+//! [`CsrShardWriter::create_with_format`]) stores the same values as raw
+//! little-endian runs inside checksummed records. The readers sniff the
+//! leading magic bytes and decode either format transparently — the
+//! format never appears in a cache key because the decoded payloads are
+//! bitwise identical. Binary readers re-shard writer blocks to the
+//! consumer's `shard_rows` through a small staging buffer, and all
+//! readers lease their scratch from [`ivmf_linalg::pool`], so
+//! steady-state ingest allocates nothing.
+//!
+//! [`stream_interval_gram`] and [`stream_csr_interval_gram`] additionally
+//! wrap the reader in [`crate::prefetch`]'s background decoder
+//! (`IVMF_PREFETCH`), overlapping decode of shard *i+1* with the Gram
+//! fold of shard *i*; delivery stays strictly in order, so results are
+//! bitwise invariant to the prefetch depth too.
+//!
 //! ## Crash safety and error reporting
 //!
 //! Writers never leave a torn committed file: [`write_interval_matrix`]
@@ -70,15 +91,19 @@
 
 use std::fmt;
 use std::fs::{self, File};
-use std::io::{self, BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use ivmf_env::ShardFormat;
 use ivmf_interval::{
-    configured_shard_rows, CsrIntervalShard, CsrShardSource, CsrShardedIntervalMatrix,
-    IntervalError, IntervalMatrix, RowShardSource, RowShardedIntervalMatrix,
-    SparseStreamingIntervalGram, StreamingIntervalGram,
+    configured_shard_rows, recycle_csr_interval_shard, recycle_interval_matrix, CsrIntervalShard,
+    CsrShardSource, CsrShardedIntervalMatrix, IntervalError, IntervalMatrix, RowShardSource,
+    RowShardedIntervalMatrix, SparseStreamingIntervalGram, StreamingIntervalGram,
 };
-use ivmf_linalg::Matrix;
+use ivmf_linalg::{pool, Matrix};
+
+use crate::binfmt;
+use crate::prefetch::{PrefetchCsrSource, PrefetchSource};
 
 fn invalid_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
@@ -278,31 +303,284 @@ fn parse_header(path: &Path, header: &str, tag: Option<&str>) -> io::Result<(usi
     Ok((rows, cols))
 }
 
-/// Writes an interval matrix to `path` in the module's line-per-row text
-/// format. Values use shortest round-trip formatting, so a subsequent load
-/// is bit-exact. The write is atomic ([`crate::atomic::atomic_write`]): a
-/// crash mid-write leaves any previously committed file untouched.
-pub fn write_interval_matrix(path: impl AsRef<Path>, m: &IntervalMatrix) -> io::Result<()> {
-    crate::atomic::atomic_write(path, |w| {
-        let (rows, cols) = m.shape();
-        writeln!(w, "{rows} {cols}")?;
-        for i in 0..rows {
-            let mut line = String::new();
-            for j in 0..cols {
-                if j > 0 {
-                    line.push(' ');
-                }
-                let (lo, hi) = m.get_raw(i, j);
-                line.push_str(&format!("{lo:?} {hi:?}"));
-            }
-            writeln!(w, "{line}")?;
-        }
-        Ok(())
-    })
+/// Values per binary block record: blocks stay tens of megabytes — far
+/// under [`binfmt::MAX_RECORD_LEN`] — and give readers re-sharding
+/// granularity without per-row record overhead.
+const BLOCK_VALUES: usize = 1 << 21;
+
+/// Incremental writer of the dense interval formats: create it with the
+/// final row/column counts, push row blocks as they are generated, and
+/// [`finish`](ShardWriter::finish) once every row has been written. Peak
+/// memory is one block — the file is produced without ever holding the
+/// full matrix.
+///
+/// [`ShardWriter::create`] picks the format from `IVMF_SHARD_FORMAT`
+/// (text by default); [`ShardWriter::create_with_format`] pins it. Both
+/// formats load back bit-exactly, so the choice is invisible downstream.
+///
+/// The writer is crash-safe exactly like [`CsrShardWriter`]: rows stream
+/// into a temporary sibling of the destination, and only `finish`
+/// (flush, fsync, rename) makes the file visible at `path`; a writer
+/// dropped before `finish` removes its temp and leaves any previously
+/// committed file untouched.
+#[derive(Debug)]
+pub struct ShardWriter {
+    w: Option<BufWriter<File>>,
+    path: PathBuf,
+    tmp: PathBuf,
+    rows: usize,
+    cols: usize,
+    rows_written: usize,
+    format: ShardFormat,
 }
 
-/// Reads an interval matrix file shard by shard, holding one shard in
-/// memory at a time. See the [module docs](self) for the format.
+impl ShardWriter {
+    /// [`ShardWriter::create_with_format`] with the format configured by
+    /// `IVMF_SHARD_FORMAT`.
+    pub fn create(path: impl AsRef<Path>, rows: usize, cols: usize) -> io::Result<Self> {
+        Self::create_with_format(path, rows, cols, ivmf_env::shard_format())
+    }
+
+    /// Opens a temporary sibling of `path` and writes the header (text
+    /// line or magic + header record); `path` itself is only created by
+    /// [`finish`](ShardWriter::finish).
+    pub fn create_with_format(
+        path: impl AsRef<Path>,
+        rows: usize,
+        cols: usize,
+        format: ShardFormat,
+    ) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let tmp = crate::atomic::temp_sibling(&path);
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        let header = match format {
+            ShardFormat::Text => writeln!(w, "{rows} {cols}"),
+            ShardFormat::Binary => w.write_all(&binfmt::MAGIC).and_then(|()| {
+                binfmt::write_record(
+                    &mut w,
+                    binfmt::REC_DENSE_HEADER,
+                    format!("dense {rows} {cols}\n").as_bytes(),
+                )
+            }),
+        };
+        if let Err(e) = header {
+            drop(w);
+            fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
+        Ok(ShardWriter {
+            w: Some(w),
+            path,
+            tmp,
+            rows,
+            cols,
+            rows_written: 0,
+            format,
+        })
+    }
+
+    /// The format this writer emits.
+    pub fn format(&self) -> ShardFormat {
+        self.format
+    }
+
+    /// Rows written so far.
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+
+    fn writer(&mut self) -> &mut BufWriter<File> {
+        self.w.as_mut().expect("writer is only taken by finish")
+    }
+
+    /// Appends the rows of `shard` to the file (row order across calls).
+    pub fn push_shard(&mut self, shard: &IntervalMatrix) -> io::Result<()> {
+        if shard.cols() != self.cols {
+            return Err(invalid_data(format!(
+                "shard has {} columns, file declares {}",
+                shard.cols(),
+                self.cols
+            )));
+        }
+        if self.rows_written + shard.rows() > self.rows {
+            return Err(invalid_data(format!(
+                "shard of {} rows overflows the declared {} rows ({} already written)",
+                shard.rows(),
+                self.rows,
+                self.rows_written
+            )));
+        }
+        match self.format {
+            ShardFormat::Text => {
+                let mut line = String::new();
+                for i in 0..shard.rows() {
+                    line.clear();
+                    for j in 0..self.cols {
+                        if j > 0 {
+                            line.push(' ');
+                        }
+                        let (lo, hi) = shard.get_raw(i, j);
+                        line.push_str(&format!("{lo:?} {hi:?}"));
+                    }
+                    writeln!(self.writer(), "{line}")?;
+                }
+            }
+            ShardFormat::Binary => {
+                // Cut large shards into bounded records so a single push
+                // can never approach the record length ceiling.
+                let block_rows = (BLOCK_VALUES / self.cols.max(1)).max(1);
+                let (lo, hi) = (shard.lo().as_slice(), shard.hi().as_slice());
+                let mut start = 0;
+                while start < shard.rows() {
+                    let take = block_rows.min(shard.rows() - start);
+                    let (s, e) = (start * self.cols, (start + take) * self.cols);
+                    let payload = binfmt::encode_dense_rows(take, &lo[s..e], &hi[s..e])?;
+                    binfmt::write_record(self.writer(), binfmt::REC_DENSE_BLOCK, &payload)?;
+                    start += take;
+                }
+            }
+        }
+        self.rows_written += shard.rows();
+        Ok(())
+    }
+
+    /// Validates that exactly the declared number of rows was written,
+    /// then commits the file: end record (binary), flush, fsync, rename
+    /// over `path`. On any error the temp file is removed and `path` is
+    /// left as it was.
+    pub fn finish(mut self) -> io::Result<()> {
+        if self.rows_written != self.rows {
+            // Drop removes the temp file.
+            return Err(invalid_data(format!(
+                "file declares {} rows but {} were written",
+                self.rows, self.rows_written
+            )));
+        }
+        if self.format == ShardFormat::Binary {
+            // An error propagates with `?`; Drop removes the temp file.
+            binfmt::write_record(self.writer(), binfmt::REC_END, b"")?;
+        }
+        let mut w = self.w.take().expect("finish consumes the writer");
+        let flushed = w.flush().and_then(|()| w.get_ref().sync_all());
+        drop(w);
+        let result = flushed.and_then(|()| crate::atomic::persist_temp(&self.tmp, &self.path));
+        if result.is_err() {
+            fs::remove_file(&self.tmp).ok();
+        }
+        result
+    }
+}
+
+impl Drop for ShardWriter {
+    fn drop(&mut self) {
+        // An unfinished writer (crash, error path, forgotten finish)
+        // must not leave its temp file behind.
+        if let Some(w) = self.w.take() {
+            drop(w);
+            fs::remove_file(&self.tmp).ok();
+        }
+    }
+}
+
+/// Writes an interval matrix to `path` in one call, in the format
+/// configured by `IVMF_SHARD_FORMAT`. Both formats load back bit-exactly.
+/// The write inherits [`ShardWriter`]'s crash safety: the file only
+/// appears at `path` complete, fsync'd and renamed.
+pub fn write_interval_matrix(path: impl AsRef<Path>, m: &IntervalMatrix) -> io::Result<()> {
+    let mut w = ShardWriter::create(path, m.rows(), m.cols())?;
+    w.push_shard(m)?;
+    w.finish()
+}
+
+/// Reads the container magic if present. Returns `true` (and leaves the
+/// reader positioned after the magic) when the file is a binary
+/// container; rewinds to the start and returns `false` otherwise.
+fn sniff_magic(reader: &mut BufReader<File>) -> io::Result<bool> {
+    let mut magic = [0u8; 8];
+    let mut got = 0;
+    while got < 8 {
+        let n = reader.read(&mut magic[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    if got == 8 && magic == binfmt::MAGIC {
+        return Ok(true);
+    }
+    reader.seek(SeekFrom::Start(0))?;
+    Ok(false)
+}
+
+/// Reads the header record of a binary container, returning the parsed
+/// `(rows, cols)` and the stream offset of the first block record.
+fn read_binary_header(
+    path: &Path,
+    reader: &mut BufReader<File>,
+    want_kind: u8,
+    tag: &str,
+) -> io::Result<(usize, usize, u64)> {
+    let (kind, payload) = binfmt::read_record(reader)?.ok_or_else(|| {
+        StreamError::UnexpectedEof {
+            path: path.display().to_string(),
+            row: 0,
+        }
+        .into_io()
+    })?;
+    if kind != want_kind {
+        return Err(StreamError::MalformedHeader {
+            path: path.display().to_string(),
+            detail: format!("expected a '{tag}' header record, found record kind {kind}"),
+        }
+        .into_io());
+    }
+    let header = std::str::from_utf8(&payload).map_err(|_| {
+        StreamError::MalformedHeader {
+            path: path.display().to_string(),
+            detail: "header record is not UTF-8".to_string(),
+        }
+        .into_io()
+    })?;
+    let (rows, cols) = parse_header(path, header, Some(tag))?;
+    let data_start = (8 + binfmt::record_len(payload.len())) as u64;
+    Ok((rows, cols, data_start))
+}
+
+/// Staging buffer of the binary dense reader: decoded writer blocks wait
+/// here until `shard_rows` rows are available, so the reader's shard
+/// boundaries are independent of the writer's block boundaries.
+#[derive(Debug, Default)]
+struct DenseStage {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Rows currently decoded into the stage (including already-emitted).
+    rows_staged: usize,
+    /// Rows already emitted from the front of the stage.
+    row_off: usize,
+    /// Whether the end record was seen.
+    done: bool,
+}
+
+impl DenseStage {
+    fn clear(&mut self) {
+        self.lo.clear();
+        self.hi.clear();
+        self.rows_staged = 0;
+        self.row_off = 0;
+        self.done = false;
+    }
+}
+
+#[derive(Debug)]
+enum DenseBackend {
+    Text,
+    Binary(DenseStage),
+}
+
+/// Reads an interval matrix file shard by shard, holding one shard (plus,
+/// for binary containers, a bounded staging buffer) in memory at a time.
+/// The format is sniffed from the leading bytes; see the
+/// [module docs](self) for both formats.
 #[derive(Debug)]
 pub struct ShardReader {
     path: PathBuf,
@@ -312,6 +590,7 @@ pub struct ShardReader {
     cols: usize,
     shard_rows: usize,
     next_row: usize,
+    backend: DenseBackend,
 }
 
 impl ShardReader {
@@ -323,10 +602,21 @@ impl ShardReader {
         }
         let path = path.as_ref().to_path_buf();
         let mut reader = BufReader::new(File::open(&path)?);
-        let mut header = String::new();
-        reader.read_line(&mut header)?;
-        let (rows, cols) = parse_header(&path, &header, None)?;
-        let data_start = reader.stream_position()?;
+        let (rows, cols, data_start, backend) = if sniff_magic(&mut reader)? {
+            let (rows, cols, data_start) =
+                read_binary_header(&path, &mut reader, binfmt::REC_DENSE_HEADER, "dense")?;
+            (
+                rows,
+                cols,
+                data_start,
+                DenseBackend::Binary(DenseStage::default()),
+            )
+        } else {
+            let mut header = String::new();
+            reader.read_line(&mut header)?;
+            let (rows, cols) = parse_header(&path, &header, None)?;
+            (rows, cols, reader.stream_position()?, DenseBackend::Text)
+        };
         Ok(ShardReader {
             path,
             reader,
@@ -335,6 +625,7 @@ impl ShardReader {
             cols,
             shard_rows,
             next_row: 0,
+            backend,
         })
     }
 
@@ -364,6 +655,9 @@ impl ShardReader {
     pub fn rewind(&mut self) -> io::Result<()> {
         self.reader.seek(SeekFrom::Start(self.data_start))?;
         self.next_row = 0;
+        if let DenseBackend::Binary(stage) = &mut self.backend {
+            stage.clear();
+        }
         Ok(())
     }
 
@@ -373,11 +667,14 @@ impl ShardReader {
             return Ok(None);
         }
         let take = self.shard_rows.min(self.rows - self.next_row);
+        if matches!(self.backend, DenseBackend::Binary(_)) {
+            return self.read_shard_binary(take).map(Some);
+        }
         // Bounded pre-allocation: the header's claims are untrusted
         // until the data backs them up.
         let prealloc = (take * self.cols).min(PREALLOC_CAP);
-        let mut lo = Vec::with_capacity(prealloc);
-        let mut hi = Vec::with_capacity(prealloc);
+        let mut lo = pool::take_f64(prealloc);
+        let mut hi = pool::take_f64(prealloc);
         let mut line = String::new();
         for r in 0..take {
             let row = self.next_row + r;
@@ -422,6 +719,77 @@ impl ShardReader {
         .map_err(|e| invalid_data(e.to_string()))?;
         Ok(Some(shard))
     }
+
+    /// Binary route of [`ShardReader::read_shard`]: decode block records
+    /// into the stage until `take` rows are buffered, then emit them into
+    /// pooled buffers. Writer block boundaries are invisible to the
+    /// caller.
+    fn read_shard_binary(&mut self, take: usize) -> io::Result<IntervalMatrix> {
+        let DenseBackend::Binary(stage) = &mut self.backend else {
+            unreachable!("only called on binary readers")
+        };
+        loop {
+            let avail = stage.rows_staged - stage.row_off;
+            if avail >= take {
+                break;
+            }
+            if stage.done {
+                // The end record arrived before the declared rows did.
+                return Err(StreamError::UnexpectedEof {
+                    path: self.path.display().to_string(),
+                    row: self.next_row + avail,
+                }
+                .into_io());
+            }
+            match binfmt::read_record(&mut self.reader)? {
+                None => {
+                    // End of file without an end record: the writer never
+                    // finished this container.
+                    return Err(StreamError::UnexpectedEof {
+                        path: self.path.display().to_string(),
+                        row: self.next_row + avail,
+                    }
+                    .into_io());
+                }
+                Some((binfmt::REC_DENSE_BLOCK, payload)) => {
+                    stage.rows_staged += binfmt::decode_dense_block_into(
+                        &payload,
+                        self.cols,
+                        &mut stage.lo,
+                        &mut stage.hi,
+                    )?;
+                }
+                Some((binfmt::REC_END, _)) => stage.done = true,
+                Some((kind, _)) => {
+                    return Err(invalid_data(format!(
+                        "{}: unexpected record kind {kind} in a dense shard container",
+                        self.path.display()
+                    )))
+                }
+            }
+        }
+        let n = take * self.cols;
+        let start = stage.row_off * self.cols;
+        let mut lo = pool::take_f64(n);
+        lo.extend_from_slice(&stage.lo[start..start + n]);
+        let mut hi = pool::take_f64(n);
+        hi.extend_from_slice(&stage.hi[start..start + n]);
+        stage.row_off += take;
+        // Compact once the emitted prefix dominates the stage, keeping
+        // the staged residue (and thus peak memory) bounded by one block.
+        if stage.row_off * 2 >= stage.rows_staged {
+            stage.lo.drain(..stage.row_off * self.cols);
+            stage.hi.drain(..stage.row_off * self.cols);
+            stage.rows_staged -= stage.row_off;
+            stage.row_off = 0;
+        }
+        self.next_row += take;
+        IntervalMatrix::from_bounds(
+            Matrix::from_vec(take, self.cols, lo).map_err(|e| invalid_data(e.to_string()))?,
+            Matrix::from_vec(take, self.cols, hi).map_err(|e| invalid_data(e.to_string()))?,
+        )
+        .map_err(|e| invalid_data(e.to_string()))
+    }
 }
 
 impl RowShardSource for ShardReader {
@@ -464,11 +832,15 @@ pub fn stream_interval_gram(
     path: impl AsRef<Path>,
     shard_rows: usize,
 ) -> io::Result<IntervalMatrix> {
-    let mut reader = ShardReader::open(path, shard_rows)?;
+    let reader = ShardReader::open(path, shard_rows)?;
     let mut acc = StreamingIntervalGram::new(reader.rows(), reader.cols());
-    while let Some(shard) = reader.read_shard()? {
+    // Decode on a background thread (IVMF_PREFETCH) while this thread
+    // folds; delivery is in order, so results are bitwise unchanged.
+    let mut src = PrefetchSource::from_env(Box::new(reader));
+    while let Some(shard) = src.next_shard().map_err(|e| invalid_data(e.to_string()))? {
         acc.push_shard(&shard)
             .map_err(|e| invalid_data(e.to_string()))?;
+        recycle_interval_matrix(shard);
     }
     acc.finish().map_err(|e| invalid_data(e.to_string()))
 }
@@ -493,17 +865,40 @@ pub struct CsrShardWriter {
     rows: usize,
     cols: usize,
     rows_written: usize,
+    format: ShardFormat,
 }
 
 impl CsrShardWriter {
-    /// Opens a temporary sibling of `path` and writes the
-    /// `csr <rows> <cols>` header; `path` itself is only created by
-    /// [`finish`](CsrShardWriter::finish).
+    /// [`CsrShardWriter::create_with_format`] with the format configured
+    /// by `IVMF_SHARD_FORMAT`.
     pub fn create(path: impl AsRef<Path>, rows: usize, cols: usize) -> io::Result<Self> {
+        Self::create_with_format(path, rows, cols, ivmf_env::shard_format())
+    }
+
+    /// Opens a temporary sibling of `path` and writes the header (the
+    /// `csr <rows> <cols>` text line, or the container magic plus the
+    /// matching header record); `path` itself is only created by
+    /// [`finish`](CsrShardWriter::finish).
+    pub fn create_with_format(
+        path: impl AsRef<Path>,
+        rows: usize,
+        cols: usize,
+        format: ShardFormat,
+    ) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let tmp = crate::atomic::temp_sibling(&path);
         let mut w = BufWriter::new(File::create(&tmp)?);
-        if let Err(e) = writeln!(w, "csr {rows} {cols}") {
+        let header = match format {
+            ShardFormat::Text => writeln!(w, "csr {rows} {cols}"),
+            ShardFormat::Binary => w.write_all(&binfmt::MAGIC).and_then(|()| {
+                binfmt::write_record(
+                    &mut w,
+                    binfmt::REC_CSR_HEADER,
+                    format!("csr {rows} {cols}\n").as_bytes(),
+                )
+            }),
+        };
+        if let Err(e) = header {
             drop(w);
             fs::remove_file(&tmp).ok();
             return Err(e);
@@ -515,7 +910,13 @@ impl CsrShardWriter {
             rows,
             cols,
             rows_written: 0,
+            format,
         })
+    }
+
+    /// The format this writer emits.
+    pub fn format(&self) -> ShardFormat {
+        self.format
     }
 
     /// Rows written so far.
@@ -544,23 +945,52 @@ impl CsrShardWriter {
                 self.rows_written
             )));
         }
-        let mut line = String::new();
-        for i in 0..shard.rows() {
-            let (cols, lo, hi) = shard.row_entries(i);
-            line.clear();
-            line.push_str(&format!("{}", cols.len()));
-            for ((&c, &l), &h) in cols.iter().zip(lo).zip(hi) {
-                line.push_str(&format!(" {c} {l:?} {h:?}"));
+        match self.format {
+            ShardFormat::Text => {
+                let mut line = String::new();
+                for i in 0..shard.rows() {
+                    let (cols, lo, hi) = shard.row_entries(i);
+                    line.clear();
+                    line.push_str(&format!("{}", cols.len()));
+                    for ((&c, &l), &h) in cols.iter().zip(lo).zip(hi) {
+                        line.push_str(&format!(" {c} {l:?} {h:?}"));
+                    }
+                    writeln!(self.writer(), "{line}")?;
+                }
             }
-            writeln!(self.writer(), "{line}")?;
+            ShardFormat::Binary => {
+                // Cut large shards into records of roughly BLOCK_VALUES
+                // stored entries (always at least one row per record) so
+                // a single push never approaches the record ceiling.
+                let row_ptr = shard.lo_shard().row_ptr();
+                let mut start = 0;
+                while start < shard.rows() {
+                    let base = row_ptr[start];
+                    let mut end = start + 1;
+                    while end < shard.rows() && row_ptr[end + 1] - base < BLOCK_VALUES {
+                        end += 1;
+                    }
+                    let payload = if start == 0 && end == shard.rows() {
+                        binfmt::encode_csr_block(shard)?
+                    } else {
+                        let block = shard
+                            .row_slice(start, end)
+                            .map_err(|e| invalid_data(e.to_string()))?;
+                        binfmt::encode_csr_block(&block)?
+                    };
+                    binfmt::write_record(self.writer(), binfmt::REC_CSR_BLOCK, &payload)?;
+                    start = end;
+                }
+            }
         }
         self.rows_written += shard.rows();
         Ok(())
     }
 
     /// Validates that exactly the declared number of rows was written,
-    /// then commits the file: flush, fsync, rename over `path`. On any
-    /// error the temp file is removed and `path` is left as it was.
+    /// then commits the file: end record (binary), flush, fsync, rename
+    /// over `path`. On any error the temp file is removed and `path` is
+    /// left as it was.
     pub fn finish(mut self) -> io::Result<()> {
         if self.rows_written != self.rows {
             // Drop removes the temp file.
@@ -568,6 +998,10 @@ impl CsrShardWriter {
                 "file declares {} rows but {} were written",
                 self.rows, self.rows_written
             )));
+        }
+        if self.format == ShardFormat::Binary {
+            binfmt::write_record(self.writer(), binfmt::REC_END, b"")?;
+            // An error above returns before take: Drop removes the temp.
         }
         let mut w = self.w.take().expect("finish consumes the writer");
         let flushed = w.flush().and_then(|()| w.get_ref().sync_all());
@@ -601,9 +1035,43 @@ pub fn write_csr_matrix(path: impl AsRef<Path>, m: &CsrIntervalShard) -> io::Res
     w.finish()
 }
 
+/// Staging buffer of the binary CSR reader: the CSR twin of
+/// [`DenseStage`]. `row_ptr` holds absolute offsets into the staged entry
+/// arrays (leading 0), exactly as
+/// [`binfmt::decode_csr_block_into`] stacks them.
+#[derive(Debug, Default)]
+struct CsrStage {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    rows_staged: usize,
+    row_off: usize,
+    done: bool,
+}
+
+impl CsrStage {
+    fn clear(&mut self) {
+        self.row_ptr.clear();
+        self.col_idx.clear();
+        self.lo.clear();
+        self.hi.clear();
+        self.rows_staged = 0;
+        self.row_off = 0;
+        self.done = false;
+    }
+}
+
+#[derive(Debug)]
+enum CsrBackend {
+    Text,
+    Binary(CsrStage),
+}
+
 /// Reads a sparse CSR interval matrix file shard by shard, holding one
-/// shard's stored entries in memory at a time. See the
-/// [module docs](self) for the format.
+/// shard's stored entries (plus, for binary containers, a bounded staging
+/// buffer) in memory at a time. The format is sniffed from the leading
+/// bytes; see the [module docs](self) for both formats.
 #[derive(Debug)]
 pub struct CsrShardReader {
     path: PathBuf,
@@ -613,6 +1081,7 @@ pub struct CsrShardReader {
     cols: usize,
     shard_rows: usize,
     next_row: usize,
+    backend: CsrBackend,
 }
 
 impl CsrShardReader {
@@ -624,10 +1093,21 @@ impl CsrShardReader {
         }
         let path = path.as_ref().to_path_buf();
         let mut reader = BufReader::new(File::open(&path)?);
-        let mut header = String::new();
-        reader.read_line(&mut header)?;
-        let (rows, cols) = parse_header(&path, &header, Some("csr"))?;
-        let data_start = reader.stream_position()?;
+        let (rows, cols, data_start, backend) = if sniff_magic(&mut reader)? {
+            let (rows, cols, data_start) =
+                read_binary_header(&path, &mut reader, binfmt::REC_CSR_HEADER, "csr")?;
+            (
+                rows,
+                cols,
+                data_start,
+                CsrBackend::Binary(CsrStage::default()),
+            )
+        } else {
+            let mut header = String::new();
+            reader.read_line(&mut header)?;
+            let (rows, cols) = parse_header(&path, &header, Some("csr"))?;
+            (rows, cols, reader.stream_position()?, CsrBackend::Text)
+        };
         Ok(CsrShardReader {
             path,
             reader,
@@ -636,6 +1116,7 @@ impl CsrShardReader {
             cols,
             shard_rows,
             next_row: 0,
+            backend,
         })
     }
 
@@ -664,6 +1145,9 @@ impl CsrShardReader {
     pub fn rewind(&mut self) -> io::Result<()> {
         self.reader.seek(SeekFrom::Start(self.data_start))?;
         self.next_row = 0;
+        if let CsrBackend::Binary(stage) = &mut self.backend {
+            stage.clear();
+        }
         Ok(())
     }
 
@@ -673,10 +1157,13 @@ impl CsrShardReader {
             return Ok(None);
         }
         let take = self.shard_rows.min(self.rows - self.next_row);
-        let mut row_ptr = Vec::with_capacity((take + 1).min(PREALLOC_CAP));
-        let mut col_idx = Vec::new();
-        let mut lo = Vec::new();
-        let mut hi = Vec::new();
+        if matches!(self.backend, CsrBackend::Binary(_)) {
+            return self.read_shard_binary(take).map(Some);
+        }
+        let mut row_ptr = pool::take_usize((take + 1).min(PREALLOC_CAP));
+        let mut col_idx = pool::take_usize(0);
+        let mut lo = pool::take_f64(0);
+        let mut hi = pool::take_f64(0);
         row_ptr.push(0);
         let mut line = String::new();
         for r in 0..take {
@@ -750,6 +1237,86 @@ impl CsrShardReader {
             .map_err(|e| invalid_data(e.to_string()))?;
         Ok(Some(shard))
     }
+
+    /// Binary route of [`CsrShardReader::read_shard`]: decode block
+    /// records into the stage until `take` rows are buffered, then emit
+    /// them (offsets rebased) into pooled buffers. Writer block
+    /// boundaries are invisible to the caller.
+    fn read_shard_binary(&mut self, take: usize) -> io::Result<CsrIntervalShard> {
+        let CsrBackend::Binary(stage) = &mut self.backend else {
+            unreachable!("only called on binary readers")
+        };
+        loop {
+            let avail = stage.rows_staged - stage.row_off;
+            if avail >= take {
+                break;
+            }
+            if stage.done {
+                // The end record arrived before the declared rows did.
+                return Err(StreamError::UnexpectedEof {
+                    path: self.path.display().to_string(),
+                    row: self.next_row + avail,
+                }
+                .into_io());
+            }
+            match binfmt::read_record(&mut self.reader)? {
+                None => {
+                    // End of file without an end record: the writer never
+                    // finished this container.
+                    return Err(StreamError::UnexpectedEof {
+                        path: self.path.display().to_string(),
+                        row: self.next_row + avail,
+                    }
+                    .into_io());
+                }
+                Some((binfmt::REC_CSR_BLOCK, payload)) => {
+                    stage.rows_staged += binfmt::decode_csr_block_into(
+                        &payload,
+                        self.cols,
+                        &mut stage.row_ptr,
+                        &mut stage.col_idx,
+                        &mut stage.lo,
+                        &mut stage.hi,
+                    )?;
+                }
+                Some((binfmt::REC_END, _)) => stage.done = true,
+                Some((kind, _)) => {
+                    return Err(invalid_data(format!(
+                        "{}: unexpected record kind {kind} in a CSR shard container",
+                        self.path.display()
+                    )))
+                }
+            }
+        }
+        let (r0, r1) = (stage.row_off, stage.row_off + take);
+        let (s, e) = (stage.row_ptr[r0], stage.row_ptr[r1]);
+        let mut row_ptr = pool::take_usize(take + 1);
+        row_ptr.extend(stage.row_ptr[r0..=r1].iter().map(|&p| p - s));
+        let mut col_idx = pool::take_usize(e - s);
+        col_idx.extend_from_slice(&stage.col_idx[s..e]);
+        let mut lo = pool::take_f64(e - s);
+        lo.extend_from_slice(&stage.lo[s..e]);
+        let mut hi = pool::take_f64(e - s);
+        hi.extend_from_slice(&stage.hi[s..e]);
+        stage.row_off = r1;
+        // Compact once the emitted prefix dominates the stage, keeping
+        // the staged residue (and thus peak memory) bounded by one block.
+        if stage.row_off * 2 >= stage.rows_staged {
+            let cut = stage.row_ptr[stage.row_off];
+            stage.col_idx.drain(..cut);
+            stage.lo.drain(..cut);
+            stage.hi.drain(..cut);
+            stage.row_ptr.drain(..stage.row_off);
+            for p in stage.row_ptr.iter_mut() {
+                *p -= cut;
+            }
+            stage.rows_staged -= stage.row_off;
+            stage.row_off = 0;
+        }
+        self.next_row += take;
+        CsrIntervalShard::new(take, self.cols, row_ptr, col_idx, lo, hi)
+            .map_err(|e| invalid_data(e.to_string()))
+    }
 }
 
 impl CsrShardSource for CsrShardReader {
@@ -792,11 +1359,15 @@ pub fn stream_csr_interval_gram(
     path: impl AsRef<Path>,
     shard_rows: usize,
 ) -> io::Result<IntervalMatrix> {
-    let mut reader = CsrShardReader::open(path, shard_rows)?;
+    let reader = CsrShardReader::open(path, shard_rows)?;
     let mut acc = SparseStreamingIntervalGram::new(reader.rows(), reader.cols());
-    while let Some(shard) = reader.read_shard()? {
+    // Decode on a background thread (IVMF_PREFETCH) while this thread
+    // folds; delivery is in order, so results are bitwise unchanged.
+    let mut src = PrefetchCsrSource::from_env(Box::new(reader));
+    while let Some(shard) = src.next_shard().map_err(|e| invalid_data(e.to_string()))? {
         acc.push_shard(&shard)
             .map_err(|e| invalid_data(e.to_string()))?;
+        recycle_csr_interval_shard(shard);
     }
     acc.finish().map_err(|e| invalid_data(e.to_string()))
 }
@@ -1137,6 +1708,153 @@ mod tests {
             load_csr_sharded(&path, 8).unwrap().to_dense(),
             committed.to_dense()
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_dense_containers_round_trip_bitwise_across_shard_layouts() {
+        let m = sample_matrix(31, 29, 6);
+        let text = temp_path("bin_dense_text");
+        let bin = temp_path("bin_dense");
+        write_interval_matrix(&text, &m).unwrap();
+        let mut w = ShardWriter::create_with_format(&bin, 29, 6, ShardFormat::Binary).unwrap();
+        assert_eq!(w.format(), ShardFormat::Binary);
+        // Push in writer blocks that do NOT divide the reader shards.
+        for start in (0..29).step_by(7) {
+            let end = (start + 7).min(29);
+            let block = IntervalMatrix::from_bounds(
+                Matrix::from_vec(
+                    end - start,
+                    6,
+                    m.lo().as_slice()[start * 6..end * 6].to_vec(),
+                )
+                .unwrap(),
+                Matrix::from_vec(
+                    end - start,
+                    6,
+                    m.hi().as_slice()[start * 6..end * 6].to_vec(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            w.push_shard(&block).unwrap();
+        }
+        w.finish().unwrap();
+        // The reader sniffs the format; shard layout is invisible.
+        for shard_rows in [1usize, 4, 29, 100] {
+            assert_eq!(
+                load_sharded(&bin, shard_rows).unwrap().to_dense(),
+                m,
+                "binary round-trip diverged at shard_rows={shard_rows}"
+            );
+        }
+        assert_eq!(
+            stream_interval_gram(&bin, 5).unwrap(),
+            stream_interval_gram(&text, 5).unwrap(),
+            "binary and text ingest must produce bitwise-identical Grams"
+        );
+        std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn binary_csr_containers_round_trip_bitwise_across_shard_layouts() {
+        let m = sample_csr(32, 41, 30, 5);
+        let text = temp_path("bin_csr_text");
+        let bin = temp_path("bin_csr");
+        write_csr_matrix(&text, &m).unwrap();
+        let blocks = ivmf_interval::CsrShardedIntervalMatrix::from_csr(&m, 9).unwrap();
+        let mut w = CsrShardWriter::create_with_format(&bin, 41, 30, ShardFormat::Binary).unwrap();
+        for shard in blocks.shards() {
+            w.push_shard(shard).unwrap();
+        }
+        w.finish().unwrap();
+        for shard_rows in [1usize, 4, 41, 100] {
+            assert_eq!(
+                load_csr_sharded(&bin, shard_rows).unwrap().to_dense(),
+                m.to_dense(),
+                "binary CSR round-trip diverged at shard_rows={shard_rows}"
+            );
+        }
+        assert_eq!(
+            stream_csr_interval_gram(&bin, 6).unwrap(),
+            stream_csr_interval_gram(&text, 6).unwrap(),
+            "binary and text CSR ingest must produce bitwise-identical Grams"
+        );
+        std::fs::remove_file(&text).ok();
+        std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn binary_containers_report_typed_errors_never_panic() {
+        let m = sample_csr(33, 13, 10, 3);
+        let path = temp_path("bin_corrupt");
+        let mut w = CsrShardWriter::create_with_format(&path, 13, 10, ShardFormat::Binary).unwrap();
+        w.push_shard(&m).unwrap();
+        w.finish().unwrap();
+        let committed = std::fs::read(&path).unwrap();
+
+        // Truncation inside the block record: UnexpectedEof.
+        let headerless = 8 + binfmt::record_len("csr 13 10\n".len());
+        std::fs::write(&path, &committed[..headerless + 30]).unwrap();
+        let err = CsrShardReader::open(&path, 4)
+            .unwrap()
+            .read_shard()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // Truncation that removes whole records (no end record): typed EOF.
+        std::fs::write(&path, &committed[..headerless]).unwrap();
+        let err = CsrShardReader::open(&path, 4)
+            .unwrap()
+            .read_shard()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(matches!(
+            typed(&err),
+            StreamError::UnexpectedEof { row: 0, .. }
+        ));
+
+        // A flipped payload bit: InvalidData via the record checksum.
+        let mut flipped = committed.clone();
+        let mid = headerless + 20;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = CsrShardReader::open(&path, 4)
+            .unwrap()
+            .read_shard()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // The dense reader refuses a CSR container and vice versa.
+        assert!(matches!(
+            typed(&ShardReader::open(&path, 4).unwrap_err()),
+            StreamError::MalformedHeader { .. }
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_readers_rewind_and_prefetch_depths_agree_bitwise() {
+        let m = sample_csr(34, 27, 18, 4);
+        let path = temp_path("bin_rewind");
+        let mut w = CsrShardWriter::create_with_format(&path, 27, 18, ShardFormat::Binary).unwrap();
+        w.push_shard(&m).unwrap();
+        w.finish().unwrap();
+        let mut reader = CsrShardReader::open(&path, 5).unwrap();
+        let first = reader.read_shard().unwrap().unwrap();
+        while reader.read_shard().unwrap().is_some() {}
+        reader.rewind().unwrap();
+        assert_eq!(reader.read_shard().unwrap().unwrap(), first);
+
+        // IVMF_PREFETCH must not perturb bits (depth 0 vs 1 vs 2).
+        let baseline = stream_csr_interval_gram(&path, 5).unwrap();
+        for depth in ["0", "1", "2"] {
+            std::env::set_var(ivmf_env::PREFETCH, depth);
+            let gram = stream_csr_interval_gram(&path, 5).unwrap();
+            std::env::remove_var(ivmf_env::PREFETCH);
+            assert_eq!(gram, baseline, "prefetch depth {depth} perturbed the Gram");
+        }
         std::fs::remove_file(&path).ok();
     }
 

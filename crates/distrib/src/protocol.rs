@@ -21,12 +21,24 @@
 //! payloads as raw little-endian runs. A `PARTIAL` payload embeds the
 //! accumulator's own `write_state` bytes verbatim, so the wire format
 //! inherits the snapshot format's bit-exactness guarantees for free.
+//!
+//! A frame **is** one [`ivmf_data::binfmt`] record — the same
+//! `[kind][len][payload][checksum]` container the binary shard files use
+//! — so the framing, the checksum and their corruption taxonomy live in
+//! exactly one place. A `JOB` payload likewise carries its row-block
+//! pieces as `binfmt` dense/CSR block records after a one-line text
+//! header, sharing the shard codec end to end.
 
-use std::io::{self, BufRead, Read, Write};
+use std::io::{self, Read, Write};
 
+use ivmf_data::binfmt;
 use ivmf_interval::{CsrIntervalShard, IntervalMatrix};
-use ivmf_linalg::state_text::{bad_state, checked_len, read_f64_run, read_line, write_f64_run};
-use ivmf_linalg::Matrix;
+use ivmf_linalg::state_text::{bad_state, read_line};
+
+/// The workspace's shared word-parallel FNV-1a digest (re-exported from
+/// [`ivmf_data::fnv`] so existing callers keep compiling): the checksum
+/// at the end of every frame.
+pub use ivmf_data::fnv::fnv1a64;
 
 /// Frame kind: a work unit travelling coordinator → worker.
 pub const FRAME_JOB: u8 = 1;
@@ -38,95 +50,23 @@ pub const FRAME_SHUTDOWN: u8 = 3;
 
 /// Ceiling on a declared payload length: a corrupted length field must
 /// not trigger a multi-gigabyte allocation before the checksum gets a
-/// chance to reject the frame.
-pub const MAX_FRAME_LEN: u64 = 1 << 31;
+/// chance to reject the frame. (The shard container's record limit — a
+/// frame is the same record.)
+pub const MAX_FRAME_LEN: u64 = binfmt::MAX_RECORD_LEN;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// How many independent FNV-1a chains [`fnv1a64`] runs. Plain byte-wise
-/// FNV-1a is a single xor→multiply dependency chain — one multiply
-/// *latency* per byte, ~0.7 GB/s — and frames here carry tens of
-/// megabytes, so at that speed the checksum would cost a third of the
-/// Gram arithmetic it protects. Eight chains, each folding a whole
-/// little-endian `u64` per xor→multiply step, cut the multiply count 8×
-/// and let the CPU overlap what remains (~5.7 GB/s measured).
-const FNV_LANES: usize = 8;
-
-/// Word-parallel FNV-1a over a byte slice: the input is consumed 64
-/// bytes per round, word `j` of each round feeding lane `j` with one
-/// `lane = (lane ^ word) * FNV_PRIME` step (the FNV-1a construction
-/// applied to 64-bit units); trailing bytes feed lane 0 byte-wise, and
-/// the eight lane digests plus the total length are folded with a final
-/// canonical byte-wise FNV-1a pass. Any flipped bit perturbs its lane
-/// and every subsequent multiply, and the length term keeps shifted or
-/// truncated payloads from colliding trivially. Dependency-free like the
-/// stage cache's fingerprint hash, but fast enough to disappear next to
-/// the Gram arithmetic even on multi-megabyte frames. This is an
-/// integrity check against line noise and faulty peers, not a
-/// cryptographic MAC — same contract as plain FNV.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut lanes = [FNV_OFFSET; FNV_LANES];
-    let mut rounds = bytes.chunks_exact(8 * FNV_LANES);
-    for round in &mut rounds {
-        for (lane, word) in lanes.iter_mut().zip(round.chunks_exact(8)) {
-            *lane ^= u64::from_le_bytes(word.try_into().expect("exact word"));
-            *lane = lane.wrapping_mul(FNV_PRIME);
-        }
-    }
-    for &b in rounds.remainder() {
-        lanes[0] ^= u64::from(b);
-        lanes[0] = lanes[0].wrapping_mul(FNV_PRIME);
-    }
-    let mut h = FNV_OFFSET;
-    for word in lanes.iter().chain(std::iter::once(&(bytes.len() as u64))) {
-        for &b in &word.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-    }
-    h
-}
-
-/// Writes one checksummed frame. The caller flushes.
+/// Writes one checksummed frame (= one [`binfmt`] record). The caller
+/// flushes.
 pub fn write_frame(w: &mut dyn Write, kind: u8, payload: &[u8]) -> io::Result<()> {
-    w.write_all(&[kind])?;
-    w.write_all(&(payload.len() as u64).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.write_all(&fnv1a64(payload).to_le_bytes())
+    binfmt::write_record(w, kind, payload)
 }
 
 /// Reads one frame, validating the declared length and the checksum.
 /// Returns `None` on a clean end-of-stream at a frame boundary (the peer
 /// closed the connection between frames); any mid-frame truncation is an
-/// `UnexpectedEof` error and any checksum mismatch is `InvalidData`.
+/// `UnexpectedEof` error and any checksum mismatch is `InvalidData` —
+/// the [`binfmt::read_record`] corruption taxonomy verbatim.
 pub fn read_frame(r: &mut dyn Read) -> io::Result<Option<(u8, Vec<u8>)>> {
-    let mut kind = [0u8; 1];
-    // Distinguish "no more frames" from "frame cut short": end-of-stream
-    // before the first byte is a clean close.
-    if r.read(&mut kind)? == 0 {
-        return Ok(None);
-    }
-    let mut len_bytes = [0u8; 8];
-    r.read_exact(&mut len_bytes)?;
-    let len = u64::from_le_bytes(len_bytes);
-    if len > MAX_FRAME_LEN {
-        return Err(bad_state(format!(
-            "frame declares a {len}-byte payload (limit {MAX_FRAME_LEN})"
-        )));
-    }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    let mut sum_bytes = [0u8; 8];
-    r.read_exact(&mut sum_bytes)?;
-    let declared = u64::from_le_bytes(sum_bytes);
-    let actual = fnv1a64(&payload);
-    if declared != actual {
-        return Err(bad_state(format!(
-            "frame checksum mismatch: declared {declared:#018x}, computed {actual:#018x}"
-        )));
-    }
-    Ok(Some((kind[0], payload)))
+    binfmt::read_record(r)
 }
 
 /// One row block of a work unit: the same dense / sparse-CSR shard kinds
@@ -178,41 +118,9 @@ impl WorkUnit {
     }
 }
 
-/// Writes a run of `usize` values as little-endian `u64`s terminated by
-/// one `\n` — the integer twin of
-/// [`write_f64_run`](ivmf_linalg::state_text::write_f64_run), for the
-/// CSR index payloads that would be needlessly slow as text.
-fn write_usize_run(w: &mut dyn Write, vals: &[usize]) -> io::Result<()> {
-    let mut bytes = vec![0u8; vals.len().saturating_mul(8)];
-    for (dst, &v) in bytes.chunks_exact_mut(8).zip(vals) {
-        dst.copy_from_slice(&(v as u64).to_le_bytes());
-    }
-    w.write_all(&bytes)?;
-    w.write_all(b"\n")
-}
-
-/// Reads a run written by [`write_usize_run`], requiring exactly
-/// `expected` values plus the terminator.
-fn read_usize_run(r: &mut dyn BufRead, expected: usize) -> io::Result<Vec<usize>> {
-    let nbytes = checked_len(expected, 8)?;
-    let mut raw = vec![0u8; nbytes];
-    r.read_exact(&mut raw)?;
-    let mut out = Vec::with_capacity(expected);
-    for c in raw.chunks_exact(8) {
-        let mut b = [0u8; 8];
-        b.copy_from_slice(c);
-        let v = u64::from_le_bytes(b);
-        out.push(usize::try_from(v).map_err(|_| bad_state("usize value overflows"))?);
-    }
-    let mut sep = [0u8; 1];
-    r.read_exact(&mut sep)?;
-    if sep[0] != b'\n' {
-        return Err(bad_state("missing terminator after binary usize run"));
-    }
-    Ok(out)
-}
-
-/// Encodes a work unit as a `JOB` payload.
+/// Encodes a work unit as a `JOB` payload: a one-line text header
+/// followed by one [`binfmt`] dense/CSR block record per piece — the
+/// exact record bytes a binary shard file would hold for the same block.
 pub fn encode_job(unit: &WorkUnit) -> io::Result<Vec<u8>> {
     // Reserve the full payload up front — these buffers run to tens of
     // megabytes, where doubling growth would memcpy the whole prefix
@@ -239,21 +147,12 @@ pub fn encode_job(unit: &WorkUnit) -> io::Result<Vec<u8>> {
     for piece in &unit.pieces {
         match piece {
             UnitPiece::Dense(m) => {
-                writeln!(buf, "piece dense {}", m.rows())?;
-                write_f64_run(&mut buf, m.lo().as_slice())?;
-                write_f64_run(&mut buf, m.hi().as_slice())?;
+                let payload = binfmt::encode_dense_block(m)?;
+                binfmt::write_record(&mut buf, binfmt::REC_DENSE_BLOCK, &payload)?;
             }
             UnitPiece::Csr(s) => {
-                writeln!(buf, "piece csr {} {}", s.rows(), s.nnz())?;
-                write_usize_run(&mut buf, s.lo_shard().row_ptr())?;
-                write_usize_run(&mut buf, s.lo_shard().col_idx())?;
-                write_f64_run(&mut buf, s.lo_shard().values())?;
-                let mut hi = Vec::with_capacity(s.nnz());
-                for i in 0..s.rows() {
-                    let (_, _, h) = s.row_entries(i);
-                    hi.extend_from_slice(h);
-                }
-                write_f64_run(&mut buf, &hi)?;
+                let payload = binfmt::encode_csr_block(s)?;
+                binfmt::write_record(&mut buf, binfmt::REC_CSR_BLOCK, &payload)?;
             }
         }
     }
@@ -281,32 +180,22 @@ pub fn decode_job(payload: &[u8]) -> io::Result<WorkUnit> {
     let n_pieces = parse(toks[5])?;
     let mut pieces = Vec::with_capacity(n_pieces.min(1 << 16));
     for _ in 0..n_pieces {
-        let line = read_line(&mut r)?;
-        let ptoks: Vec<&str> = line.split_ascii_whitespace().collect();
-        match ptoks.as_slice() {
-            ["piece", "dense", rows_tok] => {
-                let rows = parse(rows_tok)?;
-                let n = checked_len(rows, cols)?;
-                let lo = Matrix::from_vec(rows, cols, read_f64_run(&mut r, n)?)
-                    .map_err(|e| bad_state(e.to_string()))?;
-                let hi = Matrix::from_vec(rows, cols, read_f64_run(&mut r, n)?)
-                    .map_err(|e| bad_state(e.to_string()))?;
-                let m =
-                    IntervalMatrix::from_bounds(lo, hi).map_err(|e| bad_state(e.to_string()))?;
-                pieces.push(UnitPiece::Dense(m));
+        // Each piece is a self-checksummed binfmt block record; a missing
+        // record (clean end inside the declared count) is a truncation.
+        let (kind, record) = binfmt::read_record(&mut r)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "job payload ended before its declared piece count",
+            )
+        })?;
+        match kind {
+            binfmt::REC_DENSE_BLOCK => {
+                pieces.push(UnitPiece::Dense(binfmt::decode_dense_block(&record, cols)?));
             }
-            ["piece", "csr", rows_tok, nnz_tok] => {
-                let rows = parse(rows_tok)?;
-                let nnz = parse(nnz_tok)?;
-                let row_ptr = read_usize_run(&mut r, rows + 1)?;
-                let col_idx = read_usize_run(&mut r, nnz)?;
-                let lo = read_f64_run(&mut r, nnz)?;
-                let hi = read_f64_run(&mut r, nnz)?;
-                let shard = CsrIntervalShard::new(rows, cols, row_ptr, col_idx, lo, hi)
-                    .map_err(|e| bad_state(e.to_string()))?;
-                pieces.push(UnitPiece::Csr(shard));
+            binfmt::REC_CSR_BLOCK => {
+                pieces.push(UnitPiece::Csr(binfmt::decode_csr_block(&record, cols)?));
             }
-            _ => return Err(bad_state(format!("malformed piece header {line:?}"))),
+            other => return Err(bad_state(format!("unexpected piece record kind {other}"))),
         }
     }
     if !r.is_empty() {
@@ -352,6 +241,7 @@ pub fn decode_partial(payload: &[u8]) -> io::Result<(usize, &[u8])> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ivmf_linalg::Matrix;
 
     fn dense_piece(rows: usize, cols: usize, seed: u64) -> IntervalMatrix {
         let mut s = seed;
@@ -455,11 +345,11 @@ mod tests {
     fn job_decoder_rejects_malformed_payloads() {
         assert!(decode_job(b"nonsense\n").is_err());
         assert!(decode_job(b"job 1 5 2 0 0\n").is_err()); // bad flag
-        assert!(decode_job(b"job 1 5 1 0 1\npiece weird 3\n").is_err());
-        // Declared piece missing its payload → UnexpectedEof.
-        let err = decode_job(b"job 1 5 1 0 1\npiece dense 3\n").unwrap_err();
+
+        // A declared piece with no record behind it → UnexpectedEof.
+        let err = decode_job(b"job 1 5 1 0 1\n").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
-        // Trailing junk after the declared pieces is rejected.
+
         let unit = WorkUnit {
             id: 0,
             mid_rad: false,
@@ -467,9 +357,28 @@ mod tests {
             cols: 2,
             pieces: vec![UnitPiece::Dense(dense_piece(2, 2, 9))],
         };
-        let mut payload = encode_job(&unit).unwrap();
-        payload.extend_from_slice(b"junk");
-        assert!(decode_job(&payload).is_err());
+        let payload = encode_job(&unit).unwrap();
+
+        // Truncation inside a piece record → UnexpectedEof.
+        let err = decode_job(&payload[..payload.len() - 3]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // A flipped bit inside a piece record → InvalidData (checksum).
+        let mut flipped = payload.clone();
+        let n = flipped.len();
+        flipped[n - 20] ^= 0x20;
+        let err = decode_job(&flipped).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A well-formed record of the wrong kind is rejected.
+        let mut wrong_kind = b"job 1 2 0 0 1\n".to_vec();
+        binfmt::write_record(&mut wrong_kind, binfmt::REC_END, b"").unwrap();
+        assert!(decode_job(&wrong_kind).is_err());
+
+        // Trailing junk after the declared pieces is rejected.
+        let mut trailing = encode_job(&unit).unwrap();
+        trailing.extend_from_slice(b"junk");
+        assert!(decode_job(&trailing).is_err());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! | [`TOPK_EIGEN`] | `ivmf-linalg` | `auto` (default) / `full` / `forced` — whether truncating eigendecompositions use the certified top-k Lanczos solver, the full `tred2`/`tql2` oracle, or the Lanczos path regardless of the profitability heuristic |
 //! | [`SNAPSHOT_DIR`] | `ivmf-core` | directory for automatic crash-safe pipeline snapshots: load-on-construct, save-on-drop (unset: snapshots only on explicit `snapshot_to`/`restore_from`) |
 //! | [`WORKERS`] | `ivmf-core`, `ivmf-distrib` | worker count for the distributed Gram coordinator; `> 1` fans large Gram streams out to that many workers (default 1: in-process) |
+//! | [`SHARD_FORMAT`] | `ivmf-data` | `text` (default) / `binary` — on-disk container the shard writers produce; readers auto-detect from magic bytes, payloads are bitwise identical |
+//! | [`PREFETCH`] | `ivmf-data`, `ivmf-core` | shard prefetch depth `0`/`1`/`2` (default 1): background-thread decode of the next shard(s) while the current one folds; `0` disables the thread |
 //! | [`WORKER_SPAWN`] | `ivmf-distrib` | `1`/`true` runs distributed workers as spawned `ivmf-worker` child processes instead of in-process threads |
 //! | [`REPLICATES`] | `ivmf-bench` | seeded replicates the `exp_*` binaries average over (default 5) |
 //! | [`SCALE`] | `ivmf-bench` | size multiplier in `(0, 1]` for the larger data sets |
@@ -108,6 +110,23 @@ pub const WORKERS: &str = "IVMF_WORKERS";
 /// [`WORKERS`]: results are bitwise identical either way, so it never
 /// enters a stage-cache fingerprint.
 pub const WORKER_SPAWN: &str = "IVMF_WORKER_SPAWN";
+
+/// On-disk container format the shard writers in `ivmf-data` produce:
+/// `text` (the default, greppable line-per-row format) or `binary` (the
+/// "ivmf shards v1" checksummed record container). Readers always
+/// auto-detect the format from the file's magic bytes, and the decoded
+/// payloads are bitwise identical either way, so — like [`THREADS`] and
+/// [`WORKERS`] — this knob never enters a stage-cache fingerprint.
+pub const SHARD_FORMAT: &str = "IVMF_SHARD_FORMAT";
+
+/// Shard prefetch depth for the out-of-core ingest readers in
+/// `ivmf-data` (routed by `ivmf-core`): `0` disables the background I/O
+/// thread (pass-through), `1` (the default) double-buffers — shard `i+1`
+/// is read and decoded while shard `i` folds — and `2` keeps one more
+/// shard in flight. The fold order is strictly the file order regardless
+/// of depth, so results are bitwise identical and the knob never enters
+/// a stage-cache fingerprint.
+pub const PREFETCH: &str = "IVMF_PREFETCH";
 
 /// Number of seeded replicates the `exp_*` binaries average over.
 pub const REPLICATES: &str = "IVMF_REPLICATES";
@@ -374,6 +393,83 @@ pub fn try_topk_eigen_mode() -> Result<Option<TopkEigenMode>, EnvVarError> {
     }
 }
 
+/// On-disk shard container format; parsed from [`SHARD_FORMAT`] by
+/// [`shard_format`]. The format is a pure storage concern: readers
+/// auto-detect it from magic bytes and the decoded payloads are bitwise
+/// identical, so it never changes results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardFormat {
+    /// Line-per-row decimal text (the default): greppable, diffable,
+    /// shortest round-trip `f64` formatting.
+    #[default]
+    Text,
+    /// The "ivmf shards v1" binary container: length-prefixed checksummed
+    /// records with raw little-endian `f64`/`usize` runs.
+    Binary,
+}
+
+/// The configured shard container format: `IVMF_SHARD_FORMAT` parsed
+/// case-insensitively as `text`/`binary`, defaulting to
+/// [`ShardFormat::Text`] when unset and panicking on any other value like
+/// every other `IVMF_*` knob. See [`try_shard_format`] for the
+/// non-panicking form.
+pub fn shard_format() -> ShardFormat {
+    match try_shard_format() {
+        Ok(v) => v.unwrap_or_default(),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`shard_format`] returning the validation error as a value instead of
+/// panicking: `Ok(None)` when unset, the parsed format when well-formed,
+/// and [`EnvVarError`] for anything other than `text`/`binary`
+/// (case-insensitive, surrounding whitespace ignored).
+pub fn try_shard_format() -> Result<Option<ShardFormat>, EnvVarError> {
+    let Ok(raw) = std::env::var(SHARD_FORMAT) else {
+        return Ok(None);
+    };
+    let v = raw.trim();
+    if v.eq_ignore_ascii_case("text") {
+        Ok(Some(ShardFormat::Text))
+    } else if v.eq_ignore_ascii_case("binary") {
+        Ok(Some(ShardFormat::Binary))
+    } else {
+        Err(EnvVarError {
+            name: SHARD_FORMAT.to_string(),
+            value: raw,
+            expected: "text or binary".to_string(),
+        })
+    }
+}
+
+/// The configured shard prefetch depth: `IVMF_PREFETCH` as an integer in
+/// `0..=2`, defaulting to 1 (double-buffered) when unset and panicking on
+/// a malformed or out-of-range value like every other `IVMF_*` knob. See
+/// [`try_prefetch`] for the non-panicking form.
+pub fn prefetch() -> usize {
+    match try_prefetch() {
+        Ok(v) => v.unwrap_or(1),
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`prefetch`] returning the validation error as a value instead of
+/// panicking: `Ok(None)` when unset, the depth when a well-formed integer
+/// in `0..=2`, and [`EnvVarError`] otherwise.
+pub fn try_prefetch() -> Result<Option<usize>, EnvVarError> {
+    let Ok(raw) = std::env::var(PREFETCH) else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(v) if v <= 2 => Ok(Some(v)),
+        _ => Err(EnvVarError {
+            name: PREFETCH.to_string(),
+            value: raw,
+            expected: "an integer in 0..=2".to_string(),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -579,6 +675,65 @@ mod tests {
             assert_eq!(snapshot_dir(), None, "{blank:?} should read as unset");
         }
         std::env::remove_var(SNAPSHOT_DIR);
+    }
+
+    #[test]
+    fn shard_format_parses_and_defaults_when_unset() {
+        // This test owns IVMF_SHARD_FORMAT within this binary.
+        std::env::remove_var(SHARD_FORMAT);
+        assert_eq!(shard_format(), ShardFormat::Text);
+        assert_eq!(try_shard_format(), Ok(None));
+        for (raw, format) in [
+            ("text", ShardFormat::Text),
+            ("binary", ShardFormat::Binary),
+            ("TEXT", ShardFormat::Text),
+            (" Binary ", ShardFormat::Binary),
+        ] {
+            std::env::set_var(SHARD_FORMAT, raw);
+            assert_eq!(shard_format(), format, "{raw:?}");
+        }
+        for bad in ["", "bin", "1", "json"] {
+            std::env::set_var(SHARD_FORMAT, bad);
+            let err = try_shard_format().unwrap_err();
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(SHARD_FORMAT),
+                "error must name the variable: {msg}"
+            );
+            assert!(
+                msg.contains("text or binary"),
+                "error must state the expected format: {msg}"
+            );
+        }
+        std::env::remove_var(SHARD_FORMAT);
+    }
+
+    #[test]
+    fn prefetch_parses_and_defaults_when_unset() {
+        // This test owns IVMF_PREFETCH within this binary.
+        std::env::remove_var(PREFETCH);
+        assert_eq!(prefetch(), 1);
+        assert_eq!(try_prefetch(), Ok(None));
+        for (raw, depth) in [("0", 0usize), ("1", 1), ("2", 2), (" 2 ", 2)] {
+            std::env::set_var(PREFETCH, raw);
+            assert_eq!(prefetch(), depth, "{raw:?}");
+        }
+        for bad in ["", "3", "-1", "abc", "1.5"] {
+            std::env::set_var(PREFETCH, bad);
+            let err = try_prefetch().unwrap_err();
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(PREFETCH),
+                "error must name the variable: {msg}"
+            );
+            assert!(
+                msg.contains("0..=2"),
+                "error must state the expected format: {msg}"
+            );
+        }
+        std::env::remove_var(PREFETCH);
     }
 
     #[test]

@@ -73,6 +73,27 @@ pub use vector::IntervalVector;
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, IntervalError>;
 
+/// Returns a consumed dense interval shard's two bound buffers to the
+/// [`ivmf_linalg::pool`], so the next decoded shard can reuse them instead
+/// of allocating. Purely an allocator hint: dropping the matrix instead is
+/// always correct, just slower in steady-state streaming loops.
+pub fn recycle_interval_matrix(m: IntervalMatrix) {
+    let (lo, hi) = m.into_bounds();
+    ivmf_linalg::pool::recycle_f64(lo.into_vec());
+    ivmf_linalg::pool::recycle_f64(hi.into_vec());
+}
+
+/// The CSR twin of [`recycle_interval_matrix`]: returns a consumed sparse
+/// interval shard's four backing buffers to the pool.
+pub fn recycle_csr_interval_shard(s: CsrIntervalShard) {
+    let (lo, hi) = s.into_parts();
+    let (_, _, row_ptr, col_idx, values) = lo.into_parts();
+    ivmf_linalg::pool::recycle_usize(row_ptr);
+    ivmf_linalg::pool::recycle_usize(col_idx);
+    ivmf_linalg::pool::recycle_f64(values);
+    ivmf_linalg::pool::recycle_f64(hi);
+}
+
 #[cfg(test)]
 pub(crate) mod test_env {
     /// Serializes the tests that mutate — or assert behaviour that

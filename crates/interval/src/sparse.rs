@@ -164,6 +164,19 @@ impl CsrIntervalShard {
         &self.lo
     }
 
+    /// The stored upper-bound payload, aligned entry for entry with
+    /// [`CsrIntervalShard::lo_shard`]'s values (borrowed, no copy).
+    pub fn hi_values(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Deconstructs into the pattern-plus-lo shard and the hi payload —
+    /// the inverse of assembly, letting consumers recycle the backing
+    /// buffers (see [`crate::recycle_csr_interval_shard`]).
+    pub fn into_parts(self) -> (CsrShard, Vec<f64>) {
+        (self.lo, self.hi)
+    }
+
     /// The upper bounds as a scalar CSR shard (same pattern, hi payload).
     pub fn hi_shard(&self) -> CsrShard {
         self.lo

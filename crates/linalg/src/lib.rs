@@ -54,6 +54,7 @@ pub mod lu;
 mod matrix;
 pub mod norms;
 pub mod pinv;
+pub mod pool;
 pub mod qr;
 pub mod random;
 pub mod sparse;

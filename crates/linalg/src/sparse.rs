@@ -257,6 +257,19 @@ impl CsrShard {
         &self.values
     }
 
+    /// Deconstructs into `(rows, cols, row_ptr, col_idx, values)` — the
+    /// inverse of [`CsrShard::new`] — so consumers can return the backing
+    /// buffers to [`crate::pool`] once a shard has been folded.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<f64>) {
+        (
+            self.rows,
+            self.cols,
+            self.row_ptr,
+            self.col_idx,
+            self.values,
+        )
+    }
+
     /// Row `i`'s stored `(columns, values)` slices.
     pub fn row_entries(&self, i: usize) -> (&[usize], &[f64]) {
         let (s, e) = (self.row_ptr[i], self.row_ptr[i + 1]);
@@ -858,14 +871,25 @@ impl PendingCsrRows {
         self.slice(i * STREAM_CHUNK_ROWS, (i + 1) * STREAM_CHUNK_ROWS)
     }
 
+    /// Copies rows `r0..r1` into a standalone shard whose three backing
+    /// buffers come from the [`crate::pool`] — the fold loops recycle them
+    /// via [`recycle_csr_shard`] after each chunk kernel, so steady-state
+    /// streaming stops hitting the allocator. The copied structure and
+    /// values are identical to a freshly allocated slice.
     fn slice(&self, r0: usize, r1: usize) -> CsrShard {
         let (s, e) = (self.row_ptr[r0], self.row_ptr[r1]);
+        let mut row_ptr = crate::pool::take_usize(r1 - r0 + 1);
+        row_ptr.extend(self.row_ptr[r0..=r1].iter().map(|&p| p - s));
+        let mut col_idx = crate::pool::take_usize(e - s);
+        col_idx.extend_from_slice(&self.col_idx[s..e]);
+        let mut values = crate::pool::take_f64(e - s);
+        values.extend_from_slice(&self.values[s..e]);
         CsrShard {
             rows: r1 - r0,
             cols: self.cols,
-            row_ptr: self.row_ptr[r0..=r1].iter().map(|&p| p - s).collect(),
-            col_idx: self.col_idx[s..e].to_vec(),
-            values: self.values[s..e].to_vec(),
+            row_ptr,
+            col_idx,
+            values,
         }
     }
 
@@ -929,6 +953,14 @@ fn add_assign(acc: &mut Matrix, rhs: &Matrix) {
     for (a, &b) in acc.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
         *a += b;
     }
+}
+
+/// Returns a consumed chunk shard's three backing buffers to the
+/// [`crate::pool`] (an allocator hint, never a correctness requirement).
+fn recycle_csr_shard(s: CsrShard) {
+    crate::pool::recycle_usize(s.row_ptr);
+    crate::pool::recycle_usize(s.col_idx);
+    crate::pool::recycle_f64(s.values);
 }
 
 /// Streaming accumulator for the Gram matrix `AᵀA` over a CSR row-block
@@ -1013,14 +1045,21 @@ impl SparseGramAccumulator {
         // the group-boundary check needs.
         let mut folded = (self.rows_seen - self.pending.rows()) / STREAM_CHUNK_ROWS;
         let m = self.pending.cols;
-        let mut scratch = Matrix::zeros(m, m);
+        // Pool-backed zeroed scratch: this drain runs once per
+        // PAR_FOLD_CHUNKS chunks, so without the pool every drain would
+        // allocate (and fault in) a fresh m×m buffer.
+        let mut scratch = Matrix::from_vec(m, m, crate::pool::take_zeroed_f64(m * m))
+            .expect("pooled buffer has exactly m*m elements");
         for i in 0..full {
-            csr_gram_chunk_upper_into(&self.pending.chunk(i), &mut scratch);
+            let c = self.pending.chunk(i);
+            csr_gram_chunk_upper_into(&c, &mut scratch);
+            recycle_csr_shard(c);
             self.fold(&scratch, &mut folded);
             if i + 1 < full {
                 zero_upper(&mut scratch);
             }
         }
+        crate::pool::recycle_f64(scratch.into_vec());
         self.pending.drain_chunks(full);
     }
 
@@ -1044,7 +1083,10 @@ impl SparseGramAccumulator {
         if let Some(g) = self.group.take() {
             match &mut self.acc {
                 None => self.acc = Some(g),
-                Some(a) => add_assign_upper(a, &g),
+                Some(a) => {
+                    add_assign_upper(a, &g);
+                    crate::pool::recycle_f64(g.into_vec());
+                }
             }
         }
     }
@@ -1055,6 +1097,7 @@ impl SparseGramAccumulator {
         let mut tail = self.group.clone();
         if let Some(rem) = self.pending.remainder() {
             let g = csr_gram_chunk_upper(&rem);
+            recycle_csr_shard(rem);
             match &mut tail {
                 None => tail = Some(g),
                 Some(t) => add_assign_upper(t, &g),
@@ -1241,8 +1284,12 @@ impl SparseCrossGramAccumulator {
         let full = self.pending_a.full_chunks();
         let mut folded = (self.rows_seen - self.pending_a.rows()) / STREAM_CHUNK_ROWS;
         for i in 0..full {
-            let p = csr_cross_chunk(&self.pending_a.chunk(i), &self.pending_b.chunk(i))?;
-            self.fold(p, &mut folded);
+            let ca = self.pending_a.chunk(i);
+            let cb = self.pending_b.chunk(i);
+            let p = csr_cross_chunk(&ca, &cb);
+            recycle_csr_shard(ca);
+            recycle_csr_shard(cb);
+            self.fold(p?, &mut folded);
         }
         self.pending_a.drain_chunks(full);
         self.pending_b.drain_chunks(full);
@@ -1254,7 +1301,10 @@ impl SparseCrossGramAccumulator {
     fn fold(&mut self, p: Matrix, folded_chunks: &mut usize) {
         match &mut self.group {
             None => self.group = Some(p),
-            Some(a) => add_assign(a, &p),
+            Some(a) => {
+                add_assign(a, &p);
+                crate::pool::recycle_f64(p.into_vec());
+            }
         }
         *folded_chunks += 1;
         if *folded_chunks % MERGE_GROUP_CHUNKS == 0 {
@@ -1266,7 +1316,10 @@ impl SparseCrossGramAccumulator {
         if let Some(g) = self.group.take() {
             match &mut self.acc {
                 None => self.acc = Some(g),
-                Some(a) => add_assign(a, &g),
+                Some(a) => {
+                    add_assign(a, &g);
+                    crate::pool::recycle_f64(g.into_vec());
+                }
             }
         }
     }
@@ -1276,7 +1329,10 @@ impl SparseCrossGramAccumulator {
     pub fn finish(&self) -> Result<Matrix> {
         let mut tail = self.group.clone();
         if let (Some(ra), Some(rb)) = (self.pending_a.remainder(), self.pending_b.remainder()) {
-            let p = csr_cross_chunk(&ra, &rb)?;
+            let p = csr_cross_chunk(&ra, &rb);
+            recycle_csr_shard(ra);
+            recycle_csr_shard(rb);
+            let p = p?;
             match &mut tail {
                 None => tail = Some(p),
                 Some(t) => add_assign(t, &p),

@@ -151,8 +151,23 @@ pub fn write_f64_run(w: &mut dyn Write, vals: &[f64]) -> io::Result<()> {
 /// so a corrupted declared length cannot trigger a huge up-front
 /// reservation.
 pub fn read_f64_run(r: &mut dyn BufRead, expected: usize) -> io::Result<Vec<f64>> {
-    let nbytes = checked_len(expected, 8)?;
     let mut out = Vec::with_capacity(expected.min(PREALLOC_CAP));
+    read_f64_run_into(r, expected, &mut out)?;
+    Ok(out)
+}
+
+/// [`read_f64_run`] appending into a caller-supplied buffer — the
+/// allocation-free variant the pooled ingest path uses (the buffer
+/// typically comes from [`crate::pool::take_f64`] and already has the
+/// capacity from a previous round). Appends exactly `expected` values or
+/// returns an error with `out` in an unspecified (but valid) state.
+pub fn read_f64_run_into(
+    r: &mut dyn BufRead,
+    expected: usize,
+    out: &mut Vec<f64>,
+) -> io::Result<()> {
+    let nbytes = checked_len(expected, 8)?;
+    out.reserve(expected.min(PREALLOC_CAP));
     let mut chunk = [0u8; 8192];
     let mut remaining = nbytes;
     while remaining > 0 {
@@ -170,7 +185,62 @@ pub fn read_f64_run(r: &mut dyn BufRead, expected: usize) -> io::Result<Vec<f64>
     if sep[0] != b'\n' {
         return Err(bad_state("missing terminator after binary f64 run"));
     }
+    Ok(())
+}
+
+/// Writes `vals` as a raw little-endian run of `u64`-encoded `usize`
+/// values terminated by one `\n` — the integer twin of
+/// [`write_f64_run`], for CSR index payloads that would be needlessly
+/// slow as text.
+pub fn write_usize_run(w: &mut dyn Write, vals: &[usize]) -> io::Result<()> {
+    let mut bytes = vec![0u8; vals.len().min(PREALLOC_CAP) * 8];
+    for block in vals.chunks(PREALLOC_CAP.max(1)) {
+        let staged = &mut bytes[..block.len() * 8];
+        for (dst, &v) in staged.chunks_exact_mut(8).zip(block) {
+            dst.copy_from_slice(&(v as u64).to_le_bytes());
+        }
+        w.write_all(staged)?;
+    }
+    w.write_all(b"\n")
+}
+
+/// Reads a run written by [`write_usize_run`], requiring exactly
+/// `expected` values plus the terminator.
+pub fn read_usize_run(r: &mut dyn BufRead, expected: usize) -> io::Result<Vec<usize>> {
+    let mut out = Vec::with_capacity(expected.min(PREALLOC_CAP));
+    read_usize_run_into(r, expected, &mut out)?;
     Ok(out)
+}
+
+/// [`read_usize_run`] appending into a caller-supplied buffer — the
+/// integer twin of [`read_f64_run_into`] for pooled index buffers.
+/// Values that overflow `usize` are malformed data, not a panic.
+pub fn read_usize_run_into(
+    r: &mut dyn BufRead,
+    expected: usize,
+    out: &mut Vec<usize>,
+) -> io::Result<()> {
+    let nbytes = checked_len(expected, 8)?;
+    out.reserve(expected.min(PREALLOC_CAP));
+    let mut chunk = [0u8; 8192];
+    let mut remaining = nbytes;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take])?;
+        for c in chunk[..take].chunks_exact(8) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(c);
+            let v = u64::from_le_bytes(b);
+            out.push(usize::try_from(v).map_err(|_| bad_state("usize value overflows"))?);
+        }
+        remaining -= take;
+    }
+    let mut sep = [0u8; 1];
+    r.read_exact(&mut sep)?;
+    if sep[0] != b'\n' {
+        return Err(bad_state("missing terminator after binary usize run"));
+    }
+    Ok(())
 }
 
 /// `a * b` with overflow reported as malformed data (a corrupted header
@@ -258,6 +328,41 @@ mod tests {
         *mangled.last_mut().unwrap() = b'x';
         let err = read_f64_run(&mut &mangled[..], vals.len()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn usize_run_round_trips_and_appends_into_existing_buffers() {
+        let vals = [0usize, 1, 7, usize::MAX, 1 << 40];
+        let mut buf = Vec::new();
+        write_usize_run(&mut buf, &vals).unwrap();
+        assert_eq!(buf.len(), vals.len() * 8 + 1);
+        assert_eq!(read_usize_run(&mut &buf[..], vals.len()).unwrap(), vals);
+        // The _into variant appends after existing contents.
+        let mut out = vec![99usize];
+        read_usize_run_into(&mut &buf[..], vals.len(), &mut out).unwrap();
+        assert_eq!(out[0], 99);
+        assert_eq!(&out[1..], &vals);
+        // Truncation → UnexpectedEof; wrong terminator → InvalidData.
+        let err = read_usize_run(&mut &buf[..buf.len() - 3], vals.len()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let mut mangled = buf.clone();
+        *mangled.last_mut().unwrap() = b'x';
+        let err = read_usize_run(&mut &mangled[..], vals.len()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn f64_run_into_appends_after_existing_contents() {
+        let vals = [1.5f64, -0.25, f64::NAN];
+        let mut buf = Vec::new();
+        write_f64_run(&mut buf, &vals).unwrap();
+        let mut out = vec![7.0f64];
+        read_f64_run_into(&mut &buf[..], vals.len(), &mut out).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], 7.0);
+        for (a, b) in vals.iter().zip(&out[1..]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

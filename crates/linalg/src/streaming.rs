@@ -286,15 +286,17 @@ impl PendingRows {
         self.rows / STREAM_CHUNK_ROWS
     }
 
-    /// Copy of full chunk `i` (rows `i*C .. (i+1)*C` of the buffer).
+    /// Copy of full chunk `i` (rows `i*C .. (i+1)*C` of the buffer). The
+    /// backing buffer comes from the [`crate::pool`], so steady-state
+    /// streaming recycles the same chunk-sized allocations instead of
+    /// hitting the allocator once per chunk; the copied values are
+    /// identical either way.
     fn chunk(&self, i: usize) -> Matrix {
         let len = STREAM_CHUNK_ROWS * self.cols;
-        Matrix::from_vec(
-            STREAM_CHUNK_ROWS,
-            self.cols,
-            self.data[i * len..(i + 1) * len].to_vec(),
-        )
-        .expect("chunk slicing preserves the shape")
+        let mut buf = crate::pool::take_f64(len);
+        buf.extend_from_slice(&self.data[i * len..(i + 1) * len]);
+        Matrix::from_vec(STREAM_CHUNK_ROWS, self.cols, buf)
+            .expect("chunk slicing preserves the shape")
     }
 
     fn drain_chunks(&mut self, n: usize) {
@@ -388,7 +390,9 @@ impl GramAccumulator {
         let mut folded = (self.rows_seen - self.pending.rows) / STREAM_CHUNK_ROWS;
         if full == 1 {
             // A lone chunk parallelizes inside the SYRK kernel.
-            let g = self.pending.chunk(0).gram();
+            let c = self.pending.chunk(0);
+            let g = c.gram();
+            crate::pool::recycle_f64(c.into_vec());
             self.fold(g, &mut folded);
         } else if full > 1 {
             // Several chunks: schedule them as jobs across the pool, each
@@ -397,7 +401,10 @@ impl GramAccumulator {
             // below is in chunk order.
             let pending = &self.pending;
             let grams = ivmf_par::par_map(full, ivmf_par::configured_threads(), |i| {
-                pending.chunk(i).gram_impl(1)
+                let c = pending.chunk(i);
+                let g = c.gram_impl(1);
+                crate::pool::recycle_f64(c.into_vec());
+                g
             });
             for g in grams {
                 self.fold(g, &mut folded);
@@ -411,7 +418,10 @@ impl GramAccumulator {
     fn fold(&mut self, g: Matrix, folded_chunks: &mut usize) {
         match &mut self.group {
             None => self.group = Some(g),
-            Some(a) => add_assign(a, &g),
+            Some(a) => {
+                add_assign(a, &g);
+                crate::pool::recycle_f64(g.into_vec());
+            }
         }
         *folded_chunks += 1;
         if *folded_chunks % MERGE_GROUP_CHUNKS == 0 {
@@ -424,7 +434,10 @@ impl GramAccumulator {
         if let Some(g) = self.group.take() {
             match &mut self.acc {
                 None => self.acc = Some(g),
-                Some(a) => add_assign(a, &g),
+                Some(a) => {
+                    add_assign(a, &g);
+                    crate::pool::recycle_f64(g.into_vec());
+                }
             }
         }
     }
@@ -689,15 +702,21 @@ impl CrossGramAccumulator {
         let full = self.pending_a.full_chunks();
         let mut folded = (self.rows_seen - self.pending_a.rows) / STREAM_CHUNK_ROWS;
         if full == 1 {
-            let p = self
-                .pending_a
-                .chunk(0)
-                .matmul_tn(&self.pending_b.chunk(0))?;
-            self.fold(p, &mut folded);
+            let ca = self.pending_a.chunk(0);
+            let cb = self.pending_b.chunk(0);
+            let p = ca.matmul_tn(&cb);
+            crate::pool::recycle_f64(ca.into_vec());
+            crate::pool::recycle_f64(cb.into_vec());
+            self.fold(p?, &mut folded);
         } else if full > 1 {
             let (pa, pb) = (&self.pending_a, &self.pending_b);
             let products = ivmf_par::par_map(full, ivmf_par::configured_threads(), |i| {
-                pa.chunk(i).matmul_tn_impl(&pb.chunk(i), 1)
+                let ca = pa.chunk(i);
+                let cb = pb.chunk(i);
+                let p = ca.matmul_tn_impl(&cb, 1);
+                crate::pool::recycle_f64(ca.into_vec());
+                crate::pool::recycle_f64(cb.into_vec());
+                p
             });
             for p in products {
                 self.fold(p?, &mut folded);
@@ -713,7 +732,10 @@ impl CrossGramAccumulator {
     fn fold(&mut self, p: Matrix, folded_chunks: &mut usize) {
         match &mut self.group {
             None => self.group = Some(p),
-            Some(a) => add_assign(a, &p),
+            Some(a) => {
+                add_assign(a, &p);
+                crate::pool::recycle_f64(p.into_vec());
+            }
         }
         *folded_chunks += 1;
         if *folded_chunks % MERGE_GROUP_CHUNKS == 0 {
@@ -725,7 +747,10 @@ impl CrossGramAccumulator {
         if let Some(g) = self.group.take() {
             match &mut self.acc {
                 None => self.acc = Some(g),
-                Some(a) => add_assign(a, &g),
+                Some(a) => {
+                    add_assign(a, &g);
+                    crate::pool::recycle_f64(g.into_vec());
+                }
             }
         }
     }

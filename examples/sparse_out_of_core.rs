@@ -1,9 +1,14 @@
 //! Out-of-core sparse decomposition: a rating-matrix-shaped power-law
 //! interval matrix is generated block by block, written to disk in the
-//! sparse CSR text format, and decomposed with the Gram-route algorithms
+//! sparse CSR **binary container** (`ivmf shards v1`: checksummed
+//! length-prefixed records, bit-exact and a fraction of the text
+//! format's parse cost), and decomposed with the Gram-route algorithms
 //! (ISVD2–4) **without ever holding the matrix in memory** — at no point
 //! does anything larger than one row block plus the `m × m` Gram
-//! accumulators exist.
+//! accumulators exist. The session wraps the reader in the env-driven
+//! prefetcher (`IVMF_PREFETCH`, default double buffering), so the next
+//! shard decodes on a background I/O thread while the current one folds
+//! into the Gram — same bits, less wall-clock.
 //!
 //! Run with: `cargo run --release -p ivmf-bench --example sparse_out_of_core`
 //!
@@ -20,6 +25,7 @@ use std::time::Instant;
 use ivmf_core::{IsvdAlgorithm, IsvdConfig, Pipeline};
 use ivmf_data::stream::{CsrShardReader, CsrShardWriter};
 use ivmf_data::synthetic::{generate_power_law, PowerLawConfig};
+use ivmf_env::ShardFormat;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -40,7 +46,8 @@ fn main() {
     let block_config = PowerLawConfig::ratings_like(block_rows, cols).with_nnz_per_row(nnz_per_row);
     let mut rng = SmallRng::seed_from_u64(7);
     let start = Instant::now();
-    let mut writer = CsrShardWriter::create(&path, rows, cols).expect("create CSR file");
+    let mut writer = CsrShardWriter::create_with_format(&path, rows, cols, ShardFormat::Binary)
+        .expect("create CSR file");
     let mut written = 0usize;
     let mut nnz = 0usize;
     while written < rows {
@@ -70,7 +77,7 @@ fn main() {
     // shard into the sparse streaming accumulators and drop it.
     let config = IsvdConfig::new(rank);
     let reader = CsrShardReader::open(&path, 4096).expect("open CSR file");
-    let mut session = Pipeline::new_streaming_csr(Box::new(reader), config).expect("session");
+    let mut session = Pipeline::new_streaming_csr_send(Box::new(reader), config).expect("session");
     println!("\n{:<8} {:>12} {:>14}", "method", "time", "sigma_1");
     for algorithm in [
         IsvdAlgorithm::Isvd2,

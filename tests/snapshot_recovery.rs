@@ -263,10 +263,10 @@ fn version_bump_and_stale_matrix_are_rejected_wholesale() {
     let bytes = snapshot_bytes(&warm);
     let dir = temp_dir("reject");
 
-    // Future version: the first line reads "ivmf snapshot v2".
+    // Future version: the first line reads "ivmf snapshot v3".
     let mut bumped = bytes.clone();
     let v_at = bumped.iter().position(|&b| b == b'\n').unwrap() - 1;
-    bumped[v_at] = b'2';
+    bumped[v_at] = b'3';
     let path = dir.join("future.snap");
     std::fs::write(&path, &bumped).unwrap();
     let mut p = Pipeline::new(&m, config).unwrap();
